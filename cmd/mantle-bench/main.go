@@ -1,0 +1,58 @@
+// Command mantle-bench regenerates the paper's tables and figures on the
+// simulated cluster and prints paper-vs-measured shape checks.
+//
+// Usage:
+//
+//	mantle-bench -run fig7 -scale 0.25 -seed 3
+//	mantle-bench -run all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mantle/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment id to run (or 'all'); one of: "+join(experiments.IDs()))
+	seed := flag.Int64("seed", 1, "random seed")
+	scale := flag.Float64("scale", 0.1, "workload scale relative to the paper (1.0 = 100k creates/client)")
+	flag.Parse()
+
+	opts := experiments.Options{Seed: *seed, Scale: *scale, Out: os.Stdout}
+	fail := 0
+	if *run == "all" {
+		for _, rep := range experiments.RunAll(opts) {
+			if !rep.Pass() {
+				fail++
+			}
+		}
+	} else {
+		rep, err := experiments.Run(*run, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if !rep.Pass() {
+			fail++
+		}
+	}
+	if fail > 0 {
+		fmt.Printf("\n%d experiment(s) had failing shape checks\n", fail)
+		os.Exit(1)
+	}
+	fmt.Println("\nall shape checks passed")
+}
+
+func join(ids []string) string {
+	out := ""
+	for i, id := range ids {
+		if i > 0 {
+			out += ", "
+		}
+		out += id
+	}
+	return out
+}

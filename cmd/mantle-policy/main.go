@@ -1,0 +1,74 @@
+// Command mantle-policy is the balancer-policy toolbox: it lists the
+// built-in policies, shows them in the injectable file format, and — most
+// importantly — checks a policy before it is injected into a running
+// cluster, the safety tool §4.4 of the paper describes ("we wrote a
+// simulator that checks the logic before injecting policies").
+//
+// Usage:
+//
+//	mantle-policy list
+//	mantle-policy show greedy_spill > gs.lua
+//	mantle-policy check gs.lua
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mantle/internal/core"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "list":
+		for _, name := range core.PolicyNames() {
+			fmt.Println(name)
+		}
+	case "show":
+		if len(os.Args) != 3 {
+			usage()
+		}
+		p, ok := core.Policies()[os.Args[2]]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown policy %q\n", os.Args[2])
+			os.Exit(2)
+		}
+		fmt.Print(core.FormatPolicyFile(p))
+	case "check":
+		if len(os.Args) != 3 {
+			usage()
+		}
+		data, err := os.ReadFile(os.Args[2])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		base := strings.TrimSuffix(filepath.Base(os.Args[2]), filepath.Ext(os.Args[2]))
+		p, err := core.ParsePolicyFile(base, string(data))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rep := core.Validate(p)
+		fmt.Print(rep.String())
+		if !rep.OK() {
+			os.Exit(1)
+		}
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  mantle-policy list              list built-in policies
+  mantle-policy show <name>       print a built-in policy as an injectable file
+  mantle-policy check <file.lua>  lint a policy file against synthetic cluster states
+`)
+	os.Exit(2)
+}

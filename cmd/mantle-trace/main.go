@@ -1,0 +1,60 @@
+// Command mantle-trace emits workload traces in the replayable text format
+// (one op per line). Pair it with `mantle-sim -workload trace -trace f` to
+// replay, or post-process traces from other systems into the same format.
+//
+// Usage:
+//
+//	mantle-trace -workload compile -files 500 -seed 3 > compile.trace
+//	mantle-trace -workload shared -client 2 -files 10000 > client2.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mantle/internal/workload"
+)
+
+func main() {
+	var (
+		wl     = flag.String("workload", "separate", "workload: separate | shared | compile | flashcrowd")
+		files  = flag.Int("files", 10000, "files per client (creates) or per directory (compile)")
+		client = flag.Int("client", 0, "client index (names and tree roots)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		bursts = flag.Int("bursts", 2000, "ops for the flash-crowd workload")
+	)
+	flag.Parse()
+
+	var gen workload.Generator
+	switch *wl {
+	case "separate":
+		gen = workload.SeparateDirCreates("", *client, *files)
+	case "shared":
+		gen = workload.SharedDirCreates("/shared", *client, *files)
+	case "compile":
+		gen = workload.Compile(workload.CompileConfig{
+			Root:        fmt.Sprintf("/src%d", *client),
+			FilesPerDir: *files,
+			HeaderFiles: *files / 2,
+			Seed:        *seed + int64(*client),
+		})
+	case "flashcrowd":
+		gen = workload.FlashCrowd(workload.FlashCrowdConfig{
+			Dir: "/hot", Files: *files, Bursts: *bursts, Seed: *seed,
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+	rec := &workload.Record{Inner: gen}
+	for {
+		if _, ok := rec.Next(); !ok {
+			break
+		}
+	}
+	if err := workload.WriteTrace(os.Stdout, rec.Ops); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,23 @@
+// Package mantle is a from-scratch reproduction of "Mantle: A Programmable
+// Metadata Load Balancer for the Ceph File System" (Sevilla et al., SC '15).
+//
+// The repository contains a deterministic discrete-event simulation of a
+// CephFS-like metadata cluster — dynamic subtree partitioning, directory
+// fragments, heartbeats, two-phase-commit migration, a RADOS-like object
+// store — plus Mantle itself: a balancer whose load-calculation, when,
+// where, and how-much decisions are injectable Lua scripts executed by an
+// embedded sandboxed interpreter.
+//
+// Entry points:
+//
+//   - internal/cluster — build and run simulated clusters (library API)
+//   - internal/core — the Mantle policy framework and the paper's policies
+//   - cmd/mantle-sim — run one cluster interactively
+//   - cmd/mantle-bench — regenerate every table and figure from the paper
+//   - cmd/mantle-policy — lint balancer policies before injection
+//   - examples/ — runnable walkthroughs
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results. The root-level benchmarks (bench_test.go)
+// regenerate each figure under `go test -bench`.
+package mantle

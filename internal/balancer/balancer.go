@@ -1,0 +1,127 @@
+// Package balancer defines the load-balancing policy framework: the metrics
+// environment each MDS evaluates (Table 2 of the paper), the Balancer policy
+// interface (the four decisions Mantle decouples: load calculation, when,
+// where, how-much), the dirfrag selectors, and Go-native implementations of
+// the paper's balancers — the hard-coded CephFS policy of Table 1, Greedy
+// Spill (Listing 1/2), Fill & Spill (Listing 3), and the Adaptable balancer
+// (Listing 4).
+//
+// Lua-injected policies (the Mantle contribution) implement the same
+// interface in package core, so the MDS mechanism is identical whichever way
+// policies are authored.
+package balancer
+
+import (
+	"fmt"
+
+	"mantle/internal/namespace"
+)
+
+// MDSMetrics is one MDS's view of a peer, extracted from heartbeats. Field
+// names follow the Mantle environment (MDSs[i]["..."] in scripts).
+type MDSMetrics struct {
+	// Auth is the metadata load on subtrees this MDS is authoritative for.
+	Auth float64
+	// All is the metadata load on all subtrees it touches (auth+replica).
+	All float64
+	// CPU is percent CPU utilisation (0-100), an instantaneous sample.
+	CPU float64
+	// Mem is percent memory (cache) utilisation (0-100).
+	Mem float64
+	// Queue is the number of requests waiting in the MDS op queue.
+	Queue float64
+	// Req is the request rate in requests/second.
+	Req float64
+	// Load is the scalarised MDS load, filled in by the framework from
+	// the active mdsload policy.
+	Load float64
+}
+
+// Env is the evaluation environment for when/where decisions: everything a
+// policy may consult, mirroring Table 2 of the paper.
+type Env struct {
+	// WhoAmI is the rank of the deciding MDS.
+	WhoAmI namespace.Rank
+	// MDSs holds the latest per-rank metrics (index = rank). Entries for
+	// ranks whose heartbeat has not arrived yet are zero — policies see
+	// stale or missing data exactly as the paper describes (§2.2.2).
+	MDSs []MDSMetrics
+	// Total is the sum of MDSs[i].Load.
+	Total float64
+	// AuthMetaLoad and AllMetaLoad are the local metadata loads.
+	AuthMetaLoad float64
+	AllMetaLoad  float64
+	// State persists small values between balancer invocations
+	// (WRstate/RDstate in Mantle scripts).
+	State StateStore
+}
+
+// Targets maps a destination rank to the amount of load to send there — the
+// output of the "where" decision.
+type Targets map[namespace.Rank]float64
+
+// TotalTarget sums the load across all destinations.
+func (t Targets) TotalTarget() float64 {
+	sum := 0.0
+	for _, v := range t {
+		sum += v
+	}
+	return sum
+}
+
+// Balancer is a complete balancing policy. The MDS mechanism invokes the
+// methods in order: MetaLoad (per dirfrag/subtree), MDSLoad (per peer),
+// When, then — only if When is true — Where and HowMuch.
+type Balancer interface {
+	// Name identifies the policy in logs and experiment output.
+	Name() string
+	// MetaLoad quantifies the work represented by one dirfrag or subtree.
+	MetaLoad(d namespace.CounterSnapshot) (float64, error)
+	// MDSLoad scalarises the metrics of e.MDSs[rank] into a comparable
+	// load. The Load fields of e.MDSs are not yet filled when MDSLoad
+	// runs.
+	MDSLoad(rank namespace.Rank, e *Env) (float64, error)
+	// When reports whether this MDS should migrate load now.
+	When(e *Env) (bool, error)
+	// Where distributes load to target ranks.
+	Where(e *Env) (Targets, error)
+	// HowMuch names the dirfrag selectors to try, in preference order.
+	HowMuch(e *Env) ([]string, error)
+}
+
+// StateStore persists a small value between balancer invocations on one MDS
+// (the paper implements it with temporary files; an in-memory store behaves
+// identically for simulation).
+type StateStore interface {
+	// Write saves v, replacing any previous value.
+	Write(v any)
+	// Read returns the last written value, or nil.
+	Read() any
+}
+
+// MemState is an in-memory StateStore.
+type MemState struct{ v any }
+
+// Write saves v.
+func (m *MemState) Write(v any) { m.v = v }
+
+// Read returns the saved value or nil.
+func (m *MemState) Read() any { return m.v }
+
+// Validate sanity-checks targets against the environment: destinations must
+// be valid ranks and not the sender itself; amounts must be non-negative and
+// finite.
+func (t Targets) Validate(e *Env) error {
+	for rank, amt := range t {
+		if rank < 0 || int(rank) >= len(e.MDSs) {
+			return fmt.Errorf("balancer: target rank %d out of range [0,%d)", rank, len(e.MDSs))
+		}
+		if rank == e.WhoAmI {
+			return fmt.Errorf("balancer: policy targeted itself (rank %d)", rank)
+		}
+		if amt < 0 || amt != amt { // NaN check
+			return fmt.Errorf("balancer: invalid target load %v for rank %d", amt, rank)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,363 @@
+package balancer
+
+import (
+	"math"
+
+	"mantle/internal/namespace"
+)
+
+// NoBalancer never migrates: all metadata stays where it is (the "high
+// locality" configuration of Figure 3).
+type NoBalancer struct{}
+
+// Name implements Balancer.
+func (NoBalancer) Name() string { return "none" }
+
+// MetaLoad implements Balancer using the CephFS scalarisation.
+func (NoBalancer) MetaLoad(d namespace.CounterSnapshot) (float64, error) { return d.CephLoad(), nil }
+
+// MDSLoad implements Balancer.
+func (NoBalancer) MDSLoad(rank namespace.Rank, e *Env) (float64, error) {
+	return e.MDSs[rank].Auth, nil
+}
+
+// When implements Balancer: never migrate.
+func (NoBalancer) When(_ *Env) (bool, error) { return false, nil }
+
+// Where implements Balancer.
+func (NoBalancer) Where(_ *Env) (Targets, error) { return nil, nil }
+
+// HowMuch implements Balancer.
+func (NoBalancer) HowMuch(_ *Env) ([]string, error) { return []string{"big_first"}, nil }
+
+// CephFS is the original hard-coded balancer of Table 1: scalarised loads,
+// migrate whenever above the cluster mean, spread to every underloaded MDS,
+// big-first dirfrag selection, with the mds_bal_need_min-style 0.8 fudge
+// factor the paper's worked example shows.
+type CephFS struct {
+	// NeedMin scales target loads to tolerate measurement noise
+	// (mds_bal_need_min; the paper observed 0.8).
+	NeedMin float64
+	// MinStartLoad suppresses balancing while the cluster load is tiny,
+	// like mds_bal_min_start.
+	MinStartLoad float64
+}
+
+// NewCephFS returns the default CephFS policy with the paper's constants.
+func NewCephFS() *CephFS { return &CephFS{NeedMin: 0.8, MinStartLoad: 1} }
+
+// Name implements Balancer.
+func (*CephFS) Name() string { return "cephfs" }
+
+// MetaLoad implements Table 1's metaload row.
+func (*CephFS) MetaLoad(d namespace.CounterSnapshot) (float64, error) { return d.CephLoad(), nil }
+
+// MDSLoad implements Table 1's MDSload row:
+// 0.8*auth + 0.2*all + request rate + 10*queue length.
+func (*CephFS) MDSLoad(rank namespace.Rank, e *Env) (float64, error) {
+	m := e.MDSs[rank]
+	return 0.8*m.Auth + 0.2*m.All + m.Req + 10*m.Queue, nil
+}
+
+// When implements Table 1: migrate if my load exceeds the cluster mean.
+func (b *CephFS) When(e *Env) (bool, error) {
+	if len(e.MDSs) < 2 {
+		return false, nil
+	}
+	my := e.MDSs[e.WhoAmI].Load
+	if e.Total < b.MinStartLoad {
+		return false, nil
+	}
+	return my > e.Total/float64(len(e.MDSs)), nil
+}
+
+// Where implements Table 1: every MDS below the mean is an importer and is
+// assigned its deficit, scaled so the exporter never ships more than its own
+// excess (and fudged by NeedMin).
+func (b *CephFS) Where(e *Env) (Targets, error) {
+	mean := e.Total / float64(len(e.MDSs))
+	my := e.MDSs[e.WhoAmI].Load
+	excess := my - mean
+	if excess <= 0 {
+		return nil, nil
+	}
+	deficit := 0.0
+	for i, m := range e.MDSs {
+		if namespace.Rank(i) != e.WhoAmI && m.Load < mean {
+			deficit += mean - m.Load
+		}
+	}
+	if deficit <= 0 {
+		return nil, nil
+	}
+	scale := excess / deficit
+	if scale > 1 {
+		scale = 1
+	}
+	t := Targets{}
+	for i, m := range e.MDSs {
+		if namespace.Rank(i) == e.WhoAmI || m.Load >= mean {
+			continue
+		}
+		amt := (mean - m.Load) * scale * b.NeedMin
+		if amt > 0 {
+			t[namespace.Rank(i)] = amt
+		}
+	}
+	return t, nil
+}
+
+// HowMuch implements Table 1: the single big-first heuristic.
+func (*CephFS) HowMuch(_ *Env) ([]string, error) { return []string{"big_first"}, nil }
+
+// GreedySpill mimics GIGA+'s uniform splitting (Listing 1): as soon as this
+// MDS has load and its right-hand neighbour has none, ship half of
+// everything to the neighbour using the "half" selector. With Even set it
+// uses the dissemination pattern of Listing 2 so four MDS nodes end up with
+// a quarter each.
+type GreedySpill struct {
+	// Even selects the Listing 2 variant (search half-way across the
+	// cluster for an idle MDS instead of always using the neighbour).
+	Even bool
+	// Threshold is the "has load" cutoff (0.01 in the listings).
+	Threshold float64
+}
+
+// NewGreedySpill returns the Listing 1 policy.
+func NewGreedySpill() *GreedySpill { return &GreedySpill{Threshold: 0.01} }
+
+// NewGreedySpillEven returns the Listing 2 policy.
+func NewGreedySpillEven() *GreedySpill { return &GreedySpill{Even: true, Threshold: 0.01} }
+
+// Name implements Balancer.
+func (b *GreedySpill) Name() string {
+	if b.Even {
+		return "greedy_spill_even"
+	}
+	return "greedy_spill"
+}
+
+// MetaLoad implements Listing 1: just inode writes (create-intensive focus).
+func (*GreedySpill) MetaLoad(d namespace.CounterSnapshot) (float64, error) { return d.IWR, nil }
+
+// MDSLoad implements Listing 1: the metadata load on all subtrees.
+func (*GreedySpill) MDSLoad(rank namespace.Rank, e *Env) (float64, error) {
+	return e.MDSs[rank].All, nil
+}
+
+// target finds the destination rank per the listing; returns -1 for "none".
+func (b *GreedySpill) target(e *Env) namespace.Rank {
+	n := len(e.MDSs)
+	me := int(e.WhoAmI)
+	if !b.Even {
+		next := me + 1
+		if next >= n {
+			return -1
+		}
+		if e.MDSs[me].Load > b.Threshold && e.MDSs[next].Load < b.Threshold {
+			return namespace.Rank(next)
+		}
+		return -1
+	}
+	// Listing 2 (1-based in the paper, converted): aim half-way across
+	// the remaining ranks, then walk back toward self past busy nodes to
+	// find an idle MDS.
+	lua := me + 1 // the paper's whoami is 1-based
+	t := (n-lua+1)/2 + lua
+	if t > n {
+		t = lua
+	}
+	for t != lua && e.MDSs[t-1].Load >= b.Threshold {
+		t--
+	}
+	if t == lua {
+		return -1
+	}
+	if e.MDSs[me].Load > b.Threshold && e.MDSs[t-1].Load < b.Threshold {
+		return namespace.Rank(t - 1)
+	}
+	return -1
+}
+
+// When implements the listings' spill condition.
+func (b *GreedySpill) When(e *Env) (bool, error) { return b.target(e) >= 0, nil }
+
+// Where ships half of this MDS's load to the chosen target.
+func (b *GreedySpill) Where(e *Env) (Targets, error) {
+	t := b.target(e)
+	if t < 0 {
+		return nil, nil
+	}
+	return Targets{t: e.MDSs[e.WhoAmI].Load / 2}, nil
+}
+
+// HowMuch uses the custom "half" selector so exactly half the dirfrags move.
+func (*GreedySpill) HowMuch(_ *Env) ([]string, error) { return []string{"half"}, nil }
+
+// FillAndSpill (Listing 3, a LARD [15] variant) lets an MDS fill to a known
+// capacity before spilling a fixed fraction of load to its neighbour. The
+// capacity signal is instantaneous CPU utilisation; the policy waits for
+// three consecutive over-threshold observations before spilling (the
+// WRstate/RDstate example from §3.1).
+type FillAndSpill struct {
+	// CPUThreshold is the utilisation above which the MDS is considered
+	// full. The paper derived 48% from its Figure 5 capacity study on
+	// its hardware; the same study on this simulator's cost model puts
+	// three clients at ~80-85%.
+	CPUThreshold float64
+	// SpillFraction is the share of load shipped when spilling (the
+	// paper found 25% best; 10% under-spills).
+	SpillFraction float64
+	// Patience is how many consecutive hot observations trigger a spill.
+	Patience int
+}
+
+// NewFillAndSpill returns the Listing 3 policy with the paper's constants.
+func NewFillAndSpill() *FillAndSpill {
+	return &FillAndSpill{CPUThreshold: 85, SpillFraction: 0.25, Patience: 3}
+}
+
+// Name implements Balancer.
+func (*FillAndSpill) Name() string { return "fill_and_spill" }
+
+// MetaLoad implements Listing 3: inode reads + writes.
+func (*FillAndSpill) MetaLoad(d namespace.CounterSnapshot) (float64, error) {
+	return d.IRD + d.IWR, nil
+}
+
+// MDSLoad implements Listing 3.
+func (*FillAndSpill) MDSLoad(rank namespace.Rank, e *Env) (float64, error) {
+	return e.MDSs[rank].All, nil
+}
+
+// When implements the three-strikes CPU check using the state store.
+func (b *FillAndSpill) When(e *Env) (bool, error) {
+	wait := b.Patience - 1
+	if v, ok := e.State.Read().(float64); ok {
+		wait = int(v)
+	}
+	if e.MDSs[e.WhoAmI].CPU > b.CPUThreshold {
+		if wait > 0 {
+			e.State.Write(float64(wait - 1))
+			return false, nil
+		}
+		e.State.Write(float64(b.Patience - 1))
+		return true, nil
+	}
+	e.State.Write(float64(b.Patience - 1))
+	return false, nil
+}
+
+// Where spills SpillFraction of the local load to the right-hand neighbour.
+func (b *FillAndSpill) Where(e *Env) (Targets, error) {
+	next := int(e.WhoAmI) + 1
+	if next >= len(e.MDSs) {
+		return nil, nil
+	}
+	return Targets{namespace.Rank(next): e.MDSs[e.WhoAmI].Load * b.SpillFraction}, nil
+}
+
+// HowMuch prefers small units so the spill is fine-grained.
+func (*FillAndSpill) HowMuch(_ *Env) ([]string, error) {
+	return []string{"small_first", "big_small", "big_first"}, nil
+}
+
+// Adaptable is the simplified adaptable load-sharing policy of Listing 4:
+// migrate only when one MDS holds the majority of the cluster load, spread
+// it to every underloaded MDS proportionally, and try the full selector
+// toolbox for accuracy. Conservative and TooAggressive tune the "when"
+// condition for the Figure 10 comparison.
+type Adaptable struct {
+	// MinOffload suppresses migration until the local load passes an
+	// absolute floor (the conservative top graph of Figure 10).
+	MinOffload float64
+	// Fraction of total cluster load one MDS must exceed before it
+	// migrates (0.5 in Listing 4). TooAggressive uses 1/#MDS instead.
+	MajorityFraction float64
+	// TooAggressive rebalances toward perfect balance on any imbalance
+	// (the bottom graph of Figure 10).
+	TooAggressive bool
+	name          string
+}
+
+// NewAdaptable returns the paper's Listing 4 policy.
+func NewAdaptable() *Adaptable {
+	return &Adaptable{MajorityFraction: 0.5, name: "adaptable"}
+}
+
+// NewConservative returns the Figure 10 top-graph variant: Listing 4 plus a
+// minimum-offload floor.
+func NewConservative(minOffload float64) *Adaptable {
+	return &Adaptable{MajorityFraction: 0.5, MinOffload: minOffload, name: "adaptable_conservative"}
+}
+
+// NewTooAggressive returns the Figure 10 bottom-graph variant that chases
+// perfect balance continuously.
+func NewTooAggressive() *Adaptable {
+	return &Adaptable{TooAggressive: true, name: "adaptable_too_aggressive"}
+}
+
+// Name implements Balancer.
+func (b *Adaptable) Name() string {
+	if b.name == "" {
+		return "adaptable"
+	}
+	return b.name
+}
+
+// MetaLoad implements Listing 4: inode writes + reads.
+func (*Adaptable) MetaLoad(d namespace.CounterSnapshot) (float64, error) { return d.IWR + d.IRD, nil }
+
+// MDSLoad implements Listing 4.
+func (*Adaptable) MDSLoad(rank namespace.Rank, e *Env) (float64, error) {
+	return e.MDSs[rank].All, nil
+}
+
+// When implements Listing 4's majority condition (or the aggressive mean
+// condition).
+func (b *Adaptable) When(e *Env) (bool, error) {
+	my := e.MDSs[e.WhoAmI].Load
+	if my <= b.MinOffload {
+		return false, nil
+	}
+	if e.Total <= 0 {
+		return false, nil
+	}
+	if b.TooAggressive {
+		return my > e.Total/float64(len(e.MDSs))+1e-9, nil
+	}
+	max := 0.0
+	for _, m := range e.MDSs {
+		max = math.Max(max, m.Load)
+	}
+	return my > e.Total*b.MajorityFraction && my >= max, nil
+}
+
+// Where implements Listing 4: fill every underloaded MDS up to the mean.
+func (b *Adaptable) Where(e *Env) (Targets, error) {
+	targetLoad := e.Total / float64(len(e.MDSs))
+	t := Targets{}
+	for i, m := range e.MDSs {
+		if namespace.Rank(i) == e.WhoAmI {
+			continue
+		}
+		if m.Load < targetLoad {
+			t[namespace.Rank(i)] = targetLoad - m.Load
+		}
+	}
+	return t, nil
+}
+
+// HowMuch implements Listing 4's selector list.
+func (*Adaptable) HowMuch(_ *Env) ([]string, error) {
+	return []string{"half", "small", "big", "big_small"}, nil
+}
+
+// Compile-time interface checks.
+var (
+	_ Balancer = NoBalancer{}
+	_ Balancer = (*CephFS)(nil)
+	_ Balancer = (*GreedySpill)(nil)
+	_ Balancer = (*FillAndSpill)(nil)
+	_ Balancer = (*Adaptable)(nil)
+)

@@ -1,0 +1,284 @@
+package balancer
+
+import (
+	"testing"
+
+	"mantle/internal/namespace"
+)
+
+func envWithLoads(who int, loads ...float64) *Env {
+	e := &Env{WhoAmI: namespace.Rank(who), State: &MemState{}}
+	for _, l := range loads {
+		e.MDSs = append(e.MDSs, MDSMetrics{Load: l, All: l, Auth: l})
+		e.Total += l
+	}
+	return e
+}
+
+func TestCephFSMDSLoadFormula(t *testing.T) {
+	b := NewCephFS()
+	e := &Env{MDSs: []MDSMetrics{{Auth: 10, All: 20, Req: 5, Queue: 3}}}
+	got, err := b.MDSLoad(0, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.8*10 + 0.2*20 + 5 + 10*3 = 47
+	if got != 47 {
+		t.Fatalf("MDSLoad = %v, want 47", got)
+	}
+}
+
+func TestCephFSWhen(t *testing.T) {
+	b := NewCephFS()
+	e := envWithLoads(0, 100, 10, 10)
+	if ok, _ := b.When(e); !ok {
+		t.Fatal("overloaded MDS should migrate")
+	}
+	e2 := envWithLoads(1, 100, 10, 10)
+	if ok, _ := b.When(e2); ok {
+		t.Fatal("underloaded MDS should not migrate")
+	}
+	// Tiny cluster load is suppressed.
+	e3 := envWithLoads(0, 0.3, 0.1, 0.1)
+	if ok, _ := b.When(e3); ok {
+		t.Fatal("min start load not honoured")
+	}
+	// Single MDS never migrates.
+	if ok, _ := b.When(envWithLoads(0, 100)); ok {
+		t.Fatal("single MDS migrated")
+	}
+}
+
+func TestCephFSWhereTargetsUnderloaded(t *testing.T) {
+	b := NewCephFS()
+	e := envWithLoads(0, 90, 10, 20)
+	targets, err := b.Where(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != 2 {
+		t.Fatalf("targets = %v", targets)
+	}
+	// mean = 40; deficits 30 (rank1), 20 (rank2); excess 50 = deficit,
+	// so scale 1; with NeedMin 0.8 → 24 and 16.
+	if targets[1] != 30*0.8 || targets[2] != 20*0.8 {
+		t.Fatalf("targets = %v", targets)
+	}
+	if err := targets.Validate(e); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCephFSWhereScalesToExcess(t *testing.T) {
+	b := NewCephFS()
+	b.NeedMin = 1
+	e := envWithLoads(0, 50, 0, 0)
+	// mean 16.67, excess 33.3, deficits 33.3 → ships its whole excess.
+	targets, _ := b.Where(e)
+	if got := targets.TotalTarget(); got < 33 || got > 34 {
+		t.Fatalf("total target = %v", got)
+	}
+}
+
+func TestGreedySpillNeighbour(t *testing.T) {
+	b := NewGreedySpill()
+	e := envWithLoads(0, 10, 0, 0, 0)
+	if ok, _ := b.When(e); !ok {
+		t.Fatal("loaded MDS with idle neighbour should spill")
+	}
+	targets, _ := b.Where(e)
+	if targets[1] != 5 {
+		t.Fatalf("targets = %v, want half to rank 1", targets)
+	}
+	// Neighbour busy → no spill.
+	e2 := envWithLoads(0, 10, 9, 0, 0)
+	if ok, _ := b.When(e2); ok {
+		t.Fatal("busy neighbour should block spill")
+	}
+	// Last rank has no neighbour.
+	e3 := envWithLoads(3, 0, 0, 0, 10)
+	if ok, _ := b.When(e3); ok {
+		t.Fatal("last rank spilled off the end")
+	}
+	how, _ := b.HowMuch(e)
+	if len(how) != 1 || how[0] != "half" {
+		t.Fatalf("howmuch = %v", how)
+	}
+}
+
+func TestGreedySpillEvenDissemination(t *testing.T) {
+	b := NewGreedySpillEven()
+	// Round 1: rank 0 loaded, all others idle → target half-way (rank 2).
+	e := envWithLoads(0, 10, 0, 0, 0)
+	targets, _ := b.Where(e)
+	if targets[2] != 5 {
+		t.Fatalf("round 1 targets = %v, want rank 2", targets)
+	}
+	// Round 2 from rank 2's view: 0 and 2 loaded → rank 2 aims at 3.
+	e2 := envWithLoads(2, 5, 0, 5, 0)
+	targets2, _ := b.Where(e2)
+	if targets2[3] != 2.5 {
+		t.Fatalf("round 2 targets = %v, want rank 3", targets2)
+	}
+	// Round 2 from rank 0's view: half-way rank 2 is busy → walk back
+	// to rank 1.
+	targets3, _ := b.Where(&Env{WhoAmI: 0, MDSs: []MDSMetrics{{Load: 5}, {Load: 0}, {Load: 5}, {Load: 2.5}}, State: &MemState{}})
+	if targets3[1] != 2.5 {
+		t.Fatalf("round 2 rank0 targets = %v, want rank 1", targets3)
+	}
+	// Fully loaded cluster → nowhere to go.
+	e4 := envWithLoads(0, 5, 5, 5, 5)
+	if ok, _ := b.When(e4); ok {
+		t.Fatal("no idle MDS but still spilled")
+	}
+}
+
+func TestFillAndSpillThreeStrikes(t *testing.T) {
+	b := NewFillAndSpill()
+	e := envWithLoads(0, 40, 0)
+	hot := func() bool {
+		e.MDSs[0].CPU = 95
+		ok, err := b.When(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ok
+	}
+	if hot() || hot() {
+		t.Fatal("spilled before three consecutive hot samples")
+	}
+	if !hot() {
+		t.Fatal("three hot samples should spill")
+	}
+	// Counter resets after firing.
+	if hot() || hot() {
+		t.Fatal("counter did not reset after spill")
+	}
+	// A cool sample resets the streak.
+	e.MDSs[0].CPU = 10
+	if ok, _ := b.When(e); ok {
+		t.Fatal("cool MDS spilled")
+	}
+	if hot() || hot() {
+		t.Fatal("streak not reset by cool sample")
+	}
+}
+
+func TestFillAndSpillWhere(t *testing.T) {
+	b := NewFillAndSpill()
+	e := envWithLoads(0, 40, 0)
+	targets, _ := b.Where(e)
+	if targets[1] != 10 { // 25% of 40
+		t.Fatalf("targets = %v", targets)
+	}
+	// Last rank spills nowhere.
+	e2 := envWithLoads(1, 0, 40)
+	targets2, _ := b.Where(e2)
+	if len(targets2) != 0 {
+		t.Fatalf("last rank targets = %v", targets2)
+	}
+}
+
+func TestAdaptableMajorityCondition(t *testing.T) {
+	b := NewAdaptable()
+	// 60% of total and the max → migrate.
+	if ok, _ := b.When(envWithLoads(0, 60, 20, 20)); !ok {
+		t.Fatal("majority holder should migrate")
+	}
+	// 40% of total → no.
+	if ok, _ := b.When(envWithLoads(0, 40, 30, 30)); ok {
+		t.Fatal("non-majority migrated")
+	}
+	// Not the max → no (restricts to one exporter).
+	if ok, _ := b.When(envWithLoads(0, 30, 65, 5)); ok {
+		t.Fatal("non-max migrated")
+	}
+	if ok, _ := b.When(envWithLoads(0, 0, 0, 0)); ok {
+		t.Fatal("idle cluster migrated")
+	}
+}
+
+func TestAdaptableWhereFillsToMean(t *testing.T) {
+	b := NewAdaptable()
+	e := envWithLoads(0, 90, 0, 0)
+	targets, _ := b.Where(e)
+	if targets[1] != 30 || targets[2] != 30 {
+		t.Fatalf("targets = %v", targets)
+	}
+	how, _ := b.HowMuch(e)
+	if len(how) != 4 {
+		t.Fatalf("howmuch = %v", how)
+	}
+}
+
+func TestConservativeFloor(t *testing.T) {
+	b := NewConservative(50)
+	if ok, _ := b.When(envWithLoads(0, 40, 0, 0)); ok {
+		t.Fatal("below floor but migrated")
+	}
+	if ok, _ := b.When(envWithLoads(0, 60, 0, 0)); !ok {
+		t.Fatal("above floor should migrate")
+	}
+}
+
+func TestTooAggressiveMigratesOnAnyImbalance(t *testing.T) {
+	b := NewTooAggressive()
+	if ok, _ := b.When(envWithLoads(0, 34, 33, 33)); !ok {
+		t.Fatal("slight imbalance should trigger the too-aggressive policy")
+	}
+	if ok, _ := b.When(envWithLoads(1, 34, 33, 33)); ok {
+		t.Fatal("below-mean MDS migrated")
+	}
+}
+
+func TestNoBalancerNeverMigrates(t *testing.T) {
+	b := NoBalancer{}
+	if ok, _ := b.When(envWithLoads(0, 1000, 0, 0)); ok {
+		t.Fatal("NoBalancer migrated")
+	}
+}
+
+func TestTargetsValidate(t *testing.T) {
+	e := envWithLoads(0, 10, 0)
+	if err := (Targets{1: 5}).Validate(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Targets{0: 5}).Validate(e); err == nil {
+		t.Fatal("self-target accepted")
+	}
+	if err := (Targets{7: 5}).Validate(e); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+	if err := (Targets{1: -3}).Validate(e); err == nil {
+		t.Fatal("negative load accepted")
+	}
+}
+
+func TestMemState(t *testing.T) {
+	var s MemState
+	if s.Read() != nil {
+		t.Fatal("fresh state not nil")
+	}
+	s.Write(2.0)
+	if s.Read() != 2.0 {
+		t.Fatal("read back")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	names := map[string]Balancer{
+		"none":                     NoBalancer{},
+		"cephfs":                   NewCephFS(),
+		"greedy_spill":             NewGreedySpill(),
+		"greedy_spill_even":        NewGreedySpillEven(),
+		"fill_and_spill":           NewFillAndSpill(),
+		"adaptable":                NewAdaptable(),
+		"adaptable_conservative":   NewConservative(10),
+		"adaptable_too_aggressive": NewTooAggressive(),
+	}
+	for want, b := range names {
+		if b.Name() != want {
+			t.Errorf("Name() = %q, want %q", b.Name(), want)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package balancer
+
+import (
+	"encoding/json"
+
+	"mantle/internal/rados"
+)
+
+// RADOSState is a StateStore whose values persist in an object-store omap —
+// the paper's §3.1 notes WRstate/RDstate "are implemented using temporary
+// files but future work will store them in RADOS objects to improve
+// scalability"; this is that future work. Reads are served from a local
+// write-through cache (a balancer decision cannot block on I/O); writes go
+// to the object store asynchronously, and Recover warms the cache after an
+// MDS restart.
+//
+// Values must be JSON-encodable scalars (nil, bool, float64, string) —
+// exactly what Mantle scripts put through WRstate. Non-encodable values
+// stay cache-only and are counted in Unpersisted.
+type RADOSState struct {
+	pool   *rados.Pool
+	object string
+	cached any
+
+	// Writes counts persisted updates; Unpersisted counts values that
+	// could not be serialised (kept in memory only).
+	Writes      uint64
+	Unpersisted uint64
+}
+
+const radosStateKey = "mantle_state"
+
+// NewRADOSState creates a store backed by the named object in pool.
+func NewRADOSState(pool *rados.Pool, object string) *RADOSState {
+	return &RADOSState{pool: pool, object: object}
+}
+
+// Write implements StateStore: update the cache immediately and persist in
+// the background.
+func (s *RADOSState) Write(v any) {
+	s.cached = v
+	data, err := json.Marshal(v)
+	if err != nil {
+		s.Unpersisted++
+		return
+	}
+	s.Writes++
+	s.pool.OMapSet(s.object, map[string][]byte{radosStateKey: data}, nil)
+}
+
+// Read implements StateStore from the local cache.
+func (s *RADOSState) Read() any { return s.cached }
+
+// Recover reloads the persisted value (after a simulated restart), invoking
+// done once the cache is warm. ok reports whether a value existed.
+func (s *RADOSState) Recover(done func(ok bool)) {
+	s.pool.OMapGet(s.object, func(kv map[string][]byte, exists bool) {
+		if !exists {
+			if done != nil {
+				done(false)
+			}
+			return
+		}
+		data, ok := kv[radosStateKey]
+		if !ok {
+			if done != nil {
+				done(false)
+			}
+			return
+		}
+		var v any
+		if err := json.Unmarshal(data, &v); err == nil {
+			s.cached = v
+		}
+		if done != nil {
+			done(true)
+		}
+	})
+}
+
+var _ StateStore = (*RADOSState)(nil)

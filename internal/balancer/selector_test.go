@@ -1,0 +1,190 @@
+package balancer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// paperLoads is the worked example from §2.2.3: eight hot dirfrags on MDS0.
+var paperLoads = []float64{12.7, 13.3, 13.3, 14.6, 15.7, 13.5, 13.7, 14.6}
+
+func candidates(loads []float64) []FragCandidate {
+	out := make([]FragCandidate, len(loads))
+	for i, l := range loads {
+		out[i] = FragCandidate{ID: i, Load: l}
+	}
+	return out
+}
+
+func TestBigFirstPaperExample(t *testing.T) {
+	// With the 0.8 need-min fudge the target is 55.6*0.8 = 44.48 and the
+	// original balancer ships only three dirfrags: 15.7+14.6+14.6 = 44.9.
+	cands := candidates(paperLoads)
+	chosen := BigFirst(cands, 55.6*0.8)
+	if len(chosen) != 3 {
+		t.Fatalf("big_first chose %d frags, want 3", len(chosen))
+	}
+	if got := Shipped(cands, chosen); math.Abs(got-44.9) > 1e-9 {
+		t.Fatalf("shipped %v, want 44.9", got)
+	}
+}
+
+func TestBigFirstUnscaledTarget(t *testing.T) {
+	cands := candidates(paperLoads)
+	chosen := BigFirst(cands, 55.6)
+	// 15.7+14.6+14.6=44.9 < 55.6, so one more (13.7) ships: 58.6.
+	if got := Shipped(cands, chosen); math.Abs(got-58.6) > 1e-9 {
+		t.Fatalf("shipped %v, want 58.6", got)
+	}
+}
+
+func TestSmallFirst(t *testing.T) {
+	cands := candidates([]float64{5, 1, 3, 2, 4})
+	chosen := SmallFirst(cands, 6)
+	// 1+2+3 = 6 ≥ 6.
+	if got := Shipped(cands, chosen); got != 6 {
+		t.Fatalf("shipped %v, want 6", got)
+	}
+	if len(chosen) != 3 {
+		t.Fatalf("chose %d", len(chosen))
+	}
+}
+
+func TestBigSmallAlternates(t *testing.T) {
+	cands := candidates([]float64{1, 2, 3, 4})
+	chosen := BigSmall(cands, 100) // take everything: order 4,1,3,2
+	want := []int{3, 0, 2, 1}
+	if len(chosen) != 4 {
+		t.Fatalf("chose %v", chosen)
+	}
+	for i := range want {
+		if chosen[i] != want[i] {
+			t.Fatalf("order = %v, want %v", chosen, want)
+		}
+	}
+}
+
+func TestHalf(t *testing.T) {
+	cands := candidates([]float64{1, 2, 3, 4, 5, 6, 7, 8})
+	chosen := Half(cands, 1)
+	if len(chosen) != 4 {
+		t.Fatalf("half of 8 = %d", len(chosen))
+	}
+	for i, id := range chosen {
+		if id != i {
+			t.Fatalf("half must take the first half in order, got %v", chosen)
+		}
+	}
+	if got := Half(candidates([]float64{9}), 1); len(got) != 1 {
+		t.Fatalf("half of 1 = %v", got)
+	}
+	if got := Half(cands, 0); got != nil {
+		t.Fatalf("half with zero target = %v", got)
+	}
+	if got := Half(nil, 5); got != nil {
+		t.Fatalf("half of empty = %v", got)
+	}
+}
+
+func TestChooseFragsPicksClosest(t *testing.T) {
+	// Mantle runs every listed selector and keeps the closest to target
+	// (§3.2's dirfrag-selector arbitration on the paper's example).
+	cands := candidates(paperLoads)
+	target := 55.6
+	chosen, shipped, used, err := ChooseFrags([]string{"big_first", "small_first", "big_small", "half"}, cands, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whatever wins must beat or match big_first's distance (3.0).
+	bigDist := math.Abs(Shipped(cands, BigFirst(cands, target)) - target)
+	gotDist := math.Abs(shipped - target)
+	if gotDist > bigDist {
+		t.Fatalf("arbitration chose %s with distance %v, worse than big_first's %v", used, gotDist, bigDist)
+	}
+	if len(chosen) == 0 {
+		t.Fatal("no frags chosen")
+	}
+	t.Logf("winner %s shipped %.1f (target %.1f, distance %.2f)", used, shipped, target, gotDist)
+}
+
+func TestChooseFragsUnknownSelector(t *testing.T) {
+	_, _, _, err := ChooseFrags([]string{"nope"}, candidates(paperLoads), 10)
+	if err == nil {
+		t.Fatal("expected error for unknown selector")
+	}
+}
+
+func TestChooseFragsDefaultsToBigFirst(t *testing.T) {
+	cands := candidates(paperLoads)
+	chosen, _, used, err := ChooseFrags(nil, cands, 30)
+	if err != nil || used != "big_first" {
+		t.Fatalf("used=%q err=%v", used, err)
+	}
+	if len(chosen) != 2 { // 15.7+14.6 = 30.3 >= 30
+		t.Fatalf("chose %v", chosen)
+	}
+}
+
+func TestSelectorsDoNotMutateInput(t *testing.T) {
+	cands := candidates([]float64{3, 1, 2})
+	for name, sel := range Selectors {
+		sel(cands, 100)
+		for i, c := range cands {
+			if c.ID != i {
+				t.Fatalf("selector %s mutated input order", name)
+			}
+		}
+	}
+}
+
+// Property: every selector ships a subset of candidates with no duplicates,
+// and (except half, which is count-based) stops as soon as the target is
+// met: removing the last chosen frag drops the total below the target.
+func TestSelectorProperty(t *testing.T) {
+	f := func(raw []uint16, tgt uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		loads := make([]float64, len(raw))
+		for i, r := range raw {
+			loads[i] = float64(r%1000) / 10
+		}
+		cands := candidates(loads)
+		target := float64(tgt%2000) / 10
+		for name, sel := range Selectors {
+			chosen := sel(cands, target)
+			seen := map[int]bool{}
+			for _, id := range chosen {
+				if id < 0 || id >= len(cands) || seen[id] {
+					return false
+				}
+				seen[id] = true
+			}
+			if name == "half" {
+				continue
+			}
+			shipped := Shipped(cands, chosen)
+			if len(chosen) > 0 && target > 0 {
+				last := cands[chosen[len(chosen)-1]].Load
+				// The selector's running sum and Shipped's re-sum
+				// can differ in the last ulp; only a clear
+				// overshoot is a bug.
+				if shipped-last >= target+1e-6 && last > 0 {
+					return false // overshot: kept sending past target
+				}
+			}
+			_ = shipped
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShippedEmpty(t *testing.T) {
+	if Shipped(nil, nil) != 0 {
+		t.Fatal("empty shipped should be 0")
+	}
+}

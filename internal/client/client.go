@@ -1,0 +1,330 @@
+// Package client implements closed-loop metadata clients: each client keeps
+// one request outstanding, learns the subtree→MDS mapping from reply hints
+// (as CephFS clients build their mapping from responses), hashes dentry
+// names into fragment maps for directories whose dirfrags are split across
+// ranks, and absorbs session-flush stalls during migrations.
+package client
+
+import (
+	"strings"
+
+	"mantle/internal/mds"
+	"mantle/internal/namespace"
+	"mantle/internal/sim"
+	"mantle/internal/simnet"
+	"mantle/internal/stats"
+	"mantle/internal/workload"
+)
+
+// Config tunes client behaviour.
+type Config struct {
+	// ThinkTime is the delay between receiving a reply and issuing the
+	// next operation.
+	ThinkTime sim.Time
+	// FlushStall is how long a session flush blocks the next issue.
+	FlushStall sim.Time
+	// MaxRetries re-issues an op that failed with a transient error.
+	MaxRetries int
+	// RequestTimeout re-sends an operation whose reply never arrives
+	// (MDS crash or partition). After two consecutive timeouts the
+	// client drops its routing cache and starts over from rank 0.
+	RequestTimeout sim.Time
+	// StartJitter delays the client's first operation by a uniformly
+	// random amount in [0, StartJitter] — real clients never launch in
+	// perfect lockstep, and the skew is what makes balancer runs diverge
+	// (Figure 4).
+	StartJitter sim.Time
+	// HintCapacity bounds the client's routing cache (0 = unlimited).
+	// A small cache makes finely-scattered metadata cause repeated
+	// forwards — the "memory needed to cache path prefixes" cost of
+	// losing locality (§2.1 of the paper).
+	HintCapacity int
+}
+
+// DefaultConfig returns standard client behaviour.
+func DefaultConfig() Config {
+	return Config{
+		ThinkTime:      25 * sim.Microsecond,
+		FlushStall:     2 * sim.Millisecond,
+		MaxRetries:     0,
+		RequestTimeout: 10 * sim.Second,
+	}
+}
+
+// Client is one closed-loop workload driver.
+type Client struct {
+	ID     int
+	addr   simnet.Addr
+	engine *sim.Engine
+	net    *simnet.Network
+	cfg    Config
+	gen    workload.Generator
+	mdss   []simnet.Addr // MDS address by rank
+
+	subtree map[string]namespace.Rank
+	frags   map[string][]mds.FragHint
+	hintAge map[string]uint64
+	ageTick uint64
+
+	nextID      uint64
+	inflightID  uint64
+	inflightAt  sim.Time
+	inflightOp  workload.Op
+	retries     int
+	timeoutsRow int
+	timeoutEv   *sim.Event
+	flushUntil  sim.Time
+	done        bool
+
+	// Stats.
+	Completed      int
+	Errors         int
+	Timeouts       int
+	ForwardedOps   int // ops that took at least one forward
+	TotalForwards  int
+	SessionFlushes int
+	Latency        stats.Sample
+	DoneAt         sim.Time
+	ServedBy       map[namespace.Rank]int
+
+	// OnDone fires when the generator is exhausted.
+	OnDone func(c *Client)
+	// OnComplete fires per completed op (cluster metrics hook).
+	OnComplete func(c *Client, op workload.Op, served namespace.Rank, lat sim.Time)
+}
+
+// New registers a client on the network. mdss maps rank→address.
+func New(id int, addr simnet.Addr, engine *sim.Engine, net *simnet.Network,
+	cfg Config, gen workload.Generator, mdss []simnet.Addr) *Client {
+	c := &Client{
+		ID:       id,
+		addr:     addr,
+		engine:   engine,
+		net:      net,
+		cfg:      cfg,
+		gen:      gen,
+		mdss:     mdss,
+		subtree:  map[string]namespace.Rank{"/": 0},
+		frags:    map[string][]mds.FragHint{},
+		hintAge:  map[string]uint64{},
+		ServedBy: map[namespace.Rank]int{},
+	}
+	net.Register(addr, c)
+	return c
+}
+
+// Addr reports the client's network address.
+func (c *Client) Addr() simnet.Addr { return c.addr }
+
+// Done reports whether the workload is exhausted.
+func (c *Client) Done() bool { return c.done }
+
+// Start issues the first operation after the configured start jitter.
+func (c *Client) Start() {
+	if c.cfg.StartJitter > 0 {
+		c.engine.Schedule(sim.Time(c.engine.Rand().Int63n(int64(c.cfg.StartJitter)+1)), c.issueNext)
+		return
+	}
+	c.issueNext()
+}
+
+// splitPath returns (parentDir, name) for a path; the root has name "".
+func splitPath(p string) (string, string) {
+	if p == "/" || p == "" {
+		return "/", ""
+	}
+	p = strings.TrimRight(p, "/")
+	i := strings.LastIndexByte(p, '/')
+	if i <= 0 {
+		return "/", p[i+1:]
+	}
+	return p[:i], p[i+1:]
+}
+
+// route picks the MDS rank for an operation from learned hints.
+func (c *Client) route(op workload.Op) namespace.Rank {
+	dir, name := splitPath(op.Path)
+	if name != "" {
+		if fh := c.frags[dir]; len(fh) > 0 {
+			h := namespace.HashName(name)
+			for _, f := range fh {
+				if f.Frag.Contains(h) {
+					return c.clampRank(f.Rank)
+				}
+			}
+		}
+	}
+	// Longest-prefix match over subtree hints against the full path.
+	best := ""
+	rank := namespace.Rank(0)
+	for k, r := range c.subtree {
+		if k != "/" && op.Path != k && !strings.HasPrefix(op.Path, k+"/") {
+			continue
+		}
+		if len(k) > len(best) || best == "" {
+			best = k
+			rank = r
+		}
+	}
+	return c.clampRank(rank)
+}
+
+func (c *Client) clampRank(r namespace.Rank) namespace.Rank {
+	if int(r) >= len(c.mdss) || r < 0 {
+		return 0
+	}
+	return r
+}
+
+func (c *Client) issueNext() {
+	if c.done {
+		return
+	}
+	now := c.engine.Now()
+	if now < c.flushUntil {
+		c.engine.Schedule(c.flushUntil-now, c.issueNext)
+		return
+	}
+	op, ok := c.gen.Next()
+	if !ok {
+		c.done = true
+		c.DoneAt = now
+		if c.OnDone != nil {
+			c.OnDone(c)
+		}
+		return
+	}
+	c.send(op)
+}
+
+func (c *Client) send(op workload.Op) {
+	c.nextID++
+	c.inflightID = c.nextID
+	c.inflightAt = c.engine.Now()
+	c.inflightOp = op
+	rank := c.route(op)
+	req := &mds.Request{
+		ID:       c.inflightID,
+		Client:   c.addr,
+		Op:       op.Type,
+		Path:     op.Path,
+		DstPath:  op.DstPath,
+		IssuedAt: c.inflightAt,
+	}
+	if c.cfg.RequestTimeout > 0 {
+		id := c.inflightID
+		c.timeoutEv = c.engine.Schedule(c.cfg.RequestTimeout, func() { c.onTimeout(id) })
+	}
+	c.net.Send(c.addr, c.mdss[rank], req)
+}
+
+// onTimeout re-sends an operation the cluster never answered. Two
+// consecutive timeouts mean the client's routing knowledge points at a dead
+// or unreachable MDS, so it is discarded (a fresh mount's view).
+func (c *Client) onTimeout(id uint64) {
+	if c.done || id != c.inflightID {
+		return
+	}
+	c.Timeouts++
+	c.timeoutsRow++
+	if c.timeoutsRow >= 2 {
+		c.ResetRouting()
+	}
+	c.send(c.inflightOp)
+}
+
+// HandleMessage implements simnet.Handler.
+func (c *Client) HandleMessage(from simnet.Addr, msg simnet.Message) {
+	switch v := msg.(type) {
+	case *mds.Reply:
+		c.handleReply(v)
+	case *mds.SessionFlush:
+		c.SessionFlushes++
+		until := c.engine.Now() + c.cfg.FlushStall
+		if until > c.flushUntil {
+			c.flushUntil = until
+		}
+	}
+}
+
+func (c *Client) handleReply(rep *mds.Reply) {
+	if rep.ReqID != c.inflightID {
+		return // stale duplicate (or a reply that lost to its timeout)
+	}
+	c.engine.Cancel(c.timeoutEv)
+	c.timeoutsRow = 0
+	for _, h := range rep.Hints {
+		c.learn(h)
+	}
+	lat := c.engine.Now() - c.inflightAt
+	if rep.Err != "" {
+		c.Errors++
+		if c.retries < c.cfg.MaxRetries {
+			c.retries++
+			op := c.inflightOp
+			c.engine.Schedule(c.cfg.ThinkTime, func() { c.send(op) })
+			return
+		}
+	} else {
+		c.Completed++
+		c.Latency.Add(lat.Millis())
+		c.ServedBy[rep.Served]++
+		if rep.Forwards > 0 {
+			c.ForwardedOps++
+			c.TotalForwards += rep.Forwards
+		}
+		if c.OnComplete != nil {
+			c.OnComplete(c, c.inflightOp, rep.Served, lat)
+		}
+	}
+	c.retries = 0
+	if c.cfg.ThinkTime > 0 {
+		c.engine.Schedule(c.cfg.ThinkTime, c.issueNext)
+	} else {
+		c.issueNext()
+	}
+}
+
+// learn folds a routing hint into the client's mapping, evicting the
+// least-recently-learned entry when the cache is bounded.
+func (c *Client) learn(h mds.Hint) {
+	c.ageTick++
+	c.hintAge[h.DirPath] = c.ageTick
+	if len(h.Frags) > 0 {
+		c.frags[h.DirPath] = h.Frags
+		c.subtree[h.DirPath] = h.Rank
+	} else {
+		delete(c.frags, h.DirPath)
+		c.subtree[h.DirPath] = h.Rank
+	}
+	if c.cfg.HintCapacity > 0 {
+		for len(c.subtree) > c.cfg.HintCapacity {
+			oldest := ""
+			var oldestAge uint64
+			for k := range c.subtree {
+				if k == "/" || k == h.DirPath {
+					continue
+				}
+				if age := c.hintAge[k]; oldest == "" || age < oldestAge {
+					oldest, oldestAge = k, age
+				}
+			}
+			if oldest == "" {
+				break
+			}
+			delete(c.subtree, oldest)
+			delete(c.frags, oldest)
+			delete(c.hintAge, oldest)
+		}
+	}
+}
+
+// KnownSubtrees reports how many routing entries the client holds.
+func (c *Client) KnownSubtrees() int { return len(c.subtree) }
+
+// ResetRouting clears learned hints (a fresh mount between phases).
+func (c *Client) ResetRouting() {
+	c.subtree = map[string]namespace.Rank{"/": 0}
+	c.frags = map[string][]mds.FragHint{}
+	c.hintAge = map[string]uint64{}
+}

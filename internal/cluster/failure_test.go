@@ -1,0 +1,214 @@
+package cluster
+
+import (
+	"testing"
+
+	"mantle/internal/core"
+	"mantle/internal/mon"
+	"mantle/internal/namespace"
+	"mantle/internal/sim"
+	"mantle/internal/workload"
+)
+
+// TestMDSCrashAndRecovery injects a failure into the rank owning a hot
+// subtree mid-run: clients stall and retry on timeouts, then the MDS
+// recovers by replaying its journal and the job completes.
+func TestMDSCrashAndRecovery(t *testing.T) {
+	cfg := DefaultConfig(2, 41)
+	cfg.Client.RequestTimeout = 500 * sim.Millisecond
+	c, err := New(cfg, noBalance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PrePopulate([]string{"/work"}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PreAssign("/work", 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		c.AddClient(workload.Creates(workload.CreateConfig{
+			Dir: "/work", Files: 20000, Prefix: string(rune('a' + i)),
+		}))
+	}
+	// Crash rank 1 at t=2s, recover at t=6s.
+	c.Engine.Schedule(2*sim.Second, func() { c.MDSs[1].Crash() })
+	recovered := false
+	c.Engine.Schedule(6*sim.Second, func() {
+		c.MDSs[1].Recover(func() { recovered = true })
+	})
+	res := c.Run(10 * sim.Minute)
+	if !res.AllDone {
+		t.Fatalf("job did not survive the crash: ops=%v", res.ClientOps)
+	}
+	if !recovered {
+		t.Fatal("recovery callback never fired")
+	}
+	if c.MDSs[1].Counters.Crashes != 1 || c.MDSs[1].Counters.Recoveries != 1 {
+		t.Fatalf("crash/recovery counters: %+v", c.MDSs[1].Counters)
+	}
+	timeouts := 0
+	for _, cl := range c.Clients {
+		timeouts += cl.Timeouts
+	}
+	if timeouts == 0 {
+		t.Fatal("clients never timed out during the outage")
+	}
+	// All files exist despite the outage (clients re-sent lost ops).
+	d, _ := c.NS.Resolve("/work")
+	if d.NumChildren() != 40000 {
+		t.Fatalf("children = %d, want 40000", d.NumChildren())
+	}
+	if err := c.NS.CheckInvariants(2, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExportAbortsWhenImporterDies partitions the importer mid-migration;
+// the exporter must abort on timeout, unfreeze the unit, and keep serving.
+func TestExportAbortsWhenImporterDies(t *testing.T) {
+	cfg := DefaultConfig(2, 43)
+	cfg.MDS.HeartbeatInterval = sim.Second
+	cfg.MDS.RebalanceDelay = 100 * sim.Millisecond
+	cfg.MDS.ExportTimeout = 2 * sim.Second
+	cfg.Client.RequestTimeout = 0 // isolate the export path
+	c, err := New(cfg, LuaBalancers(core.AdaptablePolicy()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		c.AddClient(workload.SeparateDirCreates("", i, 30000))
+	}
+	// Cut rank0 -> rank1 just before the first rebalance so the
+	// export discover (and any retries) vanish.
+	c.Engine.Schedule(900*sim.Millisecond, func() {
+		c.Net.Partition(c.MDSs[0].Addr(), c.MDSs[1].Addr())
+	})
+	c.Engine.Schedule(10*sim.Second, func() {
+		c.Net.HealAll()
+	})
+	res := c.Run(10 * sim.Minute)
+	if !res.AllDone {
+		t.Fatalf("not done: %v", res.ClientOps)
+	}
+	aborts := c.MDSs[0].Counters.ExportAborts
+	if aborts == 0 {
+		t.Fatal("no export aborted despite the partition")
+	}
+	// Nothing is left frozen.
+	if err := c.NS.CheckInvariants(2, false); err != nil {
+		t.Fatal(err)
+	}
+	// After healing, migrations succeed again.
+	if res.TotalExports == 0 {
+		t.Fatal("no export ever committed after healing")
+	}
+	_ = namespace.RankNone
+}
+
+// TestCrashDropsOutstandingRequests: a request in the queue when the MDS
+// dies is never answered; the client's timeout resends it.
+func TestCrashDropsOutstandingRequests(t *testing.T) {
+	cfg := DefaultConfig(1, 47)
+	cfg.Client.RequestTimeout = 200 * sim.Millisecond
+	c, err := New(cfg, noBalance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AddClient(workload.SeparateDirCreates("", 0, 2000))
+	c.Engine.Schedule(500*sim.Millisecond, func() { c.MDSs[0].Crash() })
+	c.Engine.Schedule(1500*sim.Millisecond, func() { c.MDSs[0].Recover(nil) })
+	res := c.Run(5 * sim.Minute)
+	if !res.AllDone {
+		t.Fatal("not done")
+	}
+	if c.Clients[0].Timeouts == 0 {
+		t.Fatal("no timeouts observed")
+	}
+	// Errors from duplicate creates are possible (the original landed
+	// before the crash reply was lost) — they must be bounded by the
+	// timeout count.
+	if res.ClientErrors[0] > c.Clients[0].Timeouts {
+		t.Fatalf("errors %d > timeouts %d", res.ClientErrors[0], c.Clients[0].Timeouts)
+	}
+}
+
+// TestMonitorDrivenFailover: the monitor notices a dead rank through missing
+// beacons and promotes a standby, which replays the journal and takes over —
+// no manual Recover call anywhere.
+func TestMonitorDrivenFailover(t *testing.T) {
+	cfg := DefaultConfig(2, 51)
+	cfg.MDS.HeartbeatInterval = 500 * sim.Millisecond
+	cfg.MDS.RecoverBase = 300 * sim.Millisecond
+	cfg.Client.RequestTimeout = 300 * sim.Millisecond
+	c, err := New(cfg, noBalance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.EnableFailover(1, mon.Config{CheckInterval: 250 * sim.Millisecond, Grace: 1200 * sim.Millisecond})
+	if err := c.PrePopulate([]string{"/work"}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PreAssign("/work", 1); err != nil {
+		t.Fatal(err)
+	}
+	c.AddClient(workload.Creates(workload.CreateConfig{Dir: "/work", Files: 20000, Prefix: "f"}))
+	old := c.MDSs[1]
+	c.Engine.Schedule(2*sim.Second, func() { old.Crash() })
+	res := c.Run(10 * sim.Minute)
+	if !res.AllDone {
+		t.Fatalf("job did not survive failover: ops=%v", res.ClientOps)
+	}
+	if c.Monitor.Failures == 0 || c.Monitor.Takeovers == 0 {
+		t.Fatalf("monitor never acted: failures=%d takeovers=%d", c.Monitor.Failures, c.Monitor.Takeovers)
+	}
+	if c.MDSs[1] == old {
+		t.Fatal("rank 1 was never replaced")
+	}
+	if c.MDSs[1].Counters.Served == 0 {
+		t.Fatal("replacement never served")
+	}
+	// Every create eventually landed.
+	d, _ := c.NS.Resolve("/work")
+	if d.NumChildren() != 20000 {
+		t.Fatalf("children = %d", d.NumChildren())
+	}
+	// The retired daemon's work still shows in cluster totals.
+	if res.TotalHits < uint64(res.TotalOps) {
+		t.Fatalf("retired counters lost: hits %d < ops %d", res.TotalHits, res.TotalOps)
+	}
+	if err := c.NS.CheckInvariants(2, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFailoverExhaustsStandbys: with no standby left, the rank stays down
+// and the monitor keeps reporting it.
+func TestFailoverExhaustsStandbys(t *testing.T) {
+	cfg := DefaultConfig(2, 53)
+	cfg.MDS.HeartbeatInterval = 500 * sim.Millisecond
+	cfg.Client.RequestTimeout = 0 // clients just hang on the dead rank
+	c, err := New(cfg, noBalance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.EnableFailover(0, mon.Config{CheckInterval: 250 * sim.Millisecond, Grace: sim.Second})
+	if err := c.PrePopulate([]string{"/work"}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PreAssign("/work", 1); err != nil {
+		t.Fatal(err)
+	}
+	c.AddClient(workload.Creates(workload.CreateConfig{Dir: "/work", Files: 5000, Prefix: "f"}))
+	c.Engine.Schedule(sim.Second, func() { c.MDSs[1].Crash() })
+	res := c.Run(20 * sim.Second)
+	if res.AllDone {
+		t.Fatal("cannot finish with the owning rank down and no standby")
+	}
+	if len(c.Monitor.FailedRanks()) != 1 || c.Monitor.FailedRanks()[0] != 1 {
+		t.Fatalf("failed ranks = %v", c.Monitor.FailedRanks())
+	}
+	if c.Monitor.Takeovers != 0 {
+		t.Fatalf("takeovers = %d with zero standbys", c.Monitor.Takeovers)
+	}
+}

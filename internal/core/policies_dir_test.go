@@ -1,0 +1,51 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The policies/ directory ships every built-in policy in injectable file
+// form. This test keeps the files parseable, valid, and in sync with the
+// in-code definitions.
+func TestShippedPolicyFiles(t *testing.T) {
+	dir := filepath.Join("..", "..", "policies")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Skipf("policies dir unavailable: %v", err)
+	}
+	builtins := Policies()
+	seen := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".lua") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".lua")
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := ParsePolicyFile(name, string(data))
+		if err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+			continue
+		}
+		if rep := Validate(p); !rep.OK() {
+			t.Errorf("%s failed validation:\n%s", e.Name(), rep)
+		}
+		builtin, ok := builtins[name]
+		if !ok {
+			continue // custom example policies are fine
+		}
+		seen++
+		if strings.TrimSpace(p.When) != strings.TrimSpace(builtin.When) ||
+			strings.TrimSpace(p.Where) != strings.TrimSpace(builtin.Where) {
+			t.Errorf("%s drifted from the built-in definition; regenerate with `mantle-policy show %s`", e.Name(), name)
+		}
+	}
+	if seen != len(builtins) {
+		t.Errorf("policies/ has %d of %d built-ins; regenerate missing ones", seen, len(builtins))
+	}
+}

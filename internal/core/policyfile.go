@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Policy files hold all five hooks in one Lua file, separated by section
+// markers that are themselves Lua comments, so the file is valid Lua to
+// external tooling:
+//
+//	-- [metaload]
+//	IWR
+//	-- [mdsload]
+//	MDSs[i]["all"]
+//	-- [when]
+//	if MDSs[whoami]["load"] > .01 then
+//	-- [where]
+//	targets[whoami+1] = allmetaload/2
+//	-- [howmuch]
+//	{"half"}
+//
+// Unknown section names are an error; missing sections fall back to the
+// Table 1 defaults, like empty Policy fields.
+
+var sectionNames = map[string]int{
+	"metaload": 0, "mds_bal_metaload": 0,
+	"mdsload": 1, "mds_bal_mdsload": 1,
+	"when": 2, "mds_bal_when": 2,
+	"where": 3, "mds_bal_where": 3,
+	"howmuch": 4, "mds_bal_howmuch": 4,
+}
+
+// ParsePolicyFile parses the sectioned policy format. name labels the policy
+// (usually the file basename).
+func ParsePolicyFile(name, src string) (Policy, error) {
+	p := Policy{Name: name}
+	sections := [5]*strings.Builder{}
+	for i := range sections {
+		sections[i] = &strings.Builder{}
+	}
+	cur := -1
+	sawSection := false
+	for lineNo, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if marker, ok := parseSectionMarker(trimmed); ok {
+			idx, known := sectionNames[marker]
+			if !known {
+				return p, fmt.Errorf("policy %s:%d: unknown section %q", name, lineNo+1, marker)
+			}
+			if sections[idx].Len() > 0 {
+				return p, fmt.Errorf("policy %s:%d: duplicate section %q", name, lineNo+1, marker)
+			}
+			cur = idx
+			sawSection = true
+			continue
+		}
+		if cur >= 0 {
+			sections[cur].WriteString(line)
+			sections[cur].WriteByte('\n')
+		} else if trimmed != "" && !strings.HasPrefix(trimmed, "--") {
+			return p, fmt.Errorf("policy %s:%d: code before the first section marker", name, lineNo+1)
+		}
+	}
+	if !sawSection {
+		return p, fmt.Errorf("policy %s: no section markers found (expected e.g. `-- [when]`)", name)
+	}
+	p.MetaLoad = strings.TrimSpace(sections[0].String())
+	p.MDSLoad = strings.TrimSpace(sections[1].String())
+	p.When = strings.TrimSpace(sections[2].String())
+	p.Where = strings.TrimSpace(sections[3].String())
+	p.HowMuch = strings.TrimSpace(sections[4].String())
+	return p, nil
+}
+
+// parseSectionMarker recognises `-- [name]` lines.
+func parseSectionMarker(line string) (string, bool) {
+	if !strings.HasPrefix(line, "--") {
+		return "", false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(line, "--"))
+	if !strings.HasPrefix(rest, "[") || !strings.HasSuffix(rest, "]") {
+		return "", false
+	}
+	return strings.ToLower(strings.TrimSpace(rest[1 : len(rest)-1])), true
+}
+
+// FormatPolicyFile renders a Policy in the sectioned file format.
+func FormatPolicyFile(p Policy) string {
+	var b strings.Builder
+	write := func(section, body string) {
+		if strings.TrimSpace(body) == "" {
+			return
+		}
+		fmt.Fprintf(&b, "-- [%s]\n%s\n", section, strings.TrimSpace(body))
+	}
+	if p.Name != "" {
+		fmt.Fprintf(&b, "-- policy: %s\n", p.Name)
+	}
+	write("metaload", p.MetaLoad)
+	write("mdsload", p.MDSLoad)
+	write("when", p.When)
+	write("where", p.Where)
+	write("howmuch", p.HowMuch)
+	return b.String()
+}

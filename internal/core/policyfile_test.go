@@ -1,0 +1,102 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+const samplePolicyFile = `
+-- a Greedy Spill policy in file form
+-- [metaload]
+IWR
+-- [mdsload]
+MDSs[i]["all"]
+-- [when]
+if whoami < #MDSs and MDSs[whoami]["load"] > .01 and
+   MDSs[whoami+1]["load"] < .01 then
+-- [where]
+targets[whoami+1] = allmetaload/2
+-- [howmuch]
+{"half"}
+`
+
+func TestParsePolicyFile(t *testing.T) {
+	p, err := ParsePolicyFile("gs", samplePolicyFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MetaLoad != "IWR" {
+		t.Fatalf("metaload = %q", p.MetaLoad)
+	}
+	if !strings.Contains(p.When, "whoami+1") || !strings.HasSuffix(p.When, "then") {
+		t.Fatalf("when = %q", p.When)
+	}
+	if p.HowMuch != `{"half"}` {
+		t.Fatalf("howmuch = %q", p.HowMuch)
+	}
+	// The parsed policy compiles and validates.
+	rep := Validate(p)
+	if !rep.OK() {
+		t.Fatalf("parsed policy invalid:\n%s", rep)
+	}
+}
+
+func TestParsePolicyFileLongSectionNames(t *testing.T) {
+	p, err := ParsePolicyFile("x", "-- [mds_bal_metaload]\nIRD\n-- [mds_bal_when]\ntrue")
+	if err != nil || p.MetaLoad != "IRD" || p.When != "true" {
+		t.Fatalf("p=%+v err=%v", p, err)
+	}
+}
+
+func TestParsePolicyFileErrors(t *testing.T) {
+	cases := []struct{ src, frag string }{
+		{"-- [bogus]\nx=1", "unknown section"},
+		{"-- [when]\ntrue\n-- [when]\nfalse", "duplicate section"},
+		{"x = 1\n-- [when]\ntrue", "before the first section"},
+		{"-- just a comment\n", "no section markers"},
+		{"", "no section markers"},
+	}
+	for _, c := range cases {
+		if _, err := ParsePolicyFile("t", c.src); err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("ParsePolicyFile(%q) err = %v, want %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestFormatPolicyFileRoundTrip(t *testing.T) {
+	for name, p := range Policies() {
+		text := FormatPolicyFile(p)
+		back, err := ParsePolicyFile(name, text)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v\n%s", name, err, text)
+		}
+		back.Name = p.Name
+		if back.MetaLoad != strings.TrimSpace(p.MetaLoad) ||
+			back.When != strings.TrimSpace(p.When) ||
+			back.Where != strings.TrimSpace(p.Where) ||
+			back.HowMuch != strings.TrimSpace(p.HowMuch) {
+			t.Fatalf("%s: round trip mismatch:\nwant %+v\ngot  %+v", name, p, back)
+		}
+	}
+}
+
+func TestSectionMarkerParsing(t *testing.T) {
+	cases := []struct {
+		line string
+		name string
+		ok   bool
+	}{
+		{"-- [when]", "when", true},
+		{"--[when]", "when", true},
+		{"--   [ WHEN ]", "when", true},
+		{"-- when", "", false},
+		{"[when]", "", false},
+		{"-- [when] trailing", "", false},
+	}
+	for _, c := range cases {
+		name, ok := parseSectionMarker(c.line)
+		if ok != c.ok || (ok && name != c.name) {
+			t.Errorf("parseSectionMarker(%q) = %q,%v want %q,%v", c.line, name, ok, c.name, c.ok)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file holds the paper's balancer policies as injectable Lua scripts —
+// Listings 1–4 and the Table 1 original. They differ from the paper's text
+// only where the listings are abbreviated pseudocode:
+//
+//   - array indexing is guarded so the last rank does not index MDSs[n+1],
+//   - Listing 2's half-way arithmetic gets an explicit math.floor (Lua
+//     division is floating point),
+//   - Listing 2's idle-search comparison reads ["load"] explicitly,
+//   - Listing 4's `max` accumulator is renamed so it does not shadow the
+//     max() helper from the Mantle environment.
+
+// DefaultPolicy returns the original CephFS balancer of Table 1 expressed
+// as Mantle scripts. Hooks left empty in an injected Policy fall back to
+// these.
+func DefaultPolicy() Policy {
+	return Policy{
+		Name:     "cephfs_original",
+		MetaLoad: `IRD + 2*IWR + READDIR + 2*FETCH + 4*STORE`,
+		MDSLoad:  `0.8*MDSs[i]["auth"] + 0.2*MDSs[i]["all"] + MDSs[i]["req"] + 10*MDSs[i]["q"]`,
+		When:     `if total >= 1 and MDSs[whoami]["load"] > total/#MDSs then`,
+		Where: `
+local mean = total/#MDSs
+local my = MDSs[whoami]["load"]
+local excess = my - mean
+if excess > 0 then
+  local deficit = 0
+  for i = 1, #MDSs do
+    if i ~= whoami and MDSs[i]["load"] < mean then
+      deficit = deficit + (mean - MDSs[i]["load"])
+    end
+  end
+  if deficit > 0 then
+    local scale = excess / deficit
+    if scale > 1 then scale = 1 end
+    for i = 1, #MDSs do
+      if i ~= whoami and MDSs[i]["load"] < mean then
+        targets[i] = (mean - MDSs[i]["load"]) * scale * 0.8
+      end
+    end
+  end
+end`,
+		HowMuch: `{"big_first"}`,
+	}
+}
+
+// GreedySpillPolicy is Listing 1: spill half of everything to the next rank
+// as soon as it is idle.
+func GreedySpillPolicy() Policy {
+	return Policy{
+		Name:     "greedy_spill",
+		MetaLoad: `IWR`,
+		MDSLoad:  `MDSs[i]["all"]`,
+		When: `if whoami < #MDSs and MDSs[whoami]["load"] > .01 and
+   MDSs[whoami+1]["load"] < .01 then`,
+		Where:   `targets[whoami+1] = allmetaload/2`,
+		HowMuch: `{"half"}`,
+	}
+}
+
+// GreedySpillEvenPolicy is Listing 2: search half-way across the cluster
+// for an idle MDS so the load disseminates evenly.
+func GreedySpillEvenPolicy() Policy {
+	return Policy{
+		Name:     "greedy_spill_even",
+		MetaLoad: `IWR`,
+		MDSLoad:  `MDSs[i]["all"]`,
+		When: `
+t = math.floor((#MDSs - whoami + 1)/2) + whoami
+if t > #MDSs then t = whoami end
+while t ~= whoami and MDSs[t]["load"] >= .01 do t = t - 1 end
+if t ~= whoami and MDSs[whoami]["load"] > .01 and
+   MDSs[t]["load"] < .01 then`,
+		Where:   `targets[t] = MDSs[whoami]["load"]/2`,
+		HowMuch: `{"half"}`,
+	}
+}
+
+// FillAndSpillPolicy is Listing 3: fill one MDS to its known capacity
+// (instantaneous CPU over threshold for three straight iterations,
+// remembered via WRstate/RDstate), then spill a quarter of the load to the
+// neighbour. The paper's threshold was 48% from its capacity study; ours is
+// 85%, from the same study run on this simulator's cost model (see
+// EXPERIMENTS.md, Figure 5).
+func FillAndSpillPolicy() Policy {
+	return Policy{
+		Name:     "fill_and_spill",
+		MetaLoad: `IRD + IWR`,
+		MDSLoad:  `MDSs[i]["all"]`,
+		When: `
+local wait = RDState() or 2
+go = 0
+if MDSs[whoami]["cpu"] > 85 then
+  if wait > 0 then WRState(wait-1)
+  else WRState(2) go = 1 end
+else WRState(2) end
+if go == 1 and whoami < #MDSs then`,
+		Where:   `targets[whoami+1] = MDSs[whoami]["load"]/4`,
+		HowMuch: `{"small_first","big_small","big_first"}`,
+	}
+}
+
+// FillAndSpillPolicyWithFraction varies the spilled share (the paper
+// compares 10%, 25% and 50% spills in Figure 8).
+func FillAndSpillPolicyWithFraction(frac float64) Policy {
+	p := FillAndSpillPolicy()
+	p.Name = fmt.Sprintf("fill_and_spill_%d", int(frac*100+0.5))
+	p.Where = fmt.Sprintf(`targets[whoami+1] = MDSs[whoami]["load"]*%g`, frac)
+	return p
+}
+
+// AdaptablePolicy is Listing 4: one exporter at a time, triggered only when
+// it holds the majority of the cluster load; underloaded ranks are filled to
+// the mean, trying the full selector toolbox.
+func AdaptablePolicy() Policy {
+	return Policy{
+		Name:     "adaptable",
+		MetaLoad: `IWR + IRD`,
+		MDSLoad:  `MDSs[i]["all"]`,
+		When: `
+local biggest = 0
+for i = 1, #MDSs do
+  biggest = max(MDSs[i]["load"], biggest)
+end
+myLoad = MDSs[whoami]["load"]
+if myLoad > total/2 and myLoad >= biggest then`,
+		Where: `
+local targetLoad = total/#MDSs
+for i = 1, #MDSs do
+  if i ~= whoami and MDSs[i]["load"] < targetLoad then
+    targets[i] = targetLoad - MDSs[i]["load"]
+  end
+end`,
+		HowMuch: `{"half","small","big","big_small"}`,
+	}
+}
+
+// ConservativePolicy is the Figure 10 top-graph variant: Listing 4 plus a
+// minimum-offload floor so nothing moves until one MDS is severely loaded.
+func ConservativePolicy(minOffload float64) Policy {
+	p := AdaptablePolicy()
+	p.Name = "adaptable_conservative"
+	p.When = fmt.Sprintf(`
+local biggest = 0
+for i = 1, #MDSs do
+  biggest = max(MDSs[i]["load"], biggest)
+end
+myLoad = MDSs[whoami]["load"]
+if myLoad > %g and myLoad > total/2 and myLoad >= biggest then`, minOffload)
+	return p
+}
+
+// TooAggressivePolicy is the Figure 10 bottom-graph variant: chase perfect
+// balance on any deviation from the mean.
+func TooAggressivePolicy() Policy {
+	p := AdaptablePolicy()
+	p.Name = "adaptable_too_aggressive"
+	p.When = `if total > 0 and MDSs[whoami]["load"] > total/#MDSs then`
+	return p
+}
+
+// FeedbackPolicy is a proportional-controller balancer — the "control
+// feedback loops" direction §4.4 lists as future work. The spill fraction
+// itself is the controlled variable: each round the policy measures how far
+// above the cluster mean it still is and nudges the remembered fraction
+// toward that error, so persistent overload escalates the spill and
+// successful sheds wind it back down. State lives in WRstate/RDstate.
+func FeedbackPolicy() Policy {
+	return Policy{
+		Name:     "feedback",
+		MetaLoad: `IWR + IRD`,
+		MDSLoad:  `MDSs[i]["all"]`,
+		When:     `if total >= 1 and MDSs[whoami]["load"] > (total/#MDSs)*1.1 then`,
+		Where: `
+local frac = RDstate() or 0.1
+local mean = total/#MDSs
+local mine = MDSs[whoami]["load"]
+local err = (mine - mean) / max(mine, 1)
+frac = min(0.5, max(0.05, frac + 0.5*(err - frac)))
+WRstate(frac)
+local best, bestLoad = nil, nil
+for i = 1, #MDSs do
+  if i ~= whoami and (best == nil or MDSs[i]["load"] < bestLoad) then
+    best, bestLoad = i, MDSs[i]["load"]
+  end
+end
+if best ~= nil then
+  targets[best] = mine * frac
+end`,
+		HowMuch: `{"big_small","small_first","big_first"}`,
+	}
+}
+
+// CoalescePolicy brings metadata home after a flash crowd — §3 notes the
+// hard-coded policies "make it harder to coalesce the metadata back to one
+// server after the flash crowd". A non-zero rank whose load has been tiny
+// for two straight rounds sends everything it owns back to rank 1 (the
+// paper's 1-based numbering; rank 0 here).
+func CoalescePolicy(idleThreshold float64) Policy {
+	return Policy{
+		Name:     "coalesce_home",
+		MetaLoad: `IWR + IRD`,
+		MDSLoad:  `MDSs[i]["all"]`,
+		When: fmt.Sprintf(`
+if whoami == 1 then return false end
+local calm = RDstate() or 0
+if MDSs[whoami]["load"] < %g and MDSs[whoami]["load"] > 0 then
+  if calm >= 1 then WRstate(0) return true end
+  WRstate(calm + 1)
+else
+  WRstate(0)
+end
+return false`, idleThreshold),
+		Where:   `targets[1] = MDSs[whoami]["load"]`,
+		HowMuch: `{"big_first","half"}`,
+	}
+}
+
+// Policies returns the named built-in policy set (for the CLI tools).
+func Policies() map[string]Policy {
+	return map[string]Policy{
+		"cephfs_original":          DefaultPolicy(),
+		"feedback":                 FeedbackPolicy(),
+		"coalesce_home":            CoalescePolicy(10),
+		"greedy_spill":             GreedySpillPolicy(),
+		"greedy_spill_even":        GreedySpillEvenPolicy(),
+		"fill_and_spill":           FillAndSpillPolicy(),
+		"adaptable":                AdaptablePolicy(),
+		"adaptable_conservative":   ConservativePolicy(100),
+		"adaptable_too_aggressive": TooAggressivePolicy(),
+	}
+}
+
+// PolicyNames lists the built-in policy names in sorted order.
+func PolicyNames() []string {
+	m := Policies()
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

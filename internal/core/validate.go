@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"mantle/internal/balancer"
+	"mantle/internal/namespace"
+)
+
+// ValidationReport is the result of dry-running a policy against synthetic
+// cluster states — the "simulator that checks the logic before injecting
+// policies in the running cluster" that §4.4 of the paper describes.
+type ValidationReport struct {
+	// Problems lists everything that failed; empty means the policy is
+	// safe to inject.
+	Problems []string
+	// WhenTrueStates counts synthetic states in which the policy chose
+	// to migrate (useful to spot never-fires / always-fires policies).
+	WhenTrueStates int
+	// StatesTried is the number of synthetic cluster states evaluated.
+	StatesTried int
+}
+
+// OK reports whether validation found no problems.
+func (r *ValidationReport) OK() bool { return len(r.Problems) == 0 }
+
+// String renders the report for the CLI.
+func (r *ValidationReport) String() string {
+	var b strings.Builder
+	if r.OK() {
+		fmt.Fprintf(&b, "policy OK: %d/%d synthetic states would migrate\n", r.WhenTrueStates, r.StatesTried)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "policy has %d problem(s):\n", len(r.Problems))
+	for _, p := range r.Problems {
+		fmt.Fprintf(&b, "  - %s\n", p)
+	}
+	return b.String()
+}
+
+// syntheticEnvs builds a spread of cluster states: idle, balanced, skewed,
+// one-hot, and every rank as the decider, for sizes 1..5.
+func syntheticEnvs(state balancer.StateStore) []*balancer.Env {
+	var envs []*balancer.Env
+	shapes := [][]float64{
+		{0},
+		{100},
+		{100, 0},
+		{50, 50},
+		{0.005, 0.002},
+		{100, 0, 0, 0},
+		{25, 25, 25, 25},
+		{60, 30, 5, 5},
+		{10, 80, 5, 5, 0},
+	}
+	for _, loads := range shapes {
+		for who := range loads {
+			e := &balancer.Env{WhoAmI: namespace.Rank(who), State: state}
+			for i, l := range loads {
+				cpu := l
+				if cpu > 100 {
+					cpu = 100
+				}
+				e.MDSs = append(e.MDSs, balancer.MDSMetrics{
+					Auth: l, All: l, Load: l, CPU: cpu,
+					Mem: 10, Queue: l / 10, Req: l * 2,
+				})
+				e.Total += l
+				_ = i
+			}
+			e.AuthMetaLoad = loads[who]
+			e.AllMetaLoad = loads[who]
+			envs = append(envs, e)
+		}
+	}
+	return envs
+}
+
+// Validate compiles the policy with a tight step budget and dry-runs every
+// hook against synthetic cluster states, collecting runtime errors, bad
+// return types, invalid targets and unknown selector names.
+func Validate(p Policy) *ValidationReport {
+	rep := &ValidationReport{}
+	lb, err := NewLuaBalancer(p, Options{MaxSteps: 200_000})
+	if err != nil {
+		rep.Problems = append(rep.Problems, err.Error())
+		return rep
+	}
+	seen := map[string]bool{}
+	add := func(format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		if !seen[msg] {
+			seen[msg] = true
+			rep.Problems = append(rep.Problems, msg)
+		}
+	}
+
+	// Metaload over representative counter snapshots.
+	for _, d := range []namespace.CounterSnapshot{
+		{},
+		{IWR: 100},
+		{IRD: 50, IWR: 25, Readdir: 10, Fetch: 2, Store: 1},
+	} {
+		if v, err := lb.MetaLoad(d); err != nil {
+			add("%s", err)
+		} else if v < 0 {
+			add("mantle: mds_bal_metaload returned a negative load (%g) for %+v", v, d)
+		}
+	}
+
+	for _, e := range syntheticEnvs(lb.State()) {
+		rep.StatesTried++
+		for i := range e.MDSs {
+			if _, err := lb.MDSLoad(namespace.Rank(i), e); err != nil {
+				add("%s", err)
+				break
+			}
+		}
+		ok, err := lb.When(e)
+		if err != nil {
+			add("%s (state: %d MDSs, whoami=%d)", err, len(e.MDSs), e.WhoAmI+1)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		rep.WhenTrueStates++
+		targets, err := lb.Where(e)
+		if err != nil {
+			add("%s (state: %d MDSs, whoami=%d)", err, len(e.MDSs), e.WhoAmI+1)
+			continue
+		}
+		names, err := lb.HowMuch(e)
+		if err != nil {
+			add("%s", err)
+			continue
+		}
+		cands := []balancer.FragCandidate{{ID: 0, Load: 5}, {ID: 1, Load: 3}, {ID: 2, Load: 8}}
+		if _, _, _, err := balancer.ChooseFrags(names, cands, targets.TotalTarget()); err != nil {
+			add("%s", err)
+		}
+	}
+	return rep
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"math"
+
+	"mantle/internal/balancer"
+	"mantle/internal/cluster"
+	"mantle/internal/core"
+	"mantle/internal/sim"
+	"mantle/internal/workload"
+)
+
+// Ablations exercises the design choices DESIGN.md calls out:
+//
+//  1. dirfrag-selector arbitration (big_first only vs Mantle's run-all) on
+//     the paper's §2.2.3 worked example and random candidate sets,
+//  2. the mds_bal_need_min-style 0.8 target fudge,
+//  3. popularity-counter half-life,
+//  4. heartbeat staleness (rebalance delay).
+func Ablations(o Options) *Report {
+	r := newReport("ablation", "design-choice ablations", o)
+
+	// --- 1. Selector arbitration accuracy ---
+	paperLoads := []float64{12.7, 13.3, 13.3, 14.6, 15.7, 13.5, 13.7, 14.6}
+	cands := make([]balancer.FragCandidate, len(paperLoads))
+	for i, l := range paperLoads {
+		cands[i] = balancer.FragCandidate{ID: i, Load: l}
+	}
+	target := 55.6
+	_, bigShip, _, _ := balancer.ChooseFrags([]string{"big_first"}, cands, target)
+	_, allShip, allName, _ := balancer.ChooseFrags([]string{"big_first", "small_first", "big_small", "half"}, cands, target)
+	bigDist := math.Abs(bigShip - target)
+	allDist := math.Abs(allShip - target)
+	r.Printf("  selector arbitration on the paper's worked example (target %.1f):\n", target)
+	r.Printf("    big_first only:   shipped %.1f (distance %.2f)\n", bigShip, bigDist)
+	r.Printf("    full arbitration: shipped %.1f via %s (distance %.2f)\n", allShip, allName, allDist)
+	r.Check("arbitration at least matches big_first", allDist <= bigDist,
+		"distance %.2f vs %.2f", allDist, bigDist)
+
+	// Random candidate sets: arbitration can only improve accuracy.
+	rng := sim.NewEngine(o.Seed).Rand()
+	wins, ties := 0, 0
+	const trials = 200
+	for t := 0; t < trials; t++ {
+		n := 4 + rng.Intn(12)
+		cs := make([]balancer.FragCandidate, n)
+		total := 0.0
+		for i := range cs {
+			cs[i] = balancer.FragCandidate{ID: i, Load: 1 + rng.Float64()*20}
+			total += cs[i].Load
+		}
+		tgt := total * (0.2 + rng.Float64()*0.6)
+		_, b, _, _ := balancer.ChooseFrags([]string{"big_first"}, cs, tgt)
+		_, a, _, _ := balancer.ChooseFrags([]string{"big_first", "small_first", "big_small", "half"}, cs, tgt)
+		db, da := math.Abs(b-tgt), math.Abs(a-tgt)
+		if da < db-1e-9 {
+			wins++
+		} else if da <= db+1e-9 {
+			ties++
+		}
+	}
+	r.Printf("  random candidate sets (%d trials): arbitration strictly better in %d, tied in %d\n",
+		trials, wins, ties)
+	r.Check("arbitration never loses on random sets", wins+ties == trials,
+		"wins %d + ties %d = %d/%d", wins, ties, wins+ties, trials)
+	r.Check("arbitration strictly improves often", wins > trials/4,
+		"strict wins %d/%d", wins, trials)
+
+	// --- 2. need_min target fudge: 0.8 vs 1.0 under noisy loads ---
+	// With the fudge, the same worked example ships 3 frags not 4.
+	chosen08, _, _, _ := balancer.ChooseFrags([]string{"big_first"}, cands, target*0.8)
+	chosen10, _, _, _ := balancer.ChooseFrags([]string{"big_first"}, cands, target)
+	r.Printf("  need_min fudge: target*0.8 ships %d frags, target*1.0 ships %d\n",
+		len(chosen08), len(chosen10))
+	r.Check("0.8 fudge ships fewer frags (paper's worked example)",
+		len(chosen08) == 3 && len(chosen10) == 4,
+		"3 vs 4 expected, got %d vs %d", len(chosen08), len(chosen10))
+
+	// --- 3. Decay half-life: short half-lives destabilise decisions ---
+	files := o.files(40_000)
+	runHL := func(hl sim.Time) (uint64, bool) {
+		c := buildCluster(o, 3, o.Seed, cluster.LuaBalancers(core.TooAggressivePolicy()),
+			func(cfg *cluster.Config) {
+				cfg.HalfLife = hl
+			})
+		for i := 0; i < 3; i++ {
+			c.AddClient(workload.SeparateDirCreates("", i, files))
+		}
+		res := c.Run(60 * sim.Minute)
+		return res.TotalExports, res.AllDone
+	}
+	expShort, okShort := runHL(1 * sim.Second)
+	expLong, okLong := runHL(30 * sim.Second)
+	r.Printf("  half-life 1s: %d exports; half-life 30s: %d exports\n", expShort, expLong)
+	r.Check("short half-life destabilises (at least as many migrations)",
+		okShort && okLong && expShort >= expLong && expShort > 0,
+		"1s → %d exports vs 30s → %d", expShort, expLong)
+
+	// --- 4. Heartbeat staleness: longer rebalance delays → staler views ---
+	runDelay := func(d sim.Time) (uint64, sim.Time) {
+		c := buildCluster(o, 3, o.Seed, cluster.LuaBalancers(core.DefaultPolicy()),
+			func(cfg *cluster.Config) {
+				cfg.MDS.RebalanceDelay = d
+			})
+		for i := 0; i < 4; i++ {
+			c.AddClient(workload.SeparateDirCreates("", i, files))
+		}
+		res := c.Run(60 * sim.Minute)
+		return res.TotalExports, res.Makespan
+	}
+	expFresh, tFresh := runDelay(200 * sim.Millisecond)
+	expStale, tStale := runDelay(8 * sim.Second)
+	r.Printf("  rebalance delay 0.2s: %d exports, %.1fs; 8s: %d exports, %.1fs\n",
+		expFresh, tFresh.Seconds(), expStale, tStale.Seconds())
+	r.Check("both staleness settings complete", tFresh > 0 && tStale > 0, "")
+
+	// --- 5. Shared-dir coherence penalty: Figure 8's crossover depends
+	// on it. Without the penalty, 4-way distribution of a shared
+	// directory should not lose; with it, it should.
+	shared := func(penalty int) (sim.Time, bool) {
+		nClients, f := 4, o.files(40_000)
+		c := buildCluster(o, 4, o.Seed, cluster.LuaBalancers(core.GreedySpillPolicy()),
+			func(cfg *cluster.Config) {
+				cfg.MDS.SplitSize = nClients * f / 8
+				cfg.MDS.SharedDirPenaltyUS = penalty
+			})
+		for i := 0; i < nClients; i++ {
+			c.AddClient(workload.SharedDirCreates("/shared", i, f))
+		}
+		res := c.Run(120 * sim.Minute)
+		return res.Makespan, res.AllDone
+	}
+	tNoPen, ok1 := shared(0)
+	tPen, ok2 := shared(40)
+	r.Printf("  shared-dir penalty 0µs: %.1fs; 40µs: %.1fs\n", tNoPen.Seconds(), tPen.Seconds())
+	r.Check("coherence penalty is what makes over-distribution lose",
+		ok1 && ok2 && tPen > tNoPen,
+		"without penalty %.1fs, with %.1fs", tNoPen.Seconds(), tPen.Seconds())
+
+	// --- 6. Overshoot factor: without the drill/skip guard (a huge
+	// factor accepts any selection), whole hot directories ship wholesale
+	// and everything lands on one importer.
+	overshoot := func(factor float64) (uint64, bool) {
+		f := o.files(40_000)
+		c := buildCluster(o, 2, o.Seed, cluster.LuaBalancers(core.GreedySpillPolicy()),
+			func(cfg *cluster.Config) {
+				cfg.MDS.SplitSize = 4 * f / 8
+				cfg.MDS.OvershootFactor = factor
+			})
+		for i := 0; i < 4; i++ {
+			c.AddClient(workload.SharedDirCreates("/shared", i, f))
+		}
+		res := c.Run(120 * sim.Minute)
+		if !res.AllDone {
+			return 0, false
+		}
+		return res.MDSCounters[0].Served, true
+	}
+	servedGuarded, okG := overshoot(1.5)
+	servedWild, okW := overshoot(1e9)
+	r.Printf("  overshoot guard 1.5: rank0 served %d; guard off: rank0 served %d\n", servedGuarded, servedWild)
+	r.Check("overshoot guard keeps load shared instead of shipping wholesale",
+		okG && okW && servedGuarded > servedWild,
+		"rank0 keeps %d with the guard vs %d without", servedGuarded, servedWild)
+	return r
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mantle/internal/cluster"
+	"mantle/internal/core"
+	"mantle/internal/sim"
+	"mantle/internal/workload"
+)
+
+// Fig10FlashCrowd reproduces Figure 10: five clients compile in separate
+// directories on five MDS nodes; the link phase is a metadata flash crowd.
+// Three variants of the Adaptable balancer are compared: conservative (high
+// minimum-offload floor — distributes only when the spike hits), the plain
+// Listing 4 balancer (distributes early), and a too-aggressive variant that
+// chases perfect balance continuously. The paper's claims: early
+// distribution absorbs the flash crowd; the conservative balancer migrates
+// only when the spike forces it; the too-aggressive balancer thrashes (far
+// more migrations/forwards) and performs worst with the highest variance.
+func Fig10FlashCrowd(o Options) *Report {
+	r := newReport("fig10", "flash crowds vs balancer aggressiveness", o)
+	const clients = 5
+	filesPerDir := o.files(1500)
+
+	type outcome struct {
+		name     string
+		makespan sim.Time
+		exports  uint64
+		forwards uint64
+		done     bool
+	}
+
+	run := func(name string, numMDS int, factory cluster.BalancerFactory, seed int64) outcome {
+		c := buildCluster(o, numMDS, seed, factory, nil)
+		for i := 0; i < clients; i++ {
+			c.AddClient(workload.Compile(workload.CompileConfig{
+				Root:        fmt.Sprintf("/src%d", i),
+				FilesPerDir: filesPerDir,
+				HeaderFiles: filesPerDir / 2,
+				LinkPasses:  6, // emphasise the link flash crowd
+				Seed:        seed + int64(i),
+			}))
+		}
+		res := c.Run(240 * sim.Minute)
+		out := outcome{name: name, makespan: res.Makespan, exports: res.TotalExports,
+			forwards: res.TotalForwards, done: res.AllDone}
+		renderStacked(r, fmt.Sprintf("  %s (finish %.1fs, exports %d, forwards %d):",
+			name, res.Makespan.Seconds(), res.TotalExports, res.TotalForwards), res.Throughput)
+		return out
+	}
+
+	single := run("1 MDS reference", 1, cluster.LuaBalancers(core.AdaptablePolicy()), o.Seed)
+	cons := run("conservative (min-offload)", 5,
+		cluster.LuaBalancers(core.ConservativePolicy(3000*o.Scale+50)), o.Seed)
+	aggr := run("aggressive (listing 4)", 5, cluster.LuaBalancers(core.AdaptablePolicy()), o.Seed)
+	tooAggr := run("too aggressive (perfect balance)", 5, cluster.LuaBalancers(core.TooAggressivePolicy()), o.Seed)
+
+	r.Check("all variants finish", single.done && cons.done && aggr.done && tooAggr.done, "")
+	r.Check("too-aggressive thrashes (most migrations)",
+		tooAggr.exports > aggr.exports && tooAggr.exports > cons.exports,
+		"exports: cons %d, aggr %d, too-aggr %d", cons.exports, aggr.exports, tooAggr.exports)
+	r.Check("too-aggressive forwards most (paper: 60x the middle balancer)",
+		tooAggr.forwards > aggr.forwards,
+		"forwards: aggr %d, too-aggr %d", aggr.forwards, tooAggr.forwards)
+	r.Check("aggressive beats too-aggressive", aggr.makespan < tooAggr.makespan,
+		"%.1fs vs %.1fs", aggr.makespan.Seconds(), tooAggr.makespan.Seconds())
+	r.Check("distribution helps five clients vs one MDS",
+		aggr.makespan < single.makespan,
+		"5 MDS %.1fs vs 1 MDS %.1fs", aggr.makespan.Seconds(), single.makespan.Seconds())
+	return r
+}

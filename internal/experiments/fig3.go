@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"mantle/internal/balancer"
+	"mantle/internal/cluster"
+	"mantle/internal/core"
+	"mantle/internal/mds"
+	"mantle/internal/namespace"
+	"mantle/internal/sim"
+	"mantle/internal/workload"
+)
+
+// Fig3Locality reproduces Figure 3: spreading metadata hurts a client
+// compiling code. One client compiles over a pre-built tree under three
+// setups, mirroring the paper's footnote:
+//
+//   - high locality: all metadata on one MDS,
+//   - spread evenly: hot metadata correctly distributed — the compile-hot
+//     directories statically placed one-per-rank, no balancer churn,
+//   - spread unevenly: every directory scattered round-robin (what untarring
+//     with 3 MDS nodes leaves behind) with the original CephFS balancer
+//     still migrating during the compile.
+//
+// Figure 3b's claim: with even spread most path traversals end in local
+// hits; with uneven spread many end in forwards. Figure 3a's claim: total
+// requests grow with distribution, and keeping everything on one MDS is
+// ~18-19% faster.
+func Fig3Locality(o Options) *Report {
+	r := newReport("fig3", "locality vs distribution for a compile", o)
+	filesPerDir := o.files(4000)
+
+	type outcome struct {
+		name     string
+		makespan sim.Time
+		hits     uint64
+		forwards uint64
+		requests uint64
+		done     bool
+	}
+
+	run := func(name string, numMDS int, factory cluster.BalancerFactory, assign func(c *cluster.Cluster) error) outcome {
+		c := buildCluster(o, numMDS, o.Seed, factory, nil)
+		wcfg := workload.CompileConfig{Root: "/src", FilesPerDir: filesPerDir,
+			HeaderFiles: filesPerDir / 2, Seed: o.Seed}
+		untar := workload.Untar(wcfg)
+		for {
+			op, ok := untar.Next()
+			if !ok {
+				break
+			}
+			if _, err := c.NS.CreatePath(op.Path, op.Type == mds.OpMkdir); err != nil {
+				panic(err)
+			}
+		}
+		c.AddClient(workload.CompileOnly(wcfg))
+		if assign != nil {
+			if err := assign(c); err != nil {
+				panic(err)
+			}
+		}
+		res := c.Run(20 * sim.Minute * sim.Time(1+int(o.Scale*20)))
+		return outcome{name: name, makespan: res.Makespan,
+			hits: res.TotalHits, forwards: res.TotalForwards,
+			requests: res.TotalHits + res.TotalForwards, done: res.AllDone}
+	}
+
+	noBal := cluster.GoBalancers(func() balancer.Balancer { return balancer.NoBalancer{} })
+	local := run("high locality (1 MDS)", 1, noBal, nil)
+	even := run("spread evenly (3 MDS)", 3, noBal, func(c *cluster.Cluster) error {
+		// Hot metadata correctly distributed: one hot subtree per rank.
+		placement := map[string]namespace.Rank{
+			"arch": 0, "kernel": 1, "fs": 2, "mm": 0, "include": 1,
+		}
+		for d, rank := range placement {
+			if err := c.PreAssign("/src/"+d, rank); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	uneven := run("spread unevenly (3 MDS)", 3, cluster.LuaBalancers(core.DefaultPolicy()),
+		func(c *cluster.Cluster) error {
+			// What a 3-MDS untar leaves behind: every directory
+			// scattered, and the balancer keeps shuffling during the
+			// compile.
+			dirs := append([]string{"include"}, workload.DefaultCompileDirs...)
+			for i, d := range dirs {
+				if err := c.PreAssign("/src/"+d, namespace.Rank((i+1)%3)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+
+	r.Printf("  %-24s %10s %12s %12s %12s\n", "setup", "time", "requests", "hits", "forwards")
+	for _, out := range []outcome{local, even, uneven} {
+		r.Printf("  %-24s %9.1fs %12d %12d %12d  done=%v\n",
+			out.name, out.makespan.Seconds(), out.requests, out.hits, out.forwards, out.done)
+	}
+
+	r.Check("all setups complete", local.done && even.done && uneven.done, "")
+	r.Check("locality has zero forwards", local.forwards == 0,
+		"forwards = %d", local.forwards)
+	r.Check("uneven spread forwards most (fig 3b)",
+		uneven.forwards > 2*even.forwards && uneven.forwards > 0,
+		"uneven %d vs even %d forwards", uneven.forwards, even.forwards)
+	r.Check("requests grow with distribution (fig 3a)",
+		local.requests <= even.requests && even.requests < uneven.requests,
+		"local %d <= even %d < uneven %d", local.requests, even.requests, uneven.requests)
+	spEven := pctDelta(even.makespan, local.makespan)
+	spUneven := pctDelta(uneven.makespan, local.makespan)
+	r.Check("locality is faster than both spreads (paper: 18-19%)",
+		spEven > 2 && spUneven > 2,
+		"speedup vs even %+.1f%%, vs uneven %+.1f%%", spEven, spUneven)
+	r.Check("uneven spread is the slowest", uneven.makespan >= even.makespan,
+		"even %.1fs, uneven %.1fs", even.makespan.Seconds(), uneven.makespan.Seconds())
+	return r
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"mantle/internal/balancer"
+	"mantle/internal/cluster"
+	"mantle/internal/sim"
+	"mantle/internal/workload"
+)
+
+// Fig5ClientScaling reproduces Figure 5: a single MDS saturates as clients
+// are added. Each of 1..7 clients creates files in its own directory against
+// one MDS; throughput stops improving and latency keeps climbing past the
+// knee, and variance grows with overload.
+func Fig5ClientScaling(o Options) *Report {
+	r := newReport("fig5", "single-MDS client scaling (capacity study)", o)
+	files := o.files(100_000)
+
+	type row struct {
+		clients   int
+		tput      float64
+		latMean   float64
+		latStd    float64
+		latP99    float64
+		cpuApprox float64
+	}
+	var rows []row
+	for k := 1; k <= 7; k++ {
+		c := buildCluster(o, 1, o.Seed, cluster.GoBalancers(func() balancer.Balancer {
+			return balancer.NoBalancer{}
+		}), nil)
+		for i := 0; i < k; i++ {
+			c.AddClient(workload.SeparateDirCreates("", i, files))
+		}
+		res := c.Run(120 * sim.Minute)
+		if !res.AllDone {
+			r.Printf("  WARNING: %d-client run did not finish\n", k)
+		}
+		var latAll, std, p99 float64
+		n := 0
+		for _, s := range res.ClientLatency {
+			latAll += s.Mean() * float64(s.N())
+			n += s.N()
+			if s.StdDev() > std {
+				std = s.StdDev()
+			}
+			if s.Percentile(99) > p99 {
+				p99 = s.Percentile(99)
+			}
+		}
+		if n > 0 {
+			latAll /= float64(n)
+		}
+		// First-client finish defines the sustained-throughput window.
+		tput := res.AggregateThroughput()
+		rows = append(rows, row{clients: k, tput: tput, latMean: latAll, latStd: std, latP99: p99})
+	}
+
+	r.Printf("  %-8s %14s %12s %12s %12s\n", "clients", "tput (req/s)", "lat (ms)", "lat std", "lat p99")
+	for _, row := range rows {
+		r.Printf("  %-8d %14.0f %12.3f %12.3f %12.3f\n", row.clients, row.tput, row.latMean, row.latStd, row.latP99)
+	}
+
+	// Shape checks against the paper: throughput stops improving at 5-7
+	// clients while latency continues to increase; variance grows (the
+	// paper: latency stddev up to 3x, throughput stddev up to 2.3x between
+	// the <=3-client and >=5-client regimes).
+	t4, t7 := rows[3].tput, rows[6].tput
+	r.Check("throughput saturates past ~4 clients", t7 < t4*1.15,
+		"tput(7)=%.0f vs tput(4)=%.0f (+%.1f%%)", t7, t4, (t7/t4-1)*100)
+	grew := rows[6].tput > rows[0].tput*2
+	r.Check("throughput does scale before the knee", grew,
+		"tput(1)=%.0f tput(7)=%.0f", rows[0].tput, rows[6].tput)
+	r.Check("latency keeps increasing under overload", rows[6].latMean > rows[0].latMean*1.5,
+		"lat(1)=%.3fms lat(7)=%.3fms", rows[0].latMean, rows[6].latMean)
+	r.Check("latency variance grows with overload", rows[6].latStd > rows[1].latStd*1.5,
+		"std(2)=%.3f std(7)=%.3f", rows[1].latStd, rows[6].latStd)
+	return r
+}

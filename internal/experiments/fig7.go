@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mantle/internal/cluster"
+	"mantle/internal/core"
+	"mantle/internal/sim"
+	"mantle/internal/stats"
+	"mantle/internal/workload"
+)
+
+// sharedOutcome summarises one shared-directory create run.
+type sharedOutcome struct {
+	name     string
+	numMDS   int
+	makespan sim.Time
+	series   []*stats.Series
+	served   []uint64
+	flushes  int
+	exports  uint64
+	splits   uint64
+	done     bool
+	latStd   float64
+}
+
+// runSharedDir executes the Figure 7/8 workload: four clients creating files
+// in one shared directory, which fragments at one-eighth of the total file
+// count (the paper splits 400k creates at 50k entries).
+func runSharedDir(o Options, name string, numMDS int, factory cluster.BalancerFactory, seed int64) sharedOutcome {
+	const nClients = 4
+	files := o.files(100_000)
+	c := buildCluster(o, numMDS, seed, factory, func(cfg *cluster.Config) {
+		cfg.MDS.SplitSize = nClients * files / 8
+	})
+	for i := 0; i < nClients; i++ {
+		c.AddClient(workload.SharedDirCreates("/shared", i, files))
+	}
+	res := c.Run(120 * sim.Minute)
+	out := sharedOutcome{
+		name: name, numMDS: numMDS, makespan: res.Makespan,
+		series: res.Throughput, flushes: res.TotalFlushes,
+		exports: res.TotalExports, splits: res.TotalSplits, done: res.AllDone,
+	}
+	for _, cnt := range res.MDSCounters {
+		out.served = append(out.served, cnt.Served)
+	}
+	var lat stats.Running
+	for _, t := range res.ClientDone {
+		lat.Add(t.Seconds())
+	}
+	out.latStd = lat.StdDev()
+	return out
+}
+
+// Fig7SharedDir reproduces Figure 7: per-MDS throughput over time for four
+// clients creating in the same directory under Greedy Spill, Greedy Spill
+// (even), Fill & Spill, and the original CephFS balancer on 4 MDS nodes.
+// Claims: Greedy Spill sheds half immediately but splits load unevenly down
+// the chain; the even variant spreads equally; Fill & Spill sheds only when
+// overloaded and uses a subset of the MDS nodes.
+func Fig7SharedDir(o Options) *Report {
+	r := newReport("fig7", "shared-directory creates under four balancers", o)
+
+	outs := []sharedOutcome{
+		runSharedDir(o, "greedy_spill", 4, cluster.LuaBalancers(core.GreedySpillPolicy()), o.Seed),
+		runSharedDir(o, "greedy_spill_even", 4, cluster.LuaBalancers(core.GreedySpillEvenPolicy()), o.Seed),
+		runSharedDir(o, "fill_and_spill", 4, cluster.LuaBalancers(core.FillAndSpillPolicy()), o.Seed),
+		runSharedDir(o, "cephfs_original", 4, cluster.LuaBalancers(core.DefaultPolicy()), o.Seed),
+	}
+	for _, out := range outs {
+		r.Printf("  %s: finish %.1fs, exports %d, splits %d, session flushes %d, served=%v\n",
+			out.name, out.makespan.Seconds(), out.exports, out.splits, out.flushes, out.served)
+		renderStacked(r, "    per-MDS throughput:", out.series)
+		if !out.done {
+			r.Printf("    WARNING: did not finish\n")
+		}
+	}
+
+	gs, even, fs := outs[0], outs[1], outs[2]
+	r.Check("all runs complete", gs.done && even.done && fs.done && outs[3].done, "")
+
+	// Greedy spill: load decreases down the chain (each MDS spills less
+	// than its predecessor).
+	monotone := gs.served[0] > gs.served[1] && gs.served[1] >= gs.served[2] && gs.served[2] >= gs.served[3]
+	r.Check("greedy spill splits unevenly down the chain", monotone && gs.served[1] > 0,
+		"served = %v", gs.served)
+
+	// Even variant: all four MDS nodes carry comparable load.
+	minS, maxS := even.served[0], even.served[0]
+	for _, s := range even.served {
+		if s < minS {
+			minS = s
+		}
+		if s > maxS {
+			maxS = s
+		}
+	}
+	r.Check("even variant balances across all 4", minS > 0 && float64(maxS) < 3.0*float64(minS),
+		"served = %v (max/min %.1f)", even.served, float64(maxS)/float64(minS))
+
+	// Fill & Spill uses a subset of the cluster.
+	idle := 0
+	total := uint64(0)
+	for _, s := range fs.served {
+		total += s
+	}
+	for _, s := range fs.served {
+		if float64(s) < 0.05*float64(total) {
+			idle++
+		}
+	}
+	r.Check("fill & spill leaves MDS nodes unused", idle >= 1,
+		"served = %v (%d near-idle ranks)", fs.served, idle)
+
+	// Fill & Spill spills only when overloaded: its first export happens
+	// after greedy spill's (greedy sheds as soon as it can).
+	r.Check("fill & spill spills less than greedy", fs.exports <= gs.exports && fs.flushes <= even.flushes,
+		"exports %d vs %d, flushes %d vs %d", fs.exports, gs.exports, fs.flushes, even.flushes)
+	return r
+}
+
+// SessionCounts reproduces the §4.1 session measurements: distributing the
+// shared directory over more MDS nodes costs more session traffic (the paper
+// counts 157/323/458/788/936 session flushes for 1/2/3/4-uneven/4-even MDS).
+func SessionCounts(o Options) *Report {
+	r := newReport("sessions", "session flushes vs distribution (§4.1)", o)
+	configs := []struct {
+		name    string
+		numMDS  int
+		factory cluster.BalancerFactory
+	}{
+		{"1 MDS", 1, cluster.LuaBalancers(core.GreedySpillPolicy())},
+		{"2 MDS greedy", 2, cluster.LuaBalancers(core.GreedySpillPolicy())},
+		{"3 MDS greedy", 3, cluster.LuaBalancers(core.GreedySpillPolicy())},
+		{"4 MDS greedy (uneven)", 4, cluster.LuaBalancers(core.GreedySpillPolicy())},
+		{"4 MDS greedy (even)", 4, cluster.LuaBalancers(core.GreedySpillEvenPolicy())},
+	}
+	var flushes []int
+	for _, cfg := range configs {
+		out := runSharedDir(o, cfg.name, cfg.numMDS, cfg.factory, o.Seed)
+		flushes = append(flushes, out.flushes)
+		r.Printf("  %-24s sessions flushed: %d (exports %d)\n", cfg.name, out.flushes, out.exports)
+	}
+	nondecreasing := true
+	for i := 1; i < len(flushes); i++ {
+		if flushes[i] < flushes[i-1] {
+			nondecreasing = false
+		}
+	}
+	r.Check("session traffic grows with distribution", nondecreasing && flushes[4] > flushes[0],
+		"flushes = %v (paper: 157/323/458/788/936)", flushes)
+	return r
+}
+
+var _ = fmt.Sprintf

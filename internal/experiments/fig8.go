@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"mantle/internal/cluster"
+	"mantle/internal/core"
+)
+
+// Fig8Speedup reproduces Figure 8: per-client speedup or slowdown of the
+// shared-directory create job relative to one MDS. The paper's claims:
+// spilling to 2 MDS nodes improves performance (~10%), spilling to 3-4
+// degrades it (the cost of synchronising across MDS nodes outweighs the
+// parallelism), spilling evenly to 4 degrades most but has the lowest
+// variance, and Fill & Spill gains ~6-9% using only a subset of the nodes
+// (25% spill beating 10%).
+func Fig8Speedup(o Options) *Report {
+	r := newReport("fig8", "speedup vs number of MDS nodes per balancer", o)
+
+	base := runSharedDir(o, "1 MDS baseline", 1, cluster.LuaBalancers(core.GreedySpillPolicy()), o.Seed)
+	r.Printf("  baseline (1 MDS): %.1fs\n", base.makespan.Seconds())
+
+	type cfg struct {
+		name    string
+		numMDS  int
+		factory cluster.BalancerFactory
+	}
+	configs := []cfg{
+		{"greedy spill, 2 MDS", 2, cluster.LuaBalancers(core.GreedySpillPolicy())},
+		{"greedy spill, 3 MDS", 3, cluster.LuaBalancers(core.GreedySpillPolicy())},
+		{"greedy spill, 4 MDS", 4, cluster.LuaBalancers(core.GreedySpillPolicy())},
+		{"greedy spill even, 4 MDS", 4, cluster.LuaBalancers(core.GreedySpillEvenPolicy())},
+		{"fill & spill 10%, 4 MDS", 4, cluster.LuaBalancers(core.FillAndSpillPolicyWithFraction(0.10))},
+		{"fill & spill 25%, 4 MDS", 4, cluster.LuaBalancers(core.FillAndSpillPolicyWithFraction(0.25))},
+		{"fill & spill 50%, 4 MDS", 4, cluster.LuaBalancers(core.FillAndSpillPolicyWithFraction(0.50))},
+	}
+	speedups := map[string]float64{}
+	stds := map[string]float64{}
+	for _, cf := range configs {
+		out := runSharedDir(o, cf.name, cf.numMDS, cf.factory, o.Seed)
+		sp := pctDelta(base.makespan, out.makespan)
+		speedups[cf.name] = sp
+		stds[cf.name] = out.latStd
+		r.Printf("  %-28s %8.1fs  speedup %+6.1f%%  finish-time stddev %.2fs\n",
+			cf.name, out.makespan.Seconds(), sp, out.latStd)
+		if !out.done {
+			r.Printf("    WARNING: did not finish\n")
+		}
+	}
+
+	r.Check("spilling to 2 MDS improves performance", speedups["greedy spill, 2 MDS"] > 0,
+		"speedup %.1f%% (paper: ~10%%)", speedups["greedy spill, 2 MDS"])
+	r.Check("more spilling helps less or hurts",
+		speedups["greedy spill, 2 MDS"] > speedups["greedy spill, 3 MDS"] &&
+			speedups["greedy spill, 3 MDS"] > speedups["greedy spill, 4 MDS"],
+		"2 MDS %+.1f%% > 3 MDS %+.1f%% > 4 MDS %+.1f%% (paper: +10/-5/-20)",
+		speedups["greedy spill, 2 MDS"], speedups["greedy spill, 3 MDS"], speedups["greedy spill, 4 MDS"])
+	r.Check("4-way distribution degrades performance", speedups["greedy spill, 4 MDS"] < 0 || speedups["greedy spill even, 4 MDS"] < 0,
+		"uneven %+.1f%%, even %+.1f%% (paper: -20%%, -40%%)",
+		speedups["greedy spill, 4 MDS"], speedups["greedy spill even, 4 MDS"])
+	r.Check("fill & spill gains using a subset of nodes", speedups["fill & spill 25%, 4 MDS"] > 0,
+		"speedup %+.1f%% (paper: ~6%%)", speedups["fill & spill 25%, 4 MDS"])
+	r.Check("25%% spill beats 10%% spill", speedups["fill & spill 25%, 4 MDS"] >= speedups["fill & spill 10%, 4 MDS"],
+		"25%%: %+.1f%% vs 10%%: %+.1f%%",
+		speedups["fill & spill 25%, 4 MDS"], speedups["fill & spill 10%, 4 MDS"])
+	return r
+}

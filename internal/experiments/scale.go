@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mantle/internal/cluster"
+	"mantle/internal/core"
+	"mantle/internal/sim"
+	"mantle/internal/stats"
+	"mantle/internal/workload"
+)
+
+// ScaleStudy reproduces the §4.4 scalability observation: the paper's
+// balancers "are robust until 20 nodes, at which point there is increased
+// variability in client performance". We sweep the cluster from 5 to 20 MDS
+// nodes with one create client per rank under the Adaptable balancer and
+// measure per-client completion-time variability across seeds.
+func ScaleStudy(o Options) *Report {
+	r := newReport("scale", "balancer robustness vs cluster size (§4.4)", o)
+	files := o.files(20_000)
+	const seeds = 3
+
+	type row struct {
+		numMDS   int
+		meanMake float64
+		cvPct    float64 // coefficient of variation of client finish times
+		exports  uint64
+		forwards uint64
+		done     bool
+	}
+	var rows []row
+	for _, numMDS := range []int{5, 10, 20} {
+		var makes stats.Running
+		var clientCV stats.Running
+		var exports, forwards uint64
+		done := true
+		for s := 0; s < seeds; s++ {
+			c := buildCluster(o, numMDS, o.Seed+int64(s)*97, cluster.LuaBalancers(core.AdaptablePolicy()),
+				func(cfg *cluster.Config) {
+					cfg.Client.StartJitter = cfg.MDS.HeartbeatInterval
+				})
+			for i := 0; i < numMDS; i++ {
+				c.AddClient(workload.SeparateDirCreates("", i, files))
+			}
+			res := c.Run(240 * sim.Minute)
+			if !res.AllDone {
+				done = false
+				continue
+			}
+			makes.Add(res.Makespan.Seconds())
+			var per stats.Running
+			for _, t := range res.ClientDone {
+				per.Add(t.Seconds())
+			}
+			if per.Mean() > 0 {
+				clientCV.Add(per.StdDev() / per.Mean() * 100)
+			}
+			exports += res.TotalExports
+			forwards += res.TotalForwards
+		}
+		rows = append(rows, row{
+			numMDS: numMDS, meanMake: makes.Mean(), cvPct: clientCV.Mean(),
+			exports: exports / seeds, forwards: forwards / seeds, done: done,
+		})
+	}
+
+	r.Printf("  %-8s %12s %18s %10s %10s\n", "MDS", "makespan", "client-time CV", "exports", "forwards")
+	for _, row := range rows {
+		r.Printf("  %-8d %11.1fs %17.2f%% %10d %10d  done=%v\n",
+			row.numMDS, row.meanMake, row.cvPct, row.exports, row.forwards, row.done)
+	}
+
+	r.Check("all cluster sizes complete", rows[0].done && rows[1].done && rows[2].done, "")
+	r.Check("balancing still happens at 20 nodes", rows[2].exports > 0,
+		"exports at 20 MDS = %d", rows[2].exports)
+	// The paper reports "increased variability in client performance" at
+	// 20 nodes for reasons it was still investigating; we check the
+	// conservative form — variability stays noticeable at scale rather
+	// than averaging out.
+	r.Check("client variability noticeable at 20 nodes (paper: increased variability)",
+		rows[2].cvPct > 8,
+		"CV: 5 MDS %.2f%%, 10 MDS %.2f%%, 20 MDS %.2f%%", rows[0].cvPct, rows[1].cvPct, rows[2].cvPct)
+	_ = fmt.Sprintf
+	return r
+}

@@ -1,0 +1,173 @@
+package lua
+
+// The AST for the Lua subset. Every node carries a source line for runtime
+// error reporting.
+
+type block struct {
+	stmts []stmt
+}
+
+type stmt interface{ stmtLine() int }
+
+type (
+	// assignStmt is `lhs1, lhs2 = e1, e2`.
+	assignStmt struct {
+		line int
+		lhs  []expr // nameExpr or indexExpr only (checked by the parser)
+		rhs  []expr
+	}
+	// localStmt is `local a, b = e1, e2`.
+	localStmt struct {
+		line  int
+		names []string
+		rhs   []expr
+	}
+	// callStmt is an expression-statement function call.
+	callStmt struct {
+		line int
+		call *callExpr
+	}
+	// ifStmt chains conditions and blocks; elseBlock may be nil.
+	ifStmt struct {
+		line      int
+		conds     []expr
+		blocks    []*block
+		elseBlock *block
+	}
+	whileStmt struct {
+		line int
+		cond expr
+		body *block
+	}
+	repeatStmt struct {
+		line int
+		body *block
+		cond expr
+	}
+	// numForStmt is `for name = start, limit[, step] do body end`.
+	numForStmt struct {
+		line                int
+		name                string
+		start, limit, stepE expr // stepE may be nil (defaults to 1)
+		body                *block
+	}
+	// genForStmt is `for n1[, n2] in explist do body end`.
+	genForStmt struct {
+		line  int
+		names []string
+		exprs []expr
+		body  *block
+	}
+	doStmt struct {
+		line int
+		body *block
+	}
+	returnStmt struct {
+		line  int
+		exprs []expr
+	}
+	breakStmt struct {
+		line int
+	}
+	// funcStmt is `function name(...)` or `local function name(...)`.
+	funcStmt struct {
+		line    int
+		target  expr // nameExpr or indexExpr
+		isLocal bool
+		name    string // for local functions
+		proto   *funcProto
+	}
+)
+
+func (s *assignStmt) stmtLine() int { return s.line }
+func (s *localStmt) stmtLine() int  { return s.line }
+func (s *callStmt) stmtLine() int   { return s.line }
+func (s *ifStmt) stmtLine() int     { return s.line }
+func (s *whileStmt) stmtLine() int  { return s.line }
+func (s *repeatStmt) stmtLine() int { return s.line }
+func (s *numForStmt) stmtLine() int { return s.line }
+func (s *genForStmt) stmtLine() int { return s.line }
+func (s *doStmt) stmtLine() int     { return s.line }
+func (s *returnStmt) stmtLine() int { return s.line }
+func (s *breakStmt) stmtLine() int  { return s.line }
+func (s *funcStmt) stmtLine() int   { return s.line }
+
+type expr interface{ exprLine() int }
+
+type (
+	nilExpr    struct{ line int }
+	trueExpr   struct{ line int }
+	falseExpr  struct{ line int }
+	numberExpr struct {
+		line int
+		val  float64
+	}
+	stringExpr struct {
+		line int
+		val  string
+	}
+	nameExpr struct {
+		line int
+		name string
+	}
+	// indexExpr is obj[key] (obj.name is sugar for obj["name"]).
+	indexExpr struct {
+		line     int
+		obj, key expr
+	}
+	// callExpr is f(args) or obj:method(args).
+	callExpr struct {
+		line   int
+		fn     expr
+		method string // non-empty for a:method(...) calls
+		args   []expr
+	}
+	binExpr struct {
+		line int
+		op   tokenKind
+		l, r expr
+	}
+	unExpr struct {
+		line int
+		op   tokenKind
+		e    expr
+	}
+	funcExpr struct {
+		line  int
+		proto *funcProto
+	}
+	// tableExpr is a constructor: array items and key/value pairs in
+	// source order.
+	tableExpr struct {
+		line  int
+		akeys []expr // nil entry = positional; else the key expression
+		avals []expr
+	}
+)
+
+func (e *nilExpr) exprLine() int    { return e.line }
+func (e *trueExpr) exprLine() int   { return e.line }
+func (e *falseExpr) exprLine() int  { return e.line }
+func (e *numberExpr) exprLine() int { return e.line }
+func (e *stringExpr) exprLine() int { return e.line }
+func (e *nameExpr) exprLine() int   { return e.line }
+func (e *indexExpr) exprLine() int  { return e.line }
+func (e *callExpr) exprLine() int   { return e.line }
+func (e *binExpr) exprLine() int    { return e.line }
+func (e *unExpr) exprLine() int     { return e.line }
+func (e *funcExpr) exprLine() int   { return e.line }
+func (e *tableExpr) exprLine() int  { return e.line }
+
+// funcProto is a compiled function body.
+type funcProto struct {
+	name   string
+	params []string
+	body   *block
+	line   int
+}
+
+// Chunk is a compiled script ready to run.
+type Chunk struct {
+	Name string
+	body *block
+}

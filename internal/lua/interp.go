@@ -1,0 +1,588 @@
+package lua
+
+import (
+	"fmt"
+	"math"
+)
+
+// RuntimeError reports a failure while executing a chunk.
+type RuntimeError struct {
+	ChunkName string
+	Line      int
+	Msg       string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.ChunkName, e.Line, e.Msg)
+}
+
+// ErrBudget is the message used when a script exceeds its step budget.
+const ErrBudget = "instruction budget exceeded"
+
+// VM executes compiled chunks against a global environment. A VM is not
+// safe for concurrent use; each MDS rank runs its own.
+type VM struct {
+	// Globals is the global variable table shared by all chunks run on
+	// this VM.
+	Globals *Table
+	// MaxSteps bounds the work a single Run may do (0 = unlimited).
+	// Mantle uses this to keep a bad policy (`while 1 do end`) from
+	// wedging the MDS.
+	MaxSteps int64
+	// MaxDepth bounds call-stack depth.
+	MaxDepth int
+
+	steps    int64
+	depth    int
+	chunk    string
+	printer  PrintWriter
+	rngState uint64
+}
+
+// NewVM returns a VM with the standard library installed and a defensive
+// default step budget.
+func NewVM() *VM {
+	vm := &VM{Globals: NewTable(), MaxSteps: 10_000_000, MaxDepth: 200}
+	vm.installStdlib()
+	return vm
+}
+
+// scope is one lexical environment level. Variables are boxed so closures
+// share them.
+type scope struct {
+	vars   map[string]*Value
+	parent *scope
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{vars: map[string]*Value{}, parent: parent}
+}
+
+func (s *scope) find(name string) (*Value, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if v, ok := cur.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+func (s *scope) define(name string, v Value) {
+	box := new(Value)
+	*box = v
+	s.vars[name] = box
+}
+
+// control is the statement execution result.
+type control int
+
+const (
+	ctrlNone control = iota
+	ctrlBreak
+	ctrlReturn
+)
+
+func (vm *VM) errf(line int, format string, args ...any) {
+	panic(&RuntimeError{ChunkName: vm.chunk, Line: line, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (vm *VM) tick(line int) {
+	vm.steps++
+	if vm.MaxSteps > 0 && vm.steps > vm.MaxSteps {
+		vm.errf(line, ErrBudget)
+	}
+}
+
+// Run executes a compiled chunk and returns its return values. The step
+// counter resets per Run.
+func (vm *VM) Run(chunk *Chunk) (vals []Value, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if re, ok := r.(*RuntimeError); ok {
+				err = re
+				return
+			}
+			panic(r)
+		}
+	}()
+	vm.steps = 0
+	vm.depth = 0
+	prevChunk := vm.chunk
+	vm.chunk = chunk.Name
+	defer func() { vm.chunk = prevChunk }()
+	ctrl, out := vm.execBlock(chunk.body, newScope(nil))
+	if ctrl == ctrlBreak {
+		return nil, &RuntimeError{ChunkName: chunk.Name, Line: 0, Msg: "break outside loop"}
+	}
+	return out, nil
+}
+
+// Eval compiles and runs src in one step.
+func (vm *VM) Eval(name, src string) ([]Value, error) {
+	chunk, err := Compile(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return vm.Run(chunk)
+}
+
+// Steps reports how many steps the last Run consumed.
+func (vm *VM) Steps() int64 { return vm.steps }
+
+// protectedCall invokes fn trapping runtime errors (the pcall builtin). The
+// instruction budget is deliberately not trapped: exceeding it must abort
+// the whole run, or a hostile script could loop forever inside pcall.
+func (vm *VM) protectedCall(fn Value, args []Value) (rets []Value, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if re, ok := r.(*RuntimeError); ok && re.Msg != ErrBudget {
+				rets, err = nil, re
+				return
+			}
+			panic(r)
+		}
+	}()
+	return vm.call(fn, args, 0), nil
+}
+
+func (vm *VM) execBlock(b *block, env *scope) (control, []Value) {
+	for _, s := range b.stmts {
+		ctrl, vals := vm.execStmt(s, env)
+		if ctrl != ctrlNone {
+			return ctrl, vals
+		}
+	}
+	return ctrlNone, nil
+}
+
+func (vm *VM) execStmt(s stmt, env *scope) (control, []Value) {
+	vm.tick(s.stmtLine())
+	switch st := s.(type) {
+	case *assignStmt:
+		vals := vm.evalExprList(st.rhs, len(st.lhs), env)
+		for i, l := range st.lhs {
+			vm.assign(l, vals[i], env)
+		}
+	case *localStmt:
+		vals := vm.evalExprList(st.rhs, len(st.names), env)
+		for i, n := range st.names {
+			env.define(n, vals[i])
+		}
+	case *callStmt:
+		vm.evalCall(st.call, env)
+	case *ifStmt:
+		for i, cond := range st.conds {
+			if Truthy(vm.evalExpr(cond, env)) {
+				return vm.execBlock(st.blocks[i], newScope(env))
+			}
+		}
+		if st.elseBlock != nil {
+			return vm.execBlock(st.elseBlock, newScope(env))
+		}
+	case *whileStmt:
+		for Truthy(vm.evalExpr(st.cond, env)) {
+			vm.tick(st.line)
+			ctrl, vals := vm.execBlock(st.body, newScope(env))
+			if ctrl == ctrlBreak {
+				break
+			}
+			if ctrl == ctrlReturn {
+				return ctrl, vals
+			}
+		}
+	case *repeatStmt:
+		for {
+			vm.tick(st.line)
+			inner := newScope(env)
+			ctrl, vals := vm.execBlock(st.body, inner)
+			if ctrl == ctrlBreak {
+				break
+			}
+			if ctrl == ctrlReturn {
+				return ctrl, vals
+			}
+			// Lua scoping: the until condition sees the body's locals.
+			if Truthy(vm.evalExpr(st.cond, inner)) {
+				break
+			}
+		}
+	case *numForStmt:
+		start := vm.toNumber(vm.evalExpr(st.start, env), st.line, "'for' initial value")
+		limit := vm.toNumber(vm.evalExpr(st.limit, env), st.line, "'for' limit")
+		step := 1.0
+		if st.stepE != nil {
+			step = vm.toNumber(vm.evalExpr(st.stepE, env), st.line, "'for' step")
+		}
+		if step == 0 {
+			vm.errf(st.line, "'for' step is zero")
+		}
+		for i := start; (step > 0 && i <= limit) || (step < 0 && i >= limit); i += step {
+			vm.tick(st.line)
+			inner := newScope(env)
+			inner.define(st.name, i)
+			ctrl, vals := vm.execBlock(st.body, inner)
+			if ctrl == ctrlBreak {
+				break
+			}
+			if ctrl == ctrlReturn {
+				return ctrl, vals
+			}
+		}
+	case *genForStmt:
+		vals := vm.evalExprList(st.exprs, 3, env)
+		f, state, ctl := vals[0], vals[1], vals[2]
+		for {
+			vm.tick(st.line)
+			rets := vm.call(f, []Value{state, ctl}, st.line)
+			if len(rets) == 0 || rets[0] == nil {
+				break
+			}
+			ctl = rets[0]
+			inner := newScope(env)
+			for i, n := range st.names {
+				if i < len(rets) {
+					inner.define(n, rets[i])
+				} else {
+					inner.define(n, nil)
+				}
+			}
+			ctrl, out := vm.execBlock(st.body, inner)
+			if ctrl == ctrlBreak {
+				break
+			}
+			if ctrl == ctrlReturn {
+				return ctrl, out
+			}
+		}
+	case *doStmt:
+		return vm.execBlock(st.body, newScope(env))
+	case *returnStmt:
+		return ctrlReturn, vm.evalExprList(st.exprs, -1, env)
+	case *breakStmt:
+		return ctrlBreak, nil
+	case *funcStmt:
+		fn := &Function{proto: st.proto, env: env}
+		if st.isLocal {
+			env.define(st.name, fn)
+		} else {
+			vm.assign(st.target, fn, env)
+		}
+	default:
+		vm.errf(s.stmtLine(), "internal: unknown statement %T", s)
+	}
+	return ctrlNone, nil
+}
+
+func (vm *VM) assign(l expr, v Value, env *scope) {
+	switch t := l.(type) {
+	case *nameExpr:
+		if box, ok := env.find(t.name); ok {
+			*box = v
+			return
+		}
+		vm.Globals.Set(t.name, v)
+	case *indexExpr:
+		obj := vm.evalExpr(t.obj, env)
+		tab, ok := obj.(*Table)
+		if !ok {
+			vm.errf(t.line, "attempt to index a %v value", TypeOf(obj))
+		}
+		key := vm.evalExpr(t.key, env)
+		if key == nil {
+			vm.errf(t.line, "table index is nil")
+		}
+		if n, ok := key.(float64); ok && math.IsNaN(n) {
+			vm.errf(t.line, "table index is NaN")
+		}
+		tab.Set(key, v)
+	default:
+		vm.errf(l.exprLine(), "cannot assign to this expression")
+	}
+}
+
+// evalExprList evaluates an expression list, expanding a trailing call's
+// multiple returns. want < 0 keeps every value; otherwise the result is
+// padded/truncated to exactly want values.
+func (vm *VM) evalExprList(exprs []expr, want int, env *scope) []Value {
+	var vals []Value
+	for i, e := range exprs {
+		if i == len(exprs)-1 {
+			if c, ok := e.(*callExpr); ok {
+				vals = append(vals, vm.evalCall(c, env)...)
+				break
+			}
+		}
+		vals = append(vals, vm.evalExpr(e, env))
+	}
+	if want < 0 {
+		return vals
+	}
+	for len(vals) < want {
+		vals = append(vals, nil)
+	}
+	return vals[:want]
+}
+
+func (vm *VM) evalExpr(e expr, env *scope) Value {
+	vm.tick(e.exprLine())
+	switch ex := e.(type) {
+	case *nilExpr:
+		return nil
+	case *trueExpr:
+		return true
+	case *falseExpr:
+		return false
+	case *numberExpr:
+		return ex.val
+	case *stringExpr:
+		return ex.val
+	case *nameExpr:
+		if box, ok := env.find(ex.name); ok {
+			return *box
+		}
+		return vm.Globals.Get(ex.name)
+	case *indexExpr:
+		obj := vm.evalExpr(ex.obj, env)
+		tab, ok := obj.(*Table)
+		if !ok {
+			vm.errf(ex.line, "attempt to index a %v value%s", TypeOf(obj), describeIndex(ex))
+		}
+		return tab.Get(vm.evalExpr(ex.key, env))
+	case *callExpr:
+		rets := vm.evalCall(ex, env)
+		if len(rets) == 0 {
+			return nil
+		}
+		return rets[0]
+	case *binExpr:
+		return vm.evalBin(ex, env)
+	case *unExpr:
+		return vm.evalUn(ex, env)
+	case *funcExpr:
+		return &Function{proto: ex.proto, env: env}
+	case *tableExpr:
+		t := NewTable()
+		for i := range ex.avals {
+			if ex.akeys[i] == nil {
+				if i == len(ex.avals)-1 {
+					if c, ok := ex.avals[i].(*callExpr); ok {
+						for _, v := range vm.evalCall(c, env) {
+							t.Append(v)
+						}
+						continue
+					}
+				}
+				t.Append(vm.evalExpr(ex.avals[i], env))
+			} else {
+				k := vm.evalExpr(ex.akeys[i], env)
+				if k == nil {
+					vm.errf(ex.line, "table index is nil")
+				}
+				t.Set(k, vm.evalExpr(ex.avals[i], env))
+			}
+		}
+		return t
+	default:
+		vm.errf(e.exprLine(), "internal: unknown expression %T", e)
+		return nil
+	}
+}
+
+func describeIndex(ex *indexExpr) string {
+	if s, ok := ex.key.(*stringExpr); ok {
+		return fmt.Sprintf(" (field %q)", s.val)
+	}
+	return ""
+}
+
+func (vm *VM) evalCall(c *callExpr, env *scope) []Value {
+	fn := vm.evalExpr(c.fn, env)
+	var args []Value
+	if c.method != "" {
+		tab, ok := fn.(*Table)
+		if !ok {
+			vm.errf(c.line, "attempt to call method %q on a %v value", c.method, TypeOf(fn))
+		}
+		self := fn
+		fn = tab.Get(c.method)
+		args = append(args, self)
+	}
+	args = append(args, vm.evalExprList(c.args, -1, env)...)
+	return vm.call(fn, args, c.line)
+}
+
+func (vm *VM) call(fn Value, args []Value, line int) []Value {
+	vm.depth++
+	defer func() { vm.depth-- }()
+	if vm.MaxDepth > 0 && vm.depth > vm.MaxDepth {
+		vm.errf(line, "stack overflow (call depth > %d)", vm.MaxDepth)
+	}
+	switch f := fn.(type) {
+	case GoFunc:
+		rets, err := f(args)
+		if err != nil {
+			vm.errf(line, "%s", err.Error())
+		}
+		return rets
+	case *Function:
+		inner := newScope(f.env)
+		for i, p := range f.proto.params {
+			if i < len(args) {
+				inner.define(p, args[i])
+			} else {
+				inner.define(p, nil)
+			}
+		}
+		ctrl, vals := vm.execBlock(f.proto.body, inner)
+		if ctrl == ctrlReturn {
+			return vals
+		}
+		return nil
+	default:
+		vm.errf(line, "attempt to call a %v value", TypeOf(fn))
+		return nil
+	}
+}
+
+func (vm *VM) toNumber(v Value, line int, what string) float64 {
+	n, ok := Number(v)
+	if !ok {
+		vm.errf(line, "%s must be a number (got %v)", what, TypeOf(v))
+	}
+	return n
+}
+
+func (vm *VM) evalBin(ex *binExpr, env *scope) Value {
+	// Short-circuit logic first.
+	switch ex.op {
+	case tokAnd:
+		l := vm.evalExpr(ex.l, env)
+		if !Truthy(l) {
+			return l
+		}
+		return vm.evalExpr(ex.r, env)
+	case tokOr:
+		l := vm.evalExpr(ex.l, env)
+		if Truthy(l) {
+			return l
+		}
+		return vm.evalExpr(ex.r, env)
+	}
+	l := vm.evalExpr(ex.l, env)
+	r := vm.evalExpr(ex.r, env)
+	switch ex.op {
+	case tokPlus, tokMinus, tokStar, tokSlash, tokPercent, tokCaret:
+		ln, lok := Number(l)
+		rn, rok := Number(r)
+		if !lok {
+			vm.errf(ex.line, "attempt to perform arithmetic on a %v value", TypeOf(l))
+		}
+		if !rok {
+			vm.errf(ex.line, "attempt to perform arithmetic on a %v value", TypeOf(r))
+		}
+		switch ex.op {
+		case tokPlus:
+			return ln + rn
+		case tokMinus:
+			return ln - rn
+		case tokStar:
+			return ln * rn
+		case tokSlash:
+			return ln / rn
+		case tokPercent:
+			// Lua %: result has the sign of the divisor.
+			return ln - math.Floor(ln/rn)*rn
+		case tokCaret:
+			return math.Pow(ln, rn)
+		}
+	case tokConcat:
+		ls, lok := concatString(l)
+		rs, rok := concatString(r)
+		if !lok {
+			vm.errf(ex.line, "attempt to concatenate a %v value", TypeOf(l))
+		}
+		if !rok {
+			vm.errf(ex.line, "attempt to concatenate a %v value", TypeOf(r))
+		}
+		return ls + rs
+	case tokEq:
+		return rawEqual(l, r)
+	case tokNe:
+		return !rawEqual(l, r)
+	case tokLt, tokLe, tokGt, tokGe:
+		return vm.compare(ex.op, l, r, ex.line)
+	}
+	vm.errf(ex.line, "internal: unknown binary operator %v", ex.op)
+	return nil
+}
+
+func concatString(v Value) (string, bool) {
+	switch x := v.(type) {
+	case string:
+		return x, true
+	case float64:
+		return formatNumber(x), true
+	}
+	return "", false
+}
+
+func (vm *VM) compare(op tokenKind, l, r Value, line int) bool {
+	if ln, ok := l.(float64); ok {
+		rn, ok2 := r.(float64)
+		if !ok2 {
+			vm.errf(line, "attempt to compare number with %v", TypeOf(r))
+		}
+		switch op {
+		case tokLt:
+			return ln < rn
+		case tokLe:
+			return ln <= rn
+		case tokGt:
+			return ln > rn
+		case tokGe:
+			return ln >= rn
+		}
+	}
+	if ls, ok := l.(string); ok {
+		rs, ok2 := r.(string)
+		if !ok2 {
+			vm.errf(line, "attempt to compare string with %v", TypeOf(r))
+		}
+		switch op {
+		case tokLt:
+			return ls < rs
+		case tokLe:
+			return ls <= rs
+		case tokGt:
+			return ls > rs
+		case tokGe:
+			return ls >= rs
+		}
+	}
+	vm.errf(line, "attempt to compare two %v values", TypeOf(l))
+	return false
+}
+
+func (vm *VM) evalUn(ex *unExpr, env *scope) Value {
+	v := vm.evalExpr(ex.e, env)
+	switch ex.op {
+	case tokMinus:
+		n, ok := Number(v)
+		if !ok {
+			vm.errf(ex.line, "attempt to perform arithmetic on a %v value", TypeOf(v))
+		}
+		return -n
+	case tokNot:
+		return !Truthy(v)
+	case tokHash:
+		switch x := v.(type) {
+		case string:
+			return float64(len(x))
+		case *Table:
+			return float64(x.Len())
+		}
+		vm.errf(ex.line, "attempt to get length of a %v value", TypeOf(v))
+	}
+	vm.errf(ex.line, "internal: unknown unary operator %v", ex.op)
+	return nil
+}

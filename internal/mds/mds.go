@@ -1,0 +1,611 @@
+package mds
+
+import (
+	"errors"
+	"fmt"
+
+	"mantle/internal/balancer"
+	"mantle/internal/namespace"
+	"mantle/internal/rados"
+	"mantle/internal/sim"
+	"mantle/internal/simnet"
+)
+
+// MDS is one metadata server rank. It is driven entirely by simulator
+// events: messages arrive via HandleMessage, periodic work via the balancer
+// ticker. The namespace is shared cluster state (the collective cache);
+// which rank may serve what is governed by the authority labels.
+type MDS struct {
+	rank     namespace.Rank
+	addr     simnet.Addr
+	engine   *sim.Engine
+	net      *simnet.Network
+	ns       *namespace.Namespace
+	cfg      Config
+	bal      balancer.Balancer
+	balState balancer.StateStore
+	journal  *rados.Journal
+	peers    []simnet.Addr // peer MDS addresses indexed by rank
+	numRanks int
+
+	queue    []*Request
+	deferred []*Request
+	busy     bool
+
+	// Measurement windows.
+	windowStart sim.Time
+	busyWindow  sim.Time
+	reqWindow   int
+	lastCPU     float64
+	lastReqRate float64
+
+	// Heartbeat state.
+	hbSeq  uint64
+	hbData map[namespace.Rank]Heartbeat
+
+	// Migration state.
+	exportSeq     uint64
+	exports       map[uint64]*exportState
+	imports       map[uint64]*importState
+	activeExports int
+
+	sessions map[simnet.Addr]bool
+	ticker   *sim.Ticker
+	crashed  bool
+	monAddr  simnet.Addr
+	hasMon   bool
+
+	// Counters is the observability block read by experiments.
+	Counters Counters
+
+	// OnServed, if set, is invoked after each successfully executed
+	// request (cluster harness hook for throughput series).
+	OnServed func(m *MDS, r *Request)
+	// OnExport, if set, is invoked when an export commits.
+	OnExport func(m *MDS, path string, dest namespace.Rank, inodes int)
+}
+
+// New constructs an MDS rank. peers maps rank→address (including self).
+func New(rank namespace.Rank, addr simnet.Addr, engine *sim.Engine, net *simnet.Network,
+	ns *namespace.Namespace, pool *rados.Pool, cfg Config, bal balancer.Balancer,
+	peers []simnet.Addr) *MDS {
+	var state balancer.StateStore = &balancer.MemState{}
+	if cfg.StateInRADOS {
+		state = balancer.NewRADOSState(pool, fmt.Sprintf("mds%d-balstate", rank))
+	}
+	m := &MDS{
+		rank:     rank,
+		addr:     addr,
+		engine:   engine,
+		net:      net,
+		ns:       ns,
+		cfg:      cfg,
+		bal:      bal,
+		balState: state,
+		journal:  rados.NewJournal(pool, fmt.Sprintf("mds%d", rank), 1<<22),
+		peers:    peers,
+		numRanks: len(peers),
+		hbData:   map[namespace.Rank]Heartbeat{},
+		exports:  map[uint64]*exportState{},
+		imports:  map[uint64]*importState{},
+		sessions: map[simnet.Addr]bool{},
+	}
+	net.Register(addr, m)
+	return m
+}
+
+// Rank reports the MDS rank.
+func (m *MDS) Rank() namespace.Rank { return m.rank }
+
+// Addr reports the MDS network address.
+func (m *MDS) Addr() simnet.Addr { return m.addr }
+
+// Balancer reports the active policy.
+func (m *MDS) Balancer() balancer.Balancer { return m.bal }
+
+// QueueLen reports queued plus deferred requests.
+func (m *MDS) QueueLen() int { return len(m.queue) + len(m.deferred) }
+
+// Sessions reports the number of client sessions opened with this MDS.
+func (m *MDS) Sessions() int { return len(m.sessions) }
+
+// Journal exposes the MDS journal for inspection.
+func (m *MDS) Journal() *rados.Journal { return m.journal }
+
+// Start begins the heartbeat/balancer ticker. Ticks are staggered per rank
+// (independent daemons are not synchronised) with deterministic jitter.
+func (m *MDS) Start() {
+	offset := 100*sim.Millisecond + sim.Time(m.rank)*37*sim.Millisecond + m.engine.Jitter(50*sim.Millisecond)
+	if offset < 0 {
+		offset = 0
+	}
+	m.ticker = m.engine.NewTicker(offset, m.cfg.HeartbeatInterval, m.balancerTick)
+}
+
+// Stop halts periodic work.
+func (m *MDS) Stop() {
+	if m.ticker != nil {
+		m.ticker.Stop()
+	}
+}
+
+// HandleMessage implements simnet.Handler.
+func (m *MDS) HandleMessage(from simnet.Addr, msg simnet.Message) {
+	switch v := msg.(type) {
+	case *Request:
+		m.sessions[v.Client] = true
+		m.enqueue(v)
+	case *Heartbeat:
+		m.Counters.HBsRecv++
+		m.hbData[v.From] = *v
+	case *exportDiscover:
+		m.handleExportDiscover(from, v)
+	case *exportPrep:
+		m.handleExportPrep(v)
+	case *exportPayload:
+		m.handleExportPayload(from, v)
+	case *exportAck:
+		m.handleExportAck(v)
+	default:
+		panic(fmt.Sprintf("mds%d: unknown message %T", m.rank, msg))
+	}
+}
+
+func (m *MDS) enqueue(r *Request) {
+	m.queue = append(m.queue, r)
+	m.kick()
+}
+
+// kick starts serving the next queued request if idle.
+func (m *MDS) kick() {
+	if m.busy || len(m.queue) == 0 {
+		return
+	}
+	r := m.queue[0]
+	m.queue = m.queue[1:]
+	m.serve(r)
+}
+
+// rollWindows advances the CPU/request measurement windows to now.
+func (m *MDS) rollWindows() {
+	now := m.engine.Now()
+	for now-m.windowStart >= m.cfg.CPUWindow {
+		m.lastCPU = float64(m.busyWindow) / float64(m.cfg.CPUWindow) * 100
+		m.lastReqRate = float64(m.reqWindow) / m.cfg.CPUWindow.Seconds()
+		m.busyWindow = 0
+		m.reqWindow = 0
+		m.windowStart += m.cfg.CPUWindow
+	}
+}
+
+// startBusy occupies the server for d and then runs fn.
+func (m *MDS) startBusy(d sim.Time, fn func()) {
+	if m.busy {
+		panic(fmt.Sprintf("mds%d: startBusy while busy", m.rank))
+	}
+	m.busy = true
+	m.rollWindows()
+	m.busyWindow += d
+	m.engine.Schedule(d, func() {
+		m.busy = false
+		if m.crashed {
+			return
+		}
+		fn()
+	})
+}
+
+// Crash simulates a daemon failure: the MDS vanishes from the network,
+// drops its queue (clients time out and retry), and stops balancing. Its
+// authority labels stay on the namespace — requests for its subtrees go
+// unanswered until Recover, as with CephFS without a standby MDS.
+func (m *MDS) Crash() {
+	if m.crashed {
+		return
+	}
+	m.crashed = true
+	m.Counters.Crashes++
+	m.net.Unregister(m.addr)
+	m.Stop()
+	m.queue = nil
+	m.deferred = nil
+	m.busy = false
+	// In-flight migrations die with the daemon; peers abort on timeout.
+	m.exports = map[uint64]*exportState{}
+	m.imports = map[uint64]*importState{}
+	m.activeExports = 0
+}
+
+// Recover replays the journal (latency scales with its durable length) and
+// rejoins the cluster, invoking done when serving resumes.
+func (m *MDS) Recover(done func()) {
+	if !m.crashed {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	replay := m.cfg.RecoverBase + sim.Time(m.journal.Flushed())*m.cfg.RecoverPerEntry
+	m.engine.Schedule(replay, func() {
+		m.crashed = false
+		m.Counters.Recoveries++
+		m.windowStart = m.engine.Now()
+		m.busyWindow = 0
+		m.reqWindow = 0
+		m.net.Register(m.addr, m)
+		m.Start()
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// Crashed reports whether the MDS is down.
+func (m *MDS) Crashed() bool { return m.crashed }
+
+// SetMonitor makes the MDS send liveness beacons to the monitor each tick.
+func (m *MDS) SetMonitor(addr simnet.Addr) {
+	m.monAddr = addr
+	m.hasMon = true
+}
+
+// resolved captures where a request landed in the namespace.
+type resolved struct {
+	dir  *namespace.Node // directory containing the dentry (nil for root ops)
+	name string          // dentry name ("" for whole-dir ops)
+	node *namespace.Node // target node, when it must exist
+}
+
+// resolve maps the request onto the namespace and reports the authoritative
+// rank. Errors are user-visible failures.
+func (m *MDS) resolve(r *Request) (res resolved, auth namespace.Rank, err error) {
+	switch r.Op {
+	case OpCreate, OpMkdir:
+		dir, name, e := m.ns.ResolveDirOf(r.Path)
+		if e != nil {
+			return res, 0, e
+		}
+		res = resolved{dir: dir, name: name}
+		return res, m.ns.AuthForDentry(dir, name), nil
+	case OpUnlink:
+		dir, name, e := m.ns.ResolveDirOf(r.Path)
+		if e != nil {
+			return res, 0, e
+		}
+		if _, ok := dir.Lookup(name); !ok {
+			return res, 0, fmt.Errorf("unlink: %w: %s", namespace.ErrNotExist, r.Path)
+		}
+		res = resolved{dir: dir, name: name}
+		return res, m.ns.AuthForDentry(dir, name), nil
+	case OpRename:
+		dir, name, e := m.ns.ResolveDirOf(r.Path)
+		if e != nil {
+			return res, 0, e
+		}
+		res = resolved{dir: dir, name: name}
+		return res, m.ns.AuthForDentry(dir, name), nil
+	case OpReaddir:
+		node, e := m.ns.Resolve(r.Path)
+		if e != nil {
+			return res, 0, e
+		}
+		if !node.IsDir() {
+			return res, 0, fmt.Errorf("readdir: %w: %s", namespace.ErrNotDir, r.Path)
+		}
+		res = resolved{dir: node}
+		return res, m.ns.EffectiveAuth(node), nil
+	default: // Getattr, Lookup, Open, Setattr
+		node, e := m.ns.Resolve(r.Path)
+		if e != nil {
+			return res, 0, e
+		}
+		if node.IsRoot() {
+			res = resolved{dir: node, node: node}
+			return res, m.ns.EffectiveAuth(node), nil
+		}
+		res = resolved{dir: node.Parent(), name: node.Name(), node: node}
+		return res, m.ns.AuthForDentry(node.Parent(), node.Name()), nil
+	}
+}
+
+// serve performs the authority check and either forwards, defers (frozen),
+// or executes the request.
+func (m *MDS) serve(r *Request) {
+	res, auth, err := m.resolve(r)
+	if err != nil {
+		// Resolution failures are cheap rejects billed like a lookup.
+		m.startBusy(m.cfg.LookupSvc, func() {
+			m.Counters.Errors++
+			m.reply(r, res, err)
+			m.kick()
+		})
+		return
+	}
+	// Frozen subtree: park until the migration commits.
+	frozen := false
+	if res.name != "" {
+		frozen = m.ns.FrozenFor(res.dir, res.name)
+	} else if res.dir != nil {
+		frozen = m.ns.FrozenFor(res.dir, "") || res.dir.Frozen()
+	}
+	if frozen {
+		m.Counters.Deferred++
+		m.deferred = append(m.deferred, r)
+		m.kick()
+		return
+	}
+	if auth != m.rank {
+		// Misdirected: forward to the authority.
+		m.Counters.Forwards++
+		r.Hops++
+		m.startBusy(m.cfg.ForwardSvc, func() {
+			if r.Hops > 16 {
+				m.Counters.Errors++
+				m.reply(r, res, errors.New("too many forwards"))
+			} else {
+				m.net.Send(m.addr, m.peers[auth], r)
+			}
+			m.kick()
+		})
+		return
+	}
+	m.Counters.Hits++
+	svc := m.svcTime(r, res)
+	m.startBusy(svc, func() {
+		err := m.apply(r, res)
+		m.Counters.Served++
+		m.reqWindow++
+		if err != nil {
+			m.Counters.Errors++
+		}
+		if r.Op.Mutating() && err == nil {
+			// Journal before replying; the server is free to take
+			// the next request while the journal write completes.
+			m.journal.Append(rados.EntryUpdate, m.cfg.JournalBytesPerOp, func() {
+				m.reply(r, res, nil)
+			})
+		} else {
+			m.reply(r, res, err)
+		}
+		if m.OnServed != nil && err == nil {
+			m.OnServed(m, r)
+		}
+		m.kick()
+	})
+}
+
+// svcTime models the CPU cost of executing the request.
+func (m *MDS) svcTime(r *Request, res resolved) sim.Time {
+	var penalty sim.Time
+	if res.dir != nil {
+		if k := res.dir.RankSpread(); k > 1 && r.Op.Mutating() && m.cfg.SharedDirPenaltyUS > 0 {
+			penalty = sim.Time((k-1)*(k-1)*m.cfg.SharedDirPenaltyUS) * sim.Microsecond
+		} else if m.cfg.CrossBoundPenaltyUS > 0 {
+			if p := res.dir.Parent(); p != nil && m.ns.EffectiveAuth(p) != m.rank {
+				penalty = sim.Time(m.cfg.CrossBoundPenaltyUS) * sim.Microsecond
+			}
+		}
+	}
+	svc := penalty + m.baseSvcTime(r, res) + m.fetchPenalty(r, res)
+	if m.cfg.SvcJitterPct > 0 {
+		f := 1 + (m.engine.Rand().Float64()*2-1)*m.cfg.SvcJitterPct/100
+		svc = sim.Time(float64(svc) * f)
+		if svc < sim.Microsecond {
+			svc = sim.Microsecond
+		}
+	}
+	return svc
+}
+
+// fetchPenalty models the dirfrag cache: under memory pressure, touching a
+// fragment that has been cold longer than CacheCoolTime stalls on a fetch
+// from the object store and records a FETCH hit (which Table 1's metaload
+// weights at 2x).
+func (m *MDS) fetchPenalty(r *Request, res resolved) sim.Time {
+	if m.cfg.CacheCapacity <= 0 || m.cfg.CacheCoolTime <= 0 || res.dir == nil || res.name == "" {
+		return 0
+	}
+	if m.ns.NumNodes() <= m.cfg.CacheCapacity {
+		return 0
+	}
+	fs, ok := res.dir.FragStateOf(res.dir.FragOfName(res.name))
+	if !ok {
+		return 0
+	}
+	now := m.engine.Now()
+	if fs.LastAccess != 0 && now-fs.LastAccess <= m.cfg.CacheCoolTime {
+		return 0
+	}
+	m.Counters.Fetches++
+	m.ns.RecordOp(res.dir, res.name, namespace.OpFetch, now)
+	return m.cfg.FetchSvc
+}
+
+func (m *MDS) baseSvcTime(r *Request, res resolved) sim.Time {
+	switch r.Op {
+	case OpCreate:
+		return m.cfg.CreateSvc
+	case OpMkdir:
+		return m.cfg.MkdirSvc
+	case OpGetattr:
+		return m.cfg.GetattrSvc
+	case OpLookup:
+		return m.cfg.LookupSvc
+	case OpOpen:
+		return m.cfg.OpenSvc
+	case OpUnlink:
+		return m.cfg.UnlinkSvc
+	case OpRename:
+		return m.cfg.RenameSvc
+	case OpSetattr:
+		return m.cfg.SetattrSvc
+	case OpReaddir:
+		svc := m.cfg.ReaddirSvc
+		if res.dir != nil {
+			svc += sim.Time(res.dir.NumChildren() * m.cfg.ReaddirPerEntryNs / 1000)
+		}
+		if svc > m.cfg.ReaddirMaxSvc {
+			svc = m.cfg.ReaddirMaxSvc
+		}
+		return svc
+	default:
+		return m.cfg.LookupSvc
+	}
+}
+
+// apply executes the namespace mutation/read and updates popularity
+// counters (RecordOp propagates heat up the tree, Figure 1's mechanism).
+func (m *MDS) apply(r *Request, res resolved) error {
+	now := m.engine.Now()
+	switch r.Op {
+	case OpCreate, OpMkdir:
+		if _, err := m.ns.Create(res.dir, res.name, r.Op == OpMkdir); err != nil {
+			return err
+		}
+		m.ns.RecordOp(res.dir, res.name, namespace.OpIWR, now)
+		m.maybeSplit(res.dir, res.name)
+		return nil
+	case OpUnlink:
+		if err := m.ns.Remove(res.dir, res.name); err != nil {
+			return err
+		}
+		m.ns.RecordOp(res.dir, res.name, namespace.OpIWR, now)
+		m.maybeMerge(res.dir, res.name)
+		return nil
+	case OpRename:
+		dstDir, dstName, err := m.ns.ResolveDirOf(r.DstPath)
+		if err != nil {
+			return err
+		}
+		if err := m.ns.Rename(res.dir, res.name, dstDir, dstName); err != nil {
+			return err
+		}
+		m.ns.RecordOp(res.dir, res.name, namespace.OpIWR, now)
+		m.ns.RecordOp(dstDir, dstName, namespace.OpIWR, now)
+		return nil
+	case OpReaddir:
+		m.ns.RecordOp(res.dir, "", namespace.OpReaddir, now)
+		return nil
+	case OpSetattr:
+		m.ns.RecordOp(res.dir, res.name, namespace.OpIWR, now)
+		return nil
+	default: // Getattr, Lookup, Open
+		m.ns.RecordOp(res.dir, res.name, namespace.OpIRD, now)
+		return nil
+	}
+}
+
+// maybeSplit fragments the dirfrag holding name once it exceeds SplitSize
+// (the GIGA+-equivalent mechanism; the shared-directory experiments split at
+// 50 000 entries into 2^3 dirfrags).
+func (m *MDS) maybeSplit(dir *namespace.Node, name string) {
+	if m.cfg.SplitSize <= 0 {
+		return
+	}
+	frag := dir.FragOfName(name)
+	fs, ok := dir.FragStateOf(frag)
+	if !ok || fs.Entries < m.cfg.SplitSize || fs.Frozen() {
+		return
+	}
+	if int(frag.Bits)+int(m.cfg.SplitBits) > 24 {
+		return // pathological depth guard
+	}
+	m.ns.SplitDir(dir, frag, m.cfg.SplitBits, m.engine.Now())
+	m.Counters.Splits++
+	m.ns.RecordOp(dir, "", namespace.OpStore, m.engine.Now())
+	m.journal.Append(rados.EntryUpdate, m.cfg.JournalBytesPerOp, nil)
+}
+
+// maybeMerge coalesces a shrunken sibling group of dirfrags back into its
+// parent fragment after an unlink (the merge direction of GIGA+-style
+// fragmentation).
+func (m *MDS) maybeMerge(dir *namespace.Node, name string) {
+	if m.cfg.MergeSize <= 0 || m.cfg.SplitBits == 0 {
+		return
+	}
+	frag := dir.FragOfName(name)
+	if frag.Bits < m.cfg.SplitBits {
+		return
+	}
+	parent := frag
+	for i := uint8(0); i < m.cfg.SplitBits; i++ {
+		parent = parent.Parent()
+	}
+	total := 0
+	for _, k := range parent.Split(m.cfg.SplitBits) {
+		fs, ok := dir.FragStateOf(k)
+		if !ok || fs.Frozen() {
+			return
+		}
+		total += fs.Entries
+	}
+	if total >= m.cfg.MergeSize {
+		return
+	}
+	if m.ns.MergeDir(dir, parent, m.cfg.SplitBits, m.engine.Now()) {
+		m.Counters.Merges++
+		m.ns.RecordOp(dir, "", namespace.OpStore, m.engine.Now())
+		m.journal.Append(rados.EntryUpdate, m.cfg.JournalBytesPerOp, nil)
+	}
+}
+
+// reply sends the response with routing hints for the touched directory.
+func (m *MDS) reply(r *Request, res resolved, err error) {
+	if m.crashed {
+		return
+	}
+	rep := &Reply{ReqID: r.ID, Served: m.rank, Forwards: r.Hops}
+	if err != nil {
+		rep.Err = err.Error()
+	}
+	if res.dir != nil {
+		rep.Hints = append(rep.Hints, m.hintFor(res.dir))
+	}
+	m.net.Send(m.addr, r.Client, rep)
+}
+
+// hintFor builds the client routing hint: the top of the same-authority
+// subtree containing dir, plus per-fragment authorities when dir's frags
+// are split across ranks.
+func (m *MDS) hintFor(dir *namespace.Node) Hint {
+	rank := m.ns.EffectiveAuth(dir)
+	top := dir
+	for p := top.Parent(); p != nil; p = p.Parent() {
+		if m.ns.EffectiveAuth(p) != rank {
+			break
+		}
+		top = p
+	}
+	h := Hint{DirPath: top.Path(), Rank: rank}
+	// Fragment-level hints are attached for the exact directory.
+	if dir.FragTree().NumLeaves() > 1 {
+		split := false
+		var fh []FragHint
+		for _, f := range dir.FragTree().Leaves() {
+			fr := rank
+			if fs, ok := dir.FragStateOf(f); ok && fs.Auth() != namespace.RankNone {
+				fr = fs.Auth()
+			}
+			if fr != rank {
+				split = true
+			}
+			fh = append(fh, FragHint{Frag: f, Rank: fr})
+		}
+		if split {
+			h = Hint{DirPath: dir.Path(), Rank: rank, Frags: fh}
+		}
+	}
+	return h
+}
+
+// retryDeferred re-queues requests parked on frozen subtrees.
+func (m *MDS) retryDeferred() {
+	if len(m.deferred) == 0 {
+		return
+	}
+	batch := m.deferred
+	m.deferred = nil
+	for _, r := range batch {
+		m.enqueue(r)
+	}
+}

@@ -1,0 +1,222 @@
+package mds
+
+import (
+	"fmt"
+	"sort"
+
+	"mantle/internal/namespace"
+	"mantle/internal/rados"
+	"mantle/internal/sim"
+	"mantle/internal/simnet"
+)
+
+// Migration implements the two-phase commit of §2 ("Migrate"): the exporter
+// freezes the unit and proposes it; the importer journals its intent and
+// acks; the exporter packs and ships the payload and journals the export;
+// the importer journals the import, takes authority, and acks; the exporter
+// finishes its journal, flushes client sessions, and unfreezes.
+
+// exportState tracks an in-flight export on the exporter.
+type exportState struct {
+	id      uint64
+	unit    exportUnit
+	dest    namespace.Rank
+	nodes   int
+	timeout *sim.Event
+}
+
+// importState tracks an in-flight import on the importer.
+type importState struct {
+	id     uint64
+	from   namespace.Rank
+	path   string
+	isFrag bool
+	frag   namespace.Frag
+	nodes  int
+}
+
+// freezeUnit/unfreezeUnit toggle the migration freeze on the unit.
+func (m *MDS) freezeUnit(u exportUnit, frozen bool) {
+	if u.isFrag {
+		m.ns.FreezeFrag(u.dir, u.frag, frozen)
+	} else {
+		m.ns.Freeze(u.dir, frozen)
+	}
+}
+
+// startExport begins the two-phase commit for one unit.
+func (m *MDS) startExport(u exportUnit, dest namespace.Rank) {
+	if dest == m.rank || int(dest) >= m.numRanks {
+		return
+	}
+	m.exportSeq++
+	st := &exportState{id: m.exportSeq<<8 | uint64(m.rank), unit: u, dest: dest, nodes: u.nodeCount()}
+	m.exports[st.id] = st
+	m.activeExports++
+	m.freezeUnit(u, true)
+	if m.cfg.ExportTimeout > 0 {
+		st.timeout = m.engine.Schedule(m.cfg.ExportTimeout, func() { m.abortExport(st.id) })
+	}
+	m.net.Send(m.addr, m.peers[dest], &exportDiscover{
+		ExportID: st.id,
+		From:     m.rank,
+		Path:     u.dir.Path(),
+		IsFrag:   u.isFrag,
+		Frag:     u.frag,
+		Nodes:    st.nodes,
+	})
+}
+
+// abortExport abandons a stalled migration: the unit unfreezes, parked
+// requests replay, and the balancer may retry on a later tick. Fires only
+// when the importer is unreachable — the commit normally completes in
+// milliseconds.
+func (m *MDS) abortExport(id uint64) {
+	st, ok := m.exports[id]
+	if !ok {
+		return
+	}
+	delete(m.exports, id)
+	m.activeExports--
+	m.Counters.ExportAborts++
+	m.freezeUnit(st.unit, false)
+	m.retryDeferred()
+}
+
+// handleExportDiscover (importer): journal the intent, then ack with prep.
+func (m *MDS) handleExportDiscover(from simnet.Addr, d *exportDiscover) {
+	ist := &importState{id: d.ExportID, from: d.From, path: d.Path, isFrag: d.IsFrag, frag: d.Frag, nodes: d.Nodes}
+	m.imports[d.ExportID] = ist
+	if m.cfg.ExportTimeout > 0 {
+		m.engine.Schedule(m.cfg.ExportTimeout, func() { delete(m.imports, d.ExportID) })
+	}
+	m.journal.Append(rados.EntryImportStart, 256, func() {
+		m.net.Send(m.addr, m.peers[d.From], &exportPrep{ExportID: d.ExportID, From: m.rank})
+	})
+}
+
+// handleExportPrep (exporter): pack the unit (CPU cost scales with inodes),
+// journal the export start, then ship the payload after a size-dependent
+// serialisation delay.
+func (m *MDS) handleExportPrep(p *exportPrep) {
+	st, ok := m.exports[p.ExportID]
+	if !ok {
+		return
+	}
+	pack := m.cfg.ExportFreezeOverhead + sim.Time(st.nodes)*m.cfg.ExportPerInode
+	// Packing competes with request service: bill it as busy time as
+	// soon as the server frees up.
+	m.whenIdle(func(done func()) {
+		m.busy = true
+		m.rollWindows()
+		m.busyWindow += pack
+		m.engine.Schedule(pack, func() {
+			m.busy = false
+			done()
+			m.journal.Append(rados.EntryExportStart, 256+st.nodes/8, nil)
+			wire := sim.Time(0)
+			if m.cfg.InodeBytes > 0 {
+				wire = sim.Time(st.nodes * m.cfg.InodeBytes / 100) // ~100 MB/s serialisation
+			}
+			m.engine.Schedule(wire, func() {
+				m.net.Send(m.addr, m.peers[st.dest], &exportPayload{ExportID: st.id, From: m.rank})
+			})
+		})
+	})
+}
+
+// whenIdle runs fn as soon as the server is not mid-request. fn receives a
+// continuation that resumes normal queue processing.
+func (m *MDS) whenIdle(fn func(done func())) {
+	if m.crashed {
+		return
+	}
+	if !m.busy {
+		fn(func() { m.kick() })
+		return
+	}
+	m.engine.Schedule(100*sim.Microsecond, func() { m.whenIdle(fn) })
+}
+
+// handleExportPayload (importer): journal the import and take authority.
+func (m *MDS) handleExportPayload(from simnet.Addr, p *exportPayload) {
+	ist, ok := m.imports[p.ExportID]
+	if !ok {
+		return
+	}
+	m.journal.Append(rados.EntryImportFinish, 256+ist.nodes/8, func() {
+		node, err := m.ns.Resolve(ist.path)
+		if err != nil {
+			// The subtree vanished mid-migration (concurrent
+			// unlink); abort by acking without taking authority.
+			delete(m.imports, p.ExportID)
+			m.net.Send(m.addr, m.peers[ist.from], &exportAck{ExportID: p.ExportID, From: m.rank})
+			return
+		}
+		if ist.isFrag {
+			m.ns.SetFragAuth(node, ist.frag, m.rank)
+			m.ns.FreezeFrag(node, ist.frag, false)
+		} else {
+			m.ns.SetAuthOverride(node, m.rank)
+			m.ns.Freeze(node, false)
+		}
+		m.Counters.Imports++
+		delete(m.imports, p.ExportID)
+		m.net.Send(m.addr, m.peers[ist.from], &exportAck{ExportID: p.ExportID, From: m.rank})
+		// Anything parked here that now resolves locally can run.
+		m.retryDeferred()
+	})
+}
+
+// handleExportAck (exporter): finish the journal, flush client sessions,
+// release the unit.
+func (m *MDS) handleExportAck(a *exportAck) {
+	st, ok := m.exports[a.ExportID]
+	if !ok {
+		return
+	}
+	delete(m.exports, a.ExportID)
+	m.engine.Cancel(st.timeout)
+	m.journal.Append(rados.EntryExportFinish, 256, nil)
+	// Session flushes: every client with a session here must halt
+	// updates and revalidate (the scatter-gather cost §4.1 measures via
+	// session counts).
+	flushCost := sim.Time(0)
+	clients := make([]simnet.Addr, 0, len(m.sessions))
+	for client := range m.sessions {
+		clients = append(clients, client)
+	}
+	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
+	for _, client := range clients {
+		m.net.Send(m.addr, client, &SessionFlush{From: m.rank})
+		m.Counters.SessionsSent++
+		flushCost += m.cfg.SessionFlushCost
+	}
+	finish := func() {
+		m.activeExports--
+		m.Counters.Exports++
+		m.Counters.InodesMoved += uint64(st.nodes)
+		m.freezeUnit(st.unit, false)
+		if m.OnExport != nil {
+			m.OnExport(m, st.unit.path(), st.dest, st.nodes)
+		}
+		m.retryDeferred()
+	}
+	if flushCost > 0 {
+		m.whenIdle(func(done func()) {
+			m.busy = true
+			m.rollWindows()
+			m.busyWindow += flushCost
+			m.engine.Schedule(flushCost, func() {
+				m.busy = false
+				done()
+				finish()
+			})
+		})
+	} else {
+		finish()
+	}
+}
+
+// String renders an identification for debugging.
+func (m *MDS) String() string { return fmt.Sprintf("mds.%d", m.rank) }

@@ -1,0 +1,155 @@
+// Package mon implements the cluster monitor: the authority that tracks MDS
+// liveness through periodic beacons and promotes standby daemons when a
+// rank goes silent — the role the MON node plays in the paper's testbed
+// (10 nodes: 18 OSDs, 1 MON, up to 5 MDS). Without a monitor, a crashed
+// rank stays down until something external calls Recover; with one, a
+// standby replays the rank's journal and takes over.
+package mon
+
+import (
+	"mantle/internal/namespace"
+	"mantle/internal/sim"
+	"mantle/internal/simnet"
+)
+
+// Beacon is the liveness message every MDS sends the monitor.
+type Beacon struct {
+	Rank namespace.Rank
+	Seq  uint64
+}
+
+// Config tunes failure detection.
+type Config struct {
+	// CheckInterval is how often the monitor sweeps the beacon table.
+	CheckInterval sim.Time
+	// Grace is how long a rank may stay silent before it is declared
+	// failed (CephFS defaults to several beacon periods).
+	Grace sim.Time
+}
+
+// DefaultConfig mirrors Ceph's shape: 4-second beacons, ~15-second grace.
+// Simulated clusters usually scale these with the heartbeat interval.
+func DefaultConfig() Config {
+	return Config{CheckInterval: 2 * sim.Second, Grace: 15 * sim.Second}
+}
+
+// TakeoverFunc is invoked when a rank is declared failed. It must return
+// true if a standby was promoted (the monitor then waits for the new
+// daemon's beacons) or false if none was available (the rank is retried on
+// a later sweep).
+type TakeoverFunc func(rank namespace.Rank) bool
+
+// Monitor tracks beacons and drives takeover.
+type Monitor struct {
+	addr     simnet.Addr
+	engine   *sim.Engine
+	cfg      Config
+	numRanks int
+	takeover TakeoverFunc
+
+	lastSeen map[namespace.Rank]sim.Time
+	failed   map[namespace.Rank]bool
+	ticker   *sim.Ticker
+
+	// Failures counts rank-failed declarations; Takeovers counts
+	// successful standby promotions.
+	Failures  uint64
+	Takeovers uint64
+}
+
+// New registers a monitor on the network.
+func New(addr simnet.Addr, engine *sim.Engine, net *simnet.Network, numRanks int,
+	cfg Config, takeover TakeoverFunc) *Monitor {
+	if cfg.CheckInterval <= 0 {
+		cfg.CheckInterval = 2 * sim.Second
+	}
+	if cfg.Grace <= 0 {
+		cfg.Grace = 15 * sim.Second
+	}
+	m := &Monitor{
+		addr:     addr,
+		engine:   engine,
+		cfg:      cfg,
+		numRanks: numRanks,
+		takeover: takeover,
+		lastSeen: map[namespace.Rank]sim.Time{},
+		failed:   map[namespace.Rank]bool{},
+	}
+	net.Register(addr, m)
+	return m
+}
+
+// Addr reports the monitor's network address.
+func (m *Monitor) Addr() simnet.Addr { return m.addr }
+
+// Start begins liveness sweeps. Ranks get a full grace period from start
+// before they can be declared failed.
+func (m *Monitor) Start() {
+	now := m.engine.Now()
+	for r := 0; r < m.numRanks; r++ {
+		if _, ok := m.lastSeen[namespace.Rank(r)]; !ok {
+			m.lastSeen[namespace.Rank(r)] = now
+		}
+	}
+	m.ticker = m.engine.NewTicker(m.cfg.CheckInterval, m.cfg.CheckInterval, m.sweep)
+}
+
+// Stop halts sweeps.
+func (m *Monitor) Stop() {
+	if m.ticker != nil {
+		m.ticker.Stop()
+	}
+}
+
+// HandleMessage implements simnet.Handler.
+func (m *Monitor) HandleMessage(from simnet.Addr, msg simnet.Message) {
+	b, ok := msg.(*Beacon)
+	if !ok {
+		return
+	}
+	m.lastSeen[b.Rank] = m.engine.Now()
+	if m.failed[b.Rank] {
+		// The rank is back (a promoted standby or a recovered daemon).
+		delete(m.failed, b.Rank)
+	}
+}
+
+// sweep declares silent ranks failed and promotes standbys.
+func (m *Monitor) sweep() {
+	now := m.engine.Now()
+	for r := 0; r < m.numRanks; r++ {
+		rank := namespace.Rank(r)
+		if m.failed[rank] {
+			// Retry a takeover that had no standby available.
+			if m.takeover != nil && m.takeover(rank) {
+				m.Takeovers++
+				// The replacement replays the journal before its
+				// first beacon; give it double grace.
+				m.lastSeen[rank] = now + m.cfg.Grace
+				delete(m.failed, rank)
+			}
+			continue
+		}
+		if now-m.lastSeen[rank] <= m.cfg.Grace {
+			continue
+		}
+		m.Failures++
+		m.failed[rank] = true
+		if m.takeover != nil && m.takeover(rank) {
+			m.Takeovers++
+			m.lastSeen[rank] = now + m.cfg.Grace
+			delete(m.failed, rank)
+		}
+	}
+}
+
+// FailedRanks lists ranks currently considered down (deterministic order).
+func (m *Monitor) FailedRanks() []namespace.Rank {
+	var out []namespace.Rank
+	for r := 0; r < m.numRanks; r++ {
+		if m.failed[namespace.Rank(r)] {
+			out = append(out, namespace.Rank(r))
+		}
+	}
+	return out
+}

@@ -1,0 +1,305 @@
+package namespace
+
+import (
+	"fmt"
+	"sort"
+
+	"mantle/internal/sim"
+)
+
+// EffectiveAuth resolves the MDS rank authoritative for node: the nearest
+// explicit label walking up through directories and the fragments containing
+// each dentry on the way to the root. The root always carries a label, so
+// resolution terminates.
+func (ns *Namespace) EffectiveAuth(n *Node) Rank {
+	for {
+		if n.isDir && n.authOverride != RankNone {
+			return n.authOverride
+		}
+		parent := n.parent
+		if parent == nil {
+			// Root without a label (cannot happen via the public
+			// API); fall back to rank 0.
+			return 0
+		}
+		frag := parent.fragtree.LeafOfName(n.name)
+		if fs := parent.frags[frag]; fs.auth != RankNone {
+			return fs.auth
+		}
+		n = parent
+	}
+}
+
+// AuthForDentry resolves the rank authoritative for the dentry name inside
+// dir — the rank that must serve operations on that dentry.
+func (ns *Namespace) AuthForDentry(dir *Node, name string) Rank {
+	frag := dir.fragtree.LeafOfName(name)
+	if fs := dir.frags[frag]; fs.auth != RankNone {
+		return fs.auth
+	}
+	return ns.EffectiveAuth(dir)
+}
+
+// SetAuthOverride labels the directory subtree rooted at n with rank,
+// creating a subtree bound. Labelling with the inherited rank removes the
+// bound instead (coalescing, which makes migration back to the parent's MDS
+// clean up the partition).
+func (ns *Namespace) SetAuthOverride(n *Node, rank Rank) {
+	if !n.isDir {
+		panic("namespace: authority labels attach to directories")
+	}
+	if n.parent == nil {
+		// The root's label always stays explicit.
+		n.authOverride = rank
+		return
+	}
+	n.authOverride = RankNone
+	inherited := ns.EffectiveAuth(n)
+	if rank == inherited {
+		delete(ns.overrides, n)
+	} else {
+		n.authOverride = rank
+		ns.overrides[n] = struct{}{}
+	}
+	ns.recomputeSpread(n)
+	ns.recomputeDescendantSpreads(n)
+}
+
+// SetFragAuth labels a single fragment of dir with rank; RankNone or the
+// directory's effective rank clears the label.
+func (ns *Namespace) SetFragAuth(dir *Node, frag Frag, rank Rank) {
+	fs, ok := dir.frags[frag]
+	if !ok {
+		panic(fmt.Sprintf("namespace: SetFragAuth(%v): not a live frag of %s", frag, dir.Path()))
+	}
+	fs.auth = RankNone
+	inherited := ns.EffectiveAuth(dir)
+	if rank == RankNone || rank == inherited {
+		delete(ns.fragOverrides, fragKey{dir, frag})
+	} else {
+		fs.auth = rank
+		ns.fragOverrides[fragKey{dir, frag}] = struct{}{}
+	}
+	ns.recomputeSpread(dir)
+	// A fragment label changes the inherited authority of every
+	// directory whose dentry hashes into the fragment, so spreads below
+	// must be refreshed too.
+	ns.recomputeDescendantSpreads(dir)
+}
+
+// clearSubtreeOverrides drops authority labels in a subtree being unlinked.
+func (ns *Namespace) clearSubtreeOverrides(n *Node) {
+	Walk(n, func(c *Node) bool {
+		if c.isDir {
+			delete(ns.overrides, c)
+			for f := range c.frags {
+				delete(ns.fragOverrides, fragKey{c, f})
+			}
+		}
+		return true
+	})
+}
+
+// Freeze marks the subtree rooted at n as mid-migration; the MDS defers
+// operations that land in frozen subtrees (the paper's migration pauses).
+func (ns *Namespace) Freeze(n *Node, frozen bool) { n.frozen = frozen }
+
+// FreezeFrag marks one fragment as mid-migration.
+func (ns *Namespace) FreezeFrag(dir *Node, frag Frag, frozen bool) {
+	if fs, ok := dir.frags[frag]; ok {
+		fs.frozen = frozen
+	}
+}
+
+// FrozenFor reports whether serving the dentry name in dir is blocked by a
+// freeze anywhere on its authority chain.
+func (ns *Namespace) FrozenFor(dir *Node, name string) bool {
+	if fs, ok := dir.frags[dir.fragtree.LeafOfName(name)]; ok && fs.frozen {
+		return true
+	}
+	for cur := dir; cur != nil; cur = cur.parent {
+		if cur.frozen {
+			return true
+		}
+	}
+	return false
+}
+
+// SubtreeRoot describes one bound of the dynamic partition: either a whole
+// directory subtree or a single fragment owned apart from its directory.
+type SubtreeRoot struct {
+	Dir    *Node
+	Frag   Frag
+	IsFrag bool
+	Rank   Rank
+}
+
+// Path renders the root for logs and tests.
+func (r SubtreeRoot) Path() string {
+	if r.IsFrag {
+		return r.Dir.Path() + "#" + r.Frag.String()
+	}
+	return r.Dir.Path()
+}
+
+// SubtreeRoots enumerates the current partition bounds, sorted by path for
+// determinism. With rank >= 0 only that rank's bounds are returned.
+func (ns *Namespace) SubtreeRoots(rank Rank) []SubtreeRoot {
+	var out []SubtreeRoot
+	for n := range ns.overrides {
+		if rank < 0 || n.authOverride == rank {
+			out = append(out, SubtreeRoot{Dir: n, Frag: RootFrag, Rank: n.authOverride})
+		}
+	}
+	for k := range ns.fragOverrides {
+		fs := k.node.frags[k.frag]
+		if fs == nil {
+			continue
+		}
+		if rank < 0 || fs.auth == rank {
+			out = append(out, SubtreeRoot{Dir: k.node, Frag: k.frag, IsFrag: true, Rank: fs.auth})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path() < out[j].Path() })
+	return out
+}
+
+// nearestEnclosingBound finds the subtree root that owns n's parent chain,
+// excluding n's own label.
+func (ns *Namespace) nearestEnclosingBound(n *Node) (*Node, bool) {
+	for cur := n.parent; cur != nil; cur = cur.parent {
+		if cur.authOverride != RankNone {
+			return cur, true
+		}
+	}
+	return nil, false
+}
+
+// AuthLoad computes, for every rank in [0, numRanks), the decayed metadata
+// load on the subtrees that rank is authoritative for, excluding nested
+// subtrees owned by other bounds. This is the "metadata load on auth
+// subtree" input to the MDS-load policies (Table 2's MDSs[i]["auth"]).
+func (ns *Namespace) AuthLoad(numRanks int, now sim.Time, load func(CounterSnapshot) float64) []float64 {
+	out := make([]float64, numRanks)
+	add := func(rank Rank, v float64) {
+		if rank >= 0 && int(rank) < numRanks {
+			out[rank] += v
+		}
+	}
+	// Iterate the bounds in sorted-path order: floating-point sums must
+	// not depend on map iteration order, or identical runs diverge in
+	// the last bit and the balancer's decisions with them.
+	for _, root := range ns.SubtreeRoots(-1) {
+		if root.IsFrag {
+			// Fragment bound: the frag's own counters move between
+			// ranks; the containing directory's owner keeps the
+			// rest.
+			fs := root.Dir.frags[root.Frag]
+			if fs == nil {
+				continue
+			}
+			v := load(fs.Counters.Snapshot(now))
+			add(fs.auth, v)
+			prev := fs.auth
+			fs.auth = RankNone
+			owner := ns.EffectiveAuth(root.Dir)
+			fs.auth = prev
+			add(owner, -v)
+			continue
+		}
+		// Directory bound: counter at the bound minus counters at
+		// nested bounds directly beneath it.
+		n := root.Dir
+		v := load(n.counters.Snapshot(now))
+		add(n.authOverride, v)
+		if enc, ok := ns.nearestEnclosingBound(n); ok && enc != n {
+			add(enc.authOverride, -v)
+		}
+	}
+	for i := range out {
+		if out[i] < 0 {
+			out[i] = 0
+		}
+	}
+	return out
+}
+
+// OwnedNodes estimates, per rank, how many namespace nodes each rank is
+// authoritative for (the cache-footprint behind the mem metric). Fragment
+// bounds contribute their dentry counts.
+func (ns *Namespace) OwnedNodes(numRanks int) []int {
+	out := make([]int, numRanks)
+	add := func(rank Rank, v int) {
+		if rank >= 0 && int(rank) < numRanks {
+			out[rank] += v
+		}
+	}
+	for n := range ns.overrides {
+		v := n.SubtreeNodes()
+		add(n.authOverride, v)
+		if enc, ok := ns.nearestEnclosingBound(n); ok && enc != n {
+			add(enc.authOverride, -v)
+		}
+	}
+	for k := range ns.fragOverrides {
+		fs := k.node.frags[k.frag]
+		if fs == nil {
+			continue
+		}
+		v := fs.Entries
+		add(fs.auth, v)
+		prev := fs.auth
+		fs.auth = RankNone
+		owner := ns.EffectiveAuth(k.node)
+		fs.auth = prev
+		add(owner, -v)
+	}
+	for i := range out {
+		if out[i] < 0 {
+			out[i] = 0
+		}
+	}
+	return out
+}
+
+// recomputeDescendantSpreads refreshes the cached rank spread of every
+// directory below n that could be affected by an authority change above it.
+// Only directories holding fragment labels can have a spread above one, so
+// the fragment-override index bounds the work.
+func (ns *Namespace) recomputeDescendantSpreads(n *Node) {
+	for k := range ns.fragOverrides {
+		if k.node == n {
+			continue
+		}
+		for cur := k.node; cur != nil; cur = cur.parent {
+			if cur == n {
+				ns.recomputeSpread(k.node)
+				break
+			}
+		}
+	}
+}
+
+// recomputeSpread refreshes dir.rankSpread after an authority change.
+func (ns *Namespace) recomputeSpread(dir *Node) {
+	if !dir.isDir {
+		return
+	}
+	owners := map[Rank]struct{}{}
+	inherited := false
+	for _, fs := range dir.frags {
+		if fs.auth != RankNone {
+			owners[fs.auth] = struct{}{}
+		} else {
+			inherited = true
+		}
+	}
+	if inherited {
+		owners[ns.EffectiveAuth(dir)] = struct{}{}
+	}
+	if len(owners) == 0 {
+		dir.rankSpread = 1
+		return
+	}
+	dir.rankSpread = len(owners)
+}

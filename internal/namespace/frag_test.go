@@ -1,0 +1,167 @@
+package namespace
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestRootFragContainsEverything(t *testing.T) {
+	for _, h := range []uint32{0, 1, 0xffffffff, 0x80000000} {
+		if !RootFrag.Contains(h) {
+			t.Fatalf("root frag must contain %#x", h)
+		}
+	}
+}
+
+func TestSplitPartitions(t *testing.T) {
+	kids := RootFrag.Split(3)
+	if len(kids) != 8 {
+		t.Fatalf("split(3) = %d children", len(kids))
+	}
+	for _, h := range []uint32{0, 42, 0xdeadbeef, 0xffffffff} {
+		count := 0
+		for _, k := range kids {
+			if k.Contains(h) {
+				count++
+			}
+		}
+		if count != 1 {
+			t.Fatalf("hash %#x in %d children, want exactly 1", h, count)
+		}
+	}
+}
+
+func TestSplitZeroIsIdentity(t *testing.T) {
+	f := Frag{Value: 0x80000000, Bits: 1}
+	kids := f.Split(0)
+	if len(kids) != 1 || kids[0] != f {
+		t.Fatalf("split(0) = %v", kids)
+	}
+}
+
+func TestParentInverseOfSplit(t *testing.T) {
+	f := Frag{Value: 0xA0000000, Bits: 3}
+	for _, k := range f.Split(1) {
+		if k.Parent() != f {
+			t.Fatalf("parent of %v = %v, want %v", k, k.Parent(), f)
+		}
+	}
+	if RootFrag.Parent() != RootFrag {
+		t.Fatal("root parent must be root")
+	}
+}
+
+func TestSplitOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Frag{Bits: 31}.Split(2)
+}
+
+func TestFragString(t *testing.T) {
+	if RootFrag.String() != "*" {
+		t.Fatalf("root string = %q", RootFrag.String())
+	}
+	f := Frag{Value: 0x80000000, Bits: 1}
+	if f.String() != "1/1" {
+		t.Fatalf("frag string = %q", f.String())
+	}
+}
+
+// Property: any sequence of splits keeps the leaves a partition of the hash
+// space: every hash is in exactly one leaf.
+func TestFragTreePartitionProperty(t *testing.T) {
+	f := func(splitSeq []uint8, probes []uint32) bool {
+		tree := NewFragTree()
+		for _, s := range splitSeq {
+			leaves := tree.Leaves()
+			target := leaves[int(s)%len(leaves)]
+			n := uint8(s%3) + 1
+			if int(target.Bits)+int(n) > 20 {
+				continue
+			}
+			tree.SplitLeaf(target, n)
+		}
+		for _, h := range probes {
+			count := 0
+			for _, leaf := range tree.Leaves() {
+				if leaf.Contains(h) {
+					count++
+				}
+			}
+			if count != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeafOfConsistent(t *testing.T) {
+	tree := NewFragTree()
+	tree.SplitLeaf(RootFrag, 3)
+	for i := 0; i < 1000; i++ {
+		name := fmt.Sprintf("file%d", i)
+		leaf := tree.LeafOfName(name)
+		if !leaf.ContainsName(name) {
+			t.Fatalf("LeafOfName(%q) = %v does not contain the name", name, leaf)
+		}
+	}
+}
+
+func TestSplitLeafNotALeafPanics(t *testing.T) {
+	tree := NewFragTree()
+	tree.SplitLeaf(RootFrag, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tree.SplitLeaf(RootFrag, 1) // no longer a leaf
+}
+
+func TestMerge(t *testing.T) {
+	tree := NewFragTree()
+	kids := tree.SplitLeaf(RootFrag, 2)
+	if tree.NumLeaves() != 4 {
+		t.Fatalf("leaves = %d", tree.NumLeaves())
+	}
+	// Split one child further; merging the root should now fail.
+	tree.SplitLeaf(kids[0], 1)
+	if tree.Merge(RootFrag, 2) {
+		t.Fatal("merge should fail with a grandchild present")
+	}
+	// Merge the grandchildren back, then the root.
+	if !tree.Merge(kids[0], 1) {
+		t.Fatal("merge of grandchildren failed")
+	}
+	if !tree.Merge(RootFrag, 2) {
+		t.Fatal("merge of root children failed")
+	}
+	if tree.NumLeaves() != 1 || tree.Leaves()[0] != RootFrag {
+		t.Fatalf("after merge leaves = %v", tree.Leaves())
+	}
+}
+
+func TestSplitSpreadsNames(t *testing.T) {
+	tree := NewFragTree()
+	tree.SplitLeaf(RootFrag, 3)
+	counts := map[Frag]int{}
+	for i := 0; i < 8000; i++ {
+		counts[tree.LeafOfName(fmt.Sprintf("f%d", i))]++
+	}
+	if len(counts) != 8 {
+		t.Fatalf("names landed in %d frags, want 8", len(counts))
+	}
+	for f, n := range counts {
+		if n < 500 || n > 1800 {
+			t.Fatalf("frag %v got %d of 8000 names — badly skewed", f, n)
+		}
+	}
+}

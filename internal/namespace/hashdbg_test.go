@@ -1,0 +1,30 @@
+package namespace
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestDbgHashBalance(t *testing.T) {
+	kids := RootFrag.Split(3)
+	counts := make(map[Frag]int)
+	for c := 0; c < 4; c++ {
+		for i := 0; i < 10000; i++ {
+			name := fmt.Sprintf("c%d-%07d", c, i)
+			counts[kids[indexFor(kids, name)]]++
+		}
+	}
+	for i, k := range kids {
+		t.Logf("frag %d: %d", i, counts[k])
+	}
+}
+
+func indexFor(kids []Frag, name string) int {
+	h := HashName(name)
+	for i, k := range kids {
+		if k.Contains(h) {
+			return i
+		}
+	}
+	return -1
+}

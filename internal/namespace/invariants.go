@@ -1,0 +1,142 @@
+package namespace
+
+import (
+	"fmt"
+)
+
+// CheckInvariants walks the whole tree and verifies the structural
+// invariants the rest of the system relies on. It returns the first
+// violation found, or nil. Tests call it after simulated runs; it is O(n)
+// and intended for debugging, not the simulated fast path.
+//
+// Invariants checked:
+//
+//  1. parent/child links are consistent and names match,
+//  2. per-directory fragment trees partition the hash space and every leaf
+//     has live state,
+//  3. per-fragment entry counts sum to the directory's dentry count,
+//  4. subtreeNodes equals the recomputed subtree size,
+//  5. every node's effective authority resolves to a valid rank,
+//  6. the override indexes exactly mirror the labels on the tree,
+//  7. rankSpread matches a recount of fragment owners,
+//  8. no fragment or directory is left frozen (call with allowFrozen=true
+//     mid-migration).
+func (ns *Namespace) CheckInvariants(numRanks int, allowFrozen bool) error {
+	seenOverrides := 0
+	seenFragOverrides := 0
+	var walk func(n *Node) error
+	walk = func(n *Node) error {
+		if n.parent != nil {
+			child, ok := n.parent.children[n.name]
+			if !ok || child != n {
+				return fmt.Errorf("invariant: %s not linked under its parent", n.Path())
+			}
+		}
+		if auth := ns.EffectiveAuth(n); auth < 0 || (numRanks > 0 && int(auth) >= numRanks) {
+			return fmt.Errorf("invariant: %s has authority %d outside [0,%d)", n.Path(), auth, numRanks)
+		}
+		if !n.isDir {
+			if n.SubtreeNodes() != 1 {
+				return fmt.Errorf("invariant: file %s has subtree size %d", n.Path(), n.SubtreeNodes())
+			}
+			return nil
+		}
+		if !allowFrozen && n.frozen {
+			return fmt.Errorf("invariant: %s left frozen", n.Path())
+		}
+		if n.authOverride != RankNone {
+			if _, ok := ns.overrides[n]; !ok && n.parent != nil {
+				return fmt.Errorf("invariant: %s has label %d missing from the override index", n.Path(), n.authOverride)
+			}
+			if n.parent != nil {
+				seenOverrides++
+			}
+		}
+		// Fragment checks.
+		leaves := n.fragtree.Leaves()
+		if len(leaves) == 0 {
+			return fmt.Errorf("invariant: %s has no leaf fragments", n.Path())
+		}
+		entries := 0
+		owners := map[Rank]struct{}{}
+		inherited := false
+		for _, f := range leaves {
+			fs, ok := n.frags[f]
+			if !ok {
+				return fmt.Errorf("invariant: %s leaf %v has no state", n.Path(), f)
+			}
+			if !allowFrozen && fs.frozen {
+				return fmt.Errorf("invariant: %s frag %v left frozen", n.Path(), f)
+			}
+			entries += fs.Entries
+			if fs.auth != RankNone {
+				if _, ok := ns.fragOverrides[fragKey{n, f}]; !ok {
+					return fmt.Errorf("invariant: %s frag %v label missing from index", n.Path(), f)
+				}
+				seenFragOverrides++
+				owners[fs.auth] = struct{}{}
+			} else {
+				inherited = true
+			}
+		}
+		if len(n.frags) != len(leaves) {
+			return fmt.Errorf("invariant: %s has %d frag states for %d leaves", n.Path(), len(n.frags), len(leaves))
+		}
+		if entries != len(n.children) {
+			return fmt.Errorf("invariant: %s frag entries %d != %d children", n.Path(), entries, len(n.children))
+		}
+		// Every child must land in the leaf that counts it.
+		for name, child := range n.children {
+			leaf := n.fragtree.LeafOfName(name)
+			if _, ok := n.frags[leaf]; !ok {
+				return fmt.Errorf("invariant: %s child %q hashes to missing frag %v", n.Path(), name, leaf)
+			}
+			if err := walk(child); err != nil {
+				return err
+			}
+		}
+		if inherited {
+			owners[ns.EffectiveAuth(n)] = struct{}{}
+		}
+		if n.rankSpread != len(owners) {
+			return fmt.Errorf("invariant: %s rankSpread %d, recount %d", n.Path(), n.rankSpread, len(owners))
+		}
+		// Subtree size.
+		size := 1
+		for _, c := range n.children {
+			size += c.SubtreeNodes()
+		}
+		if size != n.subtreeNodes {
+			return fmt.Errorf("invariant: %s subtreeNodes %d, recount %d", n.Path(), n.subtreeNodes, size)
+		}
+		return nil
+	}
+	if err := walk(ns.root); err != nil {
+		return err
+	}
+	wantOverrides := len(ns.overrides)
+	if _, rootIndexed := ns.overrides[ns.root]; rootIndexed {
+		wantOverrides--
+	}
+	if seenOverrides != wantOverrides {
+		return fmt.Errorf("invariant: override index has %d entries, tree has %d labels", wantOverrides, seenOverrides)
+	}
+	if seenFragOverrides != len(ns.fragOverrides) {
+		return fmt.Errorf("invariant: frag override index has %d entries, tree has %d labels", len(ns.fragOverrides), seenFragOverrides)
+	}
+	// Ownership accounting: every node is owned exactly once.
+	if numRanks > 0 {
+		owned := ns.OwnedNodes(numRanks)
+		total := 0
+		for _, v := range owned {
+			total += v
+		}
+		// Frag bounds count dentries rather than whole subtrees, so the
+		// total may undercount when frag-level ownership splits a
+		// directory; allow that slack but never overcounting.
+		if total > ns.count {
+			return fmt.Errorf("invariant: OwnedNodes total %d exceeds node count %d", total, ns.count)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package namespace
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestCheckInvariantsCleanTree(t *testing.T) {
+	ns := New(0)
+	mustCreate(t, ns, "/a/b/c", true)
+	for i := 0; i < 50; i++ {
+		mustCreate(t, ns, fmt.Sprintf("/a/b/f%d", i), false)
+	}
+	b, _ := ns.Resolve("/a/b")
+	ns.SplitDir(b, RootFrag, 2, 0)
+	ns.SetAuthOverride(b, 1)
+	kids := b.FragTree().Leaves()
+	ns.SetFragAuth(b, kids[0], 2)
+	if err := ns.CheckInvariants(3, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckInvariantsCatchesFrozen(t *testing.T) {
+	ns := New(0)
+	d := mustCreate(t, ns, "/d", true)
+	ns.Freeze(d, true)
+	if err := ns.CheckInvariants(1, false); err == nil {
+		t.Fatal("frozen dir not caught")
+	}
+	if err := ns.CheckInvariants(1, true); err != nil {
+		t.Fatalf("allowFrozen should pass: %v", err)
+	}
+}
+
+func TestCheckInvariantsCatchesOutOfRangeRank(t *testing.T) {
+	ns := New(0)
+	d := mustCreate(t, ns, "/d", true)
+	ns.SetAuthOverride(d, 7)
+	if err := ns.CheckInvariants(2, false); err == nil {
+		t.Fatal("rank 7 on a 2-rank cluster not caught")
+	}
+}
+
+// Property-style: a long random mix of operations never breaks invariants.
+func TestInvariantsUnderRandomOps(t *testing.T) {
+	ns := New(0)
+	rng := rand.New(rand.NewSource(7))
+	var dirs []*Node
+	dirs = append(dirs, ns.Root())
+	names := 0
+	for step := 0; step < 5000; step++ {
+		d := dirs[rng.Intn(len(dirs))]
+		switch rng.Intn(10) {
+		case 0: // mkdir
+			n, err := ns.Create(d, fmt.Sprintf("d%05d", names), true)
+			if err == nil {
+				dirs = append(dirs, n)
+			}
+			names++
+		case 1: // split a random leaf
+			leaves := d.FragTree().Leaves()
+			leaf := leaves[rng.Intn(len(leaves))]
+			if int(leaf.Bits)+1 <= 16 {
+				ns.SplitDir(d, leaf, 1, 0)
+			}
+		case 2: // merge a random group
+			leaves := d.FragTree().Leaves()
+			leaf := leaves[rng.Intn(len(leaves))]
+			if leaf.Bits >= 1 {
+				ns.MergeDir(d, leaf.Parent(), 1, 0)
+			}
+		case 3: // relabel a dir
+			if d.Parent() != nil {
+				ns.SetAuthOverride(d, Rank(rng.Intn(4)))
+			}
+		case 4: // relabel a frag
+			leaves := d.FragTree().Leaves()
+			ns.SetFragAuth(d, leaves[rng.Intn(len(leaves))], Rank(rng.Intn(4)))
+		case 5: // unlink a random child
+			kids := d.ChildNames()
+			if len(kids) > 0 {
+				name := kids[rng.Intn(len(kids))]
+				if c, _ := d.Lookup(name); c != nil && (!c.IsDir() || c.NumChildren() == 0) {
+					if c.IsDir() {
+						for i, dd := range dirs {
+							if dd == c {
+								dirs = append(dirs[:i], dirs[i+1:]...)
+								break
+							}
+						}
+					}
+					ns.Remove(d, name)
+				}
+			}
+		default: // create files
+			ns.Create(d, fmt.Sprintf("f%05d", names), false)
+			names++
+			ns.RecordOp(d, "", OpIRD, 0)
+		}
+		if step%500 == 0 {
+			if err := ns.CheckInvariants(4, false); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := ns.CheckInvariants(4, false); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,418 @@
+package namespace
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"mantle/internal/sim"
+)
+
+// Errors returned by namespace operations. The MDS maps these onto request
+// failures sent back to clients.
+var (
+	ErrExist      = errors.New("namespace: entry already exists")
+	ErrNotExist   = errors.New("namespace: no such entry")
+	ErrNotDir     = errors.New("namespace: not a directory")
+	ErrIsDir      = errors.New("namespace: is a directory")
+	ErrNotEmpty   = errors.New("namespace: directory not empty")
+	ErrInvalidArg = errors.New("namespace: invalid argument")
+)
+
+// Namespace is the shared hierarchical tree. In the simulation there is one
+// authoritative tree (the "collective memory of the MDS cluster"); per-MDS
+// behaviour — who may serve what, forwards, freezes — is expressed through
+// the authority labels and checked by the MDS package.
+type Namespace struct {
+	root     *Node
+	nextIno  InodeID
+	halfLife sim.Time
+	count    int
+
+	// overrides tracks every directory with an explicit authority label;
+	// fragOverrides tracks fragments owned separately from their
+	// directory. Together they enumerate all subtree bounds without
+	// walking the tree.
+	overrides     map[*Node]struct{}
+	fragOverrides map[fragKey]struct{}
+}
+
+type fragKey struct {
+	node *Node
+	frag Frag
+}
+
+// New creates a namespace whose popularity counters decay with the given
+// half-life. The root directory is created with authority rank 0, as a
+// fresh CephFS cluster assigns the root subtree to mds.0.
+func New(halfLife sim.Time) *Namespace {
+	ns := &Namespace{
+		halfLife:      halfLife,
+		overrides:     map[*Node]struct{}{},
+		fragOverrides: map[fragKey]struct{}{},
+	}
+	ns.nextIno = 1
+	ns.root = ns.newDirNode(nil, "")
+	ns.root.authOverride = 0
+	ns.overrides[ns.root] = struct{}{}
+	return ns
+}
+
+func (ns *Namespace) newDirNode(parent *Node, name string) *Node {
+	n := &Node{
+		name:         name,
+		ino:          ns.nextIno,
+		parent:       parent,
+		isDir:        true,
+		children:     map[string]*Node{},
+		fragtree:     NewFragTree(),
+		frags:        map[Frag]*FragState{},
+		counters:     NewCounters(ns.halfLife),
+		authOverride: RankNone,
+		subtreeNodes: 1,
+	}
+	n.frags[RootFrag] = &FragState{Frag: RootFrag, Counters: NewCounters(ns.halfLife), auth: RankNone}
+	n.rankSpread = 1
+	ns.nextIno++
+	ns.count++
+	return n
+}
+
+func (ns *Namespace) newFileNode(parent *Node, name string) *Node {
+	n := &Node{
+		name:         name,
+		ino:          ns.nextIno,
+		parent:       parent,
+		isDir:        false,
+		authOverride: RankNone,
+	}
+	ns.nextIno++
+	ns.count++
+	return n
+}
+
+// Root returns the root directory.
+func (ns *Namespace) Root() *Node { return ns.root }
+
+// NumNodes reports the total number of nodes in the tree.
+func (ns *Namespace) NumNodes() int { return ns.count }
+
+// HalfLife reports the popularity-counter half-life.
+func (ns *Namespace) HalfLife() sim.Time { return ns.halfLife }
+
+// SplitPath breaks an absolute path into components. "/" yields nil.
+func SplitPath(path string) ([]string, error) {
+	if path == "" || path[0] != '/' {
+		return nil, fmt.Errorf("%w: path %q is not absolute", ErrInvalidArg, path)
+	}
+	trimmed := strings.Trim(path, "/")
+	if trimmed == "" {
+		return nil, nil
+	}
+	parts := strings.Split(trimmed, "/")
+	for _, p := range parts {
+		if p == "" || p == "." || p == ".." {
+			return nil, fmt.Errorf("%w: path %q contains %q", ErrInvalidArg, path, p)
+		}
+	}
+	return parts, nil
+}
+
+// Resolve walks an absolute path to its node.
+func (ns *Namespace) Resolve(path string) (*Node, error) {
+	parts, err := SplitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	cur := ns.root
+	for _, p := range parts {
+		if !cur.isDir {
+			return nil, fmt.Errorf("%w: %s", ErrNotDir, cur.Path())
+		}
+		next, ok := cur.children[p]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s/%s", ErrNotExist, cur.Path(), p)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// ResolveDirOf resolves the parent directory of path and returns it together
+// with the final path component.
+func (ns *Namespace) ResolveDirOf(path string) (*Node, string, error) {
+	parts, err := SplitPath(path)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(parts) == 0 {
+		return nil, "", fmt.Errorf("%w: cannot take parent of root", ErrInvalidArg)
+	}
+	cur := ns.root
+	for _, p := range parts[:len(parts)-1] {
+		next, ok := cur.children[p]
+		if !ok {
+			return nil, "", fmt.Errorf("%w: %s/%s", ErrNotExist, cur.Path(), p)
+		}
+		if !next.isDir {
+			return nil, "", fmt.Errorf("%w: %s", ErrNotDir, next.Path())
+		}
+		cur = next
+	}
+	return cur, parts[len(parts)-1], nil
+}
+
+func (ns *Namespace) attach(parent *Node, n *Node) {
+	parent.children[n.name] = n
+	frag := parent.fragtree.LeafOfName(n.name)
+	parent.frags[frag].Entries++
+	for cur := parent; cur != nil; cur = cur.parent {
+		cur.subtreeNodes += n.SubtreeNodes()
+	}
+}
+
+func (ns *Namespace) detach(parent *Node, n *Node) {
+	delete(parent.children, n.name)
+	frag := parent.fragtree.LeafOfName(n.name)
+	parent.frags[frag].Entries--
+	for cur := parent; cur != nil; cur = cur.parent {
+		cur.subtreeNodes -= n.SubtreeNodes()
+	}
+}
+
+// Create adds a new file or directory dentry under parent.
+func (ns *Namespace) Create(parent *Node, name string, isDir bool) (*Node, error) {
+	if parent == nil || !parent.isDir {
+		return nil, ErrNotDir
+	}
+	if name == "" || strings.Contains(name, "/") {
+		return nil, fmt.Errorf("%w: bad name %q", ErrInvalidArg, name)
+	}
+	if _, dup := parent.children[name]; dup {
+		return nil, fmt.Errorf("%w: %s/%s", ErrExist, parent.Path(), name)
+	}
+	var n *Node
+	if isDir {
+		n = ns.newDirNode(parent, name)
+	} else {
+		n = ns.newFileNode(parent, name)
+	}
+	ns.attach(parent, n)
+	return n, nil
+}
+
+// CreatePath creates every missing directory along path and returns the
+// final node, creating it as a directory if isDir or as a file otherwise.
+func (ns *Namespace) CreatePath(path string, isDir bool) (*Node, error) {
+	parts, err := SplitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(parts) == 0 {
+		return ns.root, nil
+	}
+	cur := ns.root
+	for i, p := range parts {
+		last := i == len(parts)-1
+		next, ok := cur.children[p]
+		if ok {
+			if !next.isDir && !(last && !isDir) {
+				return nil, fmt.Errorf("%w: %s", ErrNotDir, next.Path())
+			}
+			if last {
+				return next, nil
+			}
+			cur = next
+			continue
+		}
+		wantDir := true
+		if last {
+			wantDir = isDir
+		}
+		next, err = ns.Create(cur, p, wantDir)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Remove unlinks the named dentry. Directories must be empty.
+func (ns *Namespace) Remove(parent *Node, name string) error {
+	if parent == nil || !parent.isDir {
+		return ErrNotDir
+	}
+	n, ok := parent.children[name]
+	if !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNotExist, parent.Path(), name)
+	}
+	if n.isDir && len(n.children) > 0 {
+		return fmt.Errorf("%w: %s", ErrNotEmpty, n.Path())
+	}
+	ns.clearSubtreeOverrides(n)
+	ns.detach(parent, n)
+	n.parent = nil
+	ns.count -= n.SubtreeNodes()
+	return nil
+}
+
+// Rename moves srcName in srcDir to dstName in dstDir. Renaming onto an
+// existing dentry fails (the MDS layer may unlink first). Renaming a
+// directory into its own subtree fails.
+func (ns *Namespace) Rename(srcDir *Node, srcName string, dstDir *Node, dstName string) error {
+	if srcDir == nil || !srcDir.isDir || dstDir == nil || !dstDir.isDir {
+		return ErrNotDir
+	}
+	n, ok := srcDir.children[srcName]
+	if !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNotExist, srcDir.Path(), srcName)
+	}
+	if _, dup := dstDir.children[dstName]; dup {
+		return fmt.Errorf("%w: %s/%s", ErrExist, dstDir.Path(), dstName)
+	}
+	if n.isDir {
+		for cur := dstDir; cur != nil; cur = cur.parent {
+			if cur == n {
+				return fmt.Errorf("%w: rename into own subtree", ErrInvalidArg)
+			}
+		}
+	}
+	ns.detach(srcDir, n)
+	n.name = dstName
+	n.parent = dstDir
+	ns.attach(dstDir, n)
+	return nil
+}
+
+// Walk visits n and every descendant in deterministic (sorted-child) order.
+// fn returning false prunes the subtree below that node.
+func Walk(n *Node, fn func(*Node) bool) {
+	if !fn(n) {
+		return
+	}
+	if !n.isDir {
+		return
+	}
+	for _, name := range n.ChildNames() {
+		Walk(n.children[name], fn)
+	}
+}
+
+// RecordOp charges one operation of kind k against the dentry name in dir,
+// updating the containing fragment's counters, the directory's counters, and
+// every ancestor's counters (CephFS updates a directory "whenever a
+// namespace operation hits that directory or any of its children"). Pass an
+// empty name for whole-directory operations (readdir).
+func (ns *Namespace) RecordOp(dir *Node, name string, k OpKind, now sim.Time) {
+	if dir == nil || !dir.isDir {
+		return
+	}
+	if name != "" {
+		frag := dir.fragtree.LeafOfName(name)
+		fs := dir.frags[frag]
+		fs.Counters.Hit(k, now)
+		fs.LastAccess = now
+	} else {
+		// Whole-directory op: charge every leaf frag so fragmented
+		// directories attribute readdir load to all partitions.
+		for _, f := range dir.fragtree.leaves {
+			fs := dir.frags[f]
+			fs.Counters.Hit(k, now)
+			fs.LastAccess = now
+		}
+	}
+	for cur := dir; cur != nil; cur = cur.parent {
+		cur.counters.Hit(k, now)
+	}
+}
+
+// SplitDir fragments one leaf frag of dir into 2^bits children, dividing the
+// parent frag's entries and heat among them according to the actual dentry
+// rebucketing. Returns the new frags.
+func (ns *Namespace) SplitDir(dir *Node, leaf Frag, bits uint8, now sim.Time) []Frag {
+	if !dir.isDir {
+		panic("namespace: SplitDir on file")
+	}
+	old := dir.frags[leaf]
+	kids := dir.fragtree.SplitLeaf(leaf, bits)
+	perKid := make(map[Frag]int, len(kids))
+	for name := range dir.children {
+		h := HashName(name)
+		if !leaf.Contains(h) {
+			continue
+		}
+		for _, kf := range kids {
+			if kf.Contains(h) {
+				perKid[kf]++
+				break
+			}
+		}
+	}
+	oldSnap := old.Counters.Snapshot(now)
+	total := old.Entries
+	for _, kf := range kids {
+		fs := &FragState{Frag: kf, Counters: NewCounters(ns.halfLife), auth: old.auth, Entries: perKid[kf]}
+		// Seed the child's heat proportionally to the entries it
+		// inherited so the balancer does not see a fragmented hot
+		// directory as suddenly cold.
+		if total > 0 {
+			share := float64(perKid[kf]) / float64(total)
+			fs.Counters.Seed(oldSnap.Scale(share), now)
+		}
+		dir.frags[kf] = fs
+	}
+	if old.auth != RankNone {
+		delete(ns.fragOverrides, fragKey{dir, leaf})
+		for _, kf := range kids {
+			ns.fragOverrides[fragKey{dir, kf}] = struct{}{}
+		}
+	}
+	delete(dir.frags, leaf)
+	ns.recomputeSpread(dir)
+	return kids
+}
+
+// MergeDir coalesces the 2^bits children of parent back into one fragment
+// (the shrink direction of fragmentation). All children must currently be
+// leaves, unfrozen, and owned by the same rank; their entries and heat are
+// combined. Reports whether the merge happened.
+func (ns *Namespace) MergeDir(dir *Node, parent Frag, bits uint8, now sim.Time) bool {
+	if !dir.isDir || bits == 0 {
+		return false
+	}
+	kids := parent.Split(bits)
+	states := make([]*FragState, 0, len(kids))
+	auth := RankNone
+	for i, k := range kids {
+		fs, ok := dir.frags[k]
+		if !ok || fs.frozen {
+			return false
+		}
+		if i == 0 {
+			auth = fs.auth
+		} else if fs.auth != auth {
+			return false
+		}
+		states = append(states, fs)
+	}
+	if !dir.fragtree.Merge(parent, bits) {
+		return false
+	}
+	merged := &FragState{Frag: parent, Counters: NewCounters(ns.halfLife), auth: RankNone}
+	var heat CounterSnapshot
+	for i, k := range kids {
+		merged.Entries += states[i].Entries
+		heat = heat.Add(states[i].Counters.Snapshot(now))
+		delete(dir.frags, k)
+		delete(ns.fragOverrides, fragKey{dir, k})
+	}
+	merged.Counters.Seed(heat, now)
+	dir.frags[parent] = merged
+	if auth != RankNone {
+		ns.SetFragAuth(dir, parent, auth)
+	} else {
+		ns.recomputeSpread(dir)
+	}
+	return true
+}

@@ -1,0 +1,398 @@
+package namespace
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"mantle/internal/sim"
+)
+
+func mustCreate(t *testing.T, ns *Namespace, path string, isDir bool) *Node {
+	t.Helper()
+	n, err := ns.CreatePath(path, isDir)
+	if err != nil {
+		t.Fatalf("CreatePath(%q): %v", path, err)
+	}
+	return n
+}
+
+func TestCreateResolve(t *testing.T) {
+	ns := New(sim.Second)
+	d := mustCreate(t, ns, "/a/b/c", true)
+	f := mustCreate(t, ns, "/a/b/c/file.txt", false)
+	if d.Path() != "/a/b/c" || !d.IsDir() {
+		t.Fatalf("dir path=%q isDir=%v", d.Path(), d.IsDir())
+	}
+	if f.Path() != "/a/b/c/file.txt" || f.IsDir() {
+		t.Fatalf("file path=%q", f.Path())
+	}
+	got, err := ns.Resolve("/a/b/c/file.txt")
+	if err != nil || got != f {
+		t.Fatalf("Resolve: %v %v", got, err)
+	}
+	if root, err := ns.Resolve("/"); err != nil || root != ns.Root() {
+		t.Fatalf("Resolve(/): %v %v", root, err)
+	}
+	if f.Depth() != 4 || d.Depth() != 3 {
+		t.Fatalf("depths %d %d", f.Depth(), d.Depth())
+	}
+}
+
+func TestCreateDuplicateFails(t *testing.T) {
+	ns := New(sim.Second)
+	mustCreate(t, ns, "/a", true)
+	if _, err := ns.Create(ns.Root(), "a", true); !errors.Is(err, ErrExist) {
+		t.Fatalf("err = %v, want ErrExist", err)
+	}
+}
+
+func TestCreateBadNames(t *testing.T) {
+	ns := New(sim.Second)
+	if _, err := ns.Create(ns.Root(), "", false); !errors.Is(err, ErrInvalidArg) {
+		t.Fatalf("empty name err = %v", err)
+	}
+	if _, err := ns.Create(ns.Root(), "a/b", false); !errors.Is(err, ErrInvalidArg) {
+		t.Fatalf("slash name err = %v", err)
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	ns := New(sim.Second)
+	mustCreate(t, ns, "/a/file", false)
+	if _, err := ns.Resolve("/a/nope"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := ns.Resolve("/a/file/x"); !errors.Is(err, ErrNotDir) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := ns.Resolve("relative"); !errors.Is(err, ErrInvalidArg) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := ns.Resolve("/a/../b"); !errors.Is(err, ErrInvalidArg) {
+		t.Fatalf("dotdot err = %v", err)
+	}
+}
+
+func TestResolveDirOf(t *testing.T) {
+	ns := New(sim.Second)
+	mustCreate(t, ns, "/a/b", true)
+	dir, name, err := ns.ResolveDirOf("/a/b/newfile")
+	if err != nil || dir.Path() != "/a/b" || name != "newfile" {
+		t.Fatalf("dir=%v name=%q err=%v", dir, name, err)
+	}
+	if _, _, err := ns.ResolveDirOf("/"); !errors.Is(err, ErrInvalidArg) {
+		t.Fatalf("root err = %v", err)
+	}
+	if _, _, err := ns.ResolveDirOf("/missing/x"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	ns := New(sim.Second)
+	mustCreate(t, ns, "/a/b", true)
+	mustCreate(t, ns, "/a/b/f", false)
+	a, _ := ns.Resolve("/a")
+	b, _ := ns.Resolve("/a/b")
+	if err := ns.Remove(a, "b"); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("remove nonempty err = %v", err)
+	}
+	if err := ns.Remove(b, "f"); err != nil {
+		t.Fatalf("remove file: %v", err)
+	}
+	if err := ns.Remove(a, "b"); err != nil {
+		t.Fatalf("remove empty dir: %v", err)
+	}
+	if _, err := ns.Resolve("/a/b"); !errors.Is(err, ErrNotExist) {
+		t.Fatal("removed dir still resolvable")
+	}
+	if err := ns.Remove(a, "b"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("double remove err = %v", err)
+	}
+}
+
+func TestNodeCountsAndSubtreeSizes(t *testing.T) {
+	ns := New(sim.Second)
+	// root + a + b + 3 files
+	mustCreate(t, ns, "/a/b", true)
+	for i := 0; i < 3; i++ {
+		mustCreate(t, ns, fmt.Sprintf("/a/b/f%d", i), false)
+	}
+	if ns.NumNodes() != 6 {
+		t.Fatalf("NumNodes = %d, want 6", ns.NumNodes())
+	}
+	a, _ := ns.Resolve("/a")
+	b, _ := ns.Resolve("/a/b")
+	if a.SubtreeNodes() != 5 || b.SubtreeNodes() != 4 {
+		t.Fatalf("subtree sizes a=%d b=%d", a.SubtreeNodes(), b.SubtreeNodes())
+	}
+	ns.Remove(b, "f0")
+	if ns.NumNodes() != 5 || a.SubtreeNodes() != 4 {
+		t.Fatalf("after remove NumNodes=%d a=%d", ns.NumNodes(), a.SubtreeNodes())
+	}
+}
+
+func TestRename(t *testing.T) {
+	ns := New(sim.Second)
+	mustCreate(t, ns, "/src/f", false)
+	mustCreate(t, ns, "/dst", true)
+	src, _ := ns.Resolve("/src")
+	dst, _ := ns.Resolve("/dst")
+	if err := ns.Rename(src, "f", dst, "g"); err != nil {
+		t.Fatalf("rename: %v", err)
+	}
+	if _, err := ns.Resolve("/dst/g"); err != nil {
+		t.Fatalf("renamed target missing: %v", err)
+	}
+	if _, err := ns.Resolve("/src/f"); !errors.Is(err, ErrNotExist) {
+		t.Fatal("source still present")
+	}
+	if src.SubtreeNodes() != 1 || dst.SubtreeNodes() != 2 {
+		t.Fatalf("subtree sizes src=%d dst=%d", src.SubtreeNodes(), dst.SubtreeNodes())
+	}
+}
+
+func TestRenameIntoOwnSubtreeFails(t *testing.T) {
+	ns := New(sim.Second)
+	mustCreate(t, ns, "/a/b", true)
+	root := ns.Root()
+	b, _ := ns.Resolve("/a/b")
+	if err := ns.Rename(root, "a", b, "a2"); !errors.Is(err, ErrInvalidArg) {
+		t.Fatalf("err = %v, want ErrInvalidArg", err)
+	}
+}
+
+func TestRenameOntoExistingFails(t *testing.T) {
+	ns := New(sim.Second)
+	mustCreate(t, ns, "/f1", false)
+	mustCreate(t, ns, "/f2", false)
+	if err := ns.Rename(ns.Root(), "f1", ns.Root(), "f2"); !errors.Is(err, ErrExist) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWalkOrderAndPrune(t *testing.T) {
+	ns := New(sim.Second)
+	mustCreate(t, ns, "/a/x", false)
+	mustCreate(t, ns, "/b/y", false)
+	var paths []string
+	Walk(ns.Root(), func(n *Node) bool {
+		paths = append(paths, n.Path())
+		return n.Path() != "/a" // prune below /a
+	})
+	want := []string{"/", "/a", "/b", "/b/y"}
+	if len(paths) != len(want) {
+		t.Fatalf("walk = %v", paths)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Fatalf("walk = %v, want %v", paths, want)
+		}
+	}
+}
+
+func TestRecordOpPropagatesToAncestors(t *testing.T) {
+	ns := New(0) // no decay for exact arithmetic
+	mustCreate(t, ns, "/a/b", true)
+	b, _ := ns.Resolve("/a/b")
+	a, _ := ns.Resolve("/a")
+	ns.RecordOp(b, "newfile", OpIWR, 0)
+	ns.RecordOp(b, "newfile", OpIRD, 0)
+	if got := b.Load(0); got.IWR != 1 || got.IRD != 1 {
+		t.Fatalf("b load = %+v", got)
+	}
+	if got := a.Load(0); got.IWR != 1 || got.IRD != 1 {
+		t.Fatalf("a load = %+v", got)
+	}
+	if got := ns.Root().Load(0); got.IWR != 1 {
+		t.Fatalf("root load = %+v", got)
+	}
+	// Frag counters got the hit too.
+	fs, _ := b.FragStateOf(RootFrag)
+	if fs.Counters.Get(OpIWR, 0) != 1 {
+		t.Fatal("frag counter missed the hit")
+	}
+}
+
+func TestCephLoadFormula(t *testing.T) {
+	s := CounterSnapshot{IRD: 1, IWR: 2, Readdir: 3, Fetch: 4, Store: 5}
+	// 1 + 2*2 + 3 + 2*4 + 4*5 = 36
+	if got := s.CephLoad(); got != 36 {
+		t.Fatalf("CephLoad = %v, want 36", got)
+	}
+}
+
+func TestSnapshotAddScale(t *testing.T) {
+	a := CounterSnapshot{IRD: 1, IWR: 2, Readdir: 3, Fetch: 4, Store: 5}
+	b := a.Add(a)
+	if b.IWR != 4 || b.Store != 10 {
+		t.Fatalf("Add = %+v", b)
+	}
+	c := a.Scale(0.5)
+	if c.IRD != 0.5 || c.Fetch != 2 {
+		t.Fatalf("Scale = %+v", c)
+	}
+}
+
+func TestSplitDirRebuckets(t *testing.T) {
+	ns := New(0)
+	d := mustCreate(t, ns, "/dir", true)
+	for i := 0; i < 800; i++ {
+		mustCreate(t, ns, fmt.Sprintf("/dir/f%d", i), false)
+		ns.RecordOp(d, fmt.Sprintf("f%d", i), OpIWR, 0)
+	}
+	kids := ns.SplitDir(d, RootFrag, 3, 0)
+	if len(kids) != 8 || d.FragTree().NumLeaves() != 8 {
+		t.Fatalf("kids=%d leaves=%d", len(kids), d.FragTree().NumLeaves())
+	}
+	totalEntries := 0
+	totalIWR := 0.0
+	for _, k := range kids {
+		fs, ok := d.FragStateOf(k)
+		if !ok {
+			t.Fatalf("missing frag state for %v", k)
+		}
+		totalEntries += fs.Entries
+		totalIWR += fs.Counters.Get(OpIWR, 0)
+	}
+	if totalEntries != 800 {
+		t.Fatalf("entries after split = %d", totalEntries)
+	}
+	if totalIWR < 799 || totalIWR > 801 {
+		t.Fatalf("heat after split = %v, want ~800", totalIWR)
+	}
+	if _, ok := d.FragStateOf(RootFrag); ok {
+		t.Fatal("root frag state should be gone after split")
+	}
+	// New creates land in the right frag's entry count.
+	mustCreate(t, ns, "/dir/extra", false)
+	fs, _ := d.FragStateOf(d.FragOfName("extra"))
+	found := 0
+	for _, k := range kids {
+		st, _ := d.FragStateOf(k)
+		found += st.Entries
+	}
+	if found != 801 || fs.Entries < 1 {
+		t.Fatalf("entry accounting after post-split create: total=%d", found)
+	}
+}
+
+func TestReaddirChargesAllFrags(t *testing.T) {
+	ns := New(0)
+	d := mustCreate(t, ns, "/dir", true)
+	ns.SplitDir(d, RootFrag, 1, 0)
+	ns.RecordOp(d, "", OpReaddir, 0)
+	for _, f := range d.FragTree().Leaves() {
+		fs, _ := d.FragStateOf(f)
+		if fs.Counters.Get(OpReaddir, 0) != 1 {
+			t.Fatalf("frag %v readdir counter = %v", f, fs.Counters.Get(OpReaddir, 0))
+		}
+	}
+	if d.Load(0).Readdir != 1 {
+		t.Fatalf("dir readdir = %v", d.Load(0).Readdir)
+	}
+}
+
+func TestSplitPathEdgeCases(t *testing.T) {
+	if parts, err := SplitPath("/"); err != nil || parts != nil {
+		t.Fatalf("SplitPath(/) = %v, %v", parts, err)
+	}
+	if parts, err := SplitPath("/a//b/"); err != nil || len(parts) != 0 {
+		// "//" produces an empty component and must be rejected.
+		if err == nil {
+			t.Fatalf("SplitPath(/a//b/) = %v, want error", parts)
+		}
+	}
+	parts, err := SplitPath("/a/b/")
+	if err != nil || len(parts) != 2 {
+		t.Fatalf("trailing slash: %v %v", parts, err)
+	}
+}
+
+func TestCreatePathExistingFile(t *testing.T) {
+	ns := New(sim.Second)
+	mustCreate(t, ns, "/a/f", false)
+	// Re-creating the same file path returns the existing node.
+	n, err := ns.CreatePath("/a/f", false)
+	if err != nil || n.Path() != "/a/f" {
+		t.Fatalf("n=%v err=%v", n, err)
+	}
+	// Creating a path through a file fails.
+	if _, err := ns.CreatePath("/a/f/x", false); !errors.Is(err, ErrNotDir) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMergeDirCoalesces(t *testing.T) {
+	ns := New(0)
+	d := mustCreate(t, ns, "/dir", true)
+	for i := 0; i < 200; i++ {
+		mustCreate(t, ns, fmt.Sprintf("/dir/f%03d", i), false)
+		ns.RecordOp(d, fmt.Sprintf("f%03d", i), OpIWR, 0)
+	}
+	ns.SplitDir(d, RootFrag, 2, 0)
+	if d.FragTree().NumLeaves() != 4 {
+		t.Fatalf("leaves = %d", d.FragTree().NumLeaves())
+	}
+	if !ns.MergeDir(d, RootFrag, 2, 0) {
+		t.Fatal("merge failed")
+	}
+	if d.FragTree().NumLeaves() != 1 {
+		t.Fatalf("leaves after merge = %d", d.FragTree().NumLeaves())
+	}
+	fs, ok := d.FragStateOf(RootFrag)
+	if !ok || fs.Entries != 200 {
+		t.Fatalf("merged entries = %d ok=%v", fs.Entries, ok)
+	}
+	// Heat survives the merge (±rounding).
+	if got := fs.Counters.Get(OpIWR, 0); got < 199 || got > 201 {
+		t.Fatalf("merged heat = %v", got)
+	}
+}
+
+func TestMergeDirPreservesAuth(t *testing.T) {
+	ns := New(0)
+	d := mustCreate(t, ns, "/dir", true)
+	kids := ns.SplitDir(d, RootFrag, 1, 0)
+	// Both kids owned by rank 2 (away from the dir's rank 0).
+	ns.SetFragAuth(d, kids[0], 2)
+	ns.SetFragAuth(d, kids[1], 2)
+	if !ns.MergeDir(d, RootFrag, 1, 0) {
+		t.Fatal("merge failed")
+	}
+	fs, _ := d.FragStateOf(RootFrag)
+	if fs.Auth() != 2 {
+		t.Fatalf("merged auth = %d, want 2", fs.Auth())
+	}
+	if got := ns.AuthForDentry(d, "anything"); got != 2 {
+		t.Fatalf("dentry auth = %d", got)
+	}
+}
+
+func TestMergeDirRefusals(t *testing.T) {
+	ns := New(0)
+	d := mustCreate(t, ns, "/dir", true)
+	kids := ns.SplitDir(d, RootFrag, 1, 0)
+	// Different auths → refuse.
+	ns.SetFragAuth(d, kids[0], 1)
+	if ns.MergeDir(d, RootFrag, 1, 0) {
+		t.Fatal("merged across different owners")
+	}
+	ns.SetFragAuth(d, kids[0], RankNone)
+	// Frozen child → refuse.
+	ns.FreezeFrag(d, kids[1], true)
+	if ns.MergeDir(d, RootFrag, 1, 0) {
+		t.Fatal("merged a frozen frag")
+	}
+	ns.FreezeFrag(d, kids[1], false)
+	// Grandchild present → refuse (not all leaves).
+	ns.SplitDir(d, kids[0], 1, 0)
+	if ns.MergeDir(d, RootFrag, 1, 0) {
+		t.Fatal("merged with grandchildren present")
+	}
+	// Zero bits → no-op.
+	if ns.MergeDir(d, RootFrag, 0, 0) {
+		t.Fatal("bits=0 merged")
+	}
+}

@@ -1,0 +1,180 @@
+package namespace
+
+import (
+	"sort"
+
+	"mantle/internal/sim"
+)
+
+// InodeID uniquely identifies an inode.
+type InodeID uint64
+
+// Rank identifies an MDS by its position in the cluster, 0-based.
+type Rank int
+
+// RankNone marks "no explicit authority; inherit from the parent".
+const RankNone Rank = -1
+
+// FragState is the live state of one directory fragment: its dentry count,
+// its own popularity counters, and an optional authority override (a frag
+// migrated away from its directory's MDS).
+type FragState struct {
+	Frag     Frag
+	Entries  int
+	Counters Counters
+	auth     Rank
+	frozen   bool
+	// LastAccess is when a namespace operation last touched the frag;
+	// the MDS cache model uses it to decide whether serving the frag
+	// needs a fetch from the object store.
+	LastAccess sim.Time
+}
+
+// Auth reports the frag's authority override (RankNone if inherited).
+func (fs *FragState) Auth() Rank { return fs.auth }
+
+// Frozen reports whether the frag is mid-migration.
+func (fs *FragState) Frozen() bool { return fs.frozen }
+
+// Node is a dentry/inode pair in the namespace tree. Inodes are embedded in
+// directories, as in CephFS, so migrating a directory carries its inodes.
+type Node struct {
+	name   string
+	ino    InodeID
+	parent *Node
+	isDir  bool
+
+	// File state.
+	Size int64
+
+	// Directory state (nil maps for files).
+	children map[string]*Node
+	fragtree *FragTree
+	frags    map[Frag]*FragState
+	counters Counters
+
+	authOverride Rank
+	frozen       bool
+	subtreeNodes int // nodes in this subtree, including self
+	rankSpread   int // distinct ranks owning this dir's live frags
+}
+
+// Name reports the dentry name ("" for the root).
+func (n *Node) Name() string { return n.name }
+
+// Ino reports the inode number.
+func (n *Node) Ino() InodeID { return n.ino }
+
+// Parent reports the containing directory (nil for the root).
+func (n *Node) Parent() *Node { return n.parent }
+
+// IsDir reports whether the node is a directory.
+func (n *Node) IsDir() bool { return n.isDir }
+
+// IsRoot reports whether the node is the namespace root.
+func (n *Node) IsRoot() bool { return n.parent == nil }
+
+// Path reconstructs the absolute path of the node.
+func (n *Node) Path() string {
+	if n.parent == nil {
+		return "/"
+	}
+	var parts []string
+	for cur := n; cur.parent != nil; cur = cur.parent {
+		parts = append(parts, cur.name)
+	}
+	size := 0
+	for _, p := range parts {
+		size += len(p) + 1
+	}
+	buf := make([]byte, 0, size)
+	for i := len(parts) - 1; i >= 0; i-- {
+		buf = append(buf, '/')
+		buf = append(buf, parts[i]...)
+	}
+	return string(buf)
+}
+
+// Depth reports the number of edges from the root.
+func (n *Node) Depth() int {
+	d := 0
+	for cur := n; cur.parent != nil; cur = cur.parent {
+		d++
+	}
+	return d
+}
+
+// NumChildren reports the number of dentries in the directory (0 for files).
+func (n *Node) NumChildren() int { return len(n.children) }
+
+// SubtreeNodes reports the number of nodes in the subtree, including n.
+func (n *Node) SubtreeNodes() int {
+	if !n.isDir {
+		return 1
+	}
+	return n.subtreeNodes
+}
+
+// Lookup finds a child dentry by name.
+func (n *Node) Lookup(name string) (*Node, bool) {
+	c, ok := n.children[name]
+	return c, ok
+}
+
+// ChildNames returns the dentry names in sorted order (deterministic
+// iteration matters for reproducible simulation).
+func (n *Node) ChildNames() []string {
+	out := make([]string, 0, len(n.children))
+	for name := range n.children {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Children calls fn for each child in sorted-name order; fn returning false
+// stops the iteration.
+func (n *Node) Children(fn func(*Node) bool) {
+	for _, name := range n.ChildNames() {
+		if !fn(n.children[name]) {
+			return
+		}
+	}
+}
+
+// FragTree exposes the directory's fragment tree (nil for files).
+func (n *Node) FragTree() *FragTree { return n.fragtree }
+
+// FragStateOf returns the live state for a leaf fragment.
+func (n *Node) FragStateOf(f Frag) (*FragState, bool) {
+	fs, ok := n.frags[f]
+	return fs, ok
+}
+
+// FragOfName returns the leaf fragment holding the dentry name.
+func (n *Node) FragOfName(name string) Frag { return n.fragtree.LeafOfName(name) }
+
+// Counters exposes the directory's aggregate popularity counters.
+func (n *Node) Counters() *Counters { return &n.counters }
+
+// Load reports the directory's counter snapshot at time now.
+func (n *Node) Load(now sim.Time) CounterSnapshot { return n.counters.Snapshot(now) }
+
+// AuthOverride reports the explicit authority label on this directory
+// (RankNone when authority is inherited).
+func (n *Node) AuthOverride() Rank { return n.authOverride }
+
+// Frozen reports whether the directory subtree is mid-migration.
+func (n *Node) Frozen() bool { return n.frozen }
+
+// RankSpread reports how many distinct MDS ranks own live fragments of this
+// directory (1 for an unfragmented or single-owner directory). Serving
+// mutations in a directory spread over several ranks pays a coherence cost
+// (fragstat scatter-gather), which is what makes over-distribution hurt in
+// the paper's Figures 7 and 8.
+func (n *Node) RankSpread() int {
+	if !n.isDir || n.rankSpread < 1 {
+		return 1
+	}
+	return n.rankSpread
+}

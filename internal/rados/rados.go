@@ -1,0 +1,343 @@
+// Package rados simulates the reliable object store that CephFS journals to
+// and swaps directory fragments out to. It provides pools of named objects
+// with byte data, omap key/value pairs and xattrs, CRUSH-style deterministic
+// placement onto simulated OSDs, replicated writes, and asynchronous
+// completion callbacks driven by the discrete-event engine.
+//
+// The data path of the paper's cluster (file contents striped over OSDs) is
+// intentionally out of scope — only the metadata path uses the object store —
+// but the latency of journal writes and dirfrag fetches/stores shapes MDS
+// behaviour, so those costs are modelled.
+package rados
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"mantle/internal/sim"
+)
+
+// Config models OSD and replication behaviour.
+type Config struct {
+	// OSDs is the number of object storage daemons.
+	OSDs int
+	// PGs is the number of placement groups per pool.
+	PGs int
+	// Replicas is the replication factor (writes complete after all
+	// replicas ack, as RADOS does).
+	Replicas int
+	// WriteLatency is the base latency for a replica write (journal +
+	// apply on the OSD's SSD journal partition).
+	WriteLatency sim.Time
+	// ReadLatency is the base latency for a primary read.
+	ReadLatency sim.Time
+	// BytePerUS adds size-dependent latency: one extra microsecond per
+	// this many bytes. Zero disables the size term.
+	BytePerUS int
+	// Jitter is applied to every OSD operation.
+	Jitter sim.Time
+}
+
+// DefaultConfig mirrors the paper's testbed shape: 18 OSDs with SSD journals.
+func DefaultConfig() Config {
+	return Config{
+		OSDs:         18,
+		PGs:          128,
+		Replicas:     2,
+		WriteLatency: 350 * sim.Microsecond,
+		ReadLatency:  300 * sim.Microsecond,
+		BytePerUS:    4096,
+		Jitter:       50 * sim.Microsecond,
+	}
+}
+
+// Object is a stored object.
+type Object struct {
+	Name  string
+	Data  []byte
+	OMap  map[string][]byte
+	XAttr map[string][]byte
+	// Version increments on every mutation.
+	Version uint64
+}
+
+func newObject(name string) *Object {
+	return &Object{Name: name, OMap: map[string][]byte{}, XAttr: map[string][]byte{}}
+}
+
+// osd tracks per-daemon counters so experiments can check balance.
+type osd struct {
+	id     int
+	reads  uint64
+	writes uint64
+	busy   sim.Time
+}
+
+// Pool is a named collection of objects with its own placement.
+type Pool struct {
+	name    string
+	cluster *Cluster
+	objects map[string]*Object
+}
+
+// Cluster is the simulated object store.
+type Cluster struct {
+	engine *sim.Engine
+	cfg    Config
+	pools  map[string]*Pool
+	osds   []*osd
+
+	// Ops counts completed operations by kind.
+	Reads, Writes uint64
+}
+
+// NewCluster builds an object store on the engine.
+func NewCluster(engine *sim.Engine, cfg Config) *Cluster {
+	if cfg.OSDs <= 0 {
+		panic("rados: need at least one OSD")
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.Replicas > cfg.OSDs {
+		cfg.Replicas = cfg.OSDs
+	}
+	if cfg.PGs <= 0 {
+		cfg.PGs = 64
+	}
+	c := &Cluster{engine: engine, cfg: cfg, pools: map[string]*Pool{}}
+	for i := 0; i < cfg.OSDs; i++ {
+		c.osds = append(c.osds, &osd{id: i})
+	}
+	return c
+}
+
+// Pool returns (creating if needed) the named pool.
+func (c *Cluster) Pool(name string) *Pool {
+	p, ok := c.pools[name]
+	if !ok {
+		p = &Pool{name: name, cluster: c, objects: map[string]*Object{}}
+		c.pools[name] = p
+	}
+	return p
+}
+
+// pgOf maps an object name to its placement group, like Ceph's stable hash.
+func (c *Cluster) pgOf(pool, name string) int {
+	h := fnv.New32a()
+	h.Write([]byte(pool))
+	h.Write([]byte{0})
+	h.Write([]byte(name))
+	return int(h.Sum32()) % c.cfg.PGs
+}
+
+// PlaceOSDs returns the ordered OSD set for an object: a deterministic
+// straw-style selection where each OSD draws a hash-weighted straw per PG and
+// the top Replicas win. This reproduces CRUSH's key property for our
+// purposes: placement is computable from the name alone, with no lookup
+// table, and is uniformly spread.
+func (c *Cluster) PlaceOSDs(pool, name string) []int {
+	pg := c.pgOf(pool, name)
+	type straw struct {
+		osd  int
+		draw uint64
+	}
+	straws := make([]straw, len(c.osds))
+	for i := range c.osds {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%s/%d/%d", pool, pg, i)
+		straws[i] = straw{osd: i, draw: h.Sum64()}
+	}
+	sort.Slice(straws, func(i, j int) bool {
+		if straws[i].draw != straws[j].draw {
+			return straws[i].draw > straws[j].draw
+		}
+		return straws[i].osd < straws[j].osd
+	})
+	out := make([]int, c.cfg.Replicas)
+	for i := 0; i < c.cfg.Replicas; i++ {
+		out[i] = straws[i].osd
+	}
+	return out
+}
+
+// opLatency computes the simulated latency for one replica op of size bytes.
+func (c *Cluster) opLatency(base sim.Time, bytes int) sim.Time {
+	l := base
+	if c.cfg.BytePerUS > 0 && bytes > 0 {
+		l += sim.Time(bytes / c.cfg.BytePerUS)
+	}
+	l += c.engine.Jitter(c.cfg.Jitter)
+	if l < sim.Microsecond {
+		l = sim.Microsecond
+	}
+	return l
+}
+
+// Write stores data into the named object (replacing existing data) and
+// invokes done when all replicas have acked. done may be nil.
+func (p *Pool) Write(name string, data []byte, done func()) {
+	c := p.cluster
+	placed := c.PlaceOSDs(p.name, name)
+	var worst sim.Time
+	for _, id := range placed {
+		l := c.opLatency(c.cfg.WriteLatency, len(data))
+		c.osds[id].writes++
+		c.osds[id].busy += l
+		if l > worst {
+			worst = l
+		}
+	}
+	c.engine.Schedule(worst, func() {
+		obj, ok := p.objects[name]
+		if !ok {
+			obj = newObject(name)
+			p.objects[name] = obj
+		}
+		obj.Data = append(obj.Data[:0], data...)
+		obj.Version++
+		c.Writes++
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// Append appends data to the object, creating it if missing.
+func (p *Pool) Append(name string, data []byte, done func()) {
+	c := p.cluster
+	placed := c.PlaceOSDs(p.name, name)
+	var worst sim.Time
+	for _, id := range placed {
+		l := c.opLatency(c.cfg.WriteLatency, len(data))
+		c.osds[id].writes++
+		c.osds[id].busy += l
+		if l > worst {
+			worst = l
+		}
+	}
+	c.engine.Schedule(worst, func() {
+		obj, ok := p.objects[name]
+		if !ok {
+			obj = newObject(name)
+			p.objects[name] = obj
+		}
+		obj.Data = append(obj.Data, data...)
+		obj.Version++
+		c.Writes++
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// Read fetches the object's data. done receives nil data if the object does
+// not exist (with ok=false).
+func (p *Pool) Read(name string, done func(data []byte, ok bool)) {
+	c := p.cluster
+	placed := c.PlaceOSDs(p.name, name)
+	primary := placed[0]
+	l := c.opLatency(c.cfg.ReadLatency, 0)
+	c.osds[primary].reads++
+	c.osds[primary].busy += l
+	c.engine.Schedule(l, func() {
+		c.Reads++
+		obj, ok := p.objects[name]
+		if !ok {
+			done(nil, false)
+			return
+		}
+		done(append([]byte(nil), obj.Data...), true)
+	})
+}
+
+// OMapSet writes key/value pairs into the object's omap (used for directory
+// fragments: one key per dentry, as CephFS stores dirfrags).
+func (p *Pool) OMapSet(name string, kv map[string][]byte, done func()) {
+	c := p.cluster
+	placed := c.PlaceOSDs(p.name, name)
+	size := 0
+	for k, v := range kv {
+		size += len(k) + len(v)
+	}
+	var worst sim.Time
+	for _, id := range placed {
+		l := c.opLatency(c.cfg.WriteLatency, size)
+		c.osds[id].writes++
+		c.osds[id].busy += l
+		if l > worst {
+			worst = l
+		}
+	}
+	c.engine.Schedule(worst, func() {
+		obj, ok := p.objects[name]
+		if !ok {
+			obj = newObject(name)
+			p.objects[name] = obj
+		}
+		for k, v := range kv {
+			obj.OMap[k] = append([]byte(nil), v...)
+		}
+		obj.Version++
+		c.Writes++
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// OMapGet reads the whole omap of an object.
+func (p *Pool) OMapGet(name string, done func(kv map[string][]byte, ok bool)) {
+	c := p.cluster
+	placed := c.PlaceOSDs(p.name, name)
+	l := c.opLatency(c.cfg.ReadLatency, 0)
+	c.osds[placed[0]].reads++
+	c.osds[placed[0]].busy += l
+	c.engine.Schedule(l, func() {
+		c.Reads++
+		obj, ok := p.objects[name]
+		if !ok {
+			done(nil, false)
+			return
+		}
+		out := make(map[string][]byte, len(obj.OMap))
+		for k, v := range obj.OMap {
+			out[k] = append([]byte(nil), v...)
+		}
+		done(out, true)
+	})
+}
+
+// Remove deletes an object; ok reports whether it existed.
+func (p *Pool) Remove(name string, done func(ok bool)) {
+	c := p.cluster
+	l := c.opLatency(c.cfg.WriteLatency, 0)
+	c.engine.Schedule(l, func() {
+		_, ok := p.objects[name]
+		delete(p.objects, name)
+		c.Writes++
+		if done != nil {
+			done(ok)
+		}
+	})
+}
+
+// Stat synchronously inspects an object without simulated latency; intended
+// for tests and post-run verification, not for the simulated data path.
+func (p *Pool) Stat(name string) (*Object, bool) {
+	o, ok := p.objects[name]
+	return o, ok
+}
+
+// Len reports the number of objects in the pool (no simulated latency).
+func (p *Pool) Len() int { return len(p.objects) }
+
+// OSDStats reports per-OSD (reads, writes) counters.
+func (c *Cluster) OSDStats() (reads, writes []uint64) {
+	for _, o := range c.osds {
+		reads = append(reads, o.reads)
+		writes = append(writes, o.writes)
+	}
+	return
+}

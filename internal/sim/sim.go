@@ -1,0 +1,248 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All components of the simulated metadata cluster (MDS nodes, clients, the
+// network, the object store) schedule work on a single Engine. Events fire in
+// (time, sequence) order, so two runs with the same seed and the same inputs
+// produce byte-identical results. Virtual time is kept in microseconds.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual timestamp in microseconds since the start of the run.
+type Time int64
+
+// Common durations expressed in the engine's microsecond unit.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+	Minute      Time = 60 * Second
+)
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis reports t as floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Duration converts t to a time.Duration for display purposes.
+func (t Time) Duration() time.Duration { return time.Duration(t) * time.Microsecond }
+
+func (t Time) String() string { return t.Duration().String() }
+
+// FromSeconds converts floating-point seconds into a virtual Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// Event is a scheduled callback. Events are one-shot; recurring behaviour is
+// built by re-scheduling from within the callback.
+type Event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	idx  int // heap index; -1 once popped or cancelled
+	dead bool
+}
+
+// At reports the virtual time the event will fire.
+func (e *Event) At() Time { return e.at }
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. It is not safe for concurrent use;
+// the simulation itself is single-threaded by design so that runs are
+// reproducible. Parallelism in experiments comes from running independent
+// engines on separate goroutines (see internal/experiments).
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	rng     *rand.Rand
+	stopped bool
+
+	// Processed counts events executed; useful for runaway detection.
+	Processed uint64
+	// MaxEvents aborts the run (panic) if more than this many events fire.
+	// Zero means no limit.
+	MaxEvents uint64
+}
+
+// NewEngine returns an engine whose random source is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand exposes the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule runs fn after delay (clamped to >= 0) and returns the event so the
+// caller may cancel it.
+func (e *Engine) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt runs fn at the absolute virtual time at. Times in the past are
+// clamped to "now" (the event still fires after currently-pending events with
+// earlier timestamps).
+func (e *Engine) ScheduleAt(at Time, fn func()) *Event {
+	if fn == nil {
+		panic("sim: ScheduleAt with nil callback")
+	}
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.dead {
+		return
+	}
+	ev.dead = true
+	if ev.idx >= 0 {
+		heap.Remove(&e.queue, ev.idx)
+	}
+}
+
+// Pending reports the number of events waiting to fire.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Stop makes the current Run return after the in-flight event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// step executes the earliest pending event. It reports false when the queue
+// is empty.
+func (e *Engine) step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.dead {
+			continue
+		}
+		ev.dead = true
+		e.now = ev.at
+		e.Processed++
+		if e.MaxEvents != 0 && e.Processed > e.MaxEvents {
+			panic(fmt.Sprintf("sim: exceeded MaxEvents=%d at t=%v", e.MaxEvents, e.now))
+		}
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains, until the first event whose
+// timestamp exceeds until would fire, or until Stop is called. When the run
+// ends for either of the first two reasons the clock advances to until;
+// after a Stop the clock stays at the stopping event so callers observe the
+// true end time.
+func (e *Engine) Run(until Time) {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 {
+			break
+		}
+		if e.queue[0].at > until {
+			break
+		}
+		e.step()
+	}
+	if !e.stopped && e.now < until {
+		e.now = until
+	}
+}
+
+// RunUntilIdle executes events until none remain.
+func (e *Engine) RunUntilIdle() {
+	e.stopped = false
+	for !e.stopped && e.step() {
+	}
+}
+
+// Ticker repeatedly invokes fn every interval until cancelled.
+type Ticker struct {
+	engine   *Engine
+	interval Time
+	fn       func()
+	ev       *Event
+	stopped  bool
+}
+
+// NewTicker schedules fn every interval, first firing after offset. A
+// non-zero offset lets callers stagger per-node periodic work (heartbeats)
+// the way independent daemons would be staggered in a real cluster.
+func (e *Engine) NewTicker(offset, interval Time, fn func()) *Ticker {
+	if interval <= 0 {
+		panic("sim: ticker interval must be positive")
+	}
+	t := &Ticker{engine: e, interval: interval, fn: fn}
+	t.ev = e.Schedule(offset, t.tick)
+	return t
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped {
+		t.ev = t.engine.Schedule(t.interval, t.tick)
+	}
+}
+
+// Stop cancels future firings.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.engine.Cancel(t.ev)
+}
+
+// Jitter returns a duration uniformly drawn from [-spread, +spread] using the
+// engine's deterministic RNG. A zero or negative spread returns 0.
+func (e *Engine) Jitter(spread Time) Time {
+	if spread <= 0 {
+		return 0
+	}
+	return Time(e.rng.Int63n(int64(2*spread)+1)) - spread
+}

@@ -1,0 +1,329 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	e.RunUntilIdle()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now() = %v, want 30", e.Now())
+	}
+}
+
+func TestFIFOAtSameTime(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.RunUntilIdle()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	fired := map[int]bool{}
+	e.Schedule(10, func() { fired[10] = true })
+	e.Schedule(100, func() { fired[100] = true })
+	e.Run(50)
+	if !fired[10] || fired[100] {
+		t.Fatalf("Run(50) fired = %v", fired)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("clock = %v, want 50", e.Now())
+	}
+	e.Run(200)
+	if !fired[100] {
+		t.Fatal("event at 100 never fired")
+	}
+}
+
+func TestRunClockAdvancesWhenIdle(t *testing.T) {
+	e := NewEngine(1)
+	e.Run(1234)
+	if e.Now() != 1234 {
+		t.Fatalf("clock = %v, want 1234", e.Now())
+	}
+}
+
+func TestScheduleAtPastClamped(t *testing.T) {
+	e := NewEngine(1)
+	var at Time = -1
+	e.Schedule(100, func() {
+		e.ScheduleAt(5, func() { at = e.Now() })
+	})
+	e.RunUntilIdle()
+	if at != 100 {
+		t.Fatalf("past event fired at %v, want clamp to 100", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.Schedule(10, func() { fired = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // double cancel is a no-op
+	e.RunUntilIdle()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", e.Pending())
+	}
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	evs := make([]*Event, 5)
+	for i := 0; i < 5; i++ {
+		i := i
+		evs[i] = e.Schedule(Time(10*(i+1)), func() { got = append(got, i) })
+	}
+	e.Cancel(evs[2])
+	e.RunUntilIdle()
+	want := []int{0, 1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Time(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.RunUntilIdle()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	// A new Run resumes.
+	e.RunUntilIdle()
+	if count != 10 {
+		t.Fatalf("after resume count = %d, want 10", count)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine(1)
+	var times []Time
+	tk := e.NewTicker(5, 10, func() { times = append(times, e.Now()) })
+	e.Run(100)
+	tk.Stop()
+	e.Run(200)
+	want := []Time{5, 15, 25, 35, 45, 55, 65, 75, 85, 95}
+	if len(times) != len(want) {
+		t.Fatalf("ticker fired %d times (%v), want %d", len(times), times, len(want))
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("tick %d at %v, want %v", i, times[i], want[i])
+		}
+	}
+}
+
+func TestTickerStopFromWithin(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	var tk *Ticker
+	tk = e.NewTicker(0, 10, func() {
+		count++
+		if count == 4 {
+			tk.Stop()
+		}
+	})
+	e.RunUntilIdle()
+	if count != 4 {
+		t.Fatalf("count = %d, want 4", count)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []int64 {
+		e := NewEngine(seed)
+		var trace []int64
+		var spawn func()
+		spawn = func() {
+			trace = append(trace, int64(e.Now()))
+			if len(trace) < 200 {
+				e.Schedule(Time(e.Rand().Int63n(100)+1), spawn)
+			}
+		}
+		e.Schedule(0, spawn)
+		e.RunUntilIdle()
+		return trace
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatal("traces differ in length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverges at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	e := NewEngine(7)
+	for i := 0; i < 1000; i++ {
+		j := e.Jitter(50)
+		if j < -50 || j > 50 {
+			t.Fatalf("jitter %d out of [-50, 50]", j)
+		}
+	}
+	if e.Jitter(0) != 0 || e.Jitter(-5) != 0 {
+		t.Fatal("non-positive spread must yield 0")
+	}
+}
+
+func TestMaxEventsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic from MaxEvents")
+		}
+	}()
+	e := NewEngine(1)
+	e.MaxEvents = 10
+	var loop func()
+	loop = func() { e.Schedule(1, loop) }
+	e.Schedule(0, loop)
+	e.RunUntilIdle()
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nil callback")
+		}
+	}()
+	NewEngine(1).Schedule(0, nil)
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order
+// and the processed count equals the number of scheduled events.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine(1)
+		var fired []Time
+		for _, d := range delays {
+			e.Schedule(Time(d), func() { fired = append(fired, e.Now()) })
+		}
+		e.RunUntilIdle()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return e.Processed == uint64(len(delays))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset removes exactly those events.
+func TestCancelProperty(t *testing.T) {
+	f := func(n uint8, seed int64) bool {
+		e := NewEngine(1)
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%64) + 1
+		evs := make([]*Event, count)
+		fired := make([]bool, count)
+		for i := 0; i < count; i++ {
+			i := i
+			evs[i] = e.Schedule(Time(rng.Intn(1000)), func() { fired[i] = true })
+		}
+		cancelled := make([]bool, count)
+		for i := 0; i < count; i++ {
+			if rng.Intn(2) == 0 {
+				cancelled[i] = true
+				e.Cancel(evs[i])
+			}
+		}
+		e.RunUntilIdle()
+		for i := 0; i < count; i++ {
+			if fired[i] == cancelled[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if FromSeconds(1.5) != 1500*Millisecond {
+		t.Fatalf("FromSeconds(1.5) = %v", FromSeconds(1.5))
+	}
+	if (2 * Second).Seconds() != 2.0 {
+		t.Fatal("Seconds conversion")
+	}
+	if (3 * Millisecond).Millis() != 3.0 {
+		t.Fatal("Millis conversion")
+	}
+	if (1500 * Microsecond).String() != "1.5ms" {
+		t.Fatalf("String() = %q", (1500 * Microsecond).String())
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	e := NewEngine(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Time(i%1000), func() {})
+		if e.Pending() > 10000 {
+			e.RunUntilIdle()
+		}
+	}
+	e.RunUntilIdle()
+}

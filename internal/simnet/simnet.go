@@ -1,0 +1,126 @@
+// Package simnet provides a simulated message-passing network on top of the
+// discrete-event engine. Every node gets an address; messages are delivered
+// after a per-link latency plus jitter. The network supports directional
+// partitions so tests can exercise stale-heartbeat behaviour (§2.2.2 of the
+// paper: "decentralized MDS state ... slightly stale").
+package simnet
+
+import (
+	"fmt"
+
+	"mantle/internal/sim"
+)
+
+// Addr identifies a node on the network. MDS ranks and clients share one
+// address space; the cluster harness assigns ranges.
+type Addr int
+
+// Message is anything a node sends to another. Concrete types are defined by
+// the protocol packages (mds, client).
+type Message any
+
+// Handler receives delivered messages.
+type Handler interface {
+	// HandleMessage is invoked by the network when a message arrives.
+	HandleMessage(from Addr, msg Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(from Addr, msg Message)
+
+// HandleMessage calls f(from, msg).
+func (f HandlerFunc) HandleMessage(from Addr, msg Message) { f(from, msg) }
+
+// Config holds the latency model.
+type Config struct {
+	// Latency is the one-way message delay.
+	Latency sim.Time
+	// Jitter is the max absolute deviation added to Latency, drawn
+	// uniformly from [-Jitter, +Jitter].
+	Jitter sim.Time
+}
+
+// DefaultConfig models a LAN: 150 µs one-way, ±30 µs jitter.
+func DefaultConfig() Config {
+	return Config{Latency: 150 * sim.Microsecond, Jitter: 30 * sim.Microsecond}
+}
+
+// Network delivers messages between registered nodes.
+type Network struct {
+	engine *sim.Engine
+	cfg    Config
+	nodes  map[Addr]Handler
+	cut    map[[2]Addr]bool
+
+	// Sent and Delivered count messages for observability.
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64
+}
+
+// New creates a network on the engine.
+func New(engine *sim.Engine, cfg Config) *Network {
+	if cfg.Latency < 0 {
+		panic("simnet: negative latency")
+	}
+	return &Network{engine: engine, cfg: cfg, nodes: map[Addr]Handler{}, cut: map[[2]Addr]bool{}}
+}
+
+// Register attaches a handler to an address. Registering an address twice
+// panics: it would silently split traffic in a way no real deployment allows.
+func (n *Network) Register(a Addr, h Handler) {
+	if _, dup := n.nodes[a]; dup {
+		panic(fmt.Sprintf("simnet: address %d registered twice", a))
+	}
+	if h == nil {
+		panic("simnet: nil handler")
+	}
+	n.nodes[a] = h
+}
+
+// Unregister removes a node; in-flight messages to it are dropped on arrival.
+func (n *Network) Unregister(a Addr) { delete(n.nodes, a) }
+
+// Partition cuts the directed link from -> to. Messages sent on a cut link
+// are silently dropped (counted in Dropped).
+func (n *Network) Partition(from, to Addr) { n.cut[[2]Addr{from, to}] = true }
+
+// Heal restores the directed link from -> to.
+func (n *Network) Heal(from, to Addr) { delete(n.cut, [2]Addr{from, to}) }
+
+// HealAll restores every link.
+func (n *Network) HealAll() { n.cut = map[[2]Addr]bool{} }
+
+// Send schedules delivery of msg from -> to after the configured latency.
+// Sending to an unknown address is not an error at send time; the message is
+// dropped at delivery time, as a real network would deliver to a dead host.
+func (n *Network) Send(from, to Addr, msg Message) {
+	n.Sent++
+	if n.cut[[2]Addr{from, to}] {
+		n.Dropped++
+		return
+	}
+	delay := n.cfg.Latency + n.engine.Jitter(n.cfg.Jitter)
+	if delay < 0 {
+		delay = 0
+	}
+	n.engine.Schedule(delay, func() {
+		h, ok := n.nodes[to]
+		if !ok {
+			n.Dropped++
+			return
+		}
+		n.Delivered++
+		h.HandleMessage(from, msg)
+	})
+}
+
+// Broadcast sends msg from -> each address in to.
+func (n *Network) Broadcast(from Addr, to []Addr, msg Message) {
+	for _, a := range to {
+		n.Send(from, a, msg)
+	}
+}
+
+// Latency reports the configured base one-way latency.
+func (n *Network) Latency() sim.Time { return n.cfg.Latency }

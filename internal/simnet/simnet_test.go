@@ -1,0 +1,180 @@
+package simnet
+
+import (
+	"testing"
+
+	"mantle/internal/sim"
+)
+
+type recorder struct {
+	got []Message
+	at  []sim.Time
+	eng *sim.Engine
+}
+
+func (r *recorder) HandleMessage(from Addr, msg Message) {
+	r.got = append(r.got, msg)
+	r.at = append(r.at, r.eng.Now())
+}
+
+func newPair(t *testing.T, cfg Config) (*sim.Engine, *Network, *recorder, *recorder) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	n := New(e, cfg)
+	a := &recorder{eng: e}
+	b := &recorder{eng: e}
+	n.Register(1, a)
+	n.Register(2, b)
+	return e, n, a, b
+}
+
+func TestDeliveryLatency(t *testing.T) {
+	e, n, _, b := newPair(t, Config{Latency: 100})
+	n.Send(1, 2, "hello")
+	e.RunUntilIdle()
+	if len(b.got) != 1 || b.got[0] != "hello" {
+		t.Fatalf("got %v", b.got)
+	}
+	if b.at[0] != 100 {
+		t.Fatalf("delivered at %v, want 100", b.at[0])
+	}
+}
+
+func TestJitterWithinBounds(t *testing.T) {
+	e, n, _, b := newPair(t, Config{Latency: 100, Jitter: 30})
+	for i := 0; i < 200; i++ {
+		n.Send(1, 2, i)
+	}
+	e.RunUntilIdle()
+	if len(b.got) != 200 {
+		t.Fatalf("delivered %d, want 200", len(b.got))
+	}
+	for _, at := range b.at {
+		if at < 70 || at > 130 {
+			t.Fatalf("delivery at %v outside [70,130]", at)
+		}
+	}
+}
+
+func TestUnknownDestinationDropped(t *testing.T) {
+	e, n, _, _ := newPair(t, Config{Latency: 10})
+	n.Send(1, 99, "void")
+	e.RunUntilIdle()
+	if n.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", n.Dropped)
+	}
+}
+
+func TestUnregisterDropsInFlight(t *testing.T) {
+	e, n, _, b := newPair(t, Config{Latency: 10})
+	n.Send(1, 2, "x")
+	n.Unregister(2)
+	e.RunUntilIdle()
+	if len(b.got) != 0 {
+		t.Fatal("message delivered to unregistered node")
+	}
+	if n.Dropped != 1 {
+		t.Fatalf("dropped = %d", n.Dropped)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	e, n, a, b := newPair(t, Config{Latency: 10})
+	n.Partition(1, 2)
+	n.Send(1, 2, "lost")
+	n.Send(2, 1, "reverse-ok") // partition is directional
+	e.RunUntilIdle()
+	if len(b.got) != 0 {
+		t.Fatal("partitioned message delivered")
+	}
+	if len(a.got) != 1 {
+		t.Fatal("reverse direction should deliver")
+	}
+	n.Heal(1, 2)
+	n.Send(1, 2, "found")
+	e.RunUntilIdle()
+	if len(b.got) != 1 || b.got[0] != "found" {
+		t.Fatalf("after heal got %v", b.got)
+	}
+}
+
+func TestHealAll(t *testing.T) {
+	e, n, _, b := newPair(t, Config{Latency: 10})
+	n.Partition(1, 2)
+	n.Partition(2, 1)
+	n.HealAll()
+	n.Send(1, 2, "x")
+	e.RunUntilIdle()
+	if len(b.got) != 1 {
+		t.Fatal("HealAll did not restore links")
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e, Config{Latency: 5})
+	recs := make([]*recorder, 4)
+	addrs := make([]Addr, 0, 3)
+	for i := range recs {
+		recs[i] = &recorder{eng: e}
+		n.Register(Addr(i), recs[i])
+		if i > 0 {
+			addrs = append(addrs, Addr(i))
+		}
+	}
+	n.Broadcast(0, addrs, "hb")
+	e.RunUntilIdle()
+	for i := 1; i < 4; i++ {
+		if len(recs[i].got) != 1 {
+			t.Fatalf("node %d got %d messages", i, len(recs[i].got))
+		}
+	}
+	if len(recs[0].got) != 0 {
+		t.Fatal("sender received its own broadcast")
+	}
+	if n.Sent != 3 || n.Delivered != 3 {
+		t.Fatalf("sent=%d delivered=%d", n.Sent, n.Delivered)
+	}
+}
+
+func TestFIFOPerLinkWithoutJitter(t *testing.T) {
+	e, n, _, b := newPair(t, Config{Latency: 10})
+	for i := 0; i < 50; i++ {
+		n.Send(1, 2, i)
+	}
+	e.RunUntilIdle()
+	for i, m := range b.got {
+		if m.(int) != i {
+			t.Fatalf("out of order delivery: %v", b.got)
+		}
+	}
+}
+
+func TestDoubleRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e := sim.NewEngine(1)
+	n := New(e, Config{})
+	n.Register(1, HandlerFunc(func(Addr, Message) {}))
+	n.Register(1, HandlerFunc(func(Addr, Message) {}))
+}
+
+func TestHandlerFunc(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e, Config{Latency: 1})
+	var got Message
+	n.Register(7, HandlerFunc(func(from Addr, msg Message) {
+		if from != 3 {
+			t.Errorf("from = %d", from)
+		}
+		got = msg
+	}))
+	n.Send(3, 7, 42)
+	e.RunUntilIdle()
+	if got != 42 {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -1,0 +1,63 @@
+// Package stats provides the measurement primitives used throughout the
+// simulated metadata cluster: exponentially decaying popularity counters
+// (the "heat" of Figure 1 in the paper), time series with windowed rates,
+// running mean/stddev accumulators, percentile summaries, and heat-map grids.
+package stats
+
+import (
+	"math"
+
+	"mantle/internal/sim"
+)
+
+// DecayCounter is an exponentially decaying counter equivalent to the
+// popularity counters CephFS stores in each directory. A hit adds weight;
+// the value halves every half-life. Decay is applied lazily on access, so
+// idle counters cost nothing.
+type DecayCounter struct {
+	val      float64
+	last     sim.Time
+	halfLife sim.Time
+}
+
+// NewDecayCounter returns a counter with the given half-life. A zero or
+// negative half-life yields a counter that never decays.
+func NewDecayCounter(halfLife sim.Time) DecayCounter {
+	return DecayCounter{halfLife: halfLife}
+}
+
+// decayTo folds elapsed time into val.
+func (c *DecayCounter) decayTo(now sim.Time) {
+	if now <= c.last {
+		return
+	}
+	if c.halfLife > 0 && c.val != 0 {
+		elapsed := float64(now-c.last) / float64(c.halfLife)
+		c.val *= math.Exp2(-elapsed)
+		if c.val < 1e-9 {
+			c.val = 0
+		}
+	}
+	c.last = now
+}
+
+// Hit adds delta at time now.
+func (c *DecayCounter) Hit(now sim.Time, delta float64) {
+	c.decayTo(now)
+	c.val += delta
+}
+
+// Get reports the decayed value at time now.
+func (c *DecayCounter) Get(now sim.Time) float64 {
+	c.decayTo(now)
+	return c.val
+}
+
+// Reset zeroes the counter.
+func (c *DecayCounter) Reset(now sim.Time) {
+	c.val = 0
+	c.last = now
+}
+
+// HalfLife reports the configured half-life.
+func (c *DecayCounter) HalfLife() sim.Time { return c.halfLife }

@@ -1,0 +1,188 @@
+// Package workload generates the metadata request streams used in the
+// paper's evaluation: create-heavy jobs (separate or shared directories),
+// the phase-structured compile job (untar → compile with hotspots → link
+// flash crowd), and generic building blocks for custom streams.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mantle/internal/mds"
+)
+
+// Op is one metadata operation to issue.
+type Op struct {
+	Type    mds.OpType
+	Path    string
+	DstPath string
+}
+
+// Generator produces a client's operation stream. Next returns ok=false
+// when the stream is exhausted.
+type Generator interface {
+	Next() (Op, bool)
+}
+
+// SliceGen replays a fixed slice of operations.
+type SliceGen struct {
+	Ops []Op
+	i   int
+}
+
+// Next implements Generator.
+func (s *SliceGen) Next() (Op, bool) {
+	if s.i >= len(s.Ops) {
+		return Op{}, false
+	}
+	op := s.Ops[s.i]
+	s.i++
+	return op, true
+}
+
+// Remaining reports how many operations are left.
+func (s *SliceGen) Remaining() int { return len(s.Ops) - s.i }
+
+// Concat chains generators in order.
+type Concat struct {
+	Gens []Generator
+	i    int
+}
+
+// Next implements Generator.
+func (c *Concat) Next() (Op, bool) {
+	for c.i < len(c.Gens) {
+		op, ok := c.Gens[c.i].Next()
+		if ok {
+			return op, true
+		}
+		c.i++
+	}
+	return Op{}, false
+}
+
+// FuncGen adapts a closure to Generator.
+type FuncGen func() (Op, bool)
+
+// Next implements Generator.
+func (f FuncGen) Next() (Op, bool) { return f() }
+
+// CreateConfig describes a create-heavy job.
+type CreateConfig struct {
+	// Dir is the directory files are created in.
+	Dir string
+	// Files is how many files this client creates.
+	Files int
+	// Prefix distinguishes this client's file names (shared-directory
+	// runs must not collide).
+	Prefix string
+	// Mkdir creates Dir first.
+	Mkdir bool
+	// StatEvery interleaves a getattr after every N creates (0 = none),
+	// approximating the checkpoint-like create workloads that also read
+	// attributes.
+	StatEvery int
+}
+
+// Creates generates a create-intensive stream: optional mkdir, then Files
+// creates (with optional interleaved getattrs).
+func Creates(cfg CreateConfig) Generator {
+	i := 0
+	mkdirDone := !cfg.Mkdir
+	sinceStat := 0
+	var lastPath string
+	return FuncGen(func() (Op, bool) {
+		if !mkdirDone {
+			mkdirDone = true
+			return Op{Type: mds.OpMkdir, Path: cfg.Dir}, true
+		}
+		if cfg.StatEvery > 0 && sinceStat >= cfg.StatEvery && lastPath != "" {
+			sinceStat = 0
+			return Op{Type: mds.OpGetattr, Path: lastPath}, true
+		}
+		if i >= cfg.Files {
+			return Op{}, false
+		}
+		lastPath = fmt.Sprintf("%s/%s%07d", cfg.Dir, cfg.Prefix, i)
+		i++
+		sinceStat++
+		return Op{Type: mds.OpCreate, Path: lastPath}, true
+	})
+}
+
+// SeparateDirCreates is the Figure 4/5 workload: each client creates Files
+// files in its own directory under root.
+func SeparateDirCreates(root string, client, files int) Generator {
+	return Creates(CreateConfig{
+		Dir:    fmt.Sprintf("%s/client%d", root, client),
+		Files:  files,
+		Prefix: "f",
+		Mkdir:  true,
+	})
+}
+
+// SharedDirCreates is the Figure 7 workload: all clients create in the same
+// directory (client 0 creates it).
+func SharedDirCreates(dir string, client, files int) Generator {
+	return Creates(CreateConfig{
+		Dir:    dir,
+		Files:  files,
+		Prefix: fmt.Sprintf("c%d-", client),
+		Mkdir:  client == 0,
+	})
+}
+
+// ChurnConfig describes a metadata churn job: files are created, stat'ed,
+// renamed, touched and eventually unlinked — the request mix that exercises
+// rename/setattr/unlink paths and dirfrag merging.
+type ChurnConfig struct {
+	// Dir is the working directory (created first).
+	Dir string
+	// Files is the number of live files churned.
+	Files int
+	// Rounds is how many churn passes run after the initial create.
+	Rounds int
+	// Prefix namespaces this client's files.
+	Prefix string
+	// Seed drives the deterministic op mix.
+	Seed int64
+}
+
+// Churn builds the generator: create everything, then per round rename a
+// third, setattr a third and stat a third, and finally unlink everything.
+func Churn(cfg ChurnConfig) Generator {
+	if cfg.Files <= 0 {
+		cfg.Files = 100
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	name := func(i, gen int) string {
+		return fmt.Sprintf("%s/%s%06d.g%d", cfg.Dir, cfg.Prefix, i, gen)
+	}
+	var ops []Op
+	ops = append(ops, Op{Type: mds.OpMkdir, Path: cfg.Dir})
+	gen := make([]int, cfg.Files)
+	for i := 0; i < cfg.Files; i++ {
+		ops = append(ops, Op{Type: mds.OpCreate, Path: name(i, 0)})
+	}
+	for r := 0; r < cfg.Rounds; r++ {
+		for i := 0; i < cfg.Files; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				ops = append(ops, Op{Type: mds.OpRename,
+					Path: name(i, gen[i]), DstPath: name(i, gen[i]+1)})
+				gen[i]++
+			case 1:
+				ops = append(ops, Op{Type: mds.OpSetattr, Path: name(i, gen[i])})
+			default:
+				ops = append(ops, Op{Type: mds.OpGetattr, Path: name(i, gen[i])})
+			}
+		}
+	}
+	for i := 0; i < cfg.Files; i++ {
+		ops = append(ops, Op{Type: mds.OpUnlink, Path: name(i, gen[i])})
+	}
+	return &SliceGen{Ops: ops}
+}

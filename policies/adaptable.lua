@@ -1,0 +1,21 @@
+-- policy: adaptable
+-- [metaload]
+IWR + IRD
+-- [mdsload]
+MDSs[i]["all"]
+-- [when]
+local biggest = 0
+for i = 1, #MDSs do
+  biggest = max(MDSs[i]["load"], biggest)
+end
+myLoad = MDSs[whoami]["load"]
+if myLoad > total/2 and myLoad >= biggest then
+-- [where]
+local targetLoad = total/#MDSs
+for i = 1, #MDSs do
+  if i ~= whoami and MDSs[i]["load"] < targetLoad then
+    targets[i] = targetLoad - MDSs[i]["load"]
+  end
+end
+-- [howmuch]
+{"half","small","big","big_small"}

@@ -1,0 +1,16 @@
+-- policy: adaptable_too_aggressive
+-- [metaload]
+IWR + IRD
+-- [mdsload]
+MDSs[i]["all"]
+-- [when]
+if total > 0 and MDSs[whoami]["load"] > total/#MDSs then
+-- [where]
+local targetLoad = total/#MDSs
+for i = 1, #MDSs do
+  if i ~= whoami and MDSs[i]["load"] < targetLoad then
+    targets[i] = targetLoad - MDSs[i]["load"]
+  end
+end
+-- [howmuch]
+{"half","small","big","big_small"}

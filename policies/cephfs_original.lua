@@ -1,0 +1,30 @@
+-- policy: cephfs_original
+-- [metaload]
+IRD + 2*IWR + READDIR + 2*FETCH + 4*STORE
+-- [mdsload]
+0.8*MDSs[i]["auth"] + 0.2*MDSs[i]["all"] + MDSs[i]["req"] + 10*MDSs[i]["q"]
+-- [when]
+if total >= 1 and MDSs[whoami]["load"] > total/#MDSs then
+-- [where]
+local mean = total/#MDSs
+local my = MDSs[whoami]["load"]
+local excess = my - mean
+if excess > 0 then
+  local deficit = 0
+  for i = 1, #MDSs do
+    if i ~= whoami and MDSs[i]["load"] < mean then
+      deficit = deficit + (mean - MDSs[i]["load"])
+    end
+  end
+  if deficit > 0 then
+    local scale = excess / deficit
+    if scale > 1 then scale = 1 end
+    for i = 1, #MDSs do
+      if i ~= whoami and MDSs[i]["load"] < mean then
+        targets[i] = (mean - MDSs[i]["load"]) * scale * 0.8
+      end
+    end
+  end
+end
+-- [howmuch]
+{"big_first"}

@@ -1,0 +1,19 @@
+-- policy: coalesce_home
+-- [metaload]
+IWR + IRD
+-- [mdsload]
+MDSs[i]["all"]
+-- [when]
+if whoami == 1 then return false end
+local calm = RDstate() or 0
+if MDSs[whoami]["load"] < 10 and MDSs[whoami]["load"] > 0 then
+  if calm >= 1 then WRstate(0) return true end
+  WRstate(calm + 1)
+else
+  WRstate(0)
+end
+return false
+-- [where]
+targets[1] = MDSs[whoami]["load"]
+-- [howmuch]
+{"big_first","half"}

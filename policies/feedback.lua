@@ -1,0 +1,25 @@
+-- policy: feedback
+-- [metaload]
+IWR + IRD
+-- [mdsload]
+MDSs[i]["all"]
+-- [when]
+if total >= 1 and MDSs[whoami]["load"] > (total/#MDSs)*1.1 then
+-- [where]
+local frac = RDstate() or 0.1
+local mean = total/#MDSs
+local mine = MDSs[whoami]["load"]
+local err = (mine - mean) / max(mine, 1)
+frac = min(0.5, max(0.05, frac + 0.5*(err - frac)))
+WRstate(frac)
+local best, bestLoad = nil, nil
+for i = 1, #MDSs do
+  if i ~= whoami and (best == nil or MDSs[i]["load"] < bestLoad) then
+    best, bestLoad = i, MDSs[i]["load"]
+  end
+end
+if best ~= nil then
+  targets[best] = mine * frac
+end
+-- [howmuch]
+{"big_small","small_first","big_first"}

@@ -1,0 +1,17 @@
+-- policy: fill_and_spill
+-- [metaload]
+IRD + IWR
+-- [mdsload]
+MDSs[i]["all"]
+-- [when]
+local wait = RDState() or 2
+go = 0
+if MDSs[whoami]["cpu"] > 85 then
+  if wait > 0 then WRState(wait-1)
+  else WRState(2) go = 1 end
+else WRState(2) end
+if go == 1 and whoami < #MDSs then
+-- [where]
+targets[whoami+1] = MDSs[whoami]["load"]/4
+-- [howmuch]
+{"small_first","big_small","big_first"}

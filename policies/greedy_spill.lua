@@ -1,0 +1,12 @@
+-- policy: greedy_spill
+-- [metaload]
+IWR
+-- [mdsload]
+MDSs[i]["all"]
+-- [when]
+if whoami < #MDSs and MDSs[whoami]["load"] > .01 and
+   MDSs[whoami+1]["load"] < .01 then
+-- [where]
+targets[whoami+1] = allmetaload/2
+-- [howmuch]
+{"half"}

@@ -1,0 +1,15 @@
+-- policy: greedy_spill_even
+-- [metaload]
+IWR
+-- [mdsload]
+MDSs[i]["all"]
+-- [when]
+t = math.floor((#MDSs - whoami + 1)/2) + whoami
+if t > #MDSs then t = whoami end
+while t ~= whoami and MDSs[t]["load"] >= .01 do t = t - 1 end
+if t ~= whoami and MDSs[whoami]["load"] > .01 and
+   MDSs[t]["load"] < .01 then
+-- [where]
+targets[t] = MDSs[whoami]["load"]/2
+-- [howmuch]
+{"half"}
