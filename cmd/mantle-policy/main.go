@@ -4,11 +4,18 @@
 // cluster, the safety tool §4.4 of the paper describes ("we wrote a
 // simulator that checks the logic before injecting policies").
 //
+// It also replays a balancer flight-recorder log (from `mantle-sim
+// -telemetry`) through an alternate policy: a what-if analysis showing, per
+// recorded heartbeat, whether the other policy would have migrated, where,
+// and how much — without rerunning the simulation.
+//
 // Usage:
 //
 //	mantle-policy list
 //	mantle-policy show greedy_spill > gs.lua
 //	mantle-policy check gs.lua
+//	mantle-policy replay run_flight.jsonl fill_and_spill
+//	mantle-policy replay run_flight.jsonl gs.lua
 package main
 
 import (
@@ -17,7 +24,10 @@ import (
 	"path/filepath"
 	"strings"
 
+	"mantle/internal/balancer"
 	"mantle/internal/core"
+	"mantle/internal/telemetry"
+	"mantle/internal/telemetry/flight"
 )
 
 func main() {
@@ -49,14 +59,21 @@ func main() {
 			os.Exit(2)
 		}
 		base := strings.TrimSuffix(filepath.Base(os.Args[2]), filepath.Ext(os.Args[2]))
-		p, err := core.ParsePolicyFile(base, string(data))
+		_, rep, err := core.CheckPolicyFile(base, string(data))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		rep := core.Validate(p)
 		fmt.Print(rep.String())
 		if !rep.OK() {
+			os.Exit(1)
+		}
+	case "replay":
+		if len(os.Args) != 4 {
+			usage()
+		}
+		if err := replay(os.Args[2], os.Args[3]); err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	default:
@@ -64,11 +81,100 @@ func main() {
 	}
 }
 
+// loadPolicy resolves a policy argument: a .lua file on disk wins, otherwise
+// a built-in name.
+func loadPolicy(arg string) (core.Policy, error) {
+	if data, err := os.ReadFile(arg); err == nil {
+		base := strings.TrimSuffix(filepath.Base(arg), filepath.Ext(arg))
+		return core.ParsePolicyFile(base, string(data))
+	}
+	if p, ok := core.Policies()[arg]; ok {
+		return p, nil
+	}
+	return core.Policy{}, fmt.Errorf("policy %q is neither a readable file nor a built-in (have: %s)",
+		arg, strings.Join(core.PolicyNames(), ", "))
+}
+
+// replay re-feeds a flight-recorder log through an alternate policy and
+// prints the per-heartbeat decision diff.
+func replay(logPath, policyArg string) error {
+	f, err := os.Open(logPath)
+	if err != nil {
+		return err
+	}
+	records, err := telemetry.ReadFlightLog(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if len(records) == 0 {
+		return fmt.Errorf("%s holds no heartbeat records", logPath)
+	}
+	p, err := loadPolicy(policyArg)
+	if err != nil {
+		return err
+	}
+	if rep := core.Validate(p); !rep.OK() {
+		return fmt.Errorf("refusing to replay unsafe policy:\n%s", rep)
+	}
+	outcomes, err := flight.Replay(records, func(int) (balancer.Balancer, error) {
+		return core.NewLuaBalancer(p, core.Options{})
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replaying %d heartbeats from %s: %s (recorded) vs %s (alternate)\n",
+		len(records), logPath, records[0].Policy, p.Name)
+	var diffs, whenDiffs, targetDiffs, errs int
+	for _, o := range outcomes {
+		mark := " "
+		if o.Differs() {
+			mark = "*"
+			diffs++
+			if o.WhenDiffers() {
+				whenDiffs++
+			} else {
+				targetDiffs++
+			}
+		}
+		fmt.Printf("%s t=%8.2fs rank %d  recorded: %-28s  %s: %s",
+			mark, float64(o.Rec.TUS)/1e6, o.Rec.Rank,
+			verdict(o.Rec.When, o.Rec.Targets), p.Name, verdict(o.When, o.Targets))
+		if len(o.Errors) > 0 {
+			errs++
+			fmt.Printf("  [hook error: %s]", o.Errors[0])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%d/%d heartbeats differ (%d when, %d targets), %d alternate-policy errors\n",
+		diffs, len(outcomes), whenDiffs, targetDiffs, errs)
+	return nil
+}
+
+// verdict renders one policy's decision compactly: "-" (no migration) or
+// "-> 1:10.0 2:3.5" (destination rank:load pairs).
+func verdict(when bool, targets []telemetry.Target) string {
+	if !when {
+		return "-"
+	}
+	if len(targets) == 0 {
+		return "-> (none)"
+	}
+	var b strings.Builder
+	b.WriteString("->")
+	for _, t := range targets {
+		fmt.Fprintf(&b, " %d:%.1f", t.Rank, t.Load)
+	}
+	return b.String()
+}
+
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   mantle-policy list              list built-in policies
   mantle-policy show <name>       print a built-in policy as an injectable file
   mantle-policy check <file.lua>  lint a policy file against synthetic cluster states
+  mantle-policy replay <flight.jsonl> <name|file.lua>
+                                  what-if: re-run recorded heartbeats under another policy
 `)
 	os.Exit(2)
 }

@@ -20,6 +20,7 @@ import (
 	"mantle/internal/core"
 	"mantle/internal/mon"
 	"mantle/internal/sim"
+	"mantle/internal/telemetry"
 	"mantle/internal/workload"
 )
 
@@ -40,6 +41,8 @@ func main() {
 		crashRank = flag.Int("crash-rank", -1, "rank to crash at -crash-at (requires -standbys or manual recovery)")
 		crashAt   = flag.Duration("crash-at", 0, "virtual time of the injected crash")
 		csvPrefix = flag.String("csv", "", "write <prefix>_throughput.csv and <prefix>_clients.csv")
+		telPrefix = flag.String("telemetry", "", "enable telemetry; write <prefix>_metrics.{csv,jsonl}, <prefix>_trace.json, <prefix>_flight.jsonl")
+		traceNet  = flag.Bool("trace-net", false, "include per-message network events in the trace (large; requires -telemetry)")
 	)
 	flag.Parse()
 
@@ -68,6 +71,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *telPrefix != "" {
+		c.EnableTelemetry(telemetry.Options{
+			Metrics:        true,
+			Trace:          true,
+			TraceNet:       *traceNet,
+			FlightRecorder: true,
+		})
 	}
 	for i := 0; i < *clients; i++ {
 		switch *wl {
@@ -163,9 +174,51 @@ func main() {
 			fmt.Println("wrote", name)
 		}
 	}
+	if *telPrefix != "" {
+		if err := writeTelemetry(c, *telPrefix); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if !res.AllDone {
 		os.Exit(1)
 	}
+}
+
+// writeTelemetry exports every enabled telemetry artefact under the prefix.
+func writeTelemetry(c *cluster.Cluster, prefix string) error {
+	t := c.Tel
+	type artefact struct {
+		suffix string
+		write  func(*os.File) error
+	}
+	var arts []artefact
+	if t.Reg != nil {
+		arts = append(arts,
+			artefact{"_metrics.csv", func(f *os.File) error { return t.Reg.WriteCSV(f) }},
+			artefact{"_metrics.jsonl", func(f *os.File) error { return t.Reg.WriteJSONL(f) }})
+	}
+	if t.Tracer != nil {
+		arts = append(arts, artefact{"_trace.json", func(f *os.File) error { return t.Tracer.WriteJSON(f) }})
+	}
+	if t.Recorder != nil {
+		arts = append(arts, artefact{"_flight.jsonl", func(f *os.File) error { return t.Recorder.WriteJSONL(f) }})
+	}
+	for _, a := range arts {
+		f, err := os.Create(prefix + a.suffix)
+		if err != nil {
+			return err
+		}
+		if err := a.write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote", prefix+a.suffix)
+	}
+	return nil
 }
 
 func pickPolicy(name, file string) (core.Policy, error) {

@@ -2,10 +2,15 @@
 // (one op per line). Pair it with `mantle-sim -workload trace -trace f` to
 // replay, or post-process traces from other systems into the same format.
 //
+// With -flight it instead converts a balancer flight-recorder log (from
+// `mantle-sim -telemetry`) into Chrome trace_event JSON on stdout, viewable
+// in chrome://tracing or Perfetto.
+//
 // Usage:
 //
 //	mantle-trace -workload compile -files 500 -seed 3 > compile.trace
 //	mantle-trace -workload shared -client 2 -files 10000 > client2.trace
+//	mantle-trace -flight run_flight.jsonl > balancer_trace.json
 package main
 
 import (
@@ -13,18 +18,28 @@ import (
 	"fmt"
 	"os"
 
+	"mantle/internal/telemetry"
 	"mantle/internal/workload"
 )
 
 func main() {
 	var (
-		wl     = flag.String("workload", "separate", "workload: separate | shared | compile | flashcrowd")
-		files  = flag.Int("files", 10000, "files per client (creates) or per directory (compile)")
-		client = flag.Int("client", 0, "client index (names and tree roots)")
-		seed   = flag.Int64("seed", 1, "random seed")
-		bursts = flag.Int("bursts", 2000, "ops for the flash-crowd workload")
+		wl        = flag.String("workload", "separate", "workload: separate | shared | compile | flashcrowd")
+		files     = flag.Int("files", 10000, "files per client (creates) or per directory (compile)")
+		client    = flag.Int("client", 0, "client index (names and tree roots)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		bursts    = flag.Int("bursts", 2000, "ops for the flash-crowd workload")
+		flightLog = flag.String("flight", "", "convert a flight-recorder JSONL log to Chrome trace JSON instead")
 	)
 	flag.Parse()
+
+	if *flightLog != "" {
+		if err := convertFlight(*flightLog); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var gen workload.Generator
 	switch *wl {
@@ -57,4 +72,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// convertFlight renders a flight-recorder log as Chrome trace JSON on stdout.
+func convertFlight(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	records, err := telemetry.ReadFlightLog(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	return telemetry.FlightTrace(records).WriteJSON(os.Stdout)
 }

@@ -13,6 +13,7 @@ import (
 	"mantle/internal/sim"
 	"mantle/internal/simnet"
 	"mantle/internal/stats"
+	"mantle/internal/telemetry"
 	"mantle/internal/workload"
 )
 
@@ -91,6 +92,27 @@ type Client struct {
 	OnDone func(c *Client)
 	// OnComplete fires per completed op (cluster metrics hook).
 	OnComplete func(c *Client, op workload.Op, served namespace.Rank, lat sim.Time)
+
+	// Telemetry (nil = disabled).
+	tel      *telemetry.Telemetry
+	hLatency *telemetry.Histogram
+	hHops    *telemetry.Histogram
+	cFlushes *telemetry.Counter
+	cOps     *telemetry.Counter
+}
+
+// SetTelemetry attaches a telemetry sink. Client metrics are keyed by client
+// ID so per-client tails are visible; span emission threads the TraceID the
+// MDS echoes through forwards and journal writes.
+func (c *Client) SetTelemetry(t *telemetry.Telemetry) {
+	c.tel = t
+	if t == nil {
+		return
+	}
+	c.hLatency = t.Reg.Histogram("client.latency_us", c.ID)
+	c.hHops = t.Reg.Histogram("client.req_hops", c.ID)
+	c.cFlushes = t.Reg.Counter("client.session_flushes", c.ID)
+	c.cOps = t.Reg.Counter("client.ops", c.ID)
 }
 
 // New registers a client on the network. mdss maps rank→address.
@@ -211,6 +233,9 @@ func (c *Client) send(op workload.Op) {
 		DstPath:  op.DstPath,
 		IssuedAt: c.inflightAt,
 	}
+	if c.tel != nil {
+		req.TraceID = uint64(c.ID)<<32 | c.inflightID
+	}
 	if c.cfg.RequestTimeout > 0 {
 		id := c.inflightID
 		c.timeoutEv = c.engine.Schedule(c.cfg.RequestTimeout, func() { c.onTimeout(id) })
@@ -240,6 +265,14 @@ func (c *Client) HandleMessage(from simnet.Addr, msg simnet.Message) {
 		c.handleReply(v)
 	case *mds.SessionFlush:
 		c.SessionFlushes++
+		if c.tel != nil {
+			c.cFlushes.Add(1)
+			if c.tel.Tracer != nil {
+				c.tel.Tracer.Instant(telemetry.PIDClients, c.ID, "session",
+					"session flush", c.engine.Now(),
+					telemetry.Arg{Key: "from", Val: int64(v.From)})
+			}
+		}
 		until := c.engine.Now() + c.cfg.FlushStall
 		if until > c.flushUntil {
 			c.flushUntil = until
@@ -272,6 +305,19 @@ func (c *Client) handleReply(rep *mds.Reply) {
 		if rep.Forwards > 0 {
 			c.ForwardedOps++
 			c.TotalForwards += rep.Forwards
+		}
+		if c.tel != nil {
+			c.cOps.Add(1)
+			c.hLatency.Observe(float64(lat))
+			c.hHops.Observe(float64(rep.Forwards))
+			if c.tel.Tracer != nil {
+				c.tel.Tracer.Complete(telemetry.PIDClients, c.ID, "op",
+					c.inflightOp.Type.String()+" "+c.inflightOp.Path,
+					c.inflightAt, lat,
+					telemetry.Arg{Key: "trace", Val: uint64(c.ID)<<32 | rep.ReqID},
+					telemetry.Arg{Key: "served", Val: int64(rep.Served)},
+					telemetry.Arg{Key: "forwards", Val: int64(rep.Forwards)})
+			}
 		}
 		if c.OnComplete != nil {
 			c.OnComplete(c, c.inflightOp, rep.Served, lat)

@@ -20,6 +20,7 @@ import (
 	"mantle/internal/sim"
 	"mantle/internal/simnet"
 	"mantle/internal/stats"
+	"mantle/internal/telemetry"
 	"mantle/internal/workload"
 )
 
@@ -91,6 +92,18 @@ type Cluster struct {
 	// Monitor is non-nil after EnableFailover.
 	Monitor *mon.Monitor
 
+	// Tel is non-nil after EnableTelemetry.
+	Tel *telemetry.Telemetry
+	// folded tracks how much of each series collect() already exported to
+	// the registry, so phased runs (multiple Run calls) don't double-count.
+	folded struct {
+		tput    []int
+		total   int
+		ops     int
+		exports uint64
+		inodes  uint64
+	}
+
 	// StopWhenDone (default true) ends Run as soon as every client
 	// finishes. Disable it to watch post-job behaviour — e.g. balancers
 	// coalescing metadata home after a flash crowd.
@@ -153,6 +166,36 @@ func (c *Cluster) wireMDS(m *mds.MDS, rate *stats.RateCounter) {
 	if c.Monitor != nil {
 		m.SetMonitor(c.Monitor.Addr())
 	}
+	if c.Tel != nil {
+		m.SetTelemetry(c.Tel)
+	}
+}
+
+// EnableTelemetry attaches a telemetry pipeline to every component: metric
+// registry, request-lifecycle tracer, and the balancer flight recorder,
+// per the enabled opts. Call any time before Run; components added later
+// (failover replacements, new clients) are wired automatically. Telemetry
+// is strictly passive — it never schedules events or consumes simulation
+// randomness — so enabling it does not perturb the run.
+func (c *Cluster) EnableTelemetry(opts telemetry.Options) *telemetry.Telemetry {
+	t := telemetry.New(opts)
+	c.Tel = t
+	if t.Tracer != nil {
+		t.Tracer.RegisterProcess(telemetry.PIDClients, "clients")
+		t.Tracer.RegisterProcess(telemetry.PIDMDS, "mds")
+		if t.NetTrace {
+			t.Tracer.RegisterProcess(telemetry.PIDNet, "net")
+		}
+	}
+	c.Net.SetTelemetry(t)
+	c.Rados.SetTelemetry(t)
+	for _, m := range c.MDSs {
+		m.SetTelemetry(t)
+	}
+	for _, cl := range c.Clients {
+		cl.SetTelemetry(t)
+	}
+	return t
 }
 
 // monAddr is where the monitor lives on the shared address space.
@@ -207,6 +250,9 @@ func (c *Cluster) AddClient(gen workload.Generator) *client.Client {
 		if c.doneN == len(c.Clients) && c.StopWhenDone {
 			c.Engine.Stop()
 		}
+	}
+	if c.Tel != nil {
+		cl.SetTelemetry(c.Tel)
 	}
 	c.Clients = append(c.Clients, cl)
 	return cl
@@ -360,7 +406,39 @@ func (c *Cluster) collect() *Result {
 	if !res.AllDone {
 		res.Makespan = 0
 	}
+	if c.Tel != nil && c.Tel.Reg != nil {
+		c.foldTelemetry(res)
+	}
 	return res
+}
+
+// foldTelemetry copies run-level aggregates into the metric registry at
+// collection time: the per-window throughput series (per rank and total)
+// become histograms, so the exported CSV carries tput percentiles next to
+// the hot-path metrics.
+func (c *Cluster) foldTelemetry(res *Result) {
+	reg := c.Tel.Reg
+	for len(c.folded.tput) < len(res.Throughput) {
+		c.folded.tput = append(c.folded.tput, 0)
+	}
+	for r, s := range res.Throughput {
+		h := reg.Histogram("cluster.window_tput", r)
+		for _, p := range s.Points[c.folded.tput[r]:] {
+			h.Observe(p.V)
+		}
+		c.folded.tput[r] = len(s.Points)
+	}
+	h := reg.Histogram("cluster.window_tput", telemetry.NoRank)
+	for _, p := range res.TotalSeries.Points[c.folded.total:] {
+		h.Observe(p.V)
+	}
+	c.folded.total = len(res.TotalSeries.Points)
+	reg.Counter("cluster.ops", telemetry.NoRank).Add(uint64(res.TotalOps - c.folded.ops))
+	reg.Counter("cluster.exports", telemetry.NoRank).Add(res.TotalExports - c.folded.exports)
+	reg.Counter("cluster.inodes_moved", telemetry.NoRank).Add(res.TotalInodes - c.folded.inodes)
+	c.folded.ops = res.TotalOps
+	c.folded.exports = res.TotalExports
+	c.folded.inodes = res.TotalInodes
 }
 
 // MeanLatencyMs reports the all-client mean op latency in milliseconds.

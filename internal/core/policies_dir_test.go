@@ -27,12 +27,12 @@ func TestShippedPolicyFiles(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		p, err := ParsePolicyFile(name, string(data))
+		p, rep, err := CheckPolicyFile(name, string(data))
 		if err != nil {
 			t.Errorf("%s: %v", e.Name(), err)
 			continue
 		}
-		if rep := Validate(p); !rep.OK() {
+		if !rep.OK() {
 			t.Errorf("%s failed validation:\n%s", e.Name(), rep)
 		}
 		builtin, ok := builtins[name]

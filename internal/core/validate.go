@@ -77,6 +77,18 @@ func syntheticEnvs(state balancer.StateStore) []*balancer.Env {
 	return envs
 }
 
+// CheckPolicyFile is the shared `mantle-policy check` path: parse an
+// injectable policy file and lint it against synthetic cluster states. A
+// parse failure returns an error; a lint failure returns a non-OK report.
+// name labels the policy (usually the file basename without extension).
+func CheckPolicyFile(name, src string) (Policy, *ValidationReport, error) {
+	p, err := ParsePolicyFile(name, src)
+	if err != nil {
+		return Policy{}, nil, err
+	}
+	return p, Validate(p), nil
+}
+
 // Validate compiles the policy with a tight step budget and dry-runs every
 // hook against synthetic cluster states, collecting runtime errors, bad
 // return types, invalid targets and unknown selector names.

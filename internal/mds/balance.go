@@ -6,6 +6,8 @@ import (
 	"mantle/internal/balancer"
 	"mantle/internal/mon"
 	"mantle/internal/namespace"
+	"mantle/internal/telemetry"
+	"mantle/internal/telemetry/flight"
 )
 
 // metaLoadOf applies the active metaload policy to a counter snapshot,
@@ -75,6 +77,19 @@ func (m *MDS) balancerTick() {
 		Req:   m.lastReqRate,
 	}
 	m.hbData[m.rank] = hb
+	if m.tel != nil {
+		if m.gCPU != nil {
+			m.gCPU.Set(hb.CPU)
+			m.gQueue.Set(hb.Queue)
+		}
+		if tr := m.tracer(); tr != nil {
+			tr.CounterEvent(telemetry.PIDMDS, int(m.rank), "heartbeat", "mds load",
+				m.engine.Now(),
+				telemetry.Arg{Key: "auth", Val: hb.Auth},
+				telemetry.Arg{Key: "cpu", Val: hb.CPU},
+				telemetry.Arg{Key: "queue", Val: hb.Queue})
+		}
+	}
 	if m.hasMon {
 		m.net.Send(m.addr, m.monAddr, &mon.Beacon{Rank: m.rank, Seq: m.hbSeq})
 	}
@@ -113,16 +128,37 @@ func (m *MDS) buildEnv() *balancer.Env {
 
 // rebalance is the "recv HB → migrate?" phase: scalarise loads, ask the
 // policy when/where/how-much, then partition the namespace and start
-// exports.
+// exports. When the flight recorder is on, the full environment, every hook
+// verdict (or failure), and each started export are captured as one
+// HeartbeatRecord.
 func (m *MDS) rebalance() {
 	if m.numRanks < 2 {
 		return
 	}
 	e := m.buildEnv()
+	var rec *telemetry.HeartbeatRecord
+	if m.tel != nil && m.tel.Recorder != nil {
+		rec = &telemetry.HeartbeatRecord{
+			TUS:    int64(m.engine.Now()),
+			Rank:   int(m.rank),
+			Policy: m.bal.Name(),
+		}
+		defer func() {
+			rec.Env = flight.EnvRecordOf(e)
+			rec.State = telemetry.FormatState(m.balState.Read())
+			m.tel.Recorder.Record(*rec)
+		}()
+	}
+	recErr := func(err error) {
+		if rec != nil {
+			rec.Errors = append(rec.Errors, err.Error())
+		}
+	}
 	for r := 0; r < m.numRanks; r++ {
 		load, err := m.bal.MDSLoad(namespace.Rank(r), e)
 		if err != nil {
 			m.Counters.PolicyErrors++
+			recErr(err)
 			return
 		}
 		if load < 0 {
@@ -134,7 +170,11 @@ func (m *MDS) rebalance() {
 	ok, err := m.bal.When(e)
 	if err != nil {
 		m.Counters.PolicyErrors++
+		recErr(err)
 		return
+	}
+	if rec != nil {
+		rec.When = ok
 	}
 	if !ok {
 		return
@@ -142,16 +182,25 @@ func (m *MDS) rebalance() {
 	targets, err := m.bal.Where(e)
 	if err != nil {
 		m.Counters.PolicyErrors++
+		recErr(err)
 		return
 	}
 	if err := targets.Validate(e); err != nil {
 		m.Counters.PolicyErrors++
+		recErr(err)
 		return
+	}
+	if rec != nil {
+		rec.Targets = flight.TargetsOf(targets)
 	}
 	selectors, err := m.bal.HowMuch(e)
 	if err != nil {
 		m.Counters.PolicyErrors++
+		recErr(err)
 		return
+	}
+	if rec != nil {
+		rec.Selectors = selectors
 	}
 	// Serve the biggest targets first; stop when the export pipeline is
 	// full.
@@ -179,6 +228,11 @@ func (m *MDS) rebalance() {
 		for _, u := range units {
 			if m.activeExports >= m.cfg.MaxConcurrentExports {
 				break
+			}
+			if rec != nil {
+				rec.Decisions = append(rec.Decisions, telemetry.Decision{
+					Path: u.path(), Dest: int(t.rank), Load: u.load, Nodes: u.nodeCount(),
+				})
 			}
 			m.startExport(u, t.rank)
 		}

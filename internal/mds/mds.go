@@ -9,6 +9,7 @@ import (
 	"mantle/internal/rados"
 	"mantle/internal/sim"
 	"mantle/internal/simnet"
+	"mantle/internal/telemetry"
 )
 
 // MDS is one metadata server rank. It is driven entirely by simulator
@@ -54,6 +55,18 @@ type MDS struct {
 	crashed  bool
 	monAddr  simnet.Addr
 	hasMon   bool
+
+	// Telemetry (nil = disabled). Metric handles are resolved once in
+	// SetTelemetry so the hot path never touches the registry maps.
+	tel         *telemetry.Telemetry
+	hQueueWait  *telemetry.Histogram
+	hQueueDepth *telemetry.Histogram
+	hService    *telemetry.Histogram
+	cServed     *telemetry.Counter
+	cForwards   *telemetry.Counter
+	cJournal    *telemetry.Counter
+	gCPU        *telemetry.Gauge
+	gQueue      *telemetry.Gauge
 
 	// Counters is the observability block read by experiments.
 	Counters Counters
@@ -112,6 +125,35 @@ func (m *MDS) Sessions() int { return len(m.sessions) }
 // Journal exposes the MDS journal for inspection.
 func (m *MDS) Journal() *rados.Journal { return m.journal }
 
+// SetTelemetry attaches the cluster's telemetry collectors. Call before
+// Start; passing nil disables instrumentation again.
+func (m *MDS) SetTelemetry(t *telemetry.Telemetry) {
+	m.tel = t
+	m.hQueueWait, m.hQueueDepth, m.hService = nil, nil, nil
+	m.cServed, m.cForwards, m.cJournal = nil, nil, nil
+	m.gCPU, m.gQueue = nil, nil
+	if t == nil || t.Reg == nil {
+		return
+	}
+	r := int(m.rank)
+	m.hQueueWait = t.Reg.Histogram("mds.queue_wait_us", r)
+	m.hQueueDepth = t.Reg.Histogram("mds.queue_depth", r)
+	m.hService = t.Reg.Histogram("mds.service_us", r)
+	m.cServed = t.Reg.Counter("mds.served", r)
+	m.cForwards = t.Reg.Counter("mds.forwards", r)
+	m.cJournal = t.Reg.Counter("mds.journal_appends", r)
+	m.gCPU = t.Reg.Gauge("mds.cpu_pct", r)
+	m.gQueue = t.Reg.Gauge("mds.queue_depth_last", r)
+}
+
+// tracer reports the active tracer or nil.
+func (m *MDS) tracer() *telemetry.Tracer {
+	if m.tel == nil {
+		return nil
+	}
+	return m.tel.Tracer
+}
+
 // Start begins the heartbeat/balancer ticker. Ticks are staggered per rank
 // (independent daemons are not synchronised) with deterministic jitter.
 func (m *MDS) Start() {
@@ -152,6 +194,12 @@ func (m *MDS) HandleMessage(from simnet.Addr, msg simnet.Message) {
 }
 
 func (m *MDS) enqueue(r *Request) {
+	if m.tel != nil {
+		r.enqueuedAt = m.engine.Now()
+		if m.hQueueDepth != nil {
+			m.hQueueDepth.Observe(float64(len(m.queue) + 1))
+		}
+	}
 	m.queue = append(m.queue, r)
 	m.kick()
 }
@@ -311,6 +359,16 @@ func (m *MDS) resolve(r *Request) (res resolved, auth namespace.Rank, err error)
 // serve performs the authority check and either forwards, defers (frozen),
 // or executes the request.
 func (m *MDS) serve(r *Request) {
+	if m.tel != nil && r.enqueuedAt != 0 {
+		wait := m.engine.Now() - r.enqueuedAt
+		if m.hQueueWait != nil {
+			m.hQueueWait.Observe(float64(wait))
+		}
+		if tr := m.tracer(); tr != nil && wait > 0 {
+			tr.Complete(telemetry.PIDMDS, int(m.rank), "mds", "queue",
+				r.enqueuedAt, wait, telemetry.Arg{Key: "trace", Val: r.TraceID})
+		}
+	}
 	res, auth, err := m.resolve(r)
 	if err != nil {
 		// Resolution failures are cheap rejects billed like a lookup.
@@ -338,6 +396,15 @@ func (m *MDS) serve(r *Request) {
 		// Misdirected: forward to the authority.
 		m.Counters.Forwards++
 		r.Hops++
+		if m.cForwards != nil {
+			m.cForwards.Add(1)
+		}
+		if tr := m.tracer(); tr != nil {
+			tr.Complete(telemetry.PIDMDS, int(m.rank), "mds", "forward "+r.Op.String(),
+				m.engine.Now(), m.cfg.ForwardSvc,
+				telemetry.Arg{Key: "trace", Val: r.TraceID},
+				telemetry.Arg{Key: "to", Val: int64(auth)})
+		}
 		m.startBusy(m.cfg.ForwardSvc, func() {
 			if r.Hops > 16 {
 				m.Counters.Errors++
@@ -351,19 +418,46 @@ func (m *MDS) serve(r *Request) {
 	}
 	m.Counters.Hits++
 	svc := m.svcTime(r, res)
+	if m.tel != nil {
+		if m.hService != nil {
+			m.hService.Observe(float64(svc))
+		}
+		if tr := m.tel.Tracer; tr != nil {
+			tr.Complete(telemetry.PIDMDS, int(m.rank), "mds", "serve "+r.Op.String(),
+				m.engine.Now(), svc,
+				telemetry.Arg{Key: "path", Val: r.Path},
+				telemetry.Arg{Key: "trace", Val: r.TraceID})
+		}
+	}
 	m.startBusy(svc, func() {
 		err := m.apply(r, res)
 		m.Counters.Served++
 		m.reqWindow++
+		if m.cServed != nil {
+			m.cServed.Add(1)
+		}
 		if err != nil {
 			m.Counters.Errors++
 		}
 		if r.Op.Mutating() && err == nil {
 			// Journal before replying; the server is free to take
 			// the next request while the journal write completes.
-			m.journal.Append(rados.EntryUpdate, m.cfg.JournalBytesPerOp, func() {
-				m.reply(r, res, nil)
-			})
+			if m.cJournal != nil {
+				m.cJournal.Add(1)
+			}
+			if tr := m.tracer(); tr != nil {
+				jstart := m.engine.Now()
+				m.journal.Append(rados.EntryUpdate, m.cfg.JournalBytesPerOp, func() {
+					tr.Complete(telemetry.PIDMDS, int(m.rank), "mds", "journal",
+						jstart, m.engine.Now()-jstart,
+						telemetry.Arg{Key: "trace", Val: r.TraceID})
+					m.reply(r, res, nil)
+				})
+			} else {
+				m.journal.Append(rados.EntryUpdate, m.cfg.JournalBytesPerOp, func() {
+					m.reply(r, res, nil)
+				})
+			}
 		} else {
 			m.reply(r, res, err)
 		}

@@ -8,6 +8,7 @@ import (
 	"mantle/internal/rados"
 	"mantle/internal/sim"
 	"mantle/internal/simnet"
+	"mantle/internal/telemetry"
 )
 
 // Migration implements the two-phase commit of §2 ("Migrate"): the exporter
@@ -23,6 +24,7 @@ type exportState struct {
 	dest    namespace.Rank
 	nodes   int
 	timeout *sim.Event
+	started sim.Time // for the migration trace span
 }
 
 // importState tracks an in-flight import on the importer.
@@ -50,7 +52,8 @@ func (m *MDS) startExport(u exportUnit, dest namespace.Rank) {
 		return
 	}
 	m.exportSeq++
-	st := &exportState{id: m.exportSeq<<8 | uint64(m.rank), unit: u, dest: dest, nodes: u.nodeCount()}
+	st := &exportState{id: m.exportSeq<<8 | uint64(m.rank), unit: u, dest: dest,
+		nodes: u.nodeCount(), started: m.engine.Now()}
 	m.exports[st.id] = st
 	m.activeExports++
 	m.freezeUnit(u, true)
@@ -196,6 +199,12 @@ func (m *MDS) handleExportAck(a *exportAck) {
 		m.activeExports--
 		m.Counters.Exports++
 		m.Counters.InodesMoved += uint64(st.nodes)
+		if tr := m.tracer(); tr != nil {
+			tr.Complete(telemetry.PIDMDS, int(m.rank), "migration",
+				"export "+st.unit.path(), st.started, m.engine.Now()-st.started,
+				telemetry.Arg{Key: "dest", Val: int64(st.dest)},
+				telemetry.Arg{Key: "nodes", Val: int64(st.nodes)})
+		}
 		m.freezeUnit(st.unit, false)
 		if m.OnExport != nil {
 			m.OnExport(m, st.unit.path(), st.dest, st.nodes)

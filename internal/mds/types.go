@@ -83,6 +83,14 @@ type Request struct {
 	Hops int
 	// IssuedAt is when the client sent the request (for latency).
 	IssuedAt sim.Time
+	// TraceID threads the request through telemetry spans (client issue →
+	// MDS queue → service → journal). Clients derive it deterministically
+	// from (client ID, request ID).
+	TraceID uint64
+
+	// enqueuedAt marks arrival in the current MDS's queue; maintained only
+	// when telemetry is enabled (queue-wait spans and histograms).
+	enqueuedAt sim.Time
 }
 
 // FragHint tells a client which rank owns one fragment of a directory.

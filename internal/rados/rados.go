@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"mantle/internal/sim"
+	"mantle/internal/telemetry"
 )
 
 // Config models OSD and replication behaviour.
@@ -90,6 +91,41 @@ type Cluster struct {
 
 	// Ops counts completed operations by kind.
 	Reads, Writes uint64
+
+	// Telemetry (nil = disabled).
+	tel     *telemetry.Telemetry
+	cReads  *telemetry.Counter
+	cWrites *telemetry.Counter
+	hRead   *telemetry.Histogram
+	hWrite  *telemetry.Histogram
+}
+
+// SetTelemetry attaches a telemetry sink. Latencies are observed at issue
+// time (the op's simulated completion latency), so the histogram reflects
+// the OSD cost model including replication fan-out and size terms.
+func (c *Cluster) SetTelemetry(t *telemetry.Telemetry) {
+	c.tel = t
+	if t == nil {
+		return
+	}
+	c.cReads = t.Reg.Counter("rados.reads", telemetry.NoRank)
+	c.cWrites = t.Reg.Counter("rados.writes", telemetry.NoRank)
+	c.hRead = t.Reg.Histogram("rados.read_us", telemetry.NoRank)
+	c.hWrite = t.Reg.Histogram("rados.write_us", telemetry.NoRank)
+}
+
+func (c *Cluster) obsWrite(l sim.Time) {
+	if c.tel != nil {
+		c.cWrites.Add(1)
+		c.hWrite.Observe(float64(l))
+	}
+}
+
+func (c *Cluster) obsRead(l sim.Time) {
+	if c.tel != nil {
+		c.cReads.Add(1)
+		c.hRead.Observe(float64(l))
+	}
 }
 
 // NewCluster builds an object store on the engine.
@@ -189,6 +225,7 @@ func (p *Pool) Write(name string, data []byte, done func()) {
 			worst = l
 		}
 	}
+	c.obsWrite(worst)
 	c.engine.Schedule(worst, func() {
 		obj, ok := p.objects[name]
 		if !ok {
@@ -217,6 +254,7 @@ func (p *Pool) Append(name string, data []byte, done func()) {
 			worst = l
 		}
 	}
+	c.obsWrite(worst)
 	c.engine.Schedule(worst, func() {
 		obj, ok := p.objects[name]
 		if !ok {
@@ -241,6 +279,7 @@ func (p *Pool) Read(name string, done func(data []byte, ok bool)) {
 	l := c.opLatency(c.cfg.ReadLatency, 0)
 	c.osds[primary].reads++
 	c.osds[primary].busy += l
+	c.obsRead(l)
 	c.engine.Schedule(l, func() {
 		c.Reads++
 		obj, ok := p.objects[name]
@@ -270,6 +309,7 @@ func (p *Pool) OMapSet(name string, kv map[string][]byte, done func()) {
 			worst = l
 		}
 	}
+	c.obsWrite(worst)
 	c.engine.Schedule(worst, func() {
 		obj, ok := p.objects[name]
 		if !ok {
@@ -294,6 +334,7 @@ func (p *Pool) OMapGet(name string, done func(kv map[string][]byte, ok bool)) {
 	l := c.opLatency(c.cfg.ReadLatency, 0)
 	c.osds[placed[0]].reads++
 	c.osds[placed[0]].busy += l
+	c.obsRead(l)
 	c.engine.Schedule(l, func() {
 		c.Reads++
 		obj, ok := p.objects[name]
@@ -313,6 +354,7 @@ func (p *Pool) OMapGet(name string, done func(kv map[string][]byte, ok bool)) {
 func (p *Pool) Remove(name string, done func(ok bool)) {
 	c := p.cluster
 	l := c.opLatency(c.cfg.WriteLatency, 0)
+	c.obsWrite(l)
 	c.engine.Schedule(l, func() {
 		_, ok := p.objects[name]
 		delete(p.objects, name)

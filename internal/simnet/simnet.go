@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"mantle/internal/sim"
+	"mantle/internal/telemetry"
 )
 
 // Addr identifies a node on the network. MDS ranks and clients share one
@@ -56,6 +57,13 @@ type Network struct {
 	Sent      uint64
 	Delivered uint64
 	Dropped   uint64
+
+	// Telemetry (nil = disabled).
+	tel        *telemetry.Telemetry
+	cSent      *telemetry.Counter
+	cDelivered *telemetry.Counter
+	cDropped   *telemetry.Counter
+	hDelay     *telemetry.Histogram
 }
 
 // New creates a network on the engine.
@@ -64,6 +72,20 @@ func New(engine *sim.Engine, cfg Config) *Network {
 		panic("simnet: negative latency")
 	}
 	return &Network{engine: engine, cfg: cfg, nodes: map[Addr]Handler{}, cut: map[[2]Addr]bool{}}
+}
+
+// SetTelemetry attaches a telemetry sink. Metric handles are resolved once
+// here so the per-message cost when enabled is a few pointer bumps, and a
+// single nil check when disabled.
+func (n *Network) SetTelemetry(t *telemetry.Telemetry) {
+	n.tel = t
+	if t == nil {
+		return
+	}
+	n.cSent = t.Reg.Counter("net.sent", telemetry.NoRank)
+	n.cDelivered = t.Reg.Counter("net.delivered", telemetry.NoRank)
+	n.cDropped = t.Reg.Counter("net.dropped", telemetry.NoRank)
+	n.hDelay = t.Reg.Histogram("net.delay_us", telemetry.NoRank)
 }
 
 // Register attaches a handler to an address. Registering an address twice
@@ -96,21 +118,39 @@ func (n *Network) HealAll() { n.cut = map[[2]Addr]bool{} }
 // dropped at delivery time, as a real network would deliver to a dead host.
 func (n *Network) Send(from, to Addr, msg Message) {
 	n.Sent++
+	if n.tel != nil {
+		n.cSent.Add(1)
+	}
 	if n.cut[[2]Addr{from, to}] {
 		n.Dropped++
+		if n.tel != nil {
+			n.cDropped.Add(1)
+		}
 		return
 	}
 	delay := n.cfg.Latency + n.engine.Jitter(n.cfg.Jitter)
 	if delay < 0 {
 		delay = 0
 	}
+	sentAt := n.engine.Now()
 	n.engine.Schedule(delay, func() {
 		h, ok := n.nodes[to]
 		if !ok {
 			n.Dropped++
+			if n.tel != nil {
+				n.cDropped.Add(1)
+			}
 			return
 		}
 		n.Delivered++
+		if n.tel != nil {
+			n.cDelivered.Add(1)
+			n.hDelay.Observe(float64(n.engine.Now() - sentAt))
+			if n.tel.NetTrace && n.tel.Tracer != nil {
+				n.tel.Tracer.Complete(telemetry.PIDNet, 0, "net",
+					fmt.Sprintf("%d->%d %T", from, to, msg), sentAt, n.engine.Now()-sentAt)
+			}
+		}
 		h.HandleMessage(from, msg)
 	})
 }

@@ -1,0 +1,104 @@
+package flight
+
+import (
+	"testing"
+
+	"mantle/internal/balancer"
+	"mantle/internal/namespace"
+	"mantle/internal/telemetry"
+)
+
+// stubBalancer lets replay tests script every verdict.
+type stubBalancer struct {
+	when    bool
+	targets balancer.Targets
+}
+
+func (s stubBalancer) Name() string { return "stub" }
+func (s stubBalancer) MetaLoad(namespace.CounterSnapshot) (float64, error) {
+	return 0, nil
+}
+func (s stubBalancer) MDSLoad(r namespace.Rank, e *balancer.Env) (float64, error) {
+	return e.MDSs[r].All, nil
+}
+func (s stubBalancer) When(*balancer.Env) (bool, error) { return s.when, nil }
+func (s stubBalancer) Where(*balancer.Env) (balancer.Targets, error) {
+	return s.targets, nil
+}
+func (s stubBalancer) HowMuch(*balancer.Env) ([]string, error) {
+	return []string{"big_first"}, nil
+}
+
+func TestReplayDiffs(t *testing.T) {
+	records := []telemetry.HeartbeatRecord{
+		{
+			TUS: 1, Rank: 0, Policy: "recorded", When: true,
+			Env: telemetry.EnvRecord{WhoAmI: 0, MDSs: []telemetry.RankMetrics{
+				{Auth: 20, All: 20, Load: 20}, {Auth: 2, All: 2, Load: 2}}},
+			Targets: []telemetry.Target{{Rank: 1, Load: 9}},
+		},
+		{
+			TUS: 2, Rank: 0, Policy: "recorded", When: false,
+			Env: telemetry.EnvRecord{WhoAmI: 0, MDSs: []telemetry.RankMetrics{
+				{Auth: 5, All: 5, Load: 5}, {Auth: 5, All: 5, Load: 5}}},
+		},
+	}
+	// An always-decline policy: first record diverges, second agrees.
+	out, err := Replay(records, func(int) (balancer.Balancer, error) {
+		return stubBalancer{when: false}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d outcomes", len(out))
+	}
+	if !out[0].Differs() || !out[0].WhenDiffers() {
+		t.Errorf("record 0 should differ: %+v", out[0])
+	}
+	if out[1].Differs() {
+		t.Errorf("record 1 should agree: %+v", out[1])
+	}
+
+	// A policy matching the recorded verdicts exactly: no diffs, and the
+	// alternate mdsload recomputes loads from the raw metrics.
+	out, err = Replay(records, func(int) (balancer.Balancer, error) {
+		return stubBalancer{when: true, targets: balancer.Targets{1: 9}}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Differs() {
+		t.Errorf("matching policy should agree on record 0: %+v", out[0])
+	}
+	if !out[1].WhenDiffers() {
+		t.Errorf("always-migrate policy should differ on record 1: %+v", out[1])
+	}
+	if len(out[0].Targets) != 1 || out[0].Targets[0] != (telemetry.Target{Rank: 1, Load: 9}) {
+		t.Errorf("targets not replayed: %+v", out[0].Targets)
+	}
+}
+
+// TestEnvRoundTrip checks EnvRecordOf → ToEnv preserves the raw heartbeat
+// metrics while zeroing the policy-computed Load/Total for recomputation.
+func TestEnvRoundTrip(t *testing.T) {
+	src := &balancer.Env{
+		WhoAmI: 1, Total: 30, AuthMetaLoad: 20, AllMetaLoad: 22,
+		MDSs: []balancer.MDSMetrics{
+			{Auth: 20, All: 22, CPU: 55, Mem: 1, Queue: 3, Req: 9, Load: 20},
+			{Auth: 8, All: 8, CPU: 10, Load: 10},
+		},
+	}
+	rec := EnvRecordOf(src)
+	if rec.WhoAmI != 1 || rec.Total != 30 || rec.MDSs[0].Load != 20 {
+		t.Fatalf("EnvRecordOf lost data: %+v", rec)
+	}
+	state := &balancer.MemState{}
+	env := ToEnv(rec, state)
+	if env.Total != 0 || env.MDSs[0].Load != 0 {
+		t.Errorf("ToEnv must leave Load/Total for the replaying policy: %+v", env)
+	}
+	if env.MDSs[0].CPU != 55 || env.MDSs[1].Auth != 8 || env.State != balancer.StateStore(state) {
+		t.Errorf("ToEnv mangled metrics: %+v", env)
+	}
+}

@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {0.25, 0}, {1, 0},
+		{1.0001, 1}, {2, 1},
+		{2.0001, 2}, {3, 2}, {4, 2},
+		{5, 3}, {8, 3},
+		{1023, 10}, {1024, 10}, {1025, 11},
+		{math.MaxFloat64, numBuckets - 1},
+		{math.Inf(1), numBuckets - 1},
+		{math.NaN(), 0},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%g) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Every bucket's upper bound must land in that bucket, and anything
+	// just above must land in the next.
+	for i := 1; i < numBuckets-1; i++ {
+		lo, hi := bucketBounds(i)
+		if got := bucketOf(hi); got != i {
+			t.Errorf("bucketOf(upper bound %g) = %d, want %d", hi, got, i)
+		}
+		if got := bucketOf(lo); got != i-1 {
+			t.Errorf("bucketOf(lower bound %g) = %d, want %d (previous bucket)", lo, got, i-1)
+		}
+	}
+}
+
+func TestHistogramBasicStats(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Percentile(50) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	for _, v := range []float64{4, 2, 10, 0, 6} {
+		h.Observe(v)
+	}
+	if h.N() != 5 {
+		t.Fatalf("N = %d, want 5", h.N())
+	}
+	if h.Sum() != 22 {
+		t.Fatalf("Sum = %g, want 22", h.Sum())
+	}
+	if h.Min() != 0 || h.Max() != 10 {
+		t.Fatalf("min/max = %g/%g, want 0/10", h.Min(), h.Max())
+	}
+	if h.Mean() != 4.4 {
+		t.Fatalf("Mean = %g, want 4.4", h.Mean())
+	}
+	if p := h.Percentile(0); p != 0 {
+		t.Fatalf("p0 = %g, want min", p)
+	}
+	if p := h.Percentile(100); p != 10 {
+		t.Fatalf("p100 = %g, want max", p)
+	}
+}
+
+// TestHistogramPercentiles checks p50/p90/p99 of a known uniform
+// distribution against the exact quantiles. Log bucketing bounds the
+// relative error by the bucket width: an estimate must stay within the
+// bucket enclosing the true quantile, i.e. within a factor of 2.
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	const n = 10000
+	for i := 1; i <= n; i++ {
+		h.Observe(float64(i))
+	}
+	for _, c := range []struct {
+		p     float64
+		exact float64
+	}{{50, 5000}, {90, 9000}, {99, 9900}} {
+		got := h.Percentile(c.p)
+		if got < c.exact/2 || got > c.exact*2 {
+			t.Errorf("p%g = %g, want within bucket of %g", c.p, got, c.exact)
+		}
+	}
+	// A constant distribution has exact percentiles regardless of buckets
+	// (clamped to observed min/max).
+	var k Histogram
+	for i := 0; i < 100; i++ {
+		k.Observe(7)
+	}
+	for _, p := range []float64{1, 50, 99} {
+		if got := k.Percentile(p); got != 7 {
+			t.Errorf("constant dist p%g = %g, want 7", p, got)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, both Histogram
+	for i := 1; i <= 500; i++ {
+		a.Observe(float64(i))
+		both.Observe(float64(i))
+	}
+	for i := 501; i <= 1000; i++ {
+		b.Observe(float64(i))
+		both.Observe(float64(i))
+	}
+	a.Merge(&b)
+	if a.N() != both.N() || a.Sum() != both.Sum() || a.Min() != both.Min() || a.Max() != both.Max() {
+		t.Fatalf("merged stats differ: %+v vs %+v", a, both)
+	}
+	for _, p := range []float64{10, 50, 90, 99} {
+		if a.Percentile(p) != both.Percentile(p) {
+			t.Errorf("p%g: merged %g != direct %g", p, a.Percentile(p), both.Percentile(p))
+		}
+	}
+	// Merging into an empty histogram copies it.
+	var empty Histogram
+	empty.Merge(&both)
+	if empty.N() != both.N() || empty.Min() != both.Min() || empty.Max() != both.Max() {
+		t.Fatal("merge into empty lost observations")
+	}
+	// Merging an empty histogram is a no-op.
+	before := both.N()
+	both.Merge(&Histogram{})
+	both.Merge(nil)
+	if both.N() != before {
+		t.Fatal("merging empty changed the histogram")
+	}
+}

@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// RankMetrics is the recorded per-rank view (one entry of Table 2's MDSs
+// array): the heartbeat metrics plus the Load the recording policy's
+// mdsload hook computed from them.
+type RankMetrics struct {
+	Auth  float64 `json:"auth"`
+	All   float64 `json:"all"`
+	CPU   float64 `json:"cpu"`
+	Mem   float64 `json:"mem"`
+	Queue float64 `json:"q"`
+	Req   float64 `json:"req"`
+	Load  float64 `json:"load"`
+}
+
+// EnvRecord is the full Mantle evaluation environment at one heartbeat.
+type EnvRecord struct {
+	WhoAmI       int           `json:"whoami"`
+	Total        float64       `json:"total"`
+	AuthMetaLoad float64       `json:"authmetaload"`
+	AllMetaLoad  float64       `json:"allmetaload"`
+	MDSs         []RankMetrics `json:"mdss"`
+}
+
+// Target is one (destination rank, load) pair from the where verdict.
+type Target struct {
+	Rank int     `json:"rank"`
+	Load float64 `json:"load"`
+}
+
+// Decision is one migration the mechanism started from this heartbeat's
+// verdicts: the chosen export unit, its destination, and its size.
+type Decision struct {
+	Path  string  `json:"path"`
+	Dest  int     `json:"dest"`
+	Load  float64 `json:"load"`
+	Nodes int     `json:"nodes"`
+}
+
+// HeartbeatRecord is one flight-recorder entry: everything one MDS's
+// balancer saw and decided on one heartbeat tick.
+type HeartbeatRecord struct {
+	// TUS is the virtual time of the rebalance, in microseconds.
+	TUS int64 `json:"t_us"`
+	// Rank is the deciding MDS.
+	Rank int `json:"rank"`
+	// Policy is the active policy's name.
+	Policy string `json:"policy"`
+	// Env is the Table 2 environment, with Load filled by the policy.
+	Env EnvRecord `json:"env"`
+	// State renders the WRstate/RDstate value at the end of the tick.
+	State string `json:"state,omitempty"`
+	// When is the migration verdict.
+	When bool `json:"when"`
+	// Targets is the where verdict (present only when When fired).
+	Targets []Target `json:"targets,omitempty"`
+	// Selectors is the how-much verdict (dirfrag selector names).
+	Selectors []string `json:"selectors,omitempty"`
+	// Errors lists hook failures; a failing hook aborts the tick the same
+	// way the live MDS counts a PolicyError and skips migration.
+	Errors []string `json:"errors,omitempty"`
+	// Decisions lists the exports actually started.
+	Decisions []Decision `json:"decisions,omitempty"`
+}
+
+// FormatState renders a balancer state value (WRstate/RDstate)
+// deterministically. Policy state is a Lua scalar in every shipped policy;
+// anything richer records only its type.
+func FormatState(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return ""
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case string:
+		return x
+	case bool:
+		return strconv.FormatBool(x)
+	default:
+		return fmt.Sprintf("<%T>", v)
+	}
+}
+
+// FlightRecorder accumulates heartbeat records in simulation order.
+type FlightRecorder struct {
+	records []HeartbeatRecord
+}
+
+// Record appends one heartbeat entry.
+func (f *FlightRecorder) Record(r HeartbeatRecord) { f.records = append(f.records, r) }
+
+// Records exposes the accumulated log.
+func (f *FlightRecorder) Records() []HeartbeatRecord { return f.records }
+
+// Len reports the number of recorded heartbeats.
+func (f *FlightRecorder) Len() int { return len(f.records) }
+
+// WriteJSONL serialises the log as one JSON object per line. Field order is
+// fixed by the struct definitions, so same-seed runs produce byte-identical
+// logs.
+func (f *FlightRecorder) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range f.records {
+		b, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		bw.Write(b)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadFlightLog parses a JSONL flight-recorder log.
+func ReadFlightLog(r io.Reader) ([]HeartbeatRecord, error) {
+	var out []HeartbeatRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var rec HeartbeatRecord
+		if err := json.Unmarshal(text, &rec); err != nil {
+			return nil, fmt.Errorf("telemetry: flight log line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: flight log: %w", err)
+	}
+	return out, nil
+}

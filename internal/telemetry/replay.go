@@ -1,0 +1,40 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"mantle/internal/sim"
+)
+
+// FlightTrace converts a flight-recorder log into a Chrome trace: one
+// counter series per rank tracking its scalarised load, plus an instant
+// marker for every migration decision — the balancer's behaviour on the
+// Perfetto timeline. (What-if replay against an alternate policy lives in
+// the flight subpackage, which may depend on the balancer API.)
+func FlightTrace(records []HeartbeatRecord) *Tracer {
+	tr := NewTracer()
+	tr.RegisterProcess(PIDMDS, "mds")
+	for _, rec := range records {
+		ts := sim.Time(rec.TUS)
+		if rec.Rank >= 0 && rec.Rank < len(rec.Env.MDSs) {
+			tr.CounterEvent(PIDMDS, rec.Rank, "balancer", fmt.Sprintf("load (rank %d view)", rec.Rank), ts,
+				Arg{"load", rec.Env.MDSs[rec.Rank].Load},
+				Arg{"total", rec.Env.Total})
+		}
+		name := "heartbeat"
+		if rec.When {
+			name = "heartbeat when=true"
+		}
+		args := []Arg{{"policy", rec.Policy}}
+		if len(rec.Errors) > 0 {
+			args = append(args, Arg{"errors", int64(len(rec.Errors))})
+		}
+		tr.Instant(PIDMDS, rec.Rank, "balancer", name, ts, args...)
+		for _, d := range rec.Decisions {
+			tr.Instant(PIDMDS, rec.Rank, "migration",
+				fmt.Sprintf("export %s -> mds.%d", d.Path, d.Dest), ts,
+				Arg{"load", d.Load}, Arg{"nodes", int64(d.Nodes)})
+		}
+	}
+	return tr
+}

@@ -1,0 +1,64 @@
+// Package telemetry is the observability subsystem: a metrics registry
+// (counters, gauges, log-bucketed histograms keyed by name and rank), a
+// Chrome trace_event tracer that follows each client request through
+// client → network → MDS queue → service/forward → journal → reply, and a
+// balancer flight recorder that captures every heartbeat's Table 2
+// environment, hook verdicts, and migration decisions — replayable offline
+// against an alternate policy for what-if analysis.
+//
+// Everything here is passive and deterministic: recording never schedules
+// events, never reads the wall clock (virtual time only), and never touches
+// the simulation RNG, so enabling telemetry does not perturb a seeded run,
+// and two runs with the same seed produce byte-identical telemetry output.
+// All hooks are nil-guarded; a cluster without telemetry pays only a nil
+// check on the hot path.
+package telemetry
+
+// Options selects which collectors to enable.
+type Options struct {
+	// Metrics enables the counter/gauge/histogram registry.
+	Metrics bool
+	// Trace enables request-lifecycle spans in Chrome trace_event form.
+	Trace bool
+	// TraceNet additionally emits one event per simulated network message
+	// (verbose; off by default even when Trace is on).
+	TraceNet bool
+	// FlightRecorder enables per-heartbeat balancer decision recording.
+	FlightRecorder bool
+}
+
+// Telemetry bundles the collectors a cluster shares. Any field may be nil;
+// instrumentation sites must check before emitting.
+type Telemetry struct {
+	// Reg is the metrics registry (nil = metrics disabled).
+	Reg *Registry
+	// Tracer collects trace_event spans (nil = tracing disabled).
+	Tracer *Tracer
+	// Recorder is the balancer flight recorder (nil = disabled).
+	Recorder *FlightRecorder
+	// NetTrace gates per-message network events on the tracer.
+	NetTrace bool
+}
+
+// New builds the collectors selected by opts.
+func New(opts Options) *Telemetry {
+	t := &Telemetry{NetTrace: opts.TraceNet}
+	if opts.Metrics {
+		t.Reg = NewRegistry()
+	}
+	if opts.Trace {
+		t.Tracer = NewTracer()
+	}
+	if opts.FlightRecorder {
+		t.Recorder = &FlightRecorder{}
+	}
+	return t
+}
+
+// Trace process IDs. The tracer groups spans by (pid, tid); tid is the
+// client ID under PIDClients and the MDS rank under PIDMDS.
+const (
+	PIDClients = 1
+	PIDMDS     = 2
+	PIDNet     = 3
+)

@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+
+	"mantle/internal/sim"
+)
+
+// Arg is one key/value annotation on a trace event. Values may be string,
+// int64, or float64; anything else is rendered with %v semantics via JSON
+// marshalling.
+type Arg struct {
+	Key string
+	Val any
+}
+
+// event is one trace_event record. Timestamps and durations are virtual
+// microseconds, which is exactly the unit chrome://tracing and Perfetto
+// expect in the "ts"/"dur" fields.
+type event struct {
+	name string
+	cat  string
+	ph   byte // 'X' complete, 'i' instant, 'C' counter
+	ts   int64
+	dur  int64
+	pid  int
+	tid  int
+	args []Arg
+}
+
+// Tracer accumulates Chrome trace_event records in emission order (which is
+// simulation order, hence deterministic) and serialises them as a JSON
+// object Perfetto loads directly.
+type Tracer struct {
+	events []event
+	procs  map[int]string
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer {
+	return &Tracer{procs: map[int]string{}}
+}
+
+// RegisterProcess names a pid in the trace viewer ("clients", "mds", ...).
+func (t *Tracer) RegisterProcess(pid int, name string) { t.procs[pid] = name }
+
+// Complete records a span covering [start, start+dur).
+func (t *Tracer) Complete(pid, tid int, cat, name string, start, dur sim.Time, args ...Arg) {
+	if dur < 0 {
+		dur = 0
+	}
+	t.events = append(t.events, event{
+		name: name, cat: cat, ph: 'X',
+		ts: int64(start), dur: int64(dur), pid: pid, tid: tid, args: args,
+	})
+}
+
+// Instant records a zero-duration marker at ts.
+func (t *Tracer) Instant(pid, tid int, cat, name string, ts sim.Time, args ...Arg) {
+	t.events = append(t.events, event{
+		name: name, cat: cat, ph: 'i',
+		ts: int64(ts), pid: pid, tid: tid, args: args,
+	})
+}
+
+// CounterEvent records a counter sample at ts; args become the counter
+// series values.
+func (t *Tracer) CounterEvent(pid, tid int, cat, name string, ts sim.Time, args ...Arg) {
+	t.events = append(t.events, event{
+		name: name, cat: cat, ph: 'C',
+		ts: int64(ts), pid: pid, tid: tid, args: args,
+	})
+}
+
+// Len reports the number of recorded events.
+func (t *Tracer) Len() int { return len(t.events) }
+
+// appendJSONString appends s as a JSON string literal.
+func appendJSONString(b []byte, s string) []byte {
+	enc, err := json.Marshal(s)
+	if err != nil { // cannot happen for strings
+		return append(b, '"', '"')
+	}
+	return append(b, enc...)
+}
+
+// appendArgs appends {"k":v,...} preserving argument order.
+func appendArgs(b []byte, args []Arg) []byte {
+	b = append(b, '{')
+	for i, a := range args {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendJSONString(b, a.Key)
+		b = append(b, ':')
+		switch v := a.Val.(type) {
+		case string:
+			b = appendJSONString(b, v)
+		case int:
+			b = strconv.AppendInt(b, int64(v), 10)
+		case int64:
+			b = strconv.AppendInt(b, v, 10)
+		case uint64:
+			b = strconv.AppendUint(b, v, 10)
+		case float64:
+			b = strconv.AppendFloat(b, v, 'g', -1, 64)
+		case bool:
+			b = strconv.AppendBool(b, v)
+		default:
+			enc, err := json.Marshal(v)
+			if err != nil {
+				b = append(b, "null"...)
+			} else {
+				b = append(b, enc...)
+			}
+		}
+	}
+	return append(b, '}')
+}
+
+// WriteJSON serialises the trace as {"traceEvents":[...]} — the JSON object
+// form of the Chrome trace_event format, loadable in chrome://tracing and
+// Perfetto. Process-name metadata events come first (sorted by pid), then
+// every recorded event in emission order.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	writeRaw := func(b []byte) {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		bw.WriteByte('\n')
+		bw.Write(b)
+	}
+	pids := make([]int, 0, len(t.procs))
+	for pid := range t.procs {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	var buf []byte
+	for _, pid := range pids {
+		buf = buf[:0]
+		buf = append(buf, `{"name":"process_name","ph":"M","pid":`...)
+		buf = strconv.AppendInt(buf, int64(pid), 10)
+		buf = append(buf, `,"args":{"name":`...)
+		buf = appendJSONString(buf, t.procs[pid])
+		buf = append(buf, `}}`...)
+		writeRaw(buf)
+	}
+	for _, e := range t.events {
+		buf = buf[:0]
+		buf = append(buf, `{"name":`...)
+		buf = appendJSONString(buf, e.name)
+		buf = append(buf, `,"cat":`...)
+		buf = appendJSONString(buf, e.cat)
+		buf = append(buf, `,"ph":"`...)
+		buf = append(buf, e.ph)
+		buf = append(buf, `","ts":`...)
+		buf = strconv.AppendInt(buf, e.ts, 10)
+		if e.ph == 'X' {
+			buf = append(buf, `,"dur":`...)
+			buf = strconv.AppendInt(buf, e.dur, 10)
+		}
+		if e.ph == 'i' {
+			buf = append(buf, `,"s":"t"`...) // thread-scoped instant
+		}
+		buf = append(buf, `,"pid":`...)
+		buf = strconv.AppendInt(buf, int64(e.pid), 10)
+		buf = append(buf, `,"tid":`...)
+		buf = strconv.AppendInt(buf, int64(e.tid), 10)
+		if len(e.args) > 0 {
+			buf = append(buf, `,"args":`...)
+			buf = appendArgs(buf, e.args)
+		}
+		buf = append(buf, '}')
+		writeRaw(buf)
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
