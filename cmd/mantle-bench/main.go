@@ -1,30 +1,90 @@
 // Command mantle-bench regenerates the paper's tables and figures on the
-// simulated cluster and prints paper-vs-measured shape checks.
+// simulated cluster and prints paper-vs-measured shape checks. It doubles as
+// the repository's perf harness: -bench-json runs the hot-path
+// micro-benchmarks and writes a machine-readable BENCH_<label>.json.
 //
 // Usage:
 //
 //	mantle-bench -run fig7 -scale 0.25 -seed 3
-//	mantle-bench -run all
+//	mantle-bench -run all -parallel 8
+//	mantle-bench -bench-json baseline
+//	mantle-bench -run all -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"mantle/internal/experiments"
+	"mantle/internal/perf"
 )
 
 func main() {
 	run := flag.String("run", "all", "experiment id to run (or 'all'); one of: "+join(experiments.IDs()))
 	seed := flag.Int64("seed", 1, "random seed")
 	scale := flag.Float64("scale", 0.1, "workload scale relative to the paper (1.0 = 100k creates/client)")
+	parallel := flag.Int("parallel", 1, "run 'all' experiments on N worker goroutines (output stays byte-identical to sequential)")
+	benchJSON := flag.String("bench-json", "", "run the micro-benchmark harness and write BENCH_<label>.json instead of experiments")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	memProfilePath = *memProfile
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cpuProfileStop = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+		defer cpuProfileStop()
+	}
+	defer writeMemProfile(memProfilePath)
+
+	if *benchJSON != "" {
+		rep := perf.RunAll(*benchJSON)
+		name := "BENCH_" + *benchJSON + ".json"
+		f, err := os.Create(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit(2)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			exit(1)
+		}
+		f.Close()
+		for _, b := range rep.Benchmarks {
+			fmt.Printf("%-24s %12.0f ns/op %8d allocs/op %10d B/op", b.Name, b.NsPerOp, b.AllocsPerOp, b.BytesPerOp)
+			if b.SimOpsPerSec > 0 {
+				fmt.Printf(" %12.0f simops/sec", b.SimOpsPerSec)
+			}
+			fmt.Println()
+		}
+		fmt.Println("wrote", name)
+		return
+	}
 
 	opts := experiments.Options{Seed: *seed, Scale: *scale, Out: os.Stdout}
 	fail := 0
 	if *run == "all" {
-		for _, rep := range experiments.RunAll(opts) {
+		reports, err := experiments.RunAllParallel(opts, *parallel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit(2)
+		}
+		for _, rep := range reports {
 			if !rep.Pass() {
 				fail++
 			}
@@ -33,7 +93,7 @@ func main() {
 		rep, err := experiments.Run(*run, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			exit(2)
 		}
 		if !rep.Pass() {
 			fail++
@@ -41,9 +101,44 @@ func main() {
 	}
 	if fail > 0 {
 		fmt.Printf("\n%d experiment(s) had failing shape checks\n", fail)
-		os.Exit(1)
+		exit(1)
 	}
 	fmt.Println("\nall shape checks passed")
+}
+
+// exit flushes the profiles (deferred writers don't run through os.Exit)
+// before terminating with the given code.
+func exit(code int) {
+	if cpuProfileStop != nil {
+		cpuProfileStop()
+		cpuProfileStop = nil
+	}
+	writeMemProfile(memProfilePath)
+	os.Exit(code)
+}
+
+// memProfilePath and cpuProfileStop hold profiling state for the early-exit
+// path.
+var (
+	memProfilePath string
+	cpuProfileStop func()
+)
+
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	memProfilePath = ""
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
 }
 
 func join(ids []string) string {

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"mantle/internal/cluster"
@@ -26,35 +28,55 @@ import (
 
 func main() {
 	var (
-		numMDS    = flag.Int("mds", 3, "number of metadata servers")
-		clients   = flag.Int("clients", 4, "number of closed-loop clients")
-		files     = flag.Int("files", 20000, "files per client (create workloads) or files per directory (compile)")
-		wl        = flag.String("workload", "separate", "workload: separate | shared | compile | trace")
-		traceFile = flag.String("trace", "", "trace file to replay (workload=trace; each client replays a copy)")
-		balName   = flag.String("balancer", "cephfs_original", "built-in policy: "+strings.Join(core.PolicyNames(), ", "))
-		policy    = flag.String("policy-file", "", "inject a Lua policy file instead of a built-in (see docs for the section format)")
-		seed      = flag.Int64("seed", 1, "random seed")
-		duration  = flag.Duration("max-time", 0, "virtual time budget (0 = 1h)")
-		hb        = flag.Duration("hb-interval", 0, "heartbeat/balancer interval (0 = 10s)")
-		splitSize = flag.Int("split-size", 0, "dirfrag split threshold (0 = 50000)")
-		standbys  = flag.Int("standbys", 0, "standby MDS daemons (enables the monitor)")
-		crashRank = flag.Int("crash-rank", -1, "rank to crash at -crash-at (requires -standbys or manual recovery)")
-		crashAt   = flag.Duration("crash-at", 0, "virtual time of the injected crash")
-		csvPrefix = flag.String("csv", "", "write <prefix>_throughput.csv and <prefix>_clients.csv")
-		telPrefix = flag.String("telemetry", "", "enable telemetry; write <prefix>_metrics.{csv,jsonl}, <prefix>_trace.json, <prefix>_flight.jsonl")
-		traceNet  = flag.Bool("trace-net", false, "include per-message network events in the trace (large; requires -telemetry)")
+		numMDS     = flag.Int("mds", 3, "number of metadata servers")
+		clients    = flag.Int("clients", 4, "number of closed-loop clients")
+		files      = flag.Int("files", 20000, "files per client (create workloads) or files per directory (compile)")
+		wl         = flag.String("workload", "separate", "workload: separate | shared | compile | trace")
+		traceFile  = flag.String("trace", "", "trace file to replay (workload=trace; each client replays a copy)")
+		balName    = flag.String("balancer", "cephfs_original", "built-in policy: "+strings.Join(core.PolicyNames(), ", "))
+		policy     = flag.String("policy-file", "", "inject a Lua policy file instead of a built-in (see docs for the section format)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		duration   = flag.Duration("max-time", 0, "virtual time budget (0 = 1h)")
+		hb         = flag.Duration("hb-interval", 0, "heartbeat/balancer interval (0 = 10s)")
+		splitSize  = flag.Int("split-size", 0, "dirfrag split threshold (0 = 50000)")
+		standbys   = flag.Int("standbys", 0, "standby MDS daemons (enables the monitor)")
+		crashRank  = flag.Int("crash-rank", -1, "rank to crash at -crash-at (requires -standbys or manual recovery)")
+		crashAt    = flag.Duration("crash-at", 0, "virtual time of the injected crash")
+		csvPrefix  = flag.String("csv", "", "write <prefix>_throughput.csv and <prefix>_clients.csv")
+		telPrefix  = flag.String("telemetry", "", "enable telemetry; write <prefix>_metrics.{csv,jsonl}, <prefix>_trace.json, <prefix>_flight.jsonl")
+		traceNet   = flag.Bool("trace-net", false, "include per-message network events in the trace (large; requires -telemetry)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		profileStop = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	memProfilePath = *memProfile
+	defer exitProfiles()
 
 	p, err := pickPolicy(*balName, *policy)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		exit(2)
 	}
 	// Lint the policy before injecting it, as §4.4 prescribes.
 	if rep := core.Validate(p); !rep.OK() {
 		fmt.Fprintf(os.Stderr, "refusing to inject unsafe policy:\n%s", rep)
-		os.Exit(2)
+		exit(2)
 	}
 
 	cfg := cluster.DefaultConfig(*numMDS, *seed)
@@ -70,7 +92,7 @@ func main() {
 	c, err := cluster.New(cfg, cluster.LuaBalancers(p))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		exit(2)
 	}
 	if *telPrefix != "" {
 		c.EnableTelemetry(telemetry.Options{
@@ -97,18 +119,18 @@ func main() {
 			f, err := os.Open(*traceFile)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+				exit(2)
 			}
 			gen, err := workload.ParseTrace(f)
 			f.Close()
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+				exit(2)
 			}
 			c.AddClient(gen)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
-			os.Exit(2)
+			exit(2)
 		}
 	}
 
@@ -164,11 +186,11 @@ func main() {
 			f, err := os.Create(name)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				exit(1)
 			}
 			if err := write(f); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				exit(1)
 			}
 			f.Close()
 			fmt.Println("wrote", name)
@@ -177,12 +199,45 @@ func main() {
 	if *telPrefix != "" {
 		if err := writeTelemetry(c, *telPrefix); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
 	if !res.AllDone {
-		os.Exit(1)
+		exit(1)
 	}
+}
+
+// Profile plumbing. os.Exit skips deferred calls, so every exit after the
+// profilers start goes through exit(), which flushes them first.
+var (
+	memProfilePath string
+	profileStop    func()
+)
+
+func exitProfiles() {
+	if profileStop != nil {
+		profileStop()
+		profileStop = nil
+	}
+	if memProfilePath != "" {
+		path := memProfilePath
+		memProfilePath = ""
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		f.Close()
+	}
+}
+
+func exit(code int) {
+	exitProfiles()
+	os.Exit(code)
 }
 
 // writeTelemetry exports every enabled telemetry artefact under the prefix.

@@ -73,7 +73,7 @@ type Client struct {
 	inflightOp  workload.Op
 	retries     int
 	timeoutsRow int
-	timeoutEv   *sim.Event
+	timeoutEv   sim.Event
 	flushUntil  sim.Time
 	done        bool
 

@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"mantle/internal/sim"
+	"mantle/internal/telemetry"
+	"mantle/internal/workload"
+)
+
+// TestEventPoolArtifactsIdentical is the cluster-level gate for the sim
+// engine's free-list pool: a full run — balancer heartbeats, migrations,
+// telemetry export — must serialise to byte-identical artifacts whether
+// event slots are recycled or freshly allocated. Pooling is a pure
+// allocation optimisation; any divergence here means it changed schedule
+// order.
+func TestEventPoolArtifactsIdentical(t *testing.T) {
+	run := func(disablePool bool) ([]byte, []byte, []byte, *Result) {
+		cfg := DefaultConfig(3, 21)
+		cfg.MDS.HeartbeatInterval = 500 * sim.Millisecond
+		cfg.MDS.RebalanceDelay = cfg.MDS.HeartbeatInterval / 10
+		cfg.ThroughputWindow = cfg.MDS.HeartbeatInterval
+		cfg.Client.StartJitter = 2 * sim.Millisecond
+		c, err := New(cfg, LuaBalancers(mustPolicy(t, "greedy_spill")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Engine.DisablePool = disablePool
+		c.EnableTelemetry(telemetry.Options{Metrics: true, Trace: true, FlightRecorder: true})
+		for i := 0; i < 3; i++ {
+			c.AddClient(workload.SharedDirCreates("/shared", i, 1200))
+		}
+		res := c.Run(5 * sim.Minute)
+		if !res.AllDone {
+			t.Fatal("run did not finish")
+		}
+		var flight, metrics, trace bytes.Buffer
+		if err := c.Tel.Recorder.WriteJSONL(&flight); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Tel.Reg.WriteCSV(&metrics); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Tel.Tracer.WriteJSON(&trace); err != nil {
+			t.Fatal(err)
+		}
+		return flight.Bytes(), metrics.Bytes(), trace.Bytes(), res
+	}
+	flightP, metricsP, traceP, resP := run(false)
+	flightN, metricsN, traceN, resN := run(true)
+	if !bytes.Equal(flightP, flightN) {
+		t.Error("pooling changed the flight-recorder log")
+	}
+	if !bytes.Equal(metricsP, metricsN) {
+		t.Error("pooling changed the metrics CSV")
+	}
+	if !bytes.Equal(traceP, traceN) {
+		t.Error("pooling changed the trace JSON")
+	}
+	if resP.TotalOps != resN.TotalOps || resP.Makespan != resN.Makespan {
+		t.Errorf("pooling diverged the run: ops %d vs %d, makespan %v vs %v",
+			resP.TotalOps, resN.TotalOps, resP.Makespan, resN.Makespan)
+	}
+	if len(flightP) == 0 {
+		t.Fatal("flight recorder captured nothing; workload too small for a heartbeat")
+	}
+}

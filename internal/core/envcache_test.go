@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+
+	"mantle/internal/balancer"
+	"mantle/internal/namespace"
+)
+
+// The Table 2 environment is cached across hook invocations (only numeric
+// fields are overwritten). These tests prove a long-lived balancer sees
+// exactly what a freshly built one sees, including when the cluster grows
+// or shrinks between heartbeats.
+
+func envN(n int, bump float64) *balancer.Env {
+	e := &balancer.Env{WhoAmI: 0, State: &balancer.MemState{}}
+	for i := 0; i < n; i++ {
+		load := float64(10*(n-i)) + bump
+		e.MDSs = append(e.MDSs, balancer.MDSMetrics{
+			Load: load, All: load, Auth: load / 2,
+			CPU: 0.25, Mem: 0.5, Queue: float64(i), Req: 100 + load,
+		})
+		e.Total += load
+	}
+	return e
+}
+
+func decideAll(t *testing.T, b *LuaBalancer, e *balancer.Env) (bool, balancer.Targets, []string, []float64) {
+	t.Helper()
+	when, err := b.When(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var targets balancer.Targets
+	var sel []string
+	if when {
+		if targets, err = b.Where(e); err != nil {
+			t.Fatal(err)
+		}
+		if sel, err = b.HowMuch(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loads := make([]float64, len(e.MDSs))
+	for i := range e.MDSs {
+		l, err := b.MDSLoad(namespace.Rank(i), e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loads[i] = l
+	}
+	return when, targets, sel, loads
+}
+
+// TestEnvCacheMatchesFreshBalancer drives one balancer through a sequence
+// of heartbeats with varying cluster sizes and loads, comparing every
+// decision against a brand-new balancer evaluating the same Env.
+func TestEnvCacheMatchesFreshBalancer(t *testing.T) {
+	for _, name := range []string{"greedy_spill", "adaptable", "cephfs_original"} {
+		p, ok := Policies()[name]
+		if !ok {
+			t.Fatalf("no policy %q", name)
+		}
+		cached, err := NewLuaBalancer(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Grow, shrink, regrow: 3 -> 5 -> 2 -> 4 ranks.
+		for step, n := range []int{3, 5, 2, 4} {
+			e := envN(n, float64(step)*0.37)
+			fresh, err := NewLuaBalancer(p, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantWhen, wantTargets, wantSel, wantLoads := decideAll(t, fresh, envN(n, float64(step)*0.37))
+			gotWhen, gotTargets, gotSel, gotLoads := decideAll(t, cached, e)
+			if gotWhen != wantWhen {
+				t.Fatalf("%s step %d: when = %v, fresh balancer says %v", name, step, gotWhen, wantWhen)
+			}
+			if len(gotTargets) != len(wantTargets) {
+				t.Fatalf("%s step %d: targets %v, want %v", name, step, gotTargets, wantTargets)
+			}
+			for r, amt := range wantTargets {
+				if gotTargets[r] != amt {
+					t.Fatalf("%s step %d: targets[%d] = %v, want %v", name, step, r, gotTargets[r], amt)
+				}
+			}
+			if len(gotSel) != len(wantSel) {
+				t.Fatalf("%s step %d: selectors %v, want %v", name, step, gotSel, wantSel)
+			}
+			for i := range wantSel {
+				if gotSel[i] != wantSel[i] {
+					t.Fatalf("%s step %d: selectors %v, want %v", name, step, gotSel, wantSel)
+				}
+			}
+			for i := range wantLoads {
+				if gotLoads[i] != wantLoads[i] {
+					t.Fatalf("%s step %d: MDSLoad(%d) = %v, want %v", name, step, i, gotLoads[i], wantLoads[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEnvShrinkDropsStaleRanks: after the cluster shrinks, a script must
+// not see the departed rank's table lingering in MDSs.
+func TestEnvShrinkDropsStaleRanks(t *testing.T) {
+	b, err := NewLuaBalancer(Policy{
+		Name: "count_ranks",
+		When: "return #MDSs == expected and MDSs[#MDSs + 1] == nil",
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{5, 2, 3} {
+		b.VM().Globals.SetString("expected", float64(n))
+		ok, err := b.When(envN(n, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("script saw wrong MDSs length after resize to %d", n)
+		}
+	}
+}
+
+// TestTargetsTableClearedBetweenInvocations: a where hook that writes only
+// its own rank's target must not inherit entries from the previous
+// invocation's table.
+func TestTargetsTableClearedBetweenInvocations(t *testing.T) {
+	b, err := NewLuaBalancer(Policy{
+		Name:  "one_target",
+		When:  "return true",
+		Where: "targets[pick] = 1",
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := envN(3, 0)
+	b.VM().Globals.SetString("pick", float64(2))
+	first, err := b.Where(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 1 || first[namespace.Rank(1)] != 1 {
+		t.Fatalf("first targets = %v", first)
+	}
+	b.VM().Globals.SetString("pick", float64(3))
+	second, err := b.Where(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second) != 1 || second[namespace.Rank(2)] != 1 {
+		t.Fatalf("stale targets leaked across invocations: %v", second)
+	}
+}

@@ -86,6 +86,14 @@ type LuaBalancer struct {
 	chunks [numHooks]*lua.Chunk
 	state  balancer.StateStore
 
+	// Cached Table 2 environment: the MDSs table, its per-rank tables,
+	// and the targets table survive across hook invocations so a
+	// heartbeat only overwrites numeric fields instead of rebuilding
+	// (and re-allocating) the whole structure every decision.
+	envMDSs  *lua.Table
+	envRanks []*lua.Table
+	targets  *lua.Table
+
 	// HookErrors counts per-hook runtime failures, surfaced by the
 	// policy linter and the MDS log.
 	HookErrors int
@@ -203,11 +211,11 @@ func wantNumberResult(h hook, vals []lua.Value) (float64, error) {
 // the dirfrag's counters bound to IRD/IWR/READDIR/FETCH/STORE.
 func (b *LuaBalancer) MetaLoad(d namespace.CounterSnapshot) (float64, error) {
 	g := b.vm.Globals
-	g.SetString("IRD", d.IRD)
-	g.SetString("IWR", d.IWR)
-	g.SetString("READDIR", d.Readdir)
-	g.SetString("FETCH", d.Fetch)
-	g.SetString("STORE", d.Store)
+	g.SetString("IRD", lua.Box(d.IRD))
+	g.SetString("IWR", lua.Box(d.IWR))
+	g.SetString("READDIR", lua.Box(d.Readdir))
+	g.SetString("FETCH", lua.Box(d.Fetch))
+	g.SetString("STORE", lua.Box(d.Store))
 	vals, err := b.runHook(hookMetaLoad)
 	if err != nil {
 		return 0, err
@@ -219,7 +227,7 @@ func (b *LuaBalancer) MetaLoad(d namespace.CounterSnapshot) (float64, error) {
 // the global i set to the 1-based rank being scored.
 func (b *LuaBalancer) MDSLoad(rank namespace.Rank, e *balancer.Env) (float64, error) {
 	b.bindEnv(e)
-	b.vm.Globals.SetString("i", float64(rank)+1)
+	b.vm.Globals.SetString("i", lua.Box(float64(rank)+1))
 	vals, err := b.runHook(hookMDSLoad)
 	if err != nil {
 		return 0, err
@@ -250,7 +258,14 @@ func (b *LuaBalancer) When(e *balancer.Env) (bool, error) {
 // targets[] table, which is read back into rank-keyed Targets.
 func (b *LuaBalancer) Where(e *balancer.Env) (balancer.Targets, error) {
 	b.bindEnv(e)
-	targets := lua.NewTable()
+	// The targets table is cached and cleared per invocation — the script
+	// always observes an empty table, without a fresh allocation.
+	if b.targets == nil {
+		b.targets = lua.NewTable()
+	} else {
+		b.targets.Reset()
+	}
+	targets := b.targets
 	b.vm.Globals.SetString("targets", targets)
 	if _, err := b.runHook(hookWhere); err != nil {
 		return nil, err
@@ -312,26 +327,48 @@ func (b *LuaBalancer) HowMuch(e *balancer.Env) ([]string, error) {
 // caller-provided state store (the MDS's, possibly RADOS-backed) replaces
 // the balancer's private one so WRstate/RDstate persist where the cluster
 // says they should.
+//
+// The MDSs table and its per-rank tables are cached on the balancer and
+// only their numeric fields are overwritten per invocation. Globals already
+// persist across invocations by design (§ package comment), so a policy
+// observing the same table identity between heartbeats is within the
+// documented contract; values a hook reads are always freshly bound.
 func (b *LuaBalancer) bindEnv(e *balancer.Env) {
 	if e.State != nil {
 		b.state = e.State
 	}
 	g := b.vm.Globals
-	g.SetString("whoami", float64(e.WhoAmI)+1)
-	g.SetString("total", e.Total)
-	g.SetString("authmetaload", e.AuthMetaLoad)
-	g.SetString("allmetaload", e.AllMetaLoad)
-	mdss := lua.NewTable()
-	for i, m := range e.MDSs {
-		mt := lua.NewTable()
-		mt.SetString("auth", m.Auth)
-		mt.SetString("all", m.All)
-		mt.SetString("cpu", m.CPU)
-		mt.SetString("mem", m.Mem)
-		mt.SetString("q", m.Queue)
-		mt.SetString("req", m.Req)
-		mt.SetString("load", m.Load)
-		mdss.SetInt(i+1, mt)
+	g.SetString("whoami", lua.Box(float64(e.WhoAmI)+1))
+	g.SetString("total", lua.Box(e.Total))
+	g.SetString("authmetaload", lua.Box(e.AuthMetaLoad))
+	g.SetString("allmetaload", lua.Box(e.AllMetaLoad))
+	if b.envMDSs == nil {
+		b.envMDSs = lua.NewTable()
 	}
-	g.SetString("MDSs", mdss)
+	// Drop cached ranks beyond the current cluster size (shrink happens
+	// top-down so the table's array part strips trailing entries).
+	for i := len(b.envRanks); i > len(e.MDSs); i-- {
+		b.envMDSs.SetInt(i, nil)
+	}
+	if len(b.envRanks) > len(e.MDSs) {
+		b.envRanks = b.envRanks[:len(e.MDSs)]
+	}
+	for i, m := range e.MDSs {
+		var mt *lua.Table
+		if i < len(b.envRanks) {
+			mt = b.envRanks[i]
+		} else {
+			mt = lua.NewTable()
+			b.envRanks = append(b.envRanks, mt)
+			b.envMDSs.SetInt(i+1, mt)
+		}
+		mt.SetString("auth", lua.Box(m.Auth))
+		mt.SetString("all", lua.Box(m.All))
+		mt.SetString("cpu", lua.Box(m.CPU))
+		mt.SetString("mem", lua.Box(m.Mem))
+		mt.SetString("q", lua.Box(m.Queue))
+		mt.SetString("req", lua.Box(m.Req))
+		mt.SetString("load", lua.Box(m.Load))
+	}
+	g.SetString("MDSs", b.envMDSs)
 }

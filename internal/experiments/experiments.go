@@ -10,6 +10,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"mantle/internal/cluster"
 	"mantle/internal/sim"
@@ -133,14 +134,69 @@ func Run(id string, o Options) (*Report, error) {
 	return f(o), nil
 }
 
-// RunAll executes every experiment in id order.
+// RunAll executes every experiment in id order. Every id in IDs() is
+// registered by construction, so a lookup failure is a programming error —
+// it panics with the id rather than silently appending a nil report.
 func RunAll(o Options) []*Report {
 	var out []*Report
 	for _, id := range IDs() {
-		r, _ := Run(id, o)
+		r, err := Run(id, o)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: RunAll(%q): %v", id, err))
+		}
 		out = append(out, r)
 	}
 	return out
+}
+
+// RunAllParallel executes every experiment on a pool of worker goroutines,
+// one deterministic engine per experiment. Reports are assembled — and, when
+// o.Out is set, written — in id order, so the output is byte-identical to
+// sequential RunAll with the same Options. workers <= 1 degrades to the
+// sequential path.
+func RunAllParallel(o Options, workers int) ([]*Report, error) {
+	ids := IDs()
+	if workers <= 1 {
+		return RunAll(o), nil
+	}
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	// Workers render into each Report's private buffer; the shared writer
+	// only sees completed reports, in order, after the barrier.
+	sub := o
+	sub.Out = nil
+	reports := make([]*Report, len(ids))
+	errs := make([]error, len(ids))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				reports[i], errs[i] = Run(ids[i], sub)
+			}
+		}()
+	}
+	for i := range ids {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: RunAllParallel(%q): %w", ids[i], err)
+		}
+	}
+	if o.Out != nil {
+		for _, r := range reports {
+			if _, err := io.WriteString(o.Out, r.String()); err != nil {
+				return reports, err
+			}
+		}
+	}
+	return reports, nil
 }
 
 // ---- shared rendering helpers ----

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRunAllParallelMatchesSequential is the acceptance gate for the worker
+// pool: for multiple seeds, the parallel sweep must render byte-for-byte
+// the output of the sequential sweep — same reports, same order, same
+// stream written to Out.
+func TestRunAllParallelMatchesSequential(t *testing.T) {
+	for _, seed := range []int64{1, 2} {
+		var seqBuf, parBuf bytes.Buffer
+		seq := RunAll(Options{Seed: seed, Scale: 0.05, Out: &seqBuf})
+		par, err := RunAllParallel(Options{Seed: seed, Scale: 0.05, Out: &parBuf}, 4)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(seq) != len(par) {
+			t.Fatalf("seed %d: %d sequential reports vs %d parallel", seed, len(seq), len(par))
+		}
+		for i := range seq {
+			if seq[i].ID != par[i].ID {
+				t.Fatalf("seed %d: report %d is %q sequentially but %q in parallel", seed, i, seq[i].ID, par[i].ID)
+			}
+			if seq[i].String() != par[i].String() {
+				t.Errorf("seed %d: report %q diverges between sequential and parallel runs", seed, seq[i].ID)
+			}
+			if len(seq[i].Checks) != len(par[i].Checks) {
+				t.Errorf("seed %d: report %q check counts diverge", seed, seq[i].ID)
+			}
+		}
+		if !bytes.Equal(seqBuf.Bytes(), parBuf.Bytes()) {
+			t.Errorf("seed %d: streamed output differs between sequential and parallel sweeps", seed)
+		}
+		if seqBuf.Len() == 0 {
+			t.Fatalf("seed %d: sequential sweep wrote nothing", seed)
+		}
+	}
+}
+
+// TestRunAllParallelDegradesToSequential: workers <= 1 uses the sequential
+// path (and still streams to Out).
+func TestRunAllParallelDegradesToSequential(t *testing.T) {
+	var buf bytes.Buffer
+	reports, err := RunAllParallel(Options{Seed: 1, Scale: 0.05, Out: &buf}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(IDs()) {
+		t.Fatalf("got %d reports, want %d", len(reports), len(IDs()))
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no streamed output")
+	}
+}

@@ -5,6 +5,13 @@ package lua
 
 type block struct {
 	stmts []stmt
+	// hasLocals / makesClosures are set once by annotateBlock at compile
+	// time (never during execution, so shared chunks stay read-only). The
+	// interpreter uses them to skip scope allocation for blocks that
+	// declare nothing and to reuse loop scopes when no closure can capture
+	// their variables.
+	hasLocals     bool
+	makesClosures bool
 }
 
 type stmt interface{ stmtLine() int }
@@ -101,6 +108,9 @@ type (
 	numberExpr struct {
 		line int
 		val  float64
+		// boxed is the literal pre-converted to a Value at parse time, so
+		// evaluating the literal never re-boxes the float.
+		boxed Value
 	}
 	stringExpr struct {
 		line int
@@ -157,6 +167,129 @@ func (e *binExpr) exprLine() int    { return e.line }
 func (e *unExpr) exprLine() int     { return e.line }
 func (e *funcExpr) exprLine() int   { return e.line }
 func (e *tableExpr) exprLine() int  { return e.line }
+
+// annotateBlock computes the interpreter's scope-elision flags for b and
+// every nested block. hasLocals is per-block (direct `local` declarations
+// only: nested loops and blocks manage their own scopes). makesClosures is
+// transitive: true when any function literal appears anywhere inside b, in
+// which case loop scopes under b must stay fresh per iteration so captures
+// keep Lua semantics.
+func annotateBlock(b *block) bool {
+	b.hasLocals = false
+	b.makesClosures = false
+	for _, s := range b.stmts {
+		if stmtMakesClosures(s) {
+			b.makesClosures = true
+		}
+		switch st := s.(type) {
+		case *localStmt:
+			b.hasLocals = true
+		case *funcStmt:
+			if st.isLocal {
+				b.hasLocals = true
+			}
+		}
+	}
+	return b.makesClosures
+}
+
+// stmtMakesClosures annotates nested blocks as a side effect.
+func stmtMakesClosures(s stmt) bool {
+	found := false
+	switch st := s.(type) {
+	case *assignStmt:
+		found = exprsMakeClosures(st.rhs) || exprsMakeClosures(st.lhs)
+	case *localStmt:
+		found = exprsMakeClosures(st.rhs)
+	case *callStmt:
+		found = exprMakesClosures(st.call)
+	case *ifStmt:
+		found = exprsMakeClosures(st.conds)
+		for _, b := range st.blocks {
+			if annotateBlock(b) {
+				found = true
+			}
+		}
+		if st.elseBlock != nil && annotateBlock(st.elseBlock) {
+			found = true
+		}
+	case *whileStmt:
+		found = exprMakesClosures(st.cond)
+		if annotateBlock(st.body) {
+			found = true
+		}
+	case *repeatStmt:
+		if annotateBlock(st.body) {
+			found = true
+		}
+		if exprMakesClosures(st.cond) {
+			found = true
+		}
+	case *numForStmt:
+		found = exprMakesClosures(st.start) || exprMakesClosures(st.limit) ||
+			(st.stepE != nil && exprMakesClosures(st.stepE))
+		if annotateBlock(st.body) {
+			found = true
+		}
+	case *genForStmt:
+		found = exprsMakeClosures(st.exprs)
+		if annotateBlock(st.body) {
+			found = true
+		}
+	case *doStmt:
+		found = annotateBlock(st.body)
+	case *returnStmt:
+		found = exprsMakeClosures(st.exprs)
+	case *funcStmt:
+		annotateBlock(st.proto.body)
+		found = true
+	}
+	return found
+}
+
+func exprsMakeClosures(exprs []expr) bool {
+	found := false
+	for _, e := range exprs {
+		if exprMakesClosures(e) {
+			found = true
+		}
+	}
+	return found
+}
+
+func exprMakesClosures(e expr) bool {
+	switch ex := e.(type) {
+	case *funcExpr:
+		annotateBlock(ex.proto.body)
+		return true
+	case *indexExpr:
+		a := exprMakesClosures(ex.obj)
+		return exprMakesClosures(ex.key) || a
+	case *callExpr:
+		found := exprMakesClosures(ex.fn)
+		if exprsMakeClosures(ex.args) {
+			found = true
+		}
+		return found
+	case *binExpr:
+		a := exprMakesClosures(ex.l)
+		return exprMakesClosures(ex.r) || a
+	case *unExpr:
+		return exprMakesClosures(ex.e)
+	case *tableExpr:
+		found := false
+		for i := range ex.avals {
+			if ex.akeys[i] != nil && exprMakesClosures(ex.akeys[i]) {
+				found = true
+			}
+			if exprMakesClosures(ex.avals[i]) {
+				found = true
+			}
+		}
+		return found
+	}
+	return false
+}
 
 // funcProto is a compiled function body.
 type funcProto struct {

@@ -48,29 +48,57 @@ func NewVM() *VM {
 }
 
 // scope is one lexical environment level. Variables are boxed so closures
-// share them.
+// share them. Blocks declare a handful of locals at most, so a linear scan
+// over parallel slices beats a per-scope map by a wide margin — and the
+// slices keep their capacity when a loop scope is reset between iterations.
 type scope struct {
-	vars   map[string]*Value
+	names  []string
+	boxes  []*Value
 	parent *scope
 }
 
 func newScope(parent *scope) *scope {
-	return &scope{vars: map[string]*Value{}, parent: parent}
+	return &scope{parent: parent}
 }
 
 func (s *scope) find(name string) (*Value, bool) {
 	for cur := s; cur != nil; cur = cur.parent {
-		if v, ok := cur.vars[name]; ok {
-			return v, true
+		// Scan innermost-last so a redeclared local shadows the earlier one.
+		for i := len(cur.names) - 1; i >= 0; i-- {
+			if cur.names[i] == name {
+				return cur.boxes[i], true
+			}
 		}
 	}
 	return nil, false
 }
 
 func (s *scope) define(name string, v Value) {
+	n := len(s.names)
+	if n < cap(s.names) && n < cap(s.boxes) {
+		// Reuse the slot (and its box) left behind by reset: nothing can
+		// hold a reference to it — reset only runs in closure-free loops.
+		s.names = s.names[:n+1]
+		s.boxes = s.boxes[:n+1]
+		s.names[n] = name
+		if s.boxes[n] == nil {
+			s.boxes[n] = new(Value)
+		}
+		*s.boxes[n] = v
+		return
+	}
 	box := new(Value)
 	*box = v
-	s.vars[name] = box
+	s.names = append(s.names, name)
+	s.boxes = append(s.boxes, box)
+}
+
+// reset truncates the scope for the next loop iteration, keeping slot
+// capacity (and the boxes themselves) for reuse. Only valid when no closure
+// can have captured the scope's boxes.
+func (s *scope) reset() {
+	s.names = s.names[:0]
+	s.boxes = s.boxes[:0]
 }
 
 // control is the statement execution result.
@@ -145,6 +173,15 @@ func (vm *VM) protectedCall(fn Value, args []Value) (rets []Value, err error) {
 	return vm.call(fn, args, 0), nil
 }
 
+// blockScope returns the scope a block executes in: env itself when the
+// block declares no locals (so nothing new can be defined), else a child.
+func (vm *VM) blockScope(b *block, env *scope) *scope {
+	if !b.hasLocals {
+		return env
+	}
+	return newScope(env)
+}
+
 func (vm *VM) execBlock(b *block, env *scope) (control, []Value) {
 	for _, s := range b.stmts {
 		ctrl, vals := vm.execStmt(s, env)
@@ -159,11 +196,20 @@ func (vm *VM) execStmt(s stmt, env *scope) (control, []Value) {
 	vm.tick(s.stmtLine())
 	switch st := s.(type) {
 	case *assignStmt:
+		if len(st.lhs) == 1 && len(st.rhs) == 1 {
+			// Single assignment (the hot shape): no value-list slice.
+			vm.assign(st.lhs[0], vm.evalExpr(st.rhs[0], env), env)
+			break
+		}
 		vals := vm.evalExprList(st.rhs, len(st.lhs), env)
 		for i, l := range st.lhs {
 			vm.assign(l, vals[i], env)
 		}
 	case *localStmt:
+		if len(st.names) == 1 && len(st.rhs) == 1 {
+			env.define(st.names[0], vm.evalExpr(st.rhs[0], env))
+			break
+		}
 		vals := vm.evalExprList(st.rhs, len(st.names), env)
 		for i, n := range st.names {
 			env.define(n, vals[i])
@@ -173,16 +219,29 @@ func (vm *VM) execStmt(s stmt, env *scope) (control, []Value) {
 	case *ifStmt:
 		for i, cond := range st.conds {
 			if Truthy(vm.evalExpr(cond, env)) {
-				return vm.execBlock(st.blocks[i], newScope(env))
+				return vm.execBlock(st.blocks[i], vm.blockScope(st.blocks[i], env))
 			}
 		}
 		if st.elseBlock != nil {
-			return vm.execBlock(st.elseBlock, newScope(env))
+			return vm.execBlock(st.elseBlock, vm.blockScope(st.elseBlock, env))
 		}
 	case *whileStmt:
+		// Loop bodies without locals run straight in env; bodies with
+		// locals but no closures reuse one reset scope across iterations.
+		var reuse *scope
+		if st.body.hasLocals && !st.body.makesClosures {
+			reuse = newScope(env)
+		}
 		for Truthy(vm.evalExpr(st.cond, env)) {
 			vm.tick(st.line)
-			ctrl, vals := vm.execBlock(st.body, newScope(env))
+			inner := env
+			if reuse != nil {
+				reuse.reset()
+				inner = reuse
+			} else if st.body.hasLocals {
+				inner = newScope(env)
+			}
+			ctrl, vals := vm.execBlock(st.body, inner)
 			if ctrl == ctrlBreak {
 				break
 			}
@@ -191,9 +250,19 @@ func (vm *VM) execStmt(s stmt, env *scope) (control, []Value) {
 			}
 		}
 	case *repeatStmt:
+		var reuse *scope
+		if st.body.hasLocals && !st.body.makesClosures {
+			reuse = newScope(env)
+		}
 		for {
 			vm.tick(st.line)
-			inner := newScope(env)
+			inner := env
+			if reuse != nil {
+				reuse.reset()
+				inner = reuse
+			} else if st.body.hasLocals {
+				inner = newScope(env)
+			}
 			ctrl, vals := vm.execBlock(st.body, inner)
 			if ctrl == ctrlBreak {
 				break
@@ -216,10 +285,22 @@ func (vm *VM) execStmt(s stmt, env *scope) (control, []Value) {
 		if step == 0 {
 			vm.errf(st.line, "'for' step is zero")
 		}
+		// The loop variable lives in a per-iteration scope. When the body
+		// provably creates no closures, nothing can capture it, so one
+		// scope (and its boxes) is reset and reused across iterations.
+		var reuse *scope
+		if !st.body.makesClosures {
+			reuse = newScope(env)
+		}
 		for i := start; (step > 0 && i <= limit) || (step < 0 && i >= limit); i += step {
 			vm.tick(st.line)
-			inner := newScope(env)
-			inner.define(st.name, i)
+			inner := reuse
+			if inner == nil {
+				inner = newScope(env)
+			} else {
+				inner.reset()
+			}
+			inner.define(st.name, Box(i))
 			ctrl, vals := vm.execBlock(st.body, inner)
 			if ctrl == ctrlBreak {
 				break
@@ -231,6 +312,10 @@ func (vm *VM) execStmt(s stmt, env *scope) (control, []Value) {
 	case *genForStmt:
 		vals := vm.evalExprList(st.exprs, 3, env)
 		f, state, ctl := vals[0], vals[1], vals[2]
+		var reuse *scope
+		if !st.body.makesClosures {
+			reuse = newScope(env)
+		}
 		for {
 			vm.tick(st.line)
 			rets := vm.call(f, []Value{state, ctl}, st.line)
@@ -238,7 +323,12 @@ func (vm *VM) execStmt(s stmt, env *scope) (control, []Value) {
 				break
 			}
 			ctl = rets[0]
-			inner := newScope(env)
+			inner := reuse
+			if inner == nil {
+				inner = newScope(env)
+			} else {
+				inner.reset()
+			}
 			for i, n := range st.names {
 				if i < len(rets) {
 					inner.define(n, rets[i])
@@ -255,7 +345,7 @@ func (vm *VM) execStmt(s stmt, env *scope) (control, []Value) {
 			}
 		}
 	case *doStmt:
-		return vm.execBlock(st.body, newScope(env))
+		return vm.execBlock(st.body, vm.blockScope(st.body, env))
 	case *returnStmt:
 		return ctrlReturn, vm.evalExprList(st.exprs, -1, env)
 	case *breakStmt:
@@ -333,6 +423,9 @@ func (vm *VM) evalExpr(e expr, env *scope) Value {
 	case *falseExpr:
 		return false
 	case *numberExpr:
+		if ex.boxed != nil {
+			return ex.boxed
+		}
 		return ex.val
 	case *stringExpr:
 		return ex.val
@@ -482,18 +575,18 @@ func (vm *VM) evalBin(ex *binExpr, env *scope) Value {
 		}
 		switch ex.op {
 		case tokPlus:
-			return ln + rn
+			return Box(ln + rn)
 		case tokMinus:
-			return ln - rn
+			return Box(ln - rn)
 		case tokStar:
-			return ln * rn
+			return Box(ln * rn)
 		case tokSlash:
-			return ln / rn
+			return Box(ln / rn)
 		case tokPercent:
 			// Lua %: result has the sign of the divisor.
-			return ln - math.Floor(ln/rn)*rn
+			return Box(ln - math.Floor(ln/rn)*rn)
 		case tokCaret:
-			return math.Pow(ln, rn)
+			return Box(math.Pow(ln, rn))
 		}
 	case tokConcat:
 		ls, lok := concatString(l)
@@ -571,15 +664,15 @@ func (vm *VM) evalUn(ex *unExpr, env *scope) Value {
 		if !ok {
 			vm.errf(ex.line, "attempt to perform arithmetic on a %v value", TypeOf(v))
 		}
-		return -n
+		return Box(-n)
 	case tokNot:
 		return !Truthy(v)
 	case tokHash:
 		switch x := v.(type) {
 		case string:
-			return float64(len(x))
+			return Box(float64(len(x)))
 		case *Table:
-			return float64(x.Len())
+			return Box(float64(x.Len()))
 		}
 		vm.errf(ex.line, "attempt to get length of a %v value", TypeOf(v))
 	}

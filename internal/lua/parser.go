@@ -24,6 +24,7 @@ func Compile(name, src string) (chunk *Chunk, err error) {
 	p.advance()
 	body := p.parseBlock()
 	p.expect(tokEOF)
+	annotateBlock(body)
 	return &Chunk{Name: name, body: body}, nil
 }
 
@@ -309,7 +310,7 @@ func (p *parser) parseSimpleExpr() expr {
 	case tokNumber:
 		v := p.tok.num
 		p.advance()
-		return &numberExpr{line: line, val: v}
+		return &numberExpr{line: line, val: v, boxed: Box(v)}
 	case tokString:
 		s := p.tok.text
 		p.advance()

@@ -70,6 +70,30 @@ type Function struct {
 	env   *scope
 }
 
+// smallNums interns the boxed form of small non-negative integral floats.
+// Converting a float64 to the Value interface heap-allocates in Go; loop
+// counters, ranks, table indexes and most balancer arithmetic land in this
+// range, so handing out a shared immutable box removes the dominant
+// allocation in the interpreter's eval loop.
+var smallNums [1024]Value
+
+func init() {
+	for i := range smallNums {
+		smallNums[i] = float64(i)
+	}
+}
+
+// Box converts f to a Value, reusing an interned box for small non-negative
+// integral values (negative zero is excluded so tostring(-0) keeps its
+// sign). Callers that already hold a Value should pass it through instead of
+// re-boxing.
+func Box(f float64) Value {
+	if f >= 0 && f < float64(len(smallNums)) && f == math.Trunc(f) && !math.Signbit(f) {
+		return smallNums[int(f)]
+	}
+	return f
+}
+
 // TypeOf reports the Lua type of v.
 func TypeOf(v Value) Type {
 	switch v.(type) {
@@ -313,6 +337,17 @@ func keyLess(a, b Value) bool {
 	default:
 		return fmt.Sprintf("%p", a) < fmt.Sprintf("%p", b)
 	}
+}
+
+// Reset clears the table in place, keeping the allocated array and hash
+// capacity. Mantle reuses long-lived tables (the `targets` table a where
+// hook fills every heartbeat) instead of rebuilding them per invocation.
+func (t *Table) Reset() {
+	for i := range t.arr {
+		t.arr[i] = nil
+	}
+	t.arr = t.arr[:0]
+	clear(t.hash)
 }
 
 // NumEntries reports the total number of entries (array + hash).

@@ -23,7 +23,7 @@ type exportState struct {
 	unit    exportUnit
 	dest    namespace.Rank
 	nodes   int
-	timeout *sim.Event
+	timeout sim.Event
 	started sim.Time // for the migration trace span
 }
 

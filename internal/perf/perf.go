@@ -1,0 +1,218 @@
+// Package perf is the machine-readable micro-benchmark harness behind
+// `mantle-bench -bench-json <label>`. It measures the simulator's hot paths
+// (event scheduling, the Lua interpreter, a full Mantle decision round, and
+// end-to-end create throughput) with testing.Benchmark and serialises the
+// results as BENCH_<label>.json so perf changes leave a committed trajectory
+// (docs/PERFORMANCE.md documents the schema and the regeneration workflow).
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"mantle/internal/balancer"
+	"mantle/internal/cluster"
+	"mantle/internal/core"
+	"mantle/internal/lua"
+	"mantle/internal/sim"
+	"mantle/internal/workload"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// SimOpsPerSec is simulated metadata ops retired per wall-clock second,
+	// reported only by end-to-end cluster benchmarks.
+	SimOpsPerSec float64 `json:"simops_per_sec,omitempty"`
+}
+
+// Report is the top-level BENCH_<label>.json document.
+type Report struct {
+	Label      string   `json:"label"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// Bench is one named micro-benchmark.
+type Bench struct {
+	Name string
+	F    func(b *testing.B)
+}
+
+// Benchmarks returns the harness's benchmark set in a fixed order.
+func Benchmarks() []Bench {
+	return []Bench{
+		{"EventScheduleRun", benchEventScheduleRun},
+		{"EventTicker", benchEventTicker},
+		{"LuaInterpreter", benchLuaInterpreter},
+		{"Table2MantleHooks", benchTable2MantleHooks},
+		{"MDSCreateThroughput", benchMDSCreateThroughput},
+	}
+}
+
+// RunAll executes every benchmark and assembles a Report.
+func RunAll(label string) Report {
+	rep := Report{
+		Label:     label,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, b := range Benchmarks() {
+		res := testing.Benchmark(b.F)
+		r := Result{
+			Name:        b.Name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+		// End-to-end benchmarks report simulated ops per iteration as a
+		// custom metric; convert to ops per wall second.
+		if simOps, ok := res.Extra["simops/op"]; ok && r.NsPerOp > 0 {
+			r.SimOpsPerSec = simOps / (r.NsPerOp / 1e9)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, r)
+	}
+	return rep
+}
+
+// WriteJSON serialises the report with stable indentation.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// benchEventScheduleRun measures schedule/fire churn on the event queue:
+// steady-state scheduling with a rolling window of pending events, the shape
+// every simulated component (clients, network, RADOS, tickers) produces.
+func benchEventScheduleRun(b *testing.B) {
+	e := sim.NewEngine(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(sim.Time(i%1000), func() {})
+		if e.Pending() > 1024 {
+			e.RunUntilIdle()
+		}
+	}
+	e.RunUntilIdle()
+}
+
+// benchEventTicker measures the periodic-work path (heartbeats): one ticker
+// firing b.N times.
+func benchEventTicker(b *testing.B) {
+	e := sim.NewEngine(1)
+	fired := 0
+	tk := e.NewTicker(0, sim.Millisecond, func() { fired++ })
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run(sim.Time(b.N) * sim.Millisecond)
+	b.StopTimer()
+	tk.Stop()
+	if fired < b.N {
+		b.Fatalf("ticker fired %d times, want >= %d", fired, b.N)
+	}
+}
+
+// benchLuaInterpreter measures raw script throughput for a balancer-shaped
+// numeric loop (mirrors BenchmarkLuaInterpreter in the root bench suite).
+func benchLuaInterpreter(b *testing.B) {
+	vm := lua.NewVM()
+	chunk, err := lua.Compile("bench", `
+		local total = 0
+		for i = 1, 100 do
+			total = total + i*i % 7
+		end
+		return total`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := vm.Run(chunk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchTable2MantleHooks measures a full Mantle decision round: the Table 2
+// environment bound into Lua, then when + where + howmuch evaluated.
+func benchTable2MantleHooks(b *testing.B) {
+	lb, err := core.NewLuaBalancer(core.AdaptablePolicy(), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := &balancer.Env{WhoAmI: 0, State: &balancer.MemState{}}
+	for i := 0; i < 5; i++ {
+		e.MDSs = append(e.MDSs, balancer.MDSMetrics{Load: float64(10 * (5 - i)), All: float64(10 * (5 - i))})
+		e.Total += float64(10 * (5 - i))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ok, err := lb.When(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ok {
+			if _, err := lb.Where(e); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := lb.HowMuch(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchMDSCreateThroughput measures simulated metadata ops per wall second:
+// one MDS, four create-heavy clients (mirrors BenchmarkMDSCreateThroughput).
+func benchMDSCreateThroughput(b *testing.B) {
+	var totalOps uint64
+	for i := 0; i < b.N; i++ {
+		cfg := cluster.DefaultConfig(1, int64(i+1))
+		c, err := cluster.New(cfg, cluster.GoBalancers(func() balancer.Balancer {
+			return balancer.NoBalancer{}
+		}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for cl := 0; cl < 4; cl++ {
+			c.AddClient(workload.SeparateDirCreates("", cl, 5000))
+		}
+		res := c.Run(10 * sim.Minute)
+		if !res.AllDone {
+			b.Fatal("did not finish")
+		}
+		totalOps += uint64(res.TotalOps)
+	}
+	b.ReportMetric(float64(totalOps)/float64(b.N), "simops/op")
+}
+
+// Diff renders a human-readable before/after comparison (used by tests and
+// docs regeneration; not part of the JSON schema).
+func Diff(before, after Report) string {
+	idx := map[string]Result{}
+	for _, r := range before.Benchmarks {
+		idx[r.Name] = r
+	}
+	out := ""
+	for _, a := range after.Benchmarks {
+		bl, ok := idx[a.Name]
+		if !ok {
+			continue
+		}
+		out += fmt.Sprintf("%s: %.0f -> %.0f ns/op, %d -> %d allocs/op\n",
+			a.Name, bl.NsPerOp, a.NsPerOp, bl.AllocsPerOp, a.AllocsPerOp)
+	}
+	return out
+}

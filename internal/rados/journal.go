@@ -3,6 +3,7 @@ package rados
 import (
 	"encoding/binary"
 	"fmt"
+	"strconv"
 )
 
 // Journal is an append-only per-MDS log striped across journal objects, the
@@ -18,6 +19,11 @@ type Journal struct {
 	written uint64 // bytes appended across all entries
 	pending int
 	flushed uint64 // entries fully durable
+
+	// curObj caches the formatted name of the chunk being appended to;
+	// it only changes when written crosses a chunk boundary.
+	curChunk uint64
+	curObj   string
 }
 
 // NewJournal creates a journal whose objects are named prefix.N in pool.
@@ -71,7 +77,12 @@ func (j *Journal) Append(kind EntryKind, payloadSize int, done func()) {
 	entry[0] = byte(kind)
 	binary.LittleEndian.PutUint64(entry[1:9], j.seq)
 	binary.LittleEndian.PutUint32(entry[9:13], uint32(payloadSize))
-	obj := fmt.Sprintf("%s.%d", j.prefix, j.written/uint64(j.chunkSize))
+	chunk := j.written / uint64(j.chunkSize)
+	if j.curObj == "" || chunk != j.curChunk {
+		j.curChunk = chunk
+		j.curObj = j.prefix + "." + strconv.FormatUint(chunk, 10)
+	}
+	obj := j.curObj
 	j.written += uint64(len(entry))
 	j.pending++
 	j.pool.Append(obj, entry, func() {

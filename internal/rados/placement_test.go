@@ -1,0 +1,80 @@
+package rados
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"testing"
+)
+
+// referencePlacement is the original, allocation-heavy placement: hash/fnv
+// hashers and fmt formatting per draw. The optimised path (hand-rolled
+// FNV-1a plus the per-PG cache) must reproduce it exactly — placement is
+// part of the simulation's deterministic surface, and changing it would
+// silently change every experiment artefact.
+func referencePlacement(cfg Config, pool, name string) []int {
+	h32 := fnv.New32a()
+	h32.Write([]byte(pool))
+	h32.Write([]byte{0})
+	h32.Write([]byte(name))
+	pg := int(h32.Sum32()) % cfg.PGs
+
+	type straw struct {
+		osd  int
+		draw uint64
+	}
+	straws := make([]straw, cfg.OSDs)
+	for i := 0; i < cfg.OSDs; i++ {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%s/%d/%d", pool, pg, i)
+		straws[i] = straw{osd: i, draw: h.Sum64()}
+	}
+	sort.Slice(straws, func(i, j int) bool {
+		if straws[i].draw != straws[j].draw {
+			return straws[i].draw > straws[j].draw
+		}
+		return straws[i].osd < straws[j].osd
+	})
+	out := make([]int, cfg.Replicas)
+	for i := 0; i < cfg.Replicas; i++ {
+		out[i] = straws[i].osd
+	}
+	return out
+}
+
+func TestPlacementMatchesReference(t *testing.T) {
+	for _, cfg := range []Config{
+		{OSDs: 18, PGs: 128, Replicas: 2},
+		{OSDs: 8, PGs: 32, Replicas: 3},
+		{OSDs: 3, PGs: 7, Replicas: 1},
+	} {
+		c := NewCluster(nil, cfg)
+		for _, pool := range []string{"meta", "mds0_journal", "p"} {
+			for i := 0; i < 300; i++ {
+				name := fmt.Sprintf("200.%08x", i)
+				want := referencePlacement(cfg, pool, name)
+				got := c.PlaceOSDs(pool, name)
+				if len(got) != len(want) {
+					t.Fatalf("%v %s/%s: got %v, want %v", cfg, pool, name, got, want)
+				}
+				for j := range want {
+					if got[j] != want[j] {
+						t.Fatalf("%v %s/%s: got %v, want %v", cfg, pool, name, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlaceOSDsReturnsPrivateSlice: the public API hands out a copy, so a
+// caller mutating the result cannot poison the cache.
+func TestPlaceOSDsReturnsPrivateSlice(t *testing.T) {
+	c := NewCluster(nil, Config{OSDs: 8, PGs: 16, Replicas: 3})
+	a := c.PlaceOSDs("meta", "o")
+	a[0] = -99
+	b := c.PlaceOSDs("meta", "o")
+	if b[0] == -99 {
+		t.Fatal("PlaceOSDs leaked its cache to a caller")
+	}
+}

@@ -11,9 +11,8 @@
 package rados
 
 import (
-	"fmt"
-	"hash/fnv"
 	"sort"
+	"strconv"
 
 	"mantle/internal/sim"
 	"mantle/internal/telemetry"
@@ -80,6 +79,10 @@ type Pool struct {
 	name    string
 	cluster *Cluster
 	objects map[string]*Object
+	// placements caches the OSD set per placement group. Straw draws
+	// depend only on (pool, pg, osd) — exactly CRUSH's property — so the
+	// expensive hash-and-sort runs once per PG, not once per object op.
+	placements [][]int
 }
 
 // Cluster is the simulated object store.
@@ -159,31 +162,61 @@ func (c *Cluster) Pool(name string) *Pool {
 	return p
 }
 
-// pgOf maps an object name to its placement group, like Ceph's stable hash.
-func (c *Cluster) pgOf(pool, name string) int {
-	h := fnv.New32a()
-	h.Write([]byte(pool))
-	h.Write([]byte{0})
-	h.Write([]byte(name))
-	return int(h.Sum32()) % c.cfg.PGs
+// FNV-1a, hand-rolled so placement neither allocates a hash.Hash nor
+// formats a scratch string per operation. Must stay bit-identical to
+// hash/fnv: placements are part of the simulation's deterministic surface
+// (TestPlacementMatchesReference pins the equivalence).
+const (
+	fnv32offset uint32 = 2166136261
+	fnv32prime  uint32 = 16777619
+	fnv64offset uint64 = 14695981039346656037
+	fnv64prime  uint64 = 1099511628211
+)
+
+func fnv32aString(h uint32, s string) uint32 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= fnv32prime
+	}
+	return h
 }
 
-// PlaceOSDs returns the ordered OSD set for an object: a deterministic
-// straw-style selection where each OSD draws a hash-weighted straw per PG and
-// the top Replicas win. This reproduces CRUSH's key property for our
-// purposes: placement is computable from the name alone, with no lookup
-// table, and is uniformly spread.
-func (c *Cluster) PlaceOSDs(pool, name string) []int {
-	pg := c.pgOf(pool, name)
+func fnv64aBytes(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnv64prime
+	}
+	return h
+}
+
+// pgOf maps an object name to its placement group, like Ceph's stable hash:
+// fnv32a over pool, a NUL separator, and the object name.
+func (c *Cluster) pgOf(pool, name string) int {
+	h := fnv32aString(fnv32offset, pool)
+	h *= fnv32prime // NUL separator: h ^= 0 is a no-op
+	h = fnv32aString(h, name)
+	return int(h) % c.cfg.PGs
+}
+
+// computePlacement runs the straw selection for one placement group: each
+// OSD draws a hash-weighted straw ("pool/pg/osd" through fnv64a) and the
+// top Replicas win.
+func (c *Cluster) computePlacement(pool string, pg int) []int {
 	type straw struct {
 		osd  int
 		draw uint64
 	}
 	straws := make([]straw, len(c.osds))
+	buf := make([]byte, 0, len(pool)+16)
+	buf = append(buf, pool...)
+	buf = append(buf, '/')
+	buf = strconv.AppendInt(buf, int64(pg), 10)
+	buf = append(buf, '/')
+	base := fnv64aBytes(fnv64offset, buf) // FNV is sequential: hash the shared prefix once
+	var num []byte
 	for i := range c.osds {
-		h := fnv.New64a()
-		fmt.Fprintf(h, "%s/%d/%d", pool, pg, i)
-		straws[i] = straw{osd: i, draw: h.Sum64()}
+		num = strconv.AppendInt(num[:0], int64(i), 10)
+		straws[i] = straw{osd: i, draw: fnv64aBytes(base, num)}
 	}
 	sort.Slice(straws, func(i, j int) bool {
 		if straws[i].draw != straws[j].draw {
@@ -196,6 +229,31 @@ func (c *Cluster) PlaceOSDs(pool, name string) []int {
 		out[i] = straws[i].osd
 	}
 	return out
+}
+
+// placement returns the cached OSD set for an object. The returned slice is
+// shared — callers must not mutate it.
+func (p *Pool) placement(name string) []int {
+	pg := p.cluster.pgOf(p.name, name)
+	if p.placements == nil {
+		p.placements = make([][]int, p.cluster.cfg.PGs)
+	}
+	if s := p.placements[pg]; s != nil {
+		return s
+	}
+	s := p.cluster.computePlacement(p.name, pg)
+	p.placements[pg] = s
+	return s
+}
+
+// PlaceOSDs returns the ordered OSD set for an object: a deterministic
+// straw-style selection where each OSD draws a hash-weighted straw per PG and
+// the top Replicas win. This reproduces CRUSH's key property for our
+// purposes: placement is computable from the name alone, with no lookup
+// table, and is uniformly spread. The result is a fresh slice the caller
+// may keep.
+func (c *Cluster) PlaceOSDs(pool, name string) []int {
+	return append([]int(nil), c.Pool(pool).placement(name)...)
 }
 
 // opLatency computes the simulated latency for one replica op of size bytes.
@@ -215,7 +273,7 @@ func (c *Cluster) opLatency(base sim.Time, bytes int) sim.Time {
 // invokes done when all replicas have acked. done may be nil.
 func (p *Pool) Write(name string, data []byte, done func()) {
 	c := p.cluster
-	placed := c.PlaceOSDs(p.name, name)
+	placed := p.placement(name)
 	var worst sim.Time
 	for _, id := range placed {
 		l := c.opLatency(c.cfg.WriteLatency, len(data))
@@ -244,7 +302,7 @@ func (p *Pool) Write(name string, data []byte, done func()) {
 // Append appends data to the object, creating it if missing.
 func (p *Pool) Append(name string, data []byte, done func()) {
 	c := p.cluster
-	placed := c.PlaceOSDs(p.name, name)
+	placed := p.placement(name)
 	var worst sim.Time
 	for _, id := range placed {
 		l := c.opLatency(c.cfg.WriteLatency, len(data))
@@ -274,7 +332,7 @@ func (p *Pool) Append(name string, data []byte, done func()) {
 // not exist (with ok=false).
 func (p *Pool) Read(name string, done func(data []byte, ok bool)) {
 	c := p.cluster
-	placed := c.PlaceOSDs(p.name, name)
+	placed := p.placement(name)
 	primary := placed[0]
 	l := c.opLatency(c.cfg.ReadLatency, 0)
 	c.osds[primary].reads++
@@ -295,7 +353,7 @@ func (p *Pool) Read(name string, done func(data []byte, ok bool)) {
 // fragments: one key per dentry, as CephFS stores dirfrags).
 func (p *Pool) OMapSet(name string, kv map[string][]byte, done func()) {
 	c := p.cluster
-	placed := c.PlaceOSDs(p.name, name)
+	placed := p.placement(name)
 	size := 0
 	for k, v := range kv {
 		size += len(k) + len(v)
@@ -330,7 +388,7 @@ func (p *Pool) OMapSet(name string, kv map[string][]byte, done func()) {
 // OMapGet reads the whole omap of an object.
 func (p *Pool) OMapGet(name string, done func(kv map[string][]byte, ok bool)) {
 	c := p.cluster
-	placed := c.PlaceOSDs(p.name, name)
+	placed := p.placement(name)
 	l := c.opLatency(c.cfg.ReadLatency, 0)
 	c.osds[placed[0]].reads++
 	c.osds[placed[0]].busy += l

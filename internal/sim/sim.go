@@ -4,10 +4,13 @@
 // network, the object store) schedule work on a single Engine. Events fire in
 // (time, sequence) order, so two runs with the same seed and the same inputs
 // produce byte-identical results. Virtual time is kept in microseconds.
+//
+// The engine is allocation-free in steady state: fired and cancelled events
+// return to a per-engine free list, and handles carry a generation number so
+// a stale handle (cancel-after-fire) can never touch a recycled slot.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -38,47 +41,27 @@ func (t Time) String() string { return t.Duration().String() }
 // FromSeconds converts floating-point seconds into a virtual Time.
 func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
 
-// Event is a scheduled callback. Events are one-shot; recurring behaviour is
-// built by re-scheduling from within the callback.
+// Event is a handle to a scheduled callback. Events are one-shot; recurring
+// behaviour is built by re-scheduling from within the callback. The zero
+// Event is valid and refers to nothing (Cancel is a no-op), and a handle
+// stays safe after its event fires or is cancelled: the underlying slot is
+// recycled under a new generation, so stale cancels cannot touch it.
 type Event struct {
-	at   Time
-	seq  uint64
-	fn   func()
-	idx  int // heap index; -1 once popped or cancelled
-	dead bool
+	e   *event
+	gen uint64
+	at  Time
 }
 
-// At reports the virtual time the event will fire.
-func (e *Event) At() Time { return e.at }
+// At reports the virtual time the event fires (or fired).
+func (ev Event) At() Time { return ev.at }
 
-// eventQueue is a min-heap ordered by (at, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*q = old[:n-1]
-	return e
+// event is the pooled scheduler slot behind an Event handle.
+type event struct {
+	at  Time
+	seq uint64
+	gen uint64
+	fn  func()
+	idx int // position in the heap; -1 while free
 }
 
 // Engine is a discrete-event simulator. It is not safe for concurrent use;
@@ -88,7 +71,8 @@ func (q *eventQueue) Pop() any {
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventQueue
+	queue   []*event // binary min-heap ordered by (at, seq)
+	free    []*event // recycled slots
 	rng     *rand.Rand
 	stopped bool
 
@@ -97,6 +81,10 @@ type Engine struct {
 	// MaxEvents aborts the run (panic) if more than this many events fire.
 	// Zero means no limit.
 	MaxEvents uint64
+	// DisablePool bypasses the free list so every Schedule allocates a
+	// fresh slot. It exists only for regression tests that prove pooling
+	// changes no event order; production code never sets it.
+	DisablePool bool
 }
 
 // NewEngine returns an engine whose random source is seeded with seed.
@@ -110,9 +98,9 @@ func (e *Engine) Now() Time { return e.now }
 // Rand exposes the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// Schedule runs fn after delay (clamped to >= 0) and returns the event so the
+// Schedule runs fn after delay (clamped to >= 0) and returns a handle so the
 // caller may cancel it.
-func (e *Engine) Schedule(delay Time, fn func()) *Event {
+func (e *Engine) Schedule(delay Time, fn func()) Event {
 	if delay < 0 {
 		delay = 0
 	}
@@ -122,7 +110,7 @@ func (e *Engine) Schedule(delay Time, fn func()) *Event {
 // ScheduleAt runs fn at the absolute virtual time at. Times in the past are
 // clamped to "now" (the event still fires after currently-pending events with
 // earlier timestamps).
-func (e *Engine) ScheduleAt(at Time, fn func()) *Event {
+func (e *Engine) ScheduleAt(at Time, fn func()) Event {
 	if fn == nil {
 		panic("sim: ScheduleAt with nil callback")
 	}
@@ -130,21 +118,130 @@ func (e *Engine) ScheduleAt(at Time, fn func()) *Event {
 		at = e.now
 	}
 	e.seq++
-	ev := &Event{at: at, seq: e.seq, fn: fn}
-	heap.Push(&e.queue, ev)
-	return ev
+	ev := e.alloc()
+	ev.at, ev.seq, ev.fn = at, e.seq, fn
+	e.push(ev)
+	return Event{e: ev, gen: ev.gen, at: at}
 }
 
-// Cancel removes a pending event. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.dead {
+// Cancel removes a pending event. Cancelling the zero Event, an
+// already-fired, or an already-cancelled event is a no-op: the handle's
+// generation no longer matches the recycled slot.
+func (e *Engine) Cancel(ev Event) {
+	if ev.e == nil || ev.e.gen != ev.gen {
 		return
 	}
-	ev.dead = true
-	if ev.idx >= 0 {
-		heap.Remove(&e.queue, ev.idx)
+	slot := ev.e
+	e.removeAt(slot.idx)
+	e.recycle(slot)
+}
+
+// alloc takes a slot from the free list (or the heap's allocator).
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 && !e.DisablePool {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
 	}
+	// Generations start at 1 so the zero Event handle can never match.
+	return &event{gen: 1, idx: -1}
+}
+
+// recycle retires a fired or cancelled slot: bumping the generation
+// invalidates every outstanding handle before the slot is reused.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.idx = -1
+	if !e.DisablePool {
+		e.free = append(e.free, ev)
+	}
+}
+
+// ---- heap (hand-rolled: container/heap's interface indirection and any
+// boxing cost real time on the hottest loop in the simulator) ----
+
+// push appends ev and restores heap order. The common case — the new event
+// sorts after its parent, because most scheduling is near-future work on a
+// mostly-sorted queue — exits after a single comparison without moving
+// anything.
+func (e *Engine) push(ev *event) {
+	i := len(e.queue)
+	e.queue = append(e.queue, ev)
+	for i > 0 {
+		p := (i - 1) / 2
+		pe := e.queue[p]
+		if pe.at < ev.at || (pe.at == ev.at && pe.seq < ev.seq) {
+			break
+		}
+		e.queue[i] = pe
+		pe.idx = i
+		i = p
+	}
+	e.queue[i] = ev
+	ev.idx = i
+}
+
+// siftDown restores heap order downward from i using a hole: ev is written
+// exactly once at its final position.
+func (e *Engine) siftDown(i int) {
+	ev := e.queue[i]
+	n := len(e.queue)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n {
+			cr, cl := e.queue[r], e.queue[c]
+			if cr.at < cl.at || (cr.at == cl.at && cr.seq < cl.seq) {
+				c = r
+			}
+		}
+		ce := e.queue[c]
+		if ev.at < ce.at || (ev.at == ce.at && ev.seq < ce.seq) {
+			break
+		}
+		e.queue[i] = ce
+		ce.idx = i
+		i = c
+	}
+	e.queue[i] = ev
+	ev.idx = i
+}
+
+// siftUp restores heap order upward from i (needed after an arbitrary
+// removal promotes the last element into the middle of the heap).
+func (e *Engine) siftUp(i int) {
+	ev := e.queue[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		pe := e.queue[p]
+		if pe.at < ev.at || (pe.at == ev.at && pe.seq < ev.seq) {
+			break
+		}
+		e.queue[i] = pe
+		pe.idx = i
+		i = p
+	}
+	e.queue[i] = ev
+	ev.idx = i
+}
+
+// removeAt deletes the slot at heap position i.
+func (e *Engine) removeAt(i int) {
+	n := len(e.queue) - 1
+	last := e.queue[n]
+	e.queue[n] = nil
+	e.queue = e.queue[:n]
+	if i == n {
+		return
+	}
+	e.queue[i] = last
+	last.idx = i
+	e.siftDown(i)
+	e.siftUp(i)
 }
 
 // Pending reports the number of events waiting to fire.
@@ -156,21 +253,23 @@ func (e *Engine) Stop() { e.stopped = true }
 // step executes the earliest pending event. It reports false when the queue
 // is empty.
 func (e *Engine) step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.dead {
-			continue
-		}
-		ev.dead = true
-		e.now = ev.at
-		e.Processed++
-		if e.MaxEvents != 0 && e.Processed > e.MaxEvents {
-			panic(fmt.Sprintf("sim: exceeded MaxEvents=%d at t=%v", e.MaxEvents, e.now))
-		}
-		ev.fn()
-		return true
+	if len(e.queue) == 0 {
+		return false
 	}
-	return false
+	ev := e.queue[0]
+	e.removeAt(0)
+	fn := ev.fn
+	e.now = ev.at
+	e.Processed++
+	if e.MaxEvents != 0 && e.Processed > e.MaxEvents {
+		panic(fmt.Sprintf("sim: exceeded MaxEvents=%d at t=%v", e.MaxEvents, e.now))
+	}
+	// Recycle before the callback: fn may schedule new work straight into
+	// the freed slot, and outstanding handles are already invalidated by
+	// the generation bump.
+	e.recycle(ev)
+	fn()
+	return true
 }
 
 // Run executes events until the queue drains, until the first event whose
@@ -206,7 +305,7 @@ type Ticker struct {
 	engine   *Engine
 	interval Time
 	fn       func()
-	ev       *Event
+	ev       Event
 	stopped  bool
 }
 
@@ -232,10 +331,18 @@ func (t *Ticker) tick() {
 	}
 }
 
-// Stop cancels future firings.
+// Stop cancels future firings. Stopping twice is a no-op.
 func (t *Ticker) Stop() {
 	t.stopped = true
 	t.engine.Cancel(t.ev)
+}
+
+// Restart resumes a stopped ticker, first firing after offset. Restarting a
+// running ticker just reschedules its next firing.
+func (t *Ticker) Restart(offset Time) {
+	t.engine.Cancel(t.ev)
+	t.stopped = false
+	t.ev = t.engine.Schedule(offset, t.tick)
 }
 
 // Jitter returns a duration uniformly drawn from [-spread, +spread] using the

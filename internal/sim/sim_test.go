@@ -95,7 +95,7 @@ func TestCancel(t *testing.T) {
 func TestCancelOneOfMany(t *testing.T) {
 	e := NewEngine(1)
 	var got []int
-	evs := make([]*Event, 5)
+	evs := make([]Event, 5)
 	for i := 0; i < 5; i++ {
 		i := i
 		evs[i] = e.Schedule(Time(10*(i+1)), func() { got = append(got, i) })
@@ -275,7 +275,7 @@ func TestCancelProperty(t *testing.T) {
 		e := NewEngine(1)
 		rng := rand.New(rand.NewSource(seed))
 		count := int(n%64) + 1
-		evs := make([]*Event, count)
+		evs := make([]Event, count)
 		fired := make([]bool, count)
 		for i := 0; i < count; i++ {
 			i := i
