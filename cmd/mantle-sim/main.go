@@ -20,6 +20,7 @@ import (
 
 	"mantle/internal/cluster"
 	"mantle/internal/core"
+	"mantle/internal/faults"
 	"mantle/internal/mon"
 	"mantle/internal/sim"
 	"mantle/internal/telemetry"
@@ -40,6 +41,7 @@ func main() {
 		hb         = flag.Duration("hb-interval", 0, "heartbeat/balancer interval (0 = 10s)")
 		splitSize  = flag.Int("split-size", 0, "dirfrag split threshold (0 = 50000)")
 		standbys   = flag.Int("standbys", 0, "standby MDS daemons (enables the monitor)")
+		faultsFile = flag.String("faults", "", "JSON fault plan to inject (see docs/ROBUSTNESS.md for the schema)")
 		crashRank  = flag.Int("crash-rank", -1, "rank to crash at -crash-at (requires -standbys or manual recovery)")
 		crashAt    = flag.Duration("crash-at", 0, "virtual time of the injected crash")
 		csvPrefix  = flag.String("csv", "", "write <prefix>_throughput.csv and <prefix>_clients.csv")
@@ -140,6 +142,22 @@ func main() {
 		mcfg.Grace = 3 * cfg.MDS.HeartbeatInterval
 		c.EnableFailover(*standbys, mcfg)
 	}
+	if *faultsFile != "" {
+		plan, err := faults.Load(*faultsFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit(2)
+		}
+		if err := faults.Apply(c, plan); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit(2)
+		}
+		name := plan.Name
+		if name == "" {
+			name = *faultsFile
+		}
+		fmt.Printf("fault plan %s: %d event(s), seed %d\n", name, len(plan.Events), plan.Seed)
+	}
 	if *crashRank >= 0 && *crashRank < *numMDS && *crashAt > 0 {
 		doomed := c.MDSs[*crashRank]
 		c.Engine.Schedule(sim.Time(crashAt.Microseconds()), func() {
@@ -161,6 +179,10 @@ func main() {
 	fmt.Printf("mean latency: %.3f ms\n", res.MeanLatencyMs())
 	fmt.Printf("forwards: %d  exports: %d (%d inodes)  splits: %d  session flushes: %d  policy errors: %d\n",
 		res.TotalForwards, res.TotalExports, res.TotalInodes, res.TotalSplits, res.TotalFlushes, res.PolicyErrors)
+	if res.PolicyFallbacks+res.ExportAborts+res.ImportAborts+res.SubtreeReassigns != 0 || res.TotalGaveUp != 0 {
+		fmt.Printf("robustness: %d policy fallback(s)  %d export abort(s)  %d import abort(s)  %d reassignment(s)  %d op(s) abandoned\n",
+			res.PolicyFallbacks, res.ExportAborts, res.ImportAborts, res.SubtreeReassigns, res.TotalGaveUp)
+	}
 	if c.Monitor != nil {
 		fmt.Printf("monitor: %d failure(s), %d takeover(s), down now: %v\n",
 			c.Monitor.Failures, c.Monitor.Takeovers, c.Monitor.FailedRanks())
@@ -202,7 +224,15 @@ func main() {
 			exit(1)
 		}
 	}
-	if !res.AllDone {
+	// Health gates: wedged migrations are a bug in the cluster (exit 3);
+	// unmet client ops — hung or abandoned — are a failed run (exit 1).
+	if wedged := c.WedgedMigrations(); wedged > 0 {
+		fmt.Fprintf(os.Stderr, "FAIL: %d migration(s) wedged in flight at shutdown\n", wedged)
+		exit(3)
+	}
+	if !res.AllDone || res.TotalGaveUp > 0 {
+		fmt.Fprintf(os.Stderr, "FAIL: unmet ops (all done: %v, %d abandoned after retry budget)\n",
+			res.AllDone, res.TotalGaveUp)
 		exit(1)
 	}
 }

@@ -1,0 +1,177 @@
+package balancer
+
+import (
+	"fmt"
+
+	"mantle/internal/namespace"
+)
+
+// Versioned layers balancer versions with last-known-good fallback, the
+// safety net §3 of the paper gets from storing balancer versions in RADOS:
+// injected policies are untrusted, so a version whose hook errors or whose
+// targets fail sanity checks is demoted and the previous version reinstated,
+// transparently, within the same evaluation.
+//
+// Versioned itself implements Balancer; the MDS mechanism is unchanged. When
+// every version on the stack has failed, the base version's error surfaces to
+// the caller exactly as an unwrapped balancer's would, so existing
+// policy-error accounting still applies.
+type Versioned struct {
+	stack []Balancer // stack[len-1] is active; stack[0] is the base
+
+	// Demotions counts versions demoted over the Versioned's lifetime.
+	Demotions uint64
+	// OnDemote, if set, observes each demotion as it happens.
+	OnDemote func(d Demotion)
+
+	events []Demotion
+}
+
+// Demotion records one fallback: the failing version, the reinstated one,
+// and why.
+type Demotion struct {
+	From   string
+	To     string
+	Reason string
+}
+
+// NewVersioned wraps base as version 1 of a balancer stack.
+func NewVersioned(base Balancer) *Versioned {
+	if base == nil {
+		panic("balancer: nil base balancer")
+	}
+	return &Versioned{stack: []Balancer{base}}
+}
+
+// Push installs b as the new active version. The previous active version
+// becomes the fallback.
+func (v *Versioned) Push(b Balancer) {
+	if b == nil {
+		panic("balancer: nil balancer version")
+	}
+	v.stack = append(v.stack, b)
+}
+
+// Active reports the version currently in charge.
+func (v *Versioned) Active() Balancer { return v.stack[len(v.stack)-1] }
+
+// Versions reports the stack depth.
+func (v *Versioned) Versions() int { return len(v.stack) }
+
+// DrainDemotions returns the demotions since the last drain. The MDS drains
+// once per heartbeat into its flight record and counters.
+func (v *Versioned) DrainDemotions() []Demotion {
+	out := v.events
+	v.events = nil
+	return out
+}
+
+// demote pops the failing active version and reinstates the previous one.
+// It reports false when there is nothing left to fall back to (the base
+// version itself failed); the base stays installed so a transient failure
+// does not leave the MDS with no policy at all.
+func (v *Versioned) demote(reason error) bool {
+	if len(v.stack) == 1 {
+		return false
+	}
+	from := v.stack[len(v.stack)-1]
+	v.stack = v.stack[:len(v.stack)-1]
+	d := Demotion{From: from.Name(), To: v.Active().Name(), Reason: reason.Error()}
+	v.Demotions++
+	v.events = append(v.events, d)
+	if v.OnDemote != nil {
+		v.OnDemote(d)
+	}
+	return true
+}
+
+// Name reports the active version's name.
+func (v *Versioned) Name() string { return v.Active().Name() }
+
+// MetaLoad applies the active version, demoting and retrying on error.
+func (v *Versioned) MetaLoad(d namespace.CounterSnapshot) (float64, error) {
+	for {
+		load, err := v.Active().MetaLoad(d)
+		if err == nil {
+			return load, nil
+		}
+		if !v.demote(err) {
+			return 0, err
+		}
+	}
+}
+
+// MDSLoad applies the active version, demoting and retrying on error.
+func (v *Versioned) MDSLoad(rank namespace.Rank, e *Env) (float64, error) {
+	for {
+		load, err := v.Active().MDSLoad(rank, e)
+		if err == nil {
+			return load, nil
+		}
+		if !v.demote(err) {
+			return 0, err
+		}
+	}
+}
+
+// When applies the active version, demoting and retrying on error.
+func (v *Versioned) When(e *Env) (bool, error) {
+	for {
+		ok, err := v.Active().When(e)
+		if err == nil {
+			return ok, nil
+		}
+		if !v.demote(err) {
+			return false, err
+		}
+	}
+}
+
+// Where applies the active version, demoting and retrying when the hook
+// errors or its targets fail validation or the sanity check: a policy may
+// not ship away more load than the deciding MDS carries. With no fallback
+// installed the targets pass through untouched — the caller validates, as it
+// would against an unwrapped balancer — so wrapping a single trusted version
+// never changes a run.
+func (v *Versioned) Where(e *Env) (Targets, error) {
+	for {
+		t, err := v.Active().Where(e)
+		if err == nil && len(v.stack) > 1 {
+			err = sanityCheck(t, e)
+		}
+		if err == nil {
+			return t, nil
+		}
+		if !v.demote(err) {
+			return nil, err
+		}
+	}
+}
+
+// HowMuch applies the active version, demoting and retrying on error.
+func (v *Versioned) HowMuch(e *Env) ([]string, error) {
+	for {
+		sel, err := v.Active().HowMuch(e)
+		if err == nil {
+			return sel, nil
+		}
+		if !v.demote(err) {
+			return nil, err
+		}
+	}
+}
+
+// sanityCheck rejects targets a sane policy cannot produce: structurally
+// invalid destinations/amounts, or a total exceeding the sender's own load
+// (a garbage policy trying to export more than exists). The small tolerance
+// forgives float noise in honest sum-to-my-load policies.
+func sanityCheck(t Targets, e *Env) error {
+	if err := t.Validate(e); err != nil {
+		return err
+	}
+	own := e.MDSs[e.WhoAmI].Load
+	if sum := t.TotalTarget(); sum > own*1.0001+1e-6 {
+		return fmt.Errorf("balancer: targets sum %v exceeds own load %v", sum, own)
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package balancer
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"mantle/internal/namespace"
+)
+
+// fakeBal is a scriptable balancer version for fallback tests.
+type fakeBal struct {
+	name    string
+	err     error   // returned by every hook when set
+	targets Targets // returned by Where when err is nil
+	when    bool
+	calls   int
+}
+
+func (f *fakeBal) Name() string { return f.name }
+func (f *fakeBal) MetaLoad(namespace.CounterSnapshot) (float64, error) {
+	f.calls++
+	return 1, f.err
+}
+func (f *fakeBal) MDSLoad(namespace.Rank, *Env) (float64, error) {
+	f.calls++
+	return 1, f.err
+}
+func (f *fakeBal) When(*Env) (bool, error) {
+	f.calls++
+	return f.when, f.err
+}
+func (f *fakeBal) Where(*Env) (Targets, error) {
+	f.calls++
+	return f.targets, f.err
+}
+func (f *fakeBal) HowMuch(*Env) ([]string, error) {
+	f.calls++
+	return []string{"big_first"}, f.err
+}
+
+func env2(own float64) *Env {
+	return &Env{
+		WhoAmI: 0,
+		MDSs:   []MDSMetrics{{Load: own}, {Load: 0}},
+		Total:  own,
+	}
+}
+
+func TestVersionedPassThroughSingleVersion(t *testing.T) {
+	base := &fakeBal{name: "base", when: true, targets: Targets{1: 5}}
+	v := NewVersioned(base)
+	if v.Name() != "base" || v.Versions() != 1 || v.Active() != base {
+		t.Fatal("wrapper does not expose base")
+	}
+	e := env2(10)
+	if ok, err := v.When(e); !ok || err != nil {
+		t.Fatalf("When = %v, %v", ok, err)
+	}
+	tg, err := v.Where(e)
+	if err != nil || tg[1] != 5 {
+		t.Fatalf("Where = %v, %v", tg, err)
+	}
+	if v.Demotions != 0 || len(v.DrainDemotions()) != 0 {
+		t.Fatal("spurious demotion")
+	}
+}
+
+func TestVersionedSingleVersionSkipsSanityCheck(t *testing.T) {
+	// An unwrapped balancer's over-sized targets are only caught by the
+	// caller's Validate; a single-version wrapper must behave identically
+	// so wrapping changes nothing on trusted runs.
+	base := &fakeBal{name: "base", when: true, targets: Targets{1: 1e9}}
+	v := NewVersioned(base)
+	tg, err := v.Where(env2(10))
+	if err != nil || tg[1] != 1e9 {
+		t.Fatalf("Where = %v, %v", tg, err)
+	}
+}
+
+func TestVersionedDemotesOnHookError(t *testing.T) {
+	base := &fakeBal{name: "v1", when: true, targets: Targets{1: 5}}
+	bad := &fakeBal{name: "v2", err: errors.New("boom")}
+	v := NewVersioned(base)
+	v.Push(bad)
+	if v.Name() != "v2" {
+		t.Fatal("pushed version not active")
+	}
+	ok, err := v.When(env2(10))
+	if err != nil || !ok {
+		t.Fatalf("When after fallback = %v, %v", ok, err)
+	}
+	if v.Name() != "v1" || v.Demotions != 1 {
+		t.Fatalf("active=%s demotions=%d", v.Name(), v.Demotions)
+	}
+	evs := v.DrainDemotions()
+	if len(evs) != 1 || evs[0].From != "v2" || evs[0].To != "v1" || !strings.Contains(evs[0].Reason, "boom") {
+		t.Fatalf("events = %+v", evs)
+	}
+	if len(v.DrainDemotions()) != 0 {
+		t.Fatal("drain not idempotent")
+	}
+}
+
+func TestVersionedDemotesOnInsaneTargets(t *testing.T) {
+	base := &fakeBal{name: "good", when: true, targets: Targets{1: 5}}
+	garbage := &fakeBal{name: "garbage", when: true, targets: Targets{1: 1e12}}
+	v := NewVersioned(base)
+	v.Push(garbage)
+	tg, err := v.Where(env2(10))
+	if err != nil || tg[1] != 5 {
+		t.Fatalf("Where = %v, %v", tg, err)
+	}
+	if v.Demotions != 1 || v.Name() != "good" {
+		t.Fatalf("demotions=%d active=%s", v.Demotions, v.Name())
+	}
+}
+
+func TestVersionedDemotesOnInvalidTargets(t *testing.T) {
+	base := &fakeBal{name: "good", when: true, targets: Targets{1: 5}}
+	selfish := &fakeBal{name: "selfish", when: true, targets: Targets{0: 3}}
+	v := NewVersioned(base)
+	v.Push(selfish)
+	tg, err := v.Where(env2(10))
+	if err != nil || tg[1] != 5 {
+		t.Fatalf("Where = %v, %v", tg, err)
+	}
+	if v.Name() != "good" {
+		t.Fatal("self-targeting version not demoted")
+	}
+}
+
+func TestVersionedBaseFailureSurfaces(t *testing.T) {
+	base := &fakeBal{name: "base", err: errors.New("base broken")}
+	v := NewVersioned(base)
+	if _, err := v.When(env2(1)); err == nil || !strings.Contains(err.Error(), "base broken") {
+		t.Fatalf("err = %v", err)
+	}
+	if v.Demotions != 0 || v.Versions() != 1 {
+		t.Fatal("base must never be popped")
+	}
+}
+
+func TestVersionedCascadingFallback(t *testing.T) {
+	base := &fakeBal{name: "v1", when: true, targets: Targets{1: 2}}
+	mid := &fakeBal{name: "v2", err: errors.New("mid dead")}
+	top := &fakeBal{name: "v3", err: errors.New("top dead")}
+	v := NewVersioned(base)
+	v.Push(mid)
+	v.Push(top)
+	var seen []string
+	v.OnDemote = func(d Demotion) { seen = append(seen, d.From+">"+d.To) }
+	if _, err := v.MDSLoad(0, env2(1)); err != nil {
+		t.Fatalf("MDSLoad = %v", err)
+	}
+	if v.Demotions != 2 || v.Name() != "v1" {
+		t.Fatalf("demotions=%d active=%s", v.Demotions, v.Name())
+	}
+	if len(seen) != 2 || seen[0] != "v3>v2" || seen[1] != "v2>v1" {
+		t.Fatalf("OnDemote order = %v", seen)
+	}
+}
+
+func TestVersionedAllHooksFallBack(t *testing.T) {
+	base := &fakeBal{name: "ok", when: true, targets: Targets{1: 1}}
+	for _, hook := range []string{"meta", "mds", "when", "where", "howmuch"} {
+		v := NewVersioned(base)
+		v.Push(&fakeBal{name: "bad-" + hook, err: errors.New(hook + " fails")})
+		e := env2(5)
+		var err error
+		switch hook {
+		case "meta":
+			_, err = v.MetaLoad(namespace.CounterSnapshot{})
+		case "mds":
+			_, err = v.MDSLoad(0, e)
+		case "when":
+			_, err = v.When(e)
+		case "where":
+			_, err = v.Where(e)
+		case "howmuch":
+			_, err = v.HowMuch(e)
+		}
+		if err != nil {
+			t.Fatalf("%s: fallback failed: %v", hook, err)
+		}
+		if v.Demotions != 1 {
+			t.Fatalf("%s: demotions = %d", hook, v.Demotions)
+		}
+	}
+}

@@ -30,6 +30,19 @@ type Config struct {
 	// (MDS crash or partition). After two consecutive timeouts the
 	// client drops its routing cache and starts over from rank 0.
 	RequestTimeout sim.Time
+	// RetryBudget bounds consecutive timeouts for one operation; past it
+	// the op is abandoned (counted in GaveUp and Errors) and the workload
+	// moves on, so a dead cluster region fails ops cleanly instead of
+	// hanging the client forever. 0 = retry without bound (the historical
+	// behaviour).
+	RetryBudget int
+	// BackoffBase enables exponential backoff between timeout retries:
+	// the k-th consecutive retry waits BackoffBase*2^(k-1), capped at
+	// BackoffMax, plus deterministic jitter of ±25%. 0 = immediate resend
+	// (the historical behaviour).
+	BackoffBase sim.Time
+	// BackoffMax caps the exponential backoff delay (0 = 64*BackoffBase).
+	BackoffMax sim.Time
 	// StartJitter delays the client's first operation by a uniformly
 	// random amount in [0, StartJitter] — real clients never launch in
 	// perfect lockstep, and the skew is what makes balancer runs diverge
@@ -74,6 +87,7 @@ type Client struct {
 	retries     int
 	timeoutsRow int
 	timeoutEv   sim.Event
+	backoffEv   sim.Event
 	flushUntil  sim.Time
 	done        bool
 
@@ -81,6 +95,7 @@ type Client struct {
 	Completed      int
 	Errors         int
 	Timeouts       int
+	GaveUp         int // ops abandoned after the retry budget ran out
 	ForwardedOps   int // ops that took at least one forward
 	TotalForwards  int
 	SessionFlushes int
@@ -245,7 +260,10 @@ func (c *Client) send(op workload.Op) {
 
 // onTimeout re-sends an operation the cluster never answered. Two
 // consecutive timeouts mean the client's routing knowledge points at a dead
-// or unreachable MDS, so it is discarded (a fresh mount's view).
+// or unreachable MDS, so it is discarded (a fresh mount's view). With a
+// retry budget the op is eventually abandoned; with backoff enabled the
+// resends spread out exponentially so a recovering cluster is not stampeded
+// by every client retrying in lockstep.
 func (c *Client) onTimeout(id uint64) {
 	if c.done || id != c.inflightID {
 		return
@@ -255,7 +273,48 @@ func (c *Client) onTimeout(id uint64) {
 	if c.timeoutsRow >= 2 {
 		c.ResetRouting()
 	}
+	if c.cfg.RetryBudget > 0 && c.timeoutsRow > c.cfg.RetryBudget {
+		// Fail the op cleanly and move on.
+		c.GaveUp++
+		c.Errors++
+		c.timeoutsRow = 0
+		c.inflightID = 0
+		c.issueNext()
+		return
+	}
+	if c.cfg.BackoffBase > 0 {
+		delay := c.backoffDelay()
+		c.backoffEv = c.engine.Schedule(delay, func() {
+			if c.done || id != c.inflightID {
+				return
+			}
+			c.send(c.inflightOp)
+		})
+		return
+	}
 	c.send(c.inflightOp)
+}
+
+// backoffDelay computes the current retry's wait: exponential in the
+// consecutive-timeout count, capped, with deterministic ±25% jitter drawn
+// from the engine RNG so same-seed runs back off identically.
+func (c *Client) backoffDelay() sim.Time {
+	limit := c.cfg.BackoffMax
+	if limit <= 0 {
+		limit = 64 * c.cfg.BackoffBase
+	}
+	delay := c.cfg.BackoffBase
+	for i := 1; i < c.timeoutsRow && delay < limit; i++ {
+		delay *= 2
+	}
+	if delay > limit {
+		delay = limit
+	}
+	delay += c.engine.Jitter(delay / 4)
+	if delay < 0 {
+		delay = 0
+	}
+	return delay
 }
 
 // HandleMessage implements simnet.Handler.
@@ -285,6 +344,7 @@ func (c *Client) handleReply(rep *mds.Reply) {
 		return // stale duplicate (or a reply that lost to its timeout)
 	}
 	c.engine.Cancel(c.timeoutEv)
+	c.engine.Cancel(c.backoffEv)
 	c.timeoutsRow = 0
 	for _, h := range rep.Hints {
 		c.learn(h)

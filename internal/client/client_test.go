@@ -382,3 +382,90 @@ func TestLearnEvictsLRU(t *testing.T) {
 	}
 	_ = e
 }
+
+func TestRetryBudgetGivesUpCleanly(t *testing.T) {
+	e, n, _, addrs := newRig(t, 1)
+	n.Unregister(addrs[0]) // every request lands on a dead address
+	cfg := DefaultConfig()
+	cfg.RequestTimeout = sim.Second
+	cfg.RetryBudget = 2
+	c := New(0, simnet.Addr(100), e, n, cfg, ops("/a", "/b", "/c"), addrs)
+	c.Start()
+	e.RunUntilIdle()
+	if !c.Done() {
+		t.Fatal("client hung instead of failing cleanly")
+	}
+	if c.GaveUp != 3 || c.Errors != 3 || c.Completed != 0 {
+		t.Fatalf("gaveUp=%d errors=%d completed=%d", c.GaveUp, c.Errors, c.Completed)
+	}
+	// Initial send plus RetryBudget resends per op, each timing out.
+	if c.Timeouts != 9 {
+		t.Fatalf("timeouts = %d, want 9", c.Timeouts)
+	}
+}
+
+func TestBackoffSpreadsRetriesExponentially(t *testing.T) {
+	e, n, _, addrs := newRig(t, 1)
+	n.Unregister(addrs[0])
+	var arrivals []sim.Time
+	n.Register(simnet.Addr(0), simnet.HandlerFunc(func(from simnet.Addr, msg simnet.Message) {
+		arrivals = append(arrivals, e.Now()) // swallow: never reply
+	}))
+	cfg := DefaultConfig()
+	cfg.RequestTimeout = sim.Second
+	cfg.RetryBudget = 4
+	cfg.BackoffBase = 100 * sim.Millisecond
+	cfg.BackoffMax = 400 * sim.Millisecond
+	c := New(0, simnet.Addr(100), e, n, cfg, ops("/a"), addrs)
+	c.Start()
+	e.RunUntilIdle()
+	if !c.Done() || c.GaveUp != 1 {
+		t.Fatalf("done=%v gaveUp=%d", c.Done(), c.GaveUp)
+	}
+	if len(arrivals) != 5 { // initial + 4 retries
+		t.Fatalf("arrivals = %d, want 5", len(arrivals))
+	}
+	// Gap k = timeout + backoff(k) with backoff doubling 100ms, 200ms,
+	// 400ms, then capped at 400ms, each ±25% jitter.
+	want := []sim.Time{100, 200, 400, 400}
+	for k := 1; k < len(arrivals); k++ {
+		gap := arrivals[k] - arrivals[k-1]
+		lo := sim.Second + want[k-1]*sim.Millisecond*3/4
+		hi := sim.Second + want[k-1]*sim.Millisecond*5/4
+		if gap < lo || gap > hi {
+			t.Fatalf("retry %d gap = %v, want in [%v, %v]", k, gap, lo, hi)
+		}
+	}
+}
+
+func TestLateReplyCancelsBackoffResend(t *testing.T) {
+	e, n, _, addrs := newRig(t, 1)
+	n.Unregister(addrs[0])
+	var served int
+	n.Register(simnet.Addr(0), simnet.HandlerFunc(func(from simnet.Addr, msg simnet.Message) {
+		req := msg.(*mds.Request)
+		served++
+		// Reply slower than the request timeout but faster than the
+		// pending backoff resend.
+		e.Schedule(1500*sim.Millisecond, func() {
+			n.Send(simnet.Addr(0), req.Client, &mds.Reply{ReqID: req.ID, Served: 0})
+		})
+	}))
+	cfg := DefaultConfig()
+	cfg.RequestTimeout = sim.Second
+	cfg.BackoffBase = 10 * sim.Second
+	c := New(0, simnet.Addr(100), e, n, cfg, ops("/a", "/b"), addrs)
+	c.Start()
+	e.RunUntilIdle()
+	if !c.Done() || c.Completed != 2 {
+		t.Fatalf("done=%v completed=%d", c.Done(), c.Completed)
+	}
+	// Each op was sent exactly once: the late reply beat the backoff and
+	// cancelled the resend.
+	if served != 2 {
+		t.Fatalf("served = %d, want 2 (no duplicate resends)", served)
+	}
+	if c.Timeouts != 2 || c.GaveUp != 0 {
+		t.Fatalf("timeouts=%d gaveUp=%d", c.Timeouts, c.GaveUp)
+	}
+}

@@ -92,6 +92,10 @@ type Cluster struct {
 	// Monitor is non-nil after EnableFailover.
 	Monitor *mon.Monitor
 
+	// Reassigns counts subtree bounds moved off dead ranks by the
+	// monitor's OnFail hook (failover with no standby left).
+	Reassigns uint64
+
 	// Tel is non-nil after EnableTelemetry.
 	Tel *telemetry.Telemetry
 	// folded tracks how much of each series collect() already exported to
@@ -149,13 +153,39 @@ func New(cfg Config, factory BalancerFactory) (*Cluster, error) {
 	return c, nil
 }
 
-// buildMDS constructs a daemon for a rank using the cluster's factory.
+// buildMDS constructs a daemon for a rank using the cluster's factory. The
+// factory's balancer becomes the base version of a balancer.Versioned stack,
+// so later InjectPolicy pushes have a trusted version to fall back to. A
+// single-version stack is a pure pass-through: fault-free runs are
+// bit-identical to an unwrapped balancer.
 func (c *Cluster) buildMDS(rank namespace.Rank) (*mds.MDS, error) {
 	bal, err := c.factory(rank)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: balancer for rank %d: %w", rank, err)
 	}
-	return mds.New(rank, c.mdsAddrs[rank], c.Engine, c.Net, c.NS, c.pool, c.Cfg.MDS, bal, c.mdsAddrs), nil
+	return mds.New(rank, c.mdsAddrs[rank], c.Engine, c.Net, c.NS, c.pool, c.Cfg.MDS,
+		balancer.NewVersioned(bal), c.mdsAddrs), nil
+}
+
+// InjectPolicy compiles p and pushes it as the newest balancer version on
+// rank — deliberately without linting, the way a live cluster accepts an
+// operator's script push. If the new version errors at runtime or emits
+// targets that fail sanity checks, the rank's Versioned stack demotes it and
+// reinstates the previous version (counted in Result.PolicyFallbacks).
+func (c *Cluster) InjectPolicy(rank namespace.Rank, p core.Policy) error {
+	if int(rank) < 0 || int(rank) >= len(c.MDSs) {
+		return fmt.Errorf("cluster: rank %d out of range", rank)
+	}
+	lb, err := core.NewLuaBalancer(p, core.Options{})
+	if err != nil {
+		return fmt.Errorf("cluster: policy %s does not compile: %w", p.Name, err)
+	}
+	vb, ok := c.MDSs[rank].Balancer().(*balancer.Versioned)
+	if !ok {
+		return fmt.Errorf("cluster: rank %d balancer is not versioned", rank)
+	}
+	vb.Push(lb)
+	return nil
 }
 
 func (c *Cluster) wireMDS(m *mds.MDS, rate *stats.RateCounter) {
@@ -208,10 +238,62 @@ const monAddr = simnet.Addr(1 << 15)
 func (c *Cluster) EnableFailover(standbys int, mcfg mon.Config) {
 	c.standbys = standbys
 	c.Monitor = mon.New(monAddr, c.Engine, c.Net, c.Cfg.NumMDS, mcfg, c.takeOver)
+	c.Monitor.OnFail = c.reassignSubtrees
 	for r, m := range c.MDSs {
 		m.SetMonitor(monAddr)
 		_ = r
 	}
+}
+
+// reassignSubtrees moves every partition bound owned by a dead rank onto the
+// survivors, round-robin in deterministic path order. The monitor calls it
+// when a rank is declared failed and no standby absorbed the failure —
+// without it, the dead rank's subtrees would stay unanswerable forever.
+func (c *Cluster) reassignSubtrees(failed namespace.Rank) {
+	down := map[namespace.Rank]bool{failed: true}
+	if c.Monitor != nil {
+		for _, r := range c.Monitor.FailedRanks() {
+			down[r] = true
+		}
+	}
+	var live []namespace.Rank
+	for r, m := range c.MDSs {
+		if rank := namespace.Rank(r); !down[rank] && !m.Crashed() {
+			live = append(live, rank)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	i := 0
+	next := func() namespace.Rank {
+		r := live[i%len(live)]
+		i++
+		return r
+	}
+	if c.NS.EffectiveAuth(c.NS.Root()) == failed {
+		c.NS.SetAuthOverride(c.NS.Root(), next())
+		c.Reassigns++
+	}
+	for _, root := range c.NS.SubtreeRoots(failed) {
+		if root.IsFrag {
+			c.NS.SetFragAuth(root.Dir, root.Frag, next())
+		} else {
+			c.NS.SetAuthOverride(root.Dir, next())
+		}
+		c.Reassigns++
+	}
+}
+
+// WedgedMigrations counts export/import state machines still in flight
+// across all live daemons. After a run that should have quiesced, anything
+// non-zero is a wedged migration.
+func (c *Cluster) WedgedMigrations() int {
+	n := 0
+	for _, m := range c.MDSs {
+		n += m.ExportsInFlight() + m.ImportsInFlight()
+	}
+	return n
 }
 
 // takeOver fences the failed daemon and promotes a standby after journal
@@ -225,6 +307,12 @@ func (c *Cluster) takeOver(rank namespace.Rank) bool {
 	old.Crash() // fencing: idempotent if it already died
 	replay := c.Cfg.MDS.RecoverBase + sim.Time(old.Journal().Flushed())*c.Cfg.MDS.RecoverPerEntry
 	c.Engine.Schedule(replay, func() {
+		if c.MDSs[rank] != old || !old.Crashed() {
+			// The rank came back on its own during the replay (e.g. a
+			// fault-plan recovery); return the standby to the pool.
+			c.standbys++
+			return
+		}
 		repl, err := c.buildMDS(rank)
 		if err != nil {
 			// A broken factory cannot be surfaced mid-simulation;
@@ -347,6 +435,7 @@ type Result struct {
 	ClientLatency  []*stats.Sample
 	ClientForwards []int
 	ClientFlushes  []int
+	ClientGaveUp   []int
 
 	// Cluster-wide aggregates.
 	TotalOps       int
@@ -359,6 +448,13 @@ type Result struct {
 	TotalFlushes   int
 	PolicyErrors   uint64
 	JournalEntries uint64
+
+	// Robustness aggregates.
+	PolicyFallbacks  uint64 // balancer versions demoted to last-known-good
+	ExportAborts     uint64 // exports rolled back (timeout / importer death)
+	ImportAborts     uint64 // import intents rolled back
+	SubtreeReassigns uint64 // bounds moved off dead ranks by the monitor
+	TotalGaveUp      int    // client ops abandoned after the retry budget
 }
 
 func (c *Cluster) collect() *Result {
@@ -376,6 +472,9 @@ func (c *Cluster) collect() *Result {
 		res.TotalSessions += m.Sessions()
 		res.PolicyErrors += m.Counters.PolicyErrors
 		res.JournalEntries += m.Journal().Flushed()
+		res.PolicyFallbacks += m.Counters.PolicyFallbacks
+		res.ExportAborts += m.Counters.ExportAborts
+		res.ImportAborts += m.Counters.ImportAborts
 	}
 	// Counters of daemons retired by failover still count.
 	for _, cnt := range c.retired {
@@ -385,7 +484,11 @@ func (c *Cluster) collect() *Result {
 		res.TotalInodes += cnt.InodesMoved
 		res.TotalSplits += cnt.Splits
 		res.PolicyErrors += cnt.PolicyErrors
+		res.PolicyFallbacks += cnt.PolicyFallbacks
+		res.ExportAborts += cnt.ExportAborts
+		res.ImportAborts += cnt.ImportAborts
 	}
+	res.SubtreeReassigns = c.Reassigns
 	res.TotalSeries = c.total.Finish(now)
 	for _, cl := range c.Clients {
 		if !cl.Done() {
@@ -400,8 +503,10 @@ func (c *Cluster) collect() *Result {
 		res.ClientLatency = append(res.ClientLatency, &cl.Latency)
 		res.ClientForwards = append(res.ClientForwards, cl.TotalForwards)
 		res.ClientFlushes = append(res.ClientFlushes, cl.SessionFlushes)
+		res.ClientGaveUp = append(res.ClientGaveUp, cl.GaveUp)
 		res.TotalOps += cl.Completed
 		res.TotalFlushes += cl.SessionFlushes
+		res.TotalGaveUp += cl.GaveUp
 	}
 	if !res.AllDone {
 		res.Makespan = 0

@@ -222,6 +222,31 @@ return false`, idleThreshold),
 	}
 }
 
+// BrokenPolicy returns a deliberately faulty balancer version for fault
+// injection — the untrusted-script scenario §3 versions balancers against.
+// Mode "error" raises a Lua runtime error from the when hook; mode "garbage"
+// compiles and runs cleanly but emits absurd targets (orders of magnitude
+// more load than the cluster holds), which only target sanity checks catch.
+// These policies intentionally fail core.Validate; inject them without
+// linting, as a hostile or buggy operator would.
+func BrokenPolicy(mode string) Policy {
+	p := DefaultPolicy()
+	p.Name = "broken_" + mode
+	switch mode {
+	case "error":
+		p.When = `return nil + 1`
+	case "garbage":
+		p.When = `if total >= 0 then`
+		p.Where = `
+for i = 1, #MDSs do
+  if i ~= whoami then targets[i] = total*1000 + 1000000 end
+end`
+	default:
+		panic(fmt.Sprintf("core: unknown broken-policy mode %q", mode))
+	}
+	return p
+}
+
 // Policies returns the named built-in policy set (for the CLI tools).
 func Policies() map[string]Policy {
 	return map[string]Policy{

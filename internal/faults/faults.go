@@ -1,0 +1,323 @@
+// Package faults is the deterministic fault-injection harness: a Plan is a
+// seedable list of timed events — rank crashes and recoveries, directed or
+// symmetric network partitions, probabilistic per-link message loss and
+// latency, slow or erroring OSD ops, and deliberately broken Lua balancer
+// versions — driven entirely off the virtual clock. Plans load from JSON
+// (the `mantle-sim -faults` flag) or are generated pseudo-randomly for chaos
+// soaks, and compose: applying an empty plan schedules nothing, consumes no
+// randomness, and leaves a run bit-identical to one with no plan at all.
+package faults
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"mantle/internal/cluster"
+	"mantle/internal/core"
+	"mantle/internal/namespace"
+	"mantle/internal/sim"
+	"mantle/internal/simnet"
+)
+
+// Event kinds understood by Apply.
+const (
+	KindCrash     = "crash"      // rank dies; heal_after > 0 schedules Recover
+	KindRecover   = "recover"    // rank replays its journal and rejoins
+	KindPartition = "partition"  // cut from -> to (symmetric cuts both ways)
+	KindHealAll   = "heal_all"   // restore every cut link
+	KindLinkLoss  = "link_loss"  // probabilistic loss / extra latency on a link
+	KindOSDSlow   = "osd_slow"   // multiply OSD latency, optionally error ops
+	KindBadPolicy = "bad_policy" // inject a broken balancer version, unlinted
+)
+
+// Wildcard as a rank or link endpoint expands to every MDS rank at fire time.
+const Wildcard = -1
+
+// Event is one scheduled fault. Times are seconds of virtual time; rank and
+// link endpoints are MDS ranks (Wildcard = all).
+type Event struct {
+	At   float64 `json:"at"`
+	Kind string  `json:"kind"`
+
+	// Rank targets crash, recover and bad_policy.
+	Rank int `json:"rank,omitempty"`
+
+	// From/To are the link endpoints of partition and link_loss events.
+	From      int  `json:"from,omitempty"`
+	To        int  `json:"to,omitempty"`
+	Symmetric bool `json:"symmetric,omitempty"`
+
+	// HealAfter undoes a crash or partition this many seconds later
+	// (0 = permanent). Duration bounds link_loss and osd_slow the same way.
+	HealAfter float64 `json:"heal_after,omitempty"`
+	Duration  float64 `json:"duration,omitempty"`
+
+	// Link-loss knobs.
+	LossProb       float64 `json:"loss_prob,omitempty"`
+	ExtraLatencyMs float64 `json:"extra_latency_ms,omitempty"`
+
+	// OSD knobs.
+	SlowFactor float64 `json:"slow_factor,omitempty"`
+	ErrorProb  float64 `json:"error_prob,omitempty"`
+
+	// Mode selects the core.BrokenPolicy flavour for bad_policy:
+	// "error" (Lua runtime error) or "garbage" (absurd targets).
+	Mode string `json:"mode,omitempty"`
+}
+
+// Plan is a named, seedable fault schedule.
+type Plan struct {
+	Name string `json:"name,omitempty"`
+	// Seed drives every probabilistic fault draw (link loss, OSD errors)
+	// through RNGs separate from the engine's, so two runs of the same plan
+	// are identical and faultless runs consume no randomness.
+	Seed   int64   `json:"seed,omitempty"`
+	Events []Event `json:"events"`
+}
+
+// Parse decodes a plan from JSON, rejecting unknown fields so typos in
+// hand-written plans fail loudly instead of silently doing nothing.
+func Parse(data []byte) (Plan, error) {
+	var p Plan
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return Plan{}, fmt.Errorf("faults: %w", err)
+	}
+	return p, nil
+}
+
+// Load reads a plan file written by hand or by Plan.Save.
+func Load(path string) (Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Plan{}, fmt.Errorf("faults: %w", err)
+	}
+	return Parse(data)
+}
+
+// Save writes the plan as indented JSON.
+func (p Plan) Save(path string) error {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Validate checks every event against the cluster size before anything is
+// scheduled, so a bad plan fails at load time, not mid-run.
+func (p Plan) Validate(numRanks int) error {
+	for i, ev := range p.Events {
+		if ev.At < 0 {
+			return fmt.Errorf("faults: event %d: negative time %v", i, ev.At)
+		}
+		rankOK := func(r int) bool { return r == Wildcard || (r >= 0 && r < numRanks) }
+		switch ev.Kind {
+		case KindCrash, KindRecover:
+			if !rankOK(ev.Rank) {
+				return fmt.Errorf("faults: event %d: rank %d out of range", i, ev.Rank)
+			}
+		case KindPartition, KindLinkLoss:
+			if !rankOK(ev.From) || !rankOK(ev.To) {
+				return fmt.Errorf("faults: event %d: link %d->%d out of range", i, ev.From, ev.To)
+			}
+			if ev.Kind == KindLinkLoss && (ev.LossProb < 0 || ev.LossProb > 1) {
+				return fmt.Errorf("faults: event %d: loss_prob %v outside [0,1]", i, ev.LossProb)
+			}
+		case KindHealAll:
+		case KindOSDSlow:
+			if ev.SlowFactor < 0 || ev.ErrorProb < 0 || ev.ErrorProb > 1 {
+				return fmt.Errorf("faults: event %d: bad OSD knobs (%v, %v)", i, ev.SlowFactor, ev.ErrorProb)
+			}
+		case KindBadPolicy:
+			if !rankOK(ev.Rank) {
+				return fmt.Errorf("faults: event %d: rank %d out of range", i, ev.Rank)
+			}
+			if ev.Mode != "error" && ev.Mode != "garbage" {
+				return fmt.Errorf("faults: event %d: unknown bad_policy mode %q", i, ev.Mode)
+			}
+		default:
+			return fmt.Errorf("faults: event %d: unknown kind %q", i, ev.Kind)
+		}
+	}
+	return nil
+}
+
+// Apply validates the plan and schedules its events on the cluster's engine.
+// Call after cluster.New and before Run. Rank references resolve at fire
+// time (c.MDSs is re-read), so faults compose with failover replacements.
+// An empty plan schedules nothing and seeds nothing.
+func Apply(c *cluster.Cluster, p Plan) error {
+	if err := p.Validate(c.Cfg.NumMDS); err != nil {
+		return err
+	}
+	if len(p.Events) == 0 {
+		return nil
+	}
+	// Dedicated fault RNGs: the engine's stream stays untouched.
+	c.Net.SetFaultSeed(p.Seed + 1)
+	now := c.Engine.Now()
+	for _, ev := range p.Events {
+		ev := ev
+		delay := sim.Time(ev.At*float64(sim.Second)) - now
+		if delay < 0 {
+			delay = 0
+		}
+		c.Engine.Schedule(delay, func() { fire(c, p, ev) })
+	}
+	return nil
+}
+
+// ranksOf expands a possibly-wildcard rank reference.
+func ranksOf(c *cluster.Cluster, r int) []namespace.Rank {
+	if r != Wildcard {
+		return []namespace.Rank{namespace.Rank(r)}
+	}
+	out := make([]namespace.Rank, c.Cfg.NumMDS)
+	for i := range out {
+		out[i] = namespace.Rank(i)
+	}
+	return out
+}
+
+// linksOf expands a possibly-wildcard link reference into directed pairs,
+// excluding self-links.
+func linksOf(c *cluster.Cluster, from, to int, symmetric bool) [][2]simnet.Addr {
+	var out [][2]simnet.Addr
+	for _, f := range ranksOf(c, from) {
+		for _, t := range ranksOf(c, to) {
+			if f == t {
+				continue
+			}
+			out = append(out, [2]simnet.Addr{simnet.Addr(f), simnet.Addr(t)})
+			if symmetric {
+				out = append(out, [2]simnet.Addr{simnet.Addr(t), simnet.Addr(f)})
+			}
+		}
+	}
+	return out
+}
+
+func fire(c *cluster.Cluster, p Plan, ev Event) {
+	switch ev.Kind {
+	case KindCrash:
+		for _, r := range ranksOf(c, ev.Rank) {
+			c.MDSs[r].Crash()
+		}
+		if ev.HealAfter > 0 {
+			rank := ev.Rank
+			c.Engine.Schedule(sim.Time(ev.HealAfter*float64(sim.Second)), func() {
+				for _, r := range ranksOf(c, rank) {
+					c.MDSs[r].Recover(nil)
+				}
+			})
+		}
+	case KindRecover:
+		for _, r := range ranksOf(c, ev.Rank) {
+			c.MDSs[r].Recover(nil)
+		}
+	case KindPartition:
+		links := linksOf(c, ev.From, ev.To, ev.Symmetric)
+		for _, l := range links {
+			c.Net.Partition(l[0], l[1])
+		}
+		if ev.HealAfter > 0 {
+			c.Engine.Schedule(sim.Time(ev.HealAfter*float64(sim.Second)), func() {
+				for _, l := range links {
+					c.Net.Heal(l[0], l[1])
+				}
+			})
+		}
+	case KindHealAll:
+		c.Net.HealAll()
+	case KindLinkLoss:
+		f := simnet.LinkFault{
+			LossProb:     ev.LossProb,
+			ExtraLatency: sim.Time(ev.ExtraLatencyMs * float64(sim.Millisecond)),
+		}
+		apply := func(f simnet.LinkFault) {
+			if ev.From == Wildcard && ev.To == Wildcard {
+				c.Net.SetDefaultLinkFault(f)
+				return
+			}
+			for _, l := range linksOf(c, ev.From, ev.To, ev.Symmetric) {
+				c.Net.SetLinkFault(l[0], l[1], f)
+			}
+		}
+		apply(f)
+		if ev.Duration > 0 {
+			c.Engine.Schedule(sim.Time(ev.Duration*float64(sim.Second)), func() {
+				apply(simnet.LinkFault{})
+			})
+		}
+	case KindOSDSlow:
+		c.Rados.SetFault(ev.SlowFactor, ev.ErrorProb, p.Seed+2)
+		if ev.Duration > 0 {
+			c.Engine.Schedule(sim.Time(ev.Duration*float64(sim.Second)), func() {
+				c.Rados.ClearFault()
+			})
+		}
+	case KindBadPolicy:
+		for _, r := range ranksOf(c, ev.Rank) {
+			// Injection can only fail if the script does not compile;
+			// BrokenPolicy's scripts compile by construction.
+			if err := c.InjectPolicy(r, core.BrokenPolicy(ev.Mode)); err != nil {
+				panic(fmt.Sprintf("faults: bad_policy on rank %d: %v", r, err))
+			}
+		}
+	}
+}
+
+// RandomPlan builds a pseudo-random but valid plan for chaos soaks: every
+// crash recovers, every partition heals, and every probabilistic fault has a
+// bounded duration, so a workload can always finish (or fail cleanly) after
+// the faults drain. The same seed always yields the same plan.
+func RandomPlan(seed int64, numRanks int, horizonSec float64) Plan {
+	rng := rand.New(rand.NewSource(seed))
+	p := Plan{Name: fmt.Sprintf("random-%d", seed), Seed: seed}
+	at := func() float64 { return rng.Float64() * horizonSec * 0.5 }
+	dur := func() float64 { return 0.1*horizonSec + rng.Float64()*horizonSec*0.3 }
+	n := 2 + rng.Intn(4)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(5) {
+		case 0:
+			p.Events = append(p.Events, Event{
+				At: at(), Kind: KindCrash, Rank: rng.Intn(numRanks), HealAfter: dur(),
+			})
+		case 1:
+			from := rng.Intn(numRanks)
+			to := (from + 1 + rng.Intn(numRanks-1)) % numRanks
+			p.Events = append(p.Events, Event{
+				At: at(), Kind: KindPartition, From: from, To: to,
+				Symmetric: rng.Intn(2) == 0, HealAfter: dur(),
+			})
+		case 2:
+			p.Events = append(p.Events, Event{
+				At: at(), Kind: KindLinkLoss, From: Wildcard, To: Wildcard,
+				LossProb:       0.05 + rng.Float64()*0.2,
+				ExtraLatencyMs: rng.Float64() * 2,
+				Duration:       dur(),
+			})
+		case 3:
+			p.Events = append(p.Events, Event{
+				At: at(), Kind: KindOSDSlow,
+				SlowFactor: 2 + rng.Float64()*8,
+				ErrorProb:  rng.Float64() * 0.1,
+				Duration:   dur(),
+			})
+		case 4:
+			mode := "error"
+			if rng.Intn(2) == 0 {
+				mode = "garbage"
+			}
+			p.Events = append(p.Events, Event{
+				At: at(), Kind: KindBadPolicy, Rank: rng.Intn(numRanks), Mode: mode,
+			})
+		}
+	}
+	return p
+}

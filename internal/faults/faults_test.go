@@ -1,0 +1,253 @@
+package faults
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mantle/internal/balancer"
+	"mantle/internal/cluster"
+	"mantle/internal/core"
+	"mantle/internal/sim"
+	"mantle/internal/workload"
+)
+
+func noBal() cluster.BalancerFactory {
+	return cluster.GoBalancers(func() balancer.Balancer { return balancer.NoBalancer{} })
+}
+
+func newCluster(t *testing.T, numMDS int, seed int64, factory cluster.BalancerFactory) *cluster.Cluster {
+	t.Helper()
+	cfg := cluster.DefaultConfig(numMDS, seed)
+	cfg.Client.RequestTimeout = 500 * sim.Millisecond
+	c, err := cluster.New(cfg, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	if _, err := Parse([]byte(`{"events":[{"at":1,"kind":"crash","rankk":1}]}`)); err == nil {
+		t.Fatal("typo field accepted")
+	}
+	p, err := Parse([]byte(`{"seed":7,"events":[{"at":1,"kind":"crash","rank":1}]}`))
+	if err != nil || p.Seed != 7 || len(p.Events) != 1 {
+		t.Fatalf("parse: %+v, %v", p, err)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	p := Plan{Name: "rt", Seed: 3, Events: []Event{
+		{At: 1, Kind: KindCrash, Rank: 1, HealAfter: 2},
+		{At: 0.5, Kind: KindLinkLoss, From: Wildcard, To: Wildcard, LossProb: 0.1, Duration: 4},
+	}}
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, got) {
+		t.Fatalf("round trip changed plan:\n%+v\n%+v", p, got)
+	}
+}
+
+func TestValidateCatchesBadPlans(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   Event
+		frag string
+	}{
+		{"unknown kind", Event{At: 1, Kind: "meteor"}, "unknown kind"},
+		{"negative time", Event{At: -1, Kind: KindCrash}, "negative time"},
+		{"rank range", Event{At: 1, Kind: KindCrash, Rank: 9}, "out of range"},
+		{"link range", Event{At: 1, Kind: KindPartition, From: 0, To: 7}, "out of range"},
+		{"loss prob", Event{At: 1, Kind: KindLinkLoss, LossProb: 1.5}, "outside [0,1]"},
+		{"osd knobs", Event{At: 1, Kind: KindOSDSlow, ErrorProb: 2}, "bad OSD knobs"},
+		{"policy mode", Event{At: 1, Kind: KindBadPolicy, Mode: "subtle"}, "unknown bad_policy mode"},
+	}
+	for _, c := range cases {
+		err := Plan{Events: []Event{c.ev}}.Validate(3)
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: err = %v, want %q", c.name, err, c.frag)
+		}
+	}
+}
+
+func TestCrashHealAfterRecovers(t *testing.T) {
+	c := newCluster(t, 2, 11, noBal())
+	if err := c.PrePopulate([]string{"/work"}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PreAssign("/work", 1); err != nil {
+		t.Fatal(err)
+	}
+	c.AddClient(workload.Creates(workload.CreateConfig{Dir: "/work", Files: 10000, Prefix: "f"}))
+	plan := Plan{Events: []Event{{At: 1, Kind: KindCrash, Rank: 1, HealAfter: 2}}}
+	if err := Apply(c, plan); err != nil {
+		t.Fatal(err)
+	}
+	res := c.Run(5 * sim.Minute)
+	if !res.AllDone {
+		t.Fatalf("workload did not survive the scheduled crash: %v", res.ClientOps)
+	}
+	if c.MDSs[1].Counters.Crashes != 1 || c.MDSs[1].Counters.Recoveries != 1 {
+		t.Fatalf("counters: %+v", c.MDSs[1].Counters)
+	}
+}
+
+func TestPartitionDropsAndHeals(t *testing.T) {
+	cfg := cluster.DefaultConfig(2, 13)
+	cfg.MDS.HeartbeatInterval = 500 * sim.Millisecond
+	cfg.Client.RequestTimeout = 500 * sim.Millisecond
+	c, err := cluster.New(cfg, noBal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AddClient(workload.SeparateDirCreates("", 0, 5000))
+	plan := Plan{Events: []Event{
+		{At: 1, Kind: KindPartition, From: 0, To: 1, Symmetric: true, HealAfter: 3},
+	}}
+	if err := Apply(c, plan); err != nil {
+		t.Fatal(err)
+	}
+	res := c.Run(5 * sim.Minute)
+	if !res.AllDone {
+		t.Fatal("workload did not finish")
+	}
+	if c.Net.DroppedPartition == 0 {
+		t.Fatal("partition never dropped a message (heartbeats should cross it)")
+	}
+	if c.Net.DroppedPartition != c.Net.Dropped-c.Net.DroppedDead-c.Net.DroppedLoss {
+		t.Fatalf("drop accounting inconsistent: %d total, %d part, %d dead, %d loss",
+			c.Net.Dropped, c.Net.DroppedPartition, c.Net.DroppedDead, c.Net.DroppedLoss)
+	}
+}
+
+func TestLinkLossIsDeterministic(t *testing.T) {
+	run := func() (*cluster.Cluster, *cluster.Result) {
+		c := newCluster(t, 2, 17, noBal())
+		c.AddClient(workload.SeparateDirCreates("", 0, 4000))
+		c.AddClient(workload.SeparateDirCreates("", 1, 4000))
+		plan := Plan{Seed: 99, Events: []Event{
+			{At: 0.5, Kind: KindLinkLoss, From: Wildcard, To: Wildcard, LossProb: 0.02, ExtraLatencyMs: 0.3, Duration: 5},
+		}}
+		if err := Apply(c, plan); err != nil {
+			t.Fatal(err)
+		}
+		return c, c.Run(10 * sim.Minute)
+	}
+	c1, r1 := run()
+	c2, r2 := run()
+	if c1.Net.DroppedLoss == 0 {
+		t.Fatal("loss fault never dropped a message")
+	}
+	if c1.Net.DroppedLoss != c2.Net.DroppedLoss || r1.TotalOps != r2.TotalOps || r1.Makespan != r2.Makespan {
+		t.Fatalf("same plan diverged: loss %d vs %d, ops %d vs %d, makespan %v vs %v",
+			c1.Net.DroppedLoss, c2.Net.DroppedLoss, r1.TotalOps, r2.TotalOps, r1.Makespan, r2.Makespan)
+	}
+	if !r1.AllDone {
+		t.Fatal("clients did not ride out the loss window")
+	}
+}
+
+func TestOSDSlowWindowStretchesRun(t *testing.T) {
+	run := func(withFault bool) *cluster.Result {
+		c := newCluster(t, 1, 19, noBal())
+		c.AddClient(workload.SeparateDirCreates("", 0, 5000))
+		if withFault {
+			plan := Plan{Seed: 5, Events: []Event{
+				{At: 0.2, Kind: KindOSDSlow, SlowFactor: 20, ErrorProb: 0.05, Duration: 3},
+			}}
+			if err := Apply(c, plan); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.Run(10 * sim.Minute)
+	}
+	slow := run(true)
+	fast := run(false)
+	if !slow.AllDone || !fast.AllDone {
+		t.Fatal("runs did not finish")
+	}
+	if slow.Makespan <= fast.Makespan {
+		t.Fatalf("OSD slowdown had no effect: %v vs %v", slow.Makespan, fast.Makespan)
+	}
+}
+
+func TestBadPolicyTriggersFallback(t *testing.T) {
+	cfg := cluster.DefaultConfig(2, 23)
+	cfg.MDS.HeartbeatInterval = 500 * sim.Millisecond
+	cfg.MDS.RebalanceDelay = 50 * sim.Millisecond
+	cfg.Client.RequestTimeout = 500 * sim.Millisecond
+	c, err := cluster.New(cfg, cluster.LuaBalancers(core.GreedySpillPolicy()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AddClient(workload.SharedDirCreates("/shared", 0, 8000))
+	plan := Plan{Events: []Event{{At: 2, Kind: KindBadPolicy, Rank: Wildcard, Mode: "error"}}}
+	if err := Apply(c, plan); err != nil {
+		t.Fatal(err)
+	}
+	res := c.Run(10 * sim.Minute)
+	if !res.AllDone {
+		t.Fatal("workload did not finish")
+	}
+	if res.PolicyFallbacks == 0 {
+		t.Fatal("broken policy never demoted")
+	}
+	for _, m := range c.MDSs {
+		if name := m.Balancer().Name(); name != "greedy_spill" {
+			t.Fatalf("active balancer = %q, want the base version back", name)
+		}
+	}
+}
+
+func TestEmptyPlanChangesNothing(t *testing.T) {
+	run := func(apply bool) *cluster.Result {
+		c := newCluster(t, 2, 29, noBal())
+		c.AddClient(workload.SeparateDirCreates("", 0, 3000))
+		if apply {
+			if err := Apply(c, Plan{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.Run(5 * sim.Minute)
+	}
+	a := run(true)
+	b := run(false)
+	if a.TotalOps != b.TotalOps || a.Makespan != b.Makespan || a.Duration != b.Duration {
+		t.Fatalf("empty plan perturbed the run: ops %d vs %d, makespan %v vs %v",
+			a.TotalOps, b.TotalOps, a.Makespan, b.Makespan)
+	}
+}
+
+func TestRandomPlanDeterministicAndValid(t *testing.T) {
+	a := RandomPlan(42, 3, 30)
+	b := RandomPlan(42, 3, 30)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different plans")
+	}
+	kinds := map[string]bool{}
+	for seed := int64(0); seed < 200; seed++ {
+		p := RandomPlan(seed, 3, 30)
+		if err := p.Validate(3); err != nil {
+			t.Fatalf("seed %d: invalid plan: %v", seed, err)
+		}
+		if len(p.Events) < 2 {
+			t.Fatalf("seed %d: too few events", seed)
+		}
+		for _, ev := range p.Events {
+			kinds[ev.Kind] = true
+		}
+	}
+	for _, k := range []string{KindCrash, KindPartition, KindLinkLoss, KindOSDSlow, KindBadPolicy} {
+		if !kinds[k] {
+			t.Errorf("200 random plans never produced a %s event", k)
+		}
+	}
+}

@@ -149,6 +149,20 @@ func (m *MDS) rebalance() {
 			m.tel.Recorder.Record(*rec)
 		}()
 	}
+	// Drain balancer demotions no matter how the tick exits, so a fallback
+	// is counted and lands in this heartbeat's flight record. Registered
+	// after the record defer: LIFO order runs it first.
+	if vb, ok := m.bal.(*balancer.Versioned); ok {
+		defer func() {
+			for _, d := range vb.DrainDemotions() {
+				m.Counters.PolicyFallbacks++
+				if rec != nil {
+					rec.Fallbacks = append(rec.Fallbacks,
+						d.From+" -> "+d.To+": "+d.Reason)
+				}
+			}
+		}()
+	}
 	recErr := func(err error) {
 		if rec != nil {
 			rec.Errors = append(rec.Errors, err.Error())

@@ -50,11 +50,12 @@ type MDS struct {
 	imports       map[uint64]*importState
 	activeExports int
 
-	sessions map[simnet.Addr]bool
-	ticker   *sim.Ticker
-	crashed  bool
-	monAddr  simnet.Addr
-	hasMon   bool
+	sessions   map[simnet.Addr]bool
+	ticker     *sim.Ticker
+	crashed    bool
+	recovering bool
+	monAddr    simnet.Addr
+	hasMon     bool
 
 	// Telemetry (nil = disabled). Metric handles are resolved once in
 	// SetTelemetry so the hot path never touches the registry maps.
@@ -258,14 +259,35 @@ func (m *MDS) Crash() {
 	m.queue = nil
 	m.deferred = nil
 	m.busy = false
-	// In-flight migrations die with the daemon; peers abort on timeout.
+	// In-flight migrations die with the daemon. The freeze lives on the
+	// shared namespace, so the units this exporter froze must be released
+	// here (modelling recovery rolling back the un-committed export) or the
+	// subtree wedges forever: the pending timeout would fire into an empty
+	// exports map. Importer-side intents just evaporate; the exporter's
+	// timeout aborts and unfreezes on its side.
+	for _, st := range m.exports {
+		m.engine.Cancel(st.timeout)
+		m.freezeUnit(st.unit, false)
+	}
+	for _, ist := range m.imports {
+		m.engine.Cancel(ist.timeout)
+	}
 	m.exports = map[uint64]*exportState{}
 	m.imports = map[uint64]*importState{}
 	m.activeExports = 0
 }
 
+// ExportsInFlight reports exports mid-two-phase-commit on this rank.
+func (m *MDS) ExportsInFlight() int { return len(m.exports) }
+
+// ImportsInFlight reports imports mid-two-phase-commit on this rank.
+func (m *MDS) ImportsInFlight() int { return len(m.imports) }
+
 // Recover replays the journal (latency scales with its durable length) and
-// rejoins the cluster, invoking done when serving resumes.
+// rejoins the cluster, invoking done when serving resumes. Calling it again
+// while a replay is already pending is a no-op, and a daemon whose address
+// was taken over during the replay (a promoted standby got there first)
+// stays fenced instead of split-braining the rank.
 func (m *MDS) Recover(done func()) {
 	if !m.crashed {
 		if done != nil {
@@ -273,8 +295,17 @@ func (m *MDS) Recover(done func()) {
 		}
 		return
 	}
+	if m.recovering {
+		return
+	}
+	m.recovering = true
 	replay := m.cfg.RecoverBase + sim.Time(m.journal.Flushed())*m.cfg.RecoverPerEntry
 	m.engine.Schedule(replay, func() {
+		m.recovering = false
+		if m.net.Registered(m.addr) {
+			// Superseded: a replacement daemon owns the rank now.
+			return
+		}
 		m.crashed = false
 		m.Counters.Recoveries++
 		m.windowStart = m.engine.Now()

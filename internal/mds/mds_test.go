@@ -725,3 +725,145 @@ func TestAccessors(t *testing.T) {
 		t.Fatal("fresh MDS crashed")
 	}
 }
+
+func TestExportTimeoutUnfreezesAndCleansUp(t *testing.T) {
+	h := newHarness(t, 2, noBal, func(c *Config) { c.ExportTimeout = 5 * sim.Second })
+	h.do(0, OpMkdir, "/move")
+	for i := 0; i < 10; i++ {
+		h.do(0, OpCreate, "/move/"+nameOf(i))
+	}
+	d, _ := h.ns.Resolve("/move")
+	m0 := h.mdss[0]
+	// Importer unreachable: the discover is lost and the commit stalls.
+	h.net.Partition(0, 1)
+	h.net.Partition(1, 0)
+	m0.startExport(exportUnit{dir: d, load: 5}, 1)
+	if !d.Frozen() || m0.ExportsInFlight() != 1 || m0.activeExports != 1 {
+		t.Fatal("export did not start")
+	}
+	// Park a request on the frozen unit; the abort must replay it.
+	h.nextID++
+	h.net.Send(h.client, simnet.Addr(0), &Request{ID: h.nextID, Client: h.client, Op: OpCreate, Path: "/move/parked"})
+	h.engine.RunUntilIdle() // timeout fires at +5s
+	if d.Frozen() {
+		t.Fatal("unit still frozen after timeout")
+	}
+	if m0.ExportsInFlight() != 0 || m0.activeExports != 0 {
+		t.Fatalf("leaked export state: inflight=%d active=%d", m0.ExportsInFlight(), m0.activeExports)
+	}
+	if m0.Counters.ExportAborts != 1 || m0.Counters.Exports != 0 {
+		t.Fatalf("aborts=%d exports=%d", m0.Counters.ExportAborts, m0.Counters.Exports)
+	}
+	last := h.replies[len(h.replies)-1]
+	if last.Err != "" {
+		t.Fatalf("parked request failed after abort: %s", last.Err)
+	}
+	if _, err := h.ns.Resolve("/move/parked"); err != nil {
+		t.Fatal("parked create not replayed after abort")
+	}
+}
+
+func TestExportTimeoutCancelledOnCompletion(t *testing.T) {
+	h := newHarness(t, 2, noBal, func(c *Config) { c.ExportTimeout = 5 * sim.Second })
+	h.do(0, OpMkdir, "/move")
+	for i := 0; i < 10; i++ {
+		h.do(0, OpCreate, "/move/"+nameOf(i))
+	}
+	d, _ := h.ns.Resolve("/move")
+	m0 := h.mdss[0]
+	m0.startExport(exportUnit{dir: d, load: 5}, 1)
+	// RunUntilIdle drains past the +5s timeout mark; a completed commit
+	// must have cancelled it, so nothing aborts and nothing leaks.
+	h.engine.RunUntilIdle()
+	if m0.Counters.Exports != 1 || m0.Counters.ExportAborts != 0 {
+		t.Fatalf("exports=%d aborts=%d", m0.Counters.Exports, m0.Counters.ExportAborts)
+	}
+	if m0.ExportsInFlight() != 0 || h.mdss[1].ImportsInFlight() != 0 {
+		t.Fatal("leaked migration state after commit")
+	}
+	if h.ns.EffectiveAuth(d) != 1 || d.Frozen() {
+		t.Fatal("commit did not take effect")
+	}
+}
+
+func TestImporterDeathMidExportAborts(t *testing.T) {
+	h := newHarness(t, 2, noBal, func(c *Config) { c.ExportTimeout = 5 * sim.Second })
+	h.do(0, OpMkdir, "/move")
+	for i := 0; i < 10; i++ {
+		h.do(0, OpCreate, "/move/"+nameOf(i))
+	}
+	d, _ := h.ns.Resolve("/move")
+	m0, m1 := h.mdss[0], h.mdss[1]
+	m0.startExport(exportUnit{dir: d, load: 5}, 1)
+	// Let the discover/prep round trip land, then kill the importer before
+	// the payload arrives.
+	h.engine.Run(h.engine.Now() + 300*sim.Microsecond)
+	m1.Crash()
+	h.engine.RunUntilIdle()
+	if d.Frozen() {
+		t.Fatal("unit wedged after importer death")
+	}
+	if m0.Counters.ExportAborts != 1 || m0.ExportsInFlight() != 0 || m0.activeExports != 0 {
+		t.Fatalf("exporter state: aborts=%d inflight=%d active=%d",
+			m0.Counters.ExportAborts, m0.ExportsInFlight(), m0.activeExports)
+	}
+	if m1.ImportsInFlight() != 0 {
+		t.Fatal("importer leaked import state across crash")
+	}
+	if h.ns.EffectiveAuth(d) != 0 {
+		t.Fatal("authority moved despite aborted commit")
+	}
+}
+
+func TestCrashMidExportUnfreezesUnits(t *testing.T) {
+	h := newHarness(t, 2, noBal, nil)
+	h.do(0, OpMkdir, "/move")
+	for i := 0; i < 10; i++ {
+		h.do(0, OpCreate, "/move/"+nameOf(i))
+	}
+	d, _ := h.ns.Resolve("/move")
+	m0 := h.mdss[0]
+	m0.startExport(exportUnit{dir: d, load: 5}, 1)
+	if !d.Frozen() {
+		t.Fatal("not frozen at export start")
+	}
+	m0.Crash()
+	if d.Frozen() {
+		t.Fatal("crash left the unit frozen")
+	}
+	if m0.ExportsInFlight() != 0 || m0.activeExports != 0 {
+		t.Fatal("crash left export state behind")
+	}
+	// Stray in-flight protocol messages must be harmless.
+	h.engine.RunUntilIdle()
+	if h.ns.EffectiveAuth(d) != 0 {
+		t.Fatal("authority moved after exporter crash")
+	}
+}
+
+func TestImportTimeoutRollsBackIntent(t *testing.T) {
+	h := newHarness(t, 2, noBal, func(c *Config) { c.ExportTimeout = 5 * sim.Second })
+	m1 := h.mdss[1]
+	h.do(0, OpMkdir, "/ghost")
+	// A discover whose exporter has no matching state: the prep is ignored
+	// and the payload never comes, so the importer's cleanup timer must
+	// roll back the journaled intent.
+	h.net.Send(simnet.Addr(0), simnet.Addr(1), &exportDiscover{
+		ExportID: 0xdead, From: 0, Path: "/ghost", Nodes: 1,
+	})
+	h.engine.Run(h.engine.Now() + sim.Second)
+	if m1.ImportsInFlight() != 1 {
+		t.Fatalf("imports in flight = %d", m1.ImportsInFlight())
+	}
+	flushedBefore := m1.Journal().Flushed()
+	h.engine.RunUntilIdle()
+	if m1.ImportsInFlight() != 0 {
+		t.Fatal("import state leaked past timeout")
+	}
+	if m1.Counters.ImportAborts != 1 {
+		t.Fatalf("import aborts = %d", m1.Counters.ImportAborts)
+	}
+	if m1.Journal().Flushed() <= flushedBefore {
+		t.Fatal("no rollback entry journaled")
+	}
+}

@@ -29,12 +29,14 @@ type exportState struct {
 
 // importState tracks an in-flight import on the importer.
 type importState struct {
-	id     uint64
-	from   namespace.Rank
-	path   string
-	isFrag bool
-	frag   namespace.Frag
-	nodes  int
+	id        uint64
+	from      namespace.Rank
+	path      string
+	isFrag    bool
+	frag      namespace.Frag
+	nodes     int
+	timeout   sim.Event
+	journaled bool // EntryImportStart is durable; aborts must roll it back
 }
 
 // freezeUnit/unfreezeUnit toggle the migration freeze on the unit.
@@ -70,20 +72,42 @@ func (m *MDS) startExport(u exportUnit, dest namespace.Rank) {
 	})
 }
 
-// abortExport abandons a stalled migration: the unit unfreezes, parked
-// requests replay, and the balancer may retry on a later tick. Fires only
-// when the importer is unreachable — the commit normally completes in
-// milliseconds.
+// abortExport abandons a stalled migration: the journaled intent is rolled
+// back, the unit unfreezes, parked requests replay, and the balancer may
+// retry on a later tick. Fires only when the importer is unreachable — the
+// commit normally completes in milliseconds.
 func (m *MDS) abortExport(id uint64) {
 	st, ok := m.exports[id]
 	if !ok {
 		return
 	}
 	delete(m.exports, id)
+	m.engine.Cancel(st.timeout)
 	m.activeExports--
 	m.Counters.ExportAborts++
+	// Roll back the journaled intent so recovery never replays a half
+	// migration. EntryExportStart may not have been written yet (abort in
+	// the discover phase); the abort entry is idempotent either way.
+	m.journal.Append(rados.EntryExportAbort, 256, nil)
 	m.freezeUnit(st.unit, false)
 	m.retryDeferred()
+}
+
+// abortImport abandons a half-received import whose payload never arrived
+// (exporter death or partition): the intent is rolled back and the slot
+// freed. The unit itself stays the exporter's problem — only the exporter
+// holds the freeze.
+func (m *MDS) abortImport(id uint64) {
+	ist, ok := m.imports[id]
+	if !ok {
+		return
+	}
+	delete(m.imports, id)
+	m.engine.Cancel(ist.timeout)
+	m.Counters.ImportAborts++
+	if ist.journaled {
+		m.journal.Append(rados.EntryImportAbort, 256, nil)
+	}
 }
 
 // handleExportDiscover (importer): journal the intent, then ack with prep.
@@ -91,9 +115,19 @@ func (m *MDS) handleExportDiscover(from simnet.Addr, d *exportDiscover) {
 	ist := &importState{id: d.ExportID, from: d.From, path: d.Path, isFrag: d.IsFrag, frag: d.Frag, nodes: d.Nodes}
 	m.imports[d.ExportID] = ist
 	if m.cfg.ExportTimeout > 0 {
-		m.engine.Schedule(m.cfg.ExportTimeout, func() { delete(m.imports, d.ExportID) })
+		ist.timeout = m.engine.Schedule(m.cfg.ExportTimeout, func() { m.abortImport(d.ExportID) })
 	}
 	m.journal.Append(rados.EntryImportStart, 256, func() {
+		ist.journaled = true
+		if cur, live := m.imports[d.ExportID]; !live || cur != ist {
+			// Aborted before the intent became durable: roll it back
+			// now that it exists, and do not ack.
+			m.journal.Append(rados.EntryImportAbort, 256, nil)
+			return
+		}
+		if m.crashed {
+			return
+		}
 		m.net.Send(m.addr, m.peers[d.From], &exportPrep{ExportID: d.ExportID, From: m.rank})
 	})
 }
@@ -147,12 +181,17 @@ func (m *MDS) handleExportPayload(from simnet.Addr, p *exportPayload) {
 	if !ok {
 		return
 	}
+	// The payload arrived: the commit will finish (or abort explicitly), so
+	// the cleanup timer must not fire underneath it.
+	m.engine.Cancel(ist.timeout)
 	m.journal.Append(rados.EntryImportFinish, 256+ist.nodes/8, func() {
 		node, err := m.ns.Resolve(ist.path)
 		if err != nil {
 			// The subtree vanished mid-migration (concurrent
 			// unlink); abort by acking without taking authority.
 			delete(m.imports, p.ExportID)
+			m.Counters.ImportAborts++
+			m.journal.Append(rados.EntryImportAbort, 256, nil)
 			m.net.Send(m.addr, m.peers[ist.from], &exportAck{ExportID: p.ExportID, From: m.rank})
 			return
 		}

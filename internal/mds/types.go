@@ -373,22 +373,24 @@ func DefaultConfig() Config {
 
 // Counters tracks per-MDS observability counters.
 type Counters struct {
-	Served       uint64 // requests executed here
-	Hits         uint64 // requests that arrived at the right MDS
-	Forwards     uint64 // requests forwarded away
-	Deferred     uint64 // requests parked on frozen subtrees
-	Errors       uint64 // requests that failed
-	Exports      uint64 // migration units exported
-	ExportAborts uint64 // migrations abandoned on timeout
-	Imports      uint64 // migration units imported
-	InodesMoved  uint64 // inodes migrated away
-	SessionsSent uint64 // session flush messages sent
-	Splits       uint64 // dirfrag splits performed
-	Merges       uint64 // dirfrag merges performed
-	Fetches      uint64 // cold dirfrags fetched under cache pressure
-	HBsSent      uint64
-	HBsRecv      uint64
-	PolicyErrors uint64 // balancer hook failures
-	Crashes      uint64 // simulated failures injected
-	Recoveries   uint64 // journal replays completed
+	Served          uint64 // requests executed here
+	Hits            uint64 // requests that arrived at the right MDS
+	Forwards        uint64 // requests forwarded away
+	Deferred        uint64 // requests parked on frozen subtrees
+	Errors          uint64 // requests that failed
+	Exports         uint64 // migration units exported
+	ExportAborts    uint64 // migrations abandoned on timeout
+	Imports         uint64 // migration units imported
+	ImportAborts    uint64 // half-received imports rolled back
+	InodesMoved     uint64 // inodes migrated away
+	SessionsSent    uint64 // session flush messages sent
+	Splits          uint64 // dirfrag splits performed
+	Merges          uint64 // dirfrag merges performed
+	Fetches         uint64 // cold dirfrags fetched under cache pressure
+	HBsSent         uint64
+	HBsRecv         uint64
+	PolicyErrors    uint64 // balancer hook failures
+	PolicyFallbacks uint64 // balancer versions demoted to last-known-good
+	Crashes         uint64 // simulated failures injected
+	Recoveries      uint64 // journal replays completed
 }

@@ -51,6 +51,11 @@ type Monitor struct {
 	failed   map[namespace.Rank]bool
 	ticker   *sim.Ticker
 
+	// OnFail, if set, is invoked once per rank-failed declaration that no
+	// standby absorbed, so the cluster can reassign the dead rank's
+	// subtrees to the survivors instead of leaving them unanswerable.
+	OnFail func(rank namespace.Rank)
+
 	// Failures counts rank-failed declarations; Takeovers counts
 	// successful standby promotions.
 	Failures  uint64
@@ -82,14 +87,17 @@ func New(addr simnet.Addr, engine *sim.Engine, net *simnet.Network, numRanks int
 // Addr reports the monitor's network address.
 func (m *Monitor) Addr() simnet.Addr { return m.addr }
 
-// Start begins liveness sweeps. Ranks get a full grace period from start
-// before they can be declared failed.
+// Start begins liveness sweeps. Every rank gets a full grace period from
+// start before it can be declared failed — including after a monitor
+// restart, where the stale pre-Stop timestamps would otherwise mass-fail the
+// whole cluster on the first sweep.
 func (m *Monitor) Start() {
 	now := m.engine.Now()
 	for r := 0; r < m.numRanks; r++ {
-		if _, ok := m.lastSeen[namespace.Rank(r)]; !ok {
-			m.lastSeen[namespace.Rank(r)] = now
-		}
+		m.lastSeen[namespace.Rank(r)] = now
+	}
+	if m.ticker != nil {
+		m.ticker.Stop()
 	}
 	m.ticker = m.engine.NewTicker(m.cfg.CheckInterval, m.cfg.CheckInterval, m.sweep)
 }
@@ -139,6 +147,10 @@ func (m *Monitor) sweep() {
 			m.Takeovers++
 			m.lastSeen[rank] = now + m.cfg.Grace
 			delete(m.failed, rank)
+			continue
+		}
+		if m.OnFail != nil {
+			m.OnFail(rank)
 		}
 	}
 }

@@ -117,3 +117,112 @@ func TestRecoveredRankClearsFailedState(t *testing.T) {
 		t.Fatal("beacon did not clear failed state")
 	}
 }
+
+func TestFlappingRankInsideOneSweep(t *testing.T) {
+	// A rank that goes silent and beacons again before the sweep notices
+	// must never be declared failed: the sweep sees only the latest
+	// timestamp, not the gap.
+	cfg := Config{CheckInterval: 2 * sim.Second, Grace: 3 * sim.Second}
+	e, n, m := newMonRig(t, 1, cfg, func(r namespace.Rank) bool { return true })
+	onFails := 0
+	m.OnFail = func(namespace.Rank) { onFails++ }
+	m.Start()
+	// Beacons at t=1s, silence until a recovery beacon at t=3.9s (inside
+	// the grace window measured from 1s), then regular beacons.
+	e.Schedule(1*sim.Second, func() { beacon(n, m.Addr(), 0, 1) })
+	e.Schedule(3900*sim.Millisecond, func() { beacon(n, m.Addr(), 0, 2) })
+	for s := 5; s <= 10; s++ {
+		s := s
+		e.Schedule(sim.Time(s)*sim.Second, func() { beacon(n, m.Addr(), 0, uint64(s)) })
+	}
+	e.Run(10 * sim.Second)
+	if m.Failures != 0 || onFails != 0 || len(m.FailedRanks()) != 0 {
+		t.Fatalf("flapping rank declared failed: failures=%d onFails=%d", m.Failures, onFails)
+	}
+}
+
+func TestAllRanksFailed(t *testing.T) {
+	cfg := Config{CheckInterval: sim.Second, Grace: 2 * sim.Second}
+	e, _, m := newMonRig(t, 3, cfg, nil) // no takeover function at all
+	var onFailed []namespace.Rank
+	m.OnFail = func(r namespace.Rank) { onFailed = append(onFailed, r) }
+	m.Start()
+	e.Run(10 * sim.Second) // total silence
+	m.Stop()
+	if got := m.FailedRanks(); len(got) != 3 {
+		t.Fatalf("FailedRanks = %v, want all three", got)
+	}
+	if m.Failures != 3 {
+		t.Fatalf("failures = %d, want one declaration per rank", m.Failures)
+	}
+	// OnFail fires exactly once per rank, in deterministic rank order.
+	if len(onFailed) != 3 || onFailed[0] != 0 || onFailed[1] != 1 || onFailed[2] != 2 {
+		t.Fatalf("OnFail sequence = %v", onFailed)
+	}
+}
+
+func TestOnFailSkippedWhenStandbyAbsorbs(t *testing.T) {
+	cfg := Config{CheckInterval: sim.Second, Grace: 2 * sim.Second}
+	e, _, m := newMonRig(t, 1, cfg, func(r namespace.Rank) bool { return true })
+	onFails := 0
+	m.OnFail = func(namespace.Rank) { onFails++ }
+	m.Start()
+	e.Run(5 * sim.Second)
+	if m.Takeovers == 0 {
+		t.Fatal("standby never promoted")
+	}
+	if onFails != 0 {
+		t.Fatalf("OnFail fired %d times despite successful takeover", onFails)
+	}
+}
+
+func TestMonitorRestartGrantsFreshGrace(t *testing.T) {
+	cfg := Config{CheckInterval: sim.Second, Grace: 2 * sim.Second}
+	e, n, m := newMonRig(t, 2, cfg, nil)
+	m.Start()
+	e.Schedule(1*sim.Second, func() {
+		beacon(n, m.Addr(), 0, 1)
+		beacon(n, m.Addr(), 1, 1)
+	})
+	e.Run(1500 * sim.Millisecond)
+	m.Stop()
+	// The monitor is down for 20s; the ranks keep running but their
+	// beacons are of course not observed. On restart, stale pre-Stop
+	// timestamps must not mass-fail the cluster before one fresh grace.
+	e.Run(21500 * sim.Millisecond)
+	m.Start()
+	restart := e.Now()
+	for s := 1; s <= 5; s++ {
+		s := s
+		e.Schedule(sim.Time(s)*sim.Second, func() {
+			beacon(n, m.Addr(), 0, uint64(s))
+			beacon(n, m.Addr(), 1, uint64(s))
+		})
+	}
+	e.Run(restart + 5*sim.Second)
+	m.Stop()
+	if m.Failures != 0 || len(m.FailedRanks()) != 0 {
+		t.Fatalf("restart mass-failed live ranks: failures=%d failed=%v", m.Failures, m.FailedRanks())
+	}
+}
+
+func TestMonitorRestartStillDetectsSilence(t *testing.T) {
+	cfg := Config{CheckInterval: sim.Second, Grace: 2 * sim.Second}
+	e, n, m := newMonRig(t, 2, cfg, nil)
+	m.Start()
+	e.Run(500 * sim.Millisecond)
+	m.Stop()
+	e.Run(5 * sim.Second)
+	m.Start() // rank 1 stays silent after restart; rank 0 beacons
+	restart := e.Now()
+	for s := 1; s <= 5; s++ {
+		s := s
+		e.Schedule(sim.Time(s)*sim.Second, func() { beacon(n, m.Addr(), 0, uint64(s)) })
+	}
+	e.Run(restart + 5*sim.Second)
+	m.Stop()
+	got := m.FailedRanks()
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("FailedRanks after restart = %v, want [1]", got)
+	}
+}

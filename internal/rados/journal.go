@@ -46,6 +46,13 @@ const (
 	EntryImportStart
 	EntryImportFinish
 	EntrySubtreeMap
+	// EntryExportAbort rolls back an EntryExportStart whose commit never
+	// arrived (importer death or partition); recovery treats the subtree as
+	// never having left.
+	EntryExportAbort
+	// EntryImportAbort rolls back an EntryImportStart whose payload never
+	// arrived; recovery discards the half-imported intent.
+	EntryImportAbort
 )
 
 func (k EntryKind) String() string {
@@ -62,6 +69,10 @@ func (k EntryKind) String() string {
 		return "import-finish"
 	case EntrySubtreeMap:
 		return "subtree-map"
+	case EntryExportAbort:
+		return "export-abort"
+	case EntryImportAbort:
+		return "import-abort"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

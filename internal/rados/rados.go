@@ -11,6 +11,7 @@
 package rados
 
 import (
+	"math/rand"
 	"sort"
 	"strconv"
 
@@ -94,6 +95,17 @@ type Cluster struct {
 
 	// Ops counts completed operations by kind.
 	Reads, Writes uint64
+
+	// Fault state (slow and erroring OSD ops). The RNG is dedicated so a
+	// run with no fault installed performs zero draws and stays
+	// bit-identical to a run without the machinery.
+	slowFactor float64
+	errorProb  float64
+	faultRng   *rand.Rand
+	// Retries counts ops that hit an injected OSD error and were retried
+	// internally (the client-visible effect is a latency spike, as with
+	// RADOS redirecting around a flapping OSD).
+	Retries uint64
 
 	// Telemetry (nil = disabled).
 	tel     *telemetry.Telemetry
@@ -256,6 +268,26 @@ func (c *Cluster) PlaceOSDs(pool, name string) []int {
 	return append([]int(nil), c.Pool(pool).placement(name)...)
 }
 
+// SetFault degrades the object store: every op's latency is multiplied by
+// slowFactor (values <= 1 leave it unchanged), and with probability
+// errorProb an op fails internally and is retried after a penalty — callers
+// only see the latency spike, the way librados hides transient OSD errors
+// behind redirects. Loss draws come from a dedicated RNG seeded here so the
+// engine's random stream is untouched. A (0 or 1, 0) call clears the fault.
+func (c *Cluster) SetFault(slowFactor, errorProb float64, seed int64) {
+	c.slowFactor = slowFactor
+	c.errorProb = errorProb
+	if errorProb > 0 {
+		c.faultRng = rand.New(rand.NewSource(seed))
+	}
+}
+
+// ClearFault restores healthy OSD behaviour.
+func (c *Cluster) ClearFault() {
+	c.slowFactor = 0
+	c.errorProb = 0
+}
+
 // opLatency computes the simulated latency for one replica op of size bytes.
 func (c *Cluster) opLatency(base sim.Time, bytes int) sim.Time {
 	l := base
@@ -265,6 +297,17 @@ func (c *Cluster) opLatency(base sim.Time, bytes int) sim.Time {
 	l += c.engine.Jitter(c.cfg.Jitter)
 	if l < sim.Microsecond {
 		l = sim.Microsecond
+	}
+	if c.slowFactor > 1 {
+		l = sim.Time(float64(l) * c.slowFactor)
+	}
+	if c.errorProb > 0 && c.faultRng != nil {
+		// Each injected failure costs a full retry round-trip; bounded so
+		// a pathological probability cannot wedge the op forever.
+		for tries := 0; tries < 8 && c.faultRng.Float64() < c.errorProb; tries++ {
+			c.Retries++
+			l += l + c.cfg.WriteLatency
+		}
 	}
 	return l
 }

@@ -284,3 +284,72 @@ func TestEntryKindString(t *testing.T) {
 		t.Fatalf("unknown kind string = %q", EntryKind(99).String())
 	}
 }
+
+func TestOSDFaultSlowFactor(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := NewCluster(e, Config{OSDs: 3, Replicas: 1, WriteLatency: 100, PGs: 8})
+	p := c.Pool("t")
+	var plain sim.Time
+	p.Write("a", make([]byte, 10), func() { plain = e.Now() })
+	e.RunUntilIdle()
+
+	e2 := sim.NewEngine(1)
+	c2 := NewCluster(e2, Config{OSDs: 3, Replicas: 1, WriteLatency: 100, PGs: 8})
+	c2.SetFault(4, 0, 0)
+	p2 := c2.Pool("t")
+	var slow sim.Time
+	p2.Write("a", make([]byte, 10), func() { slow = e2.Now() })
+	e2.RunUntilIdle()
+	if slow != 4*plain {
+		t.Fatalf("slow=%v plain=%v, want 4x", slow, plain)
+	}
+}
+
+func TestOSDFaultErrorRetries(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := NewCluster(e, Config{OSDs: 3, Replicas: 2, WriteLatency: 100, PGs: 8})
+	c.SetFault(0, 0.5, 11)
+	p := c.Pool("t")
+	done := 0
+	for i := 0; i < 50; i++ {
+		p.Write(fmt.Sprintf("obj%d", i), make([]byte, 8), func() { done++ })
+	}
+	e.RunUntilIdle()
+	if done != 50 {
+		t.Fatalf("only %d/50 ops completed under injected errors", done)
+	}
+	if c.Retries == 0 {
+		t.Fatal("no retries recorded at p=0.5")
+	}
+	// Clearing stops the bleeding.
+	c.ClearFault()
+	before := c.Retries
+	p.Write("after", nil, nil)
+	e.RunUntilIdle()
+	if c.Retries != before {
+		t.Fatal("retries after ClearFault")
+	}
+}
+
+// TestOSDFaultPassiveWhenClear proves an untouched cluster and one that had
+// a fault installed and cleared behave identically.
+func TestOSDFaultPassiveWhenClear(t *testing.T) {
+	run := func(touch bool) sim.Time {
+		e := sim.NewEngine(9)
+		c := NewCluster(e, Config{OSDs: 4, Replicas: 2, WriteLatency: 100, Jitter: 30, PGs: 8})
+		if touch {
+			c.SetFault(3, 0.5, 1)
+			c.ClearFault()
+		}
+		p := c.Pool("t")
+		var at sim.Time
+		for i := 0; i < 30; i++ {
+			p.Write(fmt.Sprintf("o%d", i), make([]byte, 64), func() { at = e.Now() })
+		}
+		e.RunUntilIdle()
+		return at
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Fatalf("fault machinery perturbed a clean run: %v vs %v", a, b)
+	}
+}

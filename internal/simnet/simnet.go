@@ -7,6 +7,7 @@ package simnet
 
 import (
 	"fmt"
+	"math/rand"
 
 	"mantle/internal/sim"
 	"mantle/internal/telemetry"
@@ -46,6 +47,19 @@ func DefaultConfig() Config {
 	return Config{Latency: 150 * sim.Microsecond, Jitter: 30 * sim.Microsecond}
 }
 
+// LinkFault degrades one directed link: each message is dropped with
+// probability LossProb, and surviving messages pay ExtraLatency on top of
+// the configured delay. The zero LinkFault is a healthy link.
+type LinkFault struct {
+	// LossProb is the per-message drop probability in [0, 1].
+	LossProb float64
+	// ExtraLatency is added to the one-way delay of surviving messages.
+	ExtraLatency sim.Time
+}
+
+// active reports whether the fault degrades anything.
+func (f LinkFault) active() bool { return f.LossProb > 0 || f.ExtraLatency > 0 }
+
 // Network delivers messages between registered nodes.
 type Network struct {
 	engine *sim.Engine
@@ -53,16 +67,35 @@ type Network struct {
 	nodes  map[Addr]Handler
 	cut    map[[2]Addr]bool
 
-	// Sent and Delivered count messages for observability.
+	// Link-fault state (probabilistic loss and extra latency). Loss draws
+	// come from a dedicated RNG so a run with no faults installed performs
+	// zero draws and stays bit-identical to a run without the machinery.
+	linkFaults   map[[2]Addr]LinkFault
+	defaultFault LinkFault
+	faultRng     *rand.Rand
+	faultSeed    int64
+
+	// Sent and Delivered count messages for observability. Dropped is the
+	// total of the three causes broken out below it.
 	Sent      uint64
 	Delivered uint64
 	Dropped   uint64
+	// DroppedPartition counts messages cut at send time by Partition.
+	DroppedPartition uint64
+	// DroppedDead counts messages that arrived at an unregistered address
+	// (the destination died or was never there).
+	DroppedDead uint64
+	// DroppedLoss counts messages lost to an installed LinkFault.
+	DroppedLoss uint64
 
 	// Telemetry (nil = disabled).
 	tel        *telemetry.Telemetry
 	cSent      *telemetry.Counter
 	cDelivered *telemetry.Counter
 	cDropped   *telemetry.Counter
+	cDropPart  *telemetry.Counter
+	cDropDead  *telemetry.Counter
+	cDropLoss  *telemetry.Counter
 	hDelay     *telemetry.Histogram
 }
 
@@ -85,6 +118,9 @@ func (n *Network) SetTelemetry(t *telemetry.Telemetry) {
 	n.cSent = t.Reg.Counter("net.sent", telemetry.NoRank)
 	n.cDelivered = t.Reg.Counter("net.delivered", telemetry.NoRank)
 	n.cDropped = t.Reg.Counter("net.dropped", telemetry.NoRank)
+	n.cDropPart = t.Reg.Counter("net.dropped_partition", telemetry.NoRank)
+	n.cDropDead = t.Reg.Counter("net.dropped_dead", telemetry.NoRank)
+	n.cDropLoss = t.Reg.Counter("net.dropped_loss", telemetry.NoRank)
 	n.hDelay = t.Reg.Histogram("net.delay_us", telemetry.NoRank)
 }
 
@@ -103,6 +139,12 @@ func (n *Network) Register(a Addr, h Handler) {
 // Unregister removes a node; in-flight messages to it are dropped on arrival.
 func (n *Network) Unregister(a Addr) { delete(n.nodes, a) }
 
+// Registered reports whether a handler currently owns the address.
+func (n *Network) Registered(a Addr) bool {
+	_, ok := n.nodes[a]
+	return ok
+}
+
 // Partition cuts the directed link from -> to. Messages sent on a cut link
 // are silently dropped (counted in Dropped).
 func (n *Network) Partition(from, to Addr) { n.cut[[2]Addr{from, to}] = true }
@@ -112,6 +154,46 @@ func (n *Network) Heal(from, to Addr) { delete(n.cut, [2]Addr{from, to}) }
 
 // HealAll restores every link.
 func (n *Network) HealAll() { n.cut = map[[2]Addr]bool{} }
+
+// SetFaultSeed seeds the RNG behind probabilistic link faults. The stream is
+// separate from the engine's so installing (or removing) loss on one link
+// never perturbs any other random decision in the run. Call before
+// installing faults; calling again reseeds.
+func (n *Network) SetFaultSeed(seed int64) {
+	n.faultSeed = seed
+	n.faultRng = rand.New(rand.NewSource(seed))
+}
+
+// SetLinkFault installs a fault on the directed link from -> to, replacing
+// any previous fault on it. A zero LinkFault clears it.
+func (n *Network) SetLinkFault(from, to Addr, f LinkFault) {
+	if !f.active() {
+		delete(n.linkFaults, [2]Addr{from, to})
+		return
+	}
+	if n.linkFaults == nil {
+		n.linkFaults = map[[2]Addr]LinkFault{}
+	}
+	n.linkFaults[[2]Addr{from, to}] = f
+}
+
+// SetDefaultLinkFault applies f to every link without a specific fault
+// installed. A zero LinkFault restores healthy defaults.
+func (n *Network) SetDefaultLinkFault(f LinkFault) { n.defaultFault = f }
+
+// ClearLinkFaults removes every installed fault, including the default.
+func (n *Network) ClearLinkFaults() {
+	n.linkFaults = nil
+	n.defaultFault = LinkFault{}
+}
+
+// faultFor returns the fault governing one directed link.
+func (n *Network) faultFor(from, to Addr) LinkFault {
+	if f, ok := n.linkFaults[[2]Addr{from, to}]; ok {
+		return f
+	}
+	return n.defaultFault
+}
 
 // Send schedules delivery of msg from -> to after the configured latency.
 // Sending to an unknown address is not an error at send time; the message is
@@ -123,12 +205,33 @@ func (n *Network) Send(from, to Addr, msg Message) {
 	}
 	if n.cut[[2]Addr{from, to}] {
 		n.Dropped++
+		n.DroppedPartition++
 		if n.tel != nil {
 			n.cDropped.Add(1)
+			n.cDropPart.Add(1)
 		}
 		return
 	}
-	delay := n.cfg.Latency + n.engine.Jitter(n.cfg.Jitter)
+	var extra sim.Time
+	if n.defaultFault.active() || len(n.linkFaults) > 0 {
+		f := n.faultFor(from, to)
+		if f.LossProb > 0 {
+			if n.faultRng == nil {
+				n.SetFaultSeed(n.faultSeed + 1)
+			}
+			if n.faultRng.Float64() < f.LossProb {
+				n.Dropped++
+				n.DroppedLoss++
+				if n.tel != nil {
+					n.cDropped.Add(1)
+					n.cDropLoss.Add(1)
+				}
+				return
+			}
+		}
+		extra = f.ExtraLatency
+	}
+	delay := n.cfg.Latency + extra + n.engine.Jitter(n.cfg.Jitter)
 	if delay < 0 {
 		delay = 0
 	}
@@ -137,8 +240,10 @@ func (n *Network) Send(from, to Addr, msg Message) {
 		h, ok := n.nodes[to]
 		if !ok {
 			n.Dropped++
+			n.DroppedDead++
 			if n.tel != nil {
 				n.cDropped.Add(1)
+				n.cDropDead.Add(1)
 			}
 			return
 		}

@@ -178,3 +178,117 @@ func TestHandlerFunc(t *testing.T) {
 		t.Fatalf("got %v", got)
 	}
 }
+
+func TestDropCausesCountedSeparately(t *testing.T) {
+	e, n, _, _ := newPair(t, Config{Latency: 10})
+	n.Partition(1, 2)
+	n.Send(1, 2, "cut")
+	n.Heal(1, 2)
+	n.Send(1, 99, "dead")
+	e.RunUntilIdle()
+	if n.DroppedPartition != 1 || n.DroppedDead != 1 || n.DroppedLoss != 0 {
+		t.Fatalf("partition=%d dead=%d loss=%d", n.DroppedPartition, n.DroppedDead, n.DroppedLoss)
+	}
+	if n.Dropped != n.DroppedPartition+n.DroppedDead+n.DroppedLoss {
+		t.Fatalf("total %d != sum of causes", n.Dropped)
+	}
+}
+
+func TestLinkFaultLoss(t *testing.T) {
+	e, n, _, b := newPair(t, Config{Latency: 10})
+	n.SetFaultSeed(7)
+	n.SetLinkFault(1, 2, LinkFault{LossProb: 0.5})
+	const total = 400
+	for i := 0; i < total; i++ {
+		n.Send(1, 2, i)
+	}
+	e.RunUntilIdle()
+	if n.DroppedLoss == 0 {
+		t.Fatal("no losses at p=0.5")
+	}
+	if int(n.DroppedLoss)+len(b.got) != total {
+		t.Fatalf("loss %d + delivered %d != %d", n.DroppedLoss, len(b.got), total)
+	}
+	if n.DroppedLoss < total/4 || n.DroppedLoss > 3*total/4 {
+		t.Fatalf("loss %d wildly off p=0.5 of %d", n.DroppedLoss, total)
+	}
+	// Clearing restores lossless delivery.
+	n.ClearLinkFaults()
+	before := len(b.got)
+	for i := 0; i < 50; i++ {
+		n.Send(1, 2, i)
+	}
+	e.RunUntilIdle()
+	if len(b.got)-before != 50 {
+		t.Fatal("losses after ClearLinkFaults")
+	}
+}
+
+func TestLinkFaultExtraLatency(t *testing.T) {
+	e, n, _, b := newPair(t, Config{Latency: 10})
+	n.SetLinkFault(1, 2, LinkFault{ExtraLatency: 90})
+	n.Send(1, 2, "slow")
+	e.RunUntilIdle()
+	if len(b.got) != 1 || b.at[0] != 100 {
+		t.Fatalf("delivered at %v, want 100", b.at)
+	}
+	// Only the faulted direction pays.
+	a := &recorder{eng: e}
+	_ = a
+	n.Send(2, 1, "fast")
+	e.RunUntilIdle()
+	if n.Delivered != 2 {
+		t.Fatalf("delivered=%d", n.Delivered)
+	}
+}
+
+func TestDefaultLinkFaultAppliesEverywhere(t *testing.T) {
+	e, n, a, b := newPair(t, Config{Latency: 10})
+	n.SetFaultSeed(3)
+	n.SetDefaultLinkFault(LinkFault{LossProb: 1})
+	n.Send(1, 2, "x")
+	n.Send(2, 1, "y")
+	e.RunUntilIdle()
+	if len(a.got) != 0 || len(b.got) != 0 {
+		t.Fatal("default fault did not drop")
+	}
+	if n.DroppedLoss != 2 {
+		t.Fatalf("loss = %d", n.DroppedLoss)
+	}
+	// A per-link override wins over the default.
+	n.SetLinkFault(1, 2, LinkFault{ExtraLatency: 1})
+	n.Send(1, 2, "through")
+	e.RunUntilIdle()
+	if len(b.got) != 1 {
+		t.Fatal("per-link override ignored")
+	}
+}
+
+// TestFaultMachineryPassive proves the fault plumbing consumes no randomness
+// and adds no latency when nothing is installed: two identical runs, one on
+// a network that never touched the fault API, deliver at identical times.
+func TestFaultMachineryPassive(t *testing.T) {
+	run := func(touch bool) []sim.Time {
+		e := sim.NewEngine(5)
+		n := New(e, Config{Latency: 10, Jitter: 5})
+		r := &recorder{eng: e}
+		n.Register(2, r)
+		n.Register(1, HandlerFunc(func(Addr, Message) {}))
+		if touch {
+			n.SetFaultSeed(99)
+			n.SetLinkFault(1, 2, LinkFault{LossProb: 0.5})
+			n.ClearLinkFaults()
+		}
+		for i := 0; i < 100; i++ {
+			n.Send(1, 2, i)
+		}
+		e.RunUntilIdle()
+		return r.at
+	}
+	a, b := run(false), run(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -67,6 +67,9 @@ type HeartbeatRecord struct {
 	// Errors lists hook failures; a failing hook aborts the tick the same
 	// way the live MDS counts a PolicyError and skips migration.
 	Errors []string `json:"errors,omitempty"`
+	// Fallbacks lists balancer versions demoted to last-known-good during
+	// this tick ("from -> to: reason").
+	Fallbacks []string `json:"fallbacks,omitempty"`
 	// Decisions lists the exports actually started.
 	Decisions []Decision `json:"decisions,omitempty"`
 }
