@@ -28,9 +28,14 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "workload scale relative to the paper (1.0 = 100k creates/client)")
 	parallel := flag.Int("parallel", 1, "run 'all' experiments on N worker goroutines (output stays byte-identical to sequential)")
 	benchJSON := flag.String("bench-json", "", "run the micro-benchmark harness and write BENCH_<label>.json instead of experiments")
+	benchBaseline := flag.String("bench-baseline", "", "with -bench-json: compare against this committed BENCH_*.json and exit nonzero if any ns_per_op regresses past -bench-tolerance")
+	benchTolerance := flag.Float64("bench-tolerance", 0.25, "allowed fractional ns_per_op regression vs -bench-baseline (0.25 = 25%)")
+	treeDepth := flag.Int("tree-depth", perf.DefaultScale().TreeDepth, "NamespaceScale benchmarks: directory nesting depth")
+	treeWidth := flag.Int("tree-width", perf.DefaultScale().TreeWidth, "NamespaceScale benchmarks: directory fan-out at the bottom of the tree")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	perf.ScaleConfig = perf.Scale{TreeDepth: *treeDepth, TreeWidth: *treeWidth}
 
 	memProfilePath = *memProfile
 	if *cpuProfile != "" {
@@ -73,6 +78,29 @@ func main() {
 			fmt.Println()
 		}
 		fmt.Println("wrote", name)
+		if *benchBaseline != "" {
+			bf, err := os.Open(*benchBaseline)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				exit(2)
+			}
+			base, err := perf.ReadReport(bf)
+			bf.Close()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				exit(2)
+			}
+			regs := perf.CompareReports(base, rep, *benchTolerance)
+			if len(regs) > 0 {
+				fmt.Printf("\n%d benchmark(s) regressed vs %s (tolerance %.0f%%):\n",
+					len(regs), *benchBaseline, *benchTolerance*100)
+				for _, r := range regs {
+					fmt.Println(" ", r)
+				}
+				exit(1)
+			}
+			fmt.Printf("no ns_per_op regressions vs %s (tolerance %.0f%%)\n", *benchBaseline, *benchTolerance*100)
+		}
 		return
 	}
 

@@ -2,7 +2,7 @@ package namespace
 
 import (
 	"fmt"
-	"sort"
+	"strings"
 
 	"mantle/internal/sim"
 )
@@ -11,15 +11,18 @@ import (
 // explicit label walking up through directories and the fragments containing
 // each dentry on the way to the root. The root always carries a label, so
 // resolution terminates.
+//
+// The result is memoised on directory nodes against ns.authGen (bumped by
+// every label change), so steady-state resolution is one generation check
+// instead of a walk to the nearest bound. Note the walk inspects a
+// directory's own label and its dentry's fragment in the *parent* — never
+// the directory's own fragments — which is what lets fragment-bound owners
+// be computed without temporarily clearing the fragment's label (see
+// AuthLoad).
 func (ns *Namespace) EffectiveAuth(n *Node) Rank {
-	for {
-		if n.isDir && n.authOverride != RankNone {
-			return n.authOverride
-		}
+	if !n.isDir {
 		parent := n.parent
 		if parent == nil {
-			// Root without a label (cannot happen via the public
-			// API); fall back to rank 0.
 			return 0
 		}
 		frag := parent.fragtree.LeafOfName(n.name)
@@ -28,6 +31,62 @@ func (ns *Namespace) EffectiveAuth(n *Node) Rank {
 		}
 		n = parent
 	}
+	if !ns.hotCaches {
+		// Proof-toggle path: the plain walk, no memo reads or fills.
+		for cur := n; ; {
+			if cur.authOverride != RankNone {
+				return cur.authOverride
+			}
+			parent := cur.parent
+			if parent == nil {
+				return 0
+			}
+			frag := parent.fragtree.LeafOfName(cur.name)
+			if fs := parent.frags[frag]; fs.auth != RankNone {
+				return fs.auth
+			}
+			cur = parent
+		}
+	}
+	if n.effGen == ns.authGen {
+		return n.effAuth
+	}
+	// Climb to the nearest cached or labelled ancestor, then fill the
+	// cache back down the chain — every directory passed on the way up
+	// shares the rank found.
+	var rank Rank
+	cur := n
+	for {
+		if cur.effGen == ns.authGen {
+			rank = cur.effAuth
+			break
+		}
+		if cur.authOverride != RankNone {
+			rank = cur.authOverride
+			break
+		}
+		parent := cur.parent
+		if parent == nil {
+			// Root without a label (cannot happen via the public
+			// API); fall back to rank 0.
+			rank = 0
+			break
+		}
+		frag := parent.fragtree.LeafOfName(cur.name)
+		if fs := parent.frags[frag]; fs.auth != RankNone {
+			rank = fs.auth
+			break
+		}
+		cur = parent
+	}
+	for c := n; ; c = c.parent {
+		c.effAuth = rank
+		c.effGen = ns.authGen
+		if c == cur {
+			break
+		}
+	}
+	return rank
 }
 
 // AuthForDentry resolves the rank authoritative for the dentry name inside
@@ -51,16 +110,31 @@ func (ns *Namespace) SetAuthOverride(n *Node, rank Rank) {
 	if n.parent == nil {
 		// The root's label always stays explicit.
 		n.authOverride = rank
+		ns.authGen++
+		ns.bidxDirty = true
+		ns.invalidateResolves()
 		return
 	}
+	// Stale cached authority before computing the inherited rank: caches
+	// may still hold the label being replaced.
 	n.authOverride = RankNone
+	ns.authGen++
 	inherited := ns.EffectiveAuth(n)
 	if rank == inherited {
 		delete(ns.overrides, n)
+		ns.bidxRemove(n.Path())
 	} else {
 		n.authOverride = rank
 		ns.overrides[n] = struct{}{}
 	}
+	// Stale again: the inherited computation above cached ranks that the
+	// final label may contradict.
+	ns.authGen++
+	if n.authOverride != RankNone {
+		ns.bidxUpsert(SubtreeRoot{Dir: n, Frag: RootFrag, Rank: n.authOverride})
+	}
+	ns.bidxRefreshBelow(n)
+	ns.invalidateResolves()
 	ns.recomputeSpread(n)
 	ns.recomputeDescendantSpreads(n)
 }
@@ -73,13 +147,21 @@ func (ns *Namespace) SetFragAuth(dir *Node, frag Frag, rank Rank) {
 		panic(fmt.Sprintf("namespace: SetFragAuth(%v): not a live frag of %s", frag, dir.Path()))
 	}
 	fs.auth = RankNone
+	ns.authGen++
 	inherited := ns.EffectiveAuth(dir)
 	if rank == RankNone || rank == inherited {
 		delete(ns.fragOverrides, fragKey{dir, frag})
+		ns.bidxRemove(dir.Path() + "#" + frag.String())
 	} else {
 		fs.auth = rank
 		ns.fragOverrides[fragKey{dir, frag}] = struct{}{}
 	}
+	ns.authGen++
+	if fs.auth != RankNone {
+		ns.bidxUpsert(SubtreeRoot{Dir: dir, Frag: frag, IsFrag: true, Rank: fs.auth})
+	}
+	ns.bidxRefreshBelow(dir)
+	ns.invalidateResolves()
 	ns.recomputeSpread(dir)
 	// A fragment label changes the inherited authority of every
 	// directory whose dentry hashes into the fragment, so spreads below
@@ -89,31 +171,78 @@ func (ns *Namespace) SetFragAuth(dir *Node, frag Frag, rank Rank) {
 
 // clearSubtreeOverrides drops authority labels in a subtree being unlinked.
 func (ns *Namespace) clearSubtreeOverrides(n *Node) {
+	removed := false
 	Walk(n, func(c *Node) bool {
 		if c.isDir {
-			delete(ns.overrides, c)
+			if _, ok := ns.overrides[c]; ok {
+				delete(ns.overrides, c)
+				removed = true
+			}
 			for f := range c.frags {
-				delete(ns.fragOverrides, fragKey{c, f})
+				if _, ok := ns.fragOverrides[fragKey{c, f}]; ok {
+					delete(ns.fragOverrides, fragKey{c, f})
+					removed = true
+				}
 			}
 		}
 		return true
 	})
+	if removed {
+		ns.bidxDirty = true
+	}
 }
 
 // Freeze marks the subtree rooted at n as mid-migration; the MDS defers
 // operations that land in frozen subtrees (the paper's migration pauses).
-func (ns *Namespace) Freeze(n *Node, frozen bool) { n.frozen = frozen }
+func (ns *Namespace) Freeze(n *Node, frozen bool) {
+	if n.frozen != frozen {
+		if frozen {
+			ns.frozenDirs++
+		} else {
+			ns.frozenDirs--
+		}
+	}
+	n.frozen = frozen
+}
 
 // FreezeFrag marks one fragment as mid-migration.
 func (ns *Namespace) FreezeFrag(dir *Node, frag Frag, frozen bool) {
 	if fs, ok := dir.frags[frag]; ok {
+		if fs.frozen != frozen {
+			if frozen {
+				ns.frozenFrags++
+			} else {
+				ns.frozenFrags--
+			}
+		}
 		fs.frozen = frozen
 	}
 }
 
 // FrozenFor reports whether serving the dentry name in dir is blocked by a
-// freeze anywhere on its authority chain.
+// freeze anywhere on its authority chain. With no migration in flight — the
+// overwhelmingly common case on the op fast path — this is two counter
+// checks, not an ancestor walk.
 func (ns *Namespace) FrozenFor(dir *Node, name string) bool {
+	if ns.hotCaches {
+		if ns.frozenDirs == 0 && ns.frozenFrags == 0 {
+			return false
+		}
+		if ns.frozenFrags > 0 {
+			if fs, ok := dir.frags[dir.fragtree.LeafOfName(name)]; ok && fs.frozen {
+				return true
+			}
+		}
+		if ns.frozenDirs > 0 {
+			for cur := dir; cur != nil; cur = cur.parent {
+				if cur.frozen {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	// Proof-toggle path: unconditional frag check plus ancestor walk.
 	if fs, ok := dir.frags[dir.fragtree.LeafOfName(name)]; ok && fs.frozen {
 		return true
 	}
@@ -143,24 +272,23 @@ func (r SubtreeRoot) Path() string {
 }
 
 // SubtreeRoots enumerates the current partition bounds, sorted by path for
-// determinism. With rank >= 0 only that rank's bounds are returned.
+// determinism. With rank >= 0 only that rank's bounds are returned. The
+// bounds come straight from the sorted index — no per-call collection or
+// re-sort.
 func (ns *Namespace) SubtreeRoots(rank Rank) []SubtreeRoot {
-	var out []SubtreeRoot
-	for n := range ns.overrides {
-		if rank < 0 || n.authOverride == rank {
-			out = append(out, SubtreeRoot{Dir: n, Frag: RootFrag, Rank: n.authOverride})
+	ns.ensureBoundIndex()
+	if len(ns.bidx) == 0 {
+		return nil
+	}
+	out := make([]SubtreeRoot, 0, len(ns.bidx))
+	for i := range ns.bidx {
+		if rank < 0 || ns.bidx[i].root.Rank == rank {
+			out = append(out, ns.bidx[i].root)
 		}
 	}
-	for k := range ns.fragOverrides {
-		fs := k.node.frags[k.frag]
-		if fs == nil {
-			continue
-		}
-		if rank < 0 || fs.auth == rank {
-			out = append(out, SubtreeRoot{Dir: k.node, Frag: k.frag, IsFrag: true, Rank: fs.auth})
-		}
+	if len(out) == 0 {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Path() < out[j].Path() })
 	return out
 }
 
@@ -179,41 +307,46 @@ func (ns *Namespace) nearestEnclosingBound(n *Node) (*Node, bool) {
 // load on the subtrees that rank is authoritative for, excluding nested
 // subtrees owned by other bounds. This is the "metadata load on auth
 // subtree" input to the MDS-load policies (Table 2's MDSs[i]["auth"]).
+//
+// One linear pass over the bound index: each entry carries its enclosing
+// bound (directory bounds) or its containing directory's owner (fragment
+// bounds), both maintained at label-change time, so no parent walks happen
+// here and the fragment owner is passed explicitly instead of being
+// re-derived by temporarily clearing the fragment's label.
 func (ns *Namespace) AuthLoad(numRanks int, now sim.Time, load func(CounterSnapshot) float64) []float64 {
+	ns.FlushCounters()
+	ns.ensureBoundIndex()
 	out := make([]float64, numRanks)
 	add := func(rank Rank, v float64) {
 		if rank >= 0 && int(rank) < numRanks {
 			out[rank] += v
 		}
 	}
-	// Iterate the bounds in sorted-path order: floating-point sums must
-	// not depend on map iteration order, or identical runs diverge in
-	// the last bit and the balancer's decisions with them.
-	for _, root := range ns.SubtreeRoots(-1) {
-		if root.IsFrag {
+	// The index is ordered by path: floating-point sums must not depend
+	// on map iteration order, or identical runs diverge in the last bit
+	// and the balancer's decisions with them.
+	for i := range ns.bidx {
+		e := &ns.bidx[i]
+		if e.root.IsFrag {
 			// Fragment bound: the frag's own counters move between
 			// ranks; the containing directory's owner keeps the
 			// rest.
-			fs := root.Dir.frags[root.Frag]
+			fs := e.root.Dir.frags[e.root.Frag]
 			if fs == nil {
 				continue
 			}
 			v := load(fs.Counters.Snapshot(now))
 			add(fs.auth, v)
-			prev := fs.auth
-			fs.auth = RankNone
-			owner := ns.EffectiveAuth(root.Dir)
-			fs.auth = prev
-			add(owner, -v)
+			add(e.dirOwner, -v)
 			continue
 		}
 		// Directory bound: counter at the bound minus counters at
 		// nested bounds directly beneath it.
-		n := root.Dir
+		n := e.root.Dir
 		v := load(n.counters.Snapshot(now))
 		add(n.authOverride, v)
-		if enc, ok := ns.nearestEnclosingBound(n); ok && enc != n {
-			add(enc.authOverride, -v)
+		if e.encl != nil && e.encl != n {
+			add(e.encl.authOverride, -v)
 		}
 	}
 	for i := range out {
@@ -226,33 +359,33 @@ func (ns *Namespace) AuthLoad(numRanks int, now sim.Time, load func(CounterSnaps
 
 // OwnedNodes estimates, per rank, how many namespace nodes each rank is
 // authoritative for (the cache-footprint behind the mem metric). Fragment
-// bounds contribute their dentry counts.
+// bounds contribute their dentry counts. Like AuthLoad, a linear pass over
+// the bound index with owners read off the entries.
 func (ns *Namespace) OwnedNodes(numRanks int) []int {
+	ns.ensureBoundIndex()
 	out := make([]int, numRanks)
 	add := func(rank Rank, v int) {
 		if rank >= 0 && int(rank) < numRanks {
 			out[rank] += v
 		}
 	}
-	for n := range ns.overrides {
-		v := n.SubtreeNodes()
-		add(n.authOverride, v)
-		if enc, ok := ns.nearestEnclosingBound(n); ok && enc != n {
-			add(enc.authOverride, -v)
-		}
-	}
-	for k := range ns.fragOverrides {
-		fs := k.node.frags[k.frag]
-		if fs == nil {
+	for i := range ns.bidx {
+		e := &ns.bidx[i]
+		if e.root.IsFrag {
+			fs := e.root.Dir.frags[e.root.Frag]
+			if fs == nil {
+				continue
+			}
+			add(fs.auth, fs.Entries)
+			add(e.dirOwner, -fs.Entries)
 			continue
 		}
-		v := fs.Entries
-		add(fs.auth, v)
-		prev := fs.auth
-		fs.auth = RankNone
-		owner := ns.EffectiveAuth(k.node)
-		fs.auth = prev
-		add(owner, -v)
+		n := e.root.Dir
+		v := n.SubtreeNodes()
+		add(n.authOverride, v)
+		if e.encl != nil && e.encl != n {
+			add(e.encl.authOverride, -v)
+		}
 	}
 	for i := range out {
 		if out[i] < 0 {
@@ -264,19 +397,30 @@ func (ns *Namespace) OwnedNodes(numRanks int) []int {
 
 // recomputeDescendantSpreads refreshes the cached rank spread of every
 // directory below n that could be affected by an authority change above it.
-// Only directories holding fragment labels can have a spread above one, so
-// the fragment-override index bounds the work.
+// Only directories holding fragment labels can have a spread above one, and
+// the bound index orders them by path, so the work is one range scan over
+// the fragment bounds inside n's subtree instead of a scan of every
+// fragment override in the namespace.
 func (ns *Namespace) recomputeDescendantSpreads(n *Node) {
-	for k := range ns.fragOverrides {
-		if k.node == n {
+	if len(ns.fragOverrides) == 0 {
+		return
+	}
+	ns.ensureBoundIndex()
+	prefix := "/"
+	if n.parent != nil {
+		prefix = n.Path() + "/"
+	}
+	var last *Node
+	for i := ns.bidxFind(prefix); i < len(ns.bidx); i++ {
+		e := &ns.bidx[i]
+		if !strings.HasPrefix(e.key, prefix) {
+			break
+		}
+		if !e.root.IsFrag || e.root.Dir == n || e.root.Dir == last {
 			continue
 		}
-		for cur := k.node; cur != nil; cur = cur.parent {
-			if cur == n {
-				ns.recomputeSpread(k.node)
-				break
-			}
-		}
+		last = e.root.Dir
+		ns.recomputeSpread(e.root.Dir)
 	}
 }
 

@@ -20,10 +20,18 @@ import (
 //  6. the override indexes exactly mirror the labels on the tree,
 //  7. rankSpread matches a recount of fragment owners,
 //  8. no fragment or directory is left frozen (call with allowFrozen=true
-//     mid-migration).
+//     mid-migration), and the frozen counters match a recount,
+//  9. the deferred-hit log drains on flush,
+//  10. the incremental bound index is byte-equal to a from-scratch rebuild
+//     (keys, order, ranks, enclosing bounds, fragment-dir owners).
 func (ns *Namespace) CheckInvariants(numRanks int, allowFrozen bool) error {
+	ns.FlushCounters()
+	if n := ns.PendingHits(); n != 0 {
+		return fmt.Errorf("invariant: %d deferred hits survived FlushCounters", n)
+	}
 	seenOverrides := 0
 	seenFragOverrides := 0
+	frozenDirs, frozenFrags := 0, 0
 	var walk func(n *Node) error
 	walk = func(n *Node) error {
 		if n.parent != nil {
@@ -43,6 +51,9 @@ func (ns *Namespace) CheckInvariants(numRanks int, allowFrozen bool) error {
 		}
 		if !allowFrozen && n.frozen {
 			return fmt.Errorf("invariant: %s left frozen", n.Path())
+		}
+		if n.frozen {
+			frozenDirs++
 		}
 		if n.authOverride != RankNone {
 			if _, ok := ns.overrides[n]; !ok && n.parent != nil {
@@ -67,6 +78,9 @@ func (ns *Namespace) CheckInvariants(numRanks int, allowFrozen bool) error {
 			}
 			if !allowFrozen && fs.frozen {
 				return fmt.Errorf("invariant: %s frag %v left frozen", n.Path(), f)
+			}
+			if fs.frozen {
+				frozenFrags++
 			}
 			entries += fs.Entries
 			if fs.auth != RankNone {
@@ -124,7 +138,15 @@ func (ns *Namespace) CheckInvariants(numRanks int, allowFrozen bool) error {
 	if seenFragOverrides != len(ns.fragOverrides) {
 		return fmt.Errorf("invariant: frag override index has %d entries, tree has %d labels", len(ns.fragOverrides), seenFragOverrides)
 	}
-	// Ownership accounting: every node is owned exactly once.
+	if frozenDirs != ns.frozenDirs || frozenFrags != ns.frozenFrags {
+		return fmt.Errorf("invariant: frozen counters (%d dirs, %d frags) vs recount (%d, %d)",
+			ns.frozenDirs, ns.frozenFrags, frozenDirs, frozenFrags)
+	}
+	if err := ns.checkBoundIndex(); err != nil {
+		return err
+	}
+	// Ownership accounting: every node is owned exactly once. (OwnedNodes
+	// reads the bound index, which checkBoundIndex just validated.)
 	if numRanks > 0 {
 		owned := ns.OwnedNodes(numRanks)
 		total := 0
@@ -136,6 +158,39 @@ func (ns *Namespace) CheckInvariants(numRanks int, allowFrozen bool) error {
 		// directory; allow that slack but never overcounting.
 		if total > ns.count {
 			return fmt.Errorf("invariant: OwnedNodes total %d exceeds node count %d", total, ns.count)
+		}
+	}
+	return nil
+}
+
+// checkBoundIndex compares the incrementally maintained bound index against
+// a from-scratch rebuild: same keys in the same order, same ranks, same
+// enclosing bounds and fragment-dir owners. The rebuilt index is kept (it is
+// correct by construction), so a passing check leaves state unchanged up to
+// equality.
+func (ns *Namespace) checkBoundIndex() error {
+	ns.ensureBoundIndex()
+	got := ns.bidx
+	ns.bidx = nil
+	ns.bidxDirty = true
+	ns.ensureBoundIndex()
+	want := ns.bidx
+	if len(got) != len(want) {
+		return fmt.Errorf("invariant: bound index has %d entries, rebuild has %d", len(got), len(want))
+	}
+	for i := range got {
+		g, w := &got[i], &want[i]
+		if g.key != w.key {
+			return fmt.Errorf("invariant: bound index key[%d] %q, rebuild %q", i, g.key, w.key)
+		}
+		if g.root != w.root {
+			return fmt.Errorf("invariant: bound index entry %q root drifted from rebuild", g.key)
+		}
+		if g.encl != w.encl {
+			return fmt.Errorf("invariant: bound index entry %q enclosing bound drifted from rebuild", g.key)
+		}
+		if g.root.IsFrag && g.dirOwner != w.dirOwner {
+			return fmt.Errorf("invariant: bound index entry %q dir owner %d, rebuild %d", g.key, g.dirOwner, w.dirOwner)
 		}
 	}
 	return nil

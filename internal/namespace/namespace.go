@@ -35,6 +35,46 @@ type Namespace struct {
 	// walking the tree.
 	overrides     map[*Node]struct{}
 	fragOverrides map[fragKey]struct{}
+
+	// pendingHits is the deferred RecordOp log; lazy gates it (captured
+	// from DisableLazyCounters at New time).
+	pendingHits []hitRec
+	lazy        bool
+
+	// hotCaches gates the per-op ancestor-walk memos (EffectiveAuth,
+	// FrozenFor fast path, Path); pool gates slab allocation of file
+	// nodes. Both are captured from their Disable* toggles at New time.
+	hotCaches bool
+	pool      bool
+
+	// fileSlab is the tail of the current file-node slab; newFileNode
+	// bump-allocates from it so a million-file create storm costs one heap
+	// allocation per slab instead of one per node. Slots are never reused,
+	// so a node reference can outlive its unlink exactly as it could when
+	// every node was heap-allocated.
+	fileSlab []Node
+
+	// resCache memoises path resolution; resGen stales it wholesale on
+	// rename/unlink/label changes. Nil when the cache is disabled.
+	resCache map[string]resolveEnt
+	resGen   uint64
+
+	// authGen versions cached EffectiveAuth values on directory nodes;
+	// pathGen versions cached Path strings. Both start at 1 so node
+	// zero values are always stale.
+	authGen uint64
+	pathGen uint64
+
+	// frozenDirs/frozenFrags count live freezes so FrozenFor is O(1)
+	// whenever no migration is in flight (the common case).
+	frozenDirs  int
+	frozenFrags int
+
+	// bidx is the sorted subtree-bound index (see boundindex.go);
+	// bidxDirty forces a rebuild on next read after structural changes
+	// that incremental maintenance does not cover.
+	bidx      []boundEntry
+	bidxDirty bool
 }
 
 type fragKey struct {
@@ -50,6 +90,15 @@ func New(halfLife sim.Time) *Namespace {
 		halfLife:      halfLife,
 		overrides:     map[*Node]struct{}{},
 		fragOverrides: map[fragKey]struct{}{},
+		lazy:          !DisableLazyCounters,
+		hotCaches:     !DisableHotPathCaches,
+		pool:          !DisableNodeArena,
+		authGen:       1,
+		pathGen:       1,
+		bidxDirty:     true,
+	}
+	if !DisableResolveCache {
+		ns.resCache = make(map[string]resolveEnt)
 	}
 	ns.nextIno = 1
 	ns.root = ns.newDirNode(nil, "")
@@ -64,6 +113,7 @@ func (ns *Namespace) newDirNode(parent *Node, name string) *Node {
 		ino:          ns.nextIno,
 		parent:       parent,
 		isDir:        true,
+		ns:           ns,
 		children:     map[string]*Node{},
 		fragtree:     NewFragTree(),
 		frags:        map[Frag]*FragState{},
@@ -78,14 +128,26 @@ func (ns *Namespace) newDirNode(parent *Node, name string) *Node {
 	return n
 }
 
+// fileSlabSize is the bump-allocation block for file nodes; 512 nodes per
+// heap allocation keeps blocks around 128 KiB.
+const fileSlabSize = 512
+
 func (ns *Namespace) newFileNode(parent *Node, name string) *Node {
-	n := &Node{
-		name:         name,
-		ino:          ns.nextIno,
-		parent:       parent,
-		isDir:        false,
-		authOverride: RankNone,
+	var n *Node
+	if ns.pool {
+		if len(ns.fileSlab) == 0 {
+			ns.fileSlab = make([]Node, fileSlabSize)
+		}
+		n = &ns.fileSlab[0]
+		ns.fileSlab = ns.fileSlab[1:]
+	} else {
+		n = &Node{}
 	}
+	n.name = name
+	n.ino = ns.nextIno
+	n.parent = parent
+	n.ns = ns
+	n.authOverride = RankNone
 	ns.nextIno++
 	ns.count++
 	return n
@@ -118,8 +180,13 @@ func SplitPath(path string) ([]string, error) {
 	return parts, nil
 }
 
-// Resolve walks an absolute path to its node.
+// Resolve walks an absolute path to its node. Steady-state lookups are
+// answered by the resolution cache (see rescache.go); misses and every
+// failure take the original component walk so error values are unchanged.
 func (ns *Namespace) Resolve(path string) (*Node, error) {
+	if n := ns.cacheResolve(path); n != nil {
+		return n, nil
+	}
 	parts, err := SplitPath(path)
 	if err != nil {
 		return nil, err
@@ -135,12 +202,19 @@ func (ns *Namespace) Resolve(path string) (*Node, error) {
 		}
 		cur = next
 	}
+	ns.cachePut(path, cur)
 	return cur, nil
 }
 
 // ResolveDirOf resolves the parent directory of path and returns it together
-// with the final path component.
+// with the final path component. The directory prefix is answered from the
+// resolution cache when possible — a create storm of distinct names in one
+// directory costs one map lookup per create after the first — and populated
+// on the slow path.
 func (ns *Namespace) ResolveDirOf(path string) (*Node, string, error) {
+	if dir, name, ok := ns.cacheResolveDir(path); ok {
+		return dir, name, nil
+	}
 	parts, err := SplitPath(path)
 	if err != nil {
 		return nil, "", err
@@ -158,6 +232,9 @@ func (ns *Namespace) ResolveDirOf(path string) (*Node, string, error) {
 			return nil, "", fmt.Errorf("%w: %s", ErrNotDir, next.Path())
 		}
 		cur = next
+	}
+	if prefix, _, ok := splitLast(path); ok && prefix != "" {
+		ns.cachePut(prefix, cur)
 	}
 	return cur, parts[len(parts)-1], nil
 }
@@ -250,10 +327,28 @@ func (ns *Namespace) Remove(parent *Node, name string) error {
 	if n.isDir && len(n.children) > 0 {
 		return fmt.Errorf("%w: %s", ErrNotEmpty, n.Path())
 	}
+	// Fold deferred counter charges while n's ancestor chain is intact;
+	// replaying a hit on a detached node would drop its ancestors' share.
+	ns.FlushCounters()
 	ns.clearSubtreeOverrides(n)
+	if n.frozen {
+		ns.frozenDirs--
+	}
+	if n.isDir {
+		for _, fs := range n.frags {
+			if fs.frozen {
+				ns.frozenFrags--
+			}
+		}
+	}
 	ns.detach(parent, n)
 	n.parent = nil
+	// The detached node must not keep serving memoised authority/path
+	// state from its old location.
+	n.effGen = 0
+	n.cachedPath = ""
 	ns.count -= n.SubtreeNodes()
+	ns.invalidateResolves()
 	return nil
 }
 
@@ -278,10 +373,21 @@ func (ns *Namespace) Rename(srcDir *Node, srcName string, dstDir *Node, dstName 
 			}
 		}
 	}
+	// Fold deferred counter charges before the parent chain changes:
+	// hits logged under the old location must replay up the old chain.
+	ns.FlushCounters()
 	ns.detach(srcDir, n)
 	n.name = dstName
 	n.parent = dstDir
 	ns.attach(dstDir, n)
+	ns.invalidateResolves()
+	ns.pathGen++
+	if n.isDir {
+		// A moved directory subtree inherits authority from its new
+		// parent chain, and any bounds inside it change path keys.
+		ns.authGen++
+		ns.bidxDirty = true
+	}
 	return nil
 }
 
@@ -321,6 +427,13 @@ func (ns *Namespace) RecordOp(dir *Node, name string, k OpKind, now sim.Time) {
 			fs.Counters.Hit(k, now)
 			fs.LastAccess = now
 		}
+	}
+	if ns.lazy {
+		// Defer the ancestor walk: one append now, the identical
+		// sequence of Hit calls replayed in arrival order at the next
+		// counter read (see oplog.go).
+		ns.logHit(dir, k, now)
+		return
 	}
 	for cur := dir; cur != nil; cur = cur.parent {
 		cur.counters.Hit(k, now)
@@ -367,6 +480,14 @@ func (ns *Namespace) SplitDir(dir *Node, leaf Frag, bits uint8, now sim.Time) []
 		for _, kf := range kids {
 			ns.fragOverrides[fragKey{dir, kf}] = struct{}{}
 		}
+		// The bound set changed shape (one frag bound became 2^bits);
+		// rebuild the index lazily and stale cached authority, which
+		// may have been derived through the replaced leaf.
+		ns.bidxDirty = true
+		ns.authGen++
+	}
+	if old.frozen {
+		ns.frozenFrags--
 	}
 	delete(dir.frags, leaf)
 	ns.recomputeSpread(dir)
@@ -410,6 +531,11 @@ func (ns *Namespace) MergeDir(dir *Node, parent Frag, bits uint8, now sim.Time) 
 	merged.Counters.Seed(heat, now)
 	dir.frags[parent] = merged
 	if auth != RankNone {
+		// The kids' frag bounds were deleted above without index
+		// updates; rebuild lazily (SetFragAuth below re-adds the
+		// merged bound through the normal path).
+		ns.bidxDirty = true
+		ns.authGen++
 		ns.SetFragAuth(dir, parent, auth)
 	} else {
 		ns.recomputeSpread(dir)

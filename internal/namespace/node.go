@@ -43,6 +43,7 @@ type Node struct {
 	ino    InodeID
 	parent *Node
 	isDir  bool
+	ns     *Namespace // owning namespace, for flush hooks and cache generations
 
 	// File state.
 	Size int64
@@ -57,6 +58,16 @@ type Node struct {
 	frozen       bool
 	subtreeNodes int // nodes in this subtree, including self
 	rankSpread   int // distinct ranks owning this dir's live frags
+
+	// cachedPath memoises Path(); valid while pathGen matches the
+	// namespace generation (bumped on rename).
+	cachedPath string
+	pathGen    uint64
+	// effAuth memoises EffectiveAuth for directories; valid while effGen
+	// matches the namespace authority generation (bumped on any label
+	// change). ns.authGen starts at 1 so the zero value is always stale.
+	effAuth Rank
+	effGen  uint64
 }
 
 // Name reports the dentry name ("" for the root).
@@ -74,10 +85,16 @@ func (n *Node) IsDir() bool { return n.isDir }
 // IsRoot reports whether the node is the namespace root.
 func (n *Node) IsRoot() bool { return n.parent == nil }
 
-// Path reconstructs the absolute path of the node.
+// Path reconstructs the absolute path of the node. The result is memoised
+// per node and invalidated wholesale on rename (the only operation that can
+// move an attached node), so repeated calls — forward hints, bound sorting —
+// cost one comparison.
 func (n *Node) Path() string {
 	if n.parent == nil {
 		return "/"
+	}
+	if n.cachedPath != "" && n.ns != nil && n.ns.hotCaches && n.pathGen == n.ns.pathGen {
+		return n.cachedPath
 	}
 	var parts []string
 	for cur := n; cur.parent != nil; cur = cur.parent {
@@ -92,7 +109,12 @@ func (n *Node) Path() string {
 		buf = append(buf, '/')
 		buf = append(buf, parts[i]...)
 	}
-	return string(buf)
+	p := string(buf)
+	if n.ns != nil && n.ns.hotCaches {
+		n.cachedPath = p
+		n.pathGen = n.ns.pathGen
+	}
+	return p
 }
 
 // Depth reports the number of edges from the root.
@@ -154,11 +176,24 @@ func (n *Node) FragStateOf(f Frag) (*FragState, bool) {
 // FragOfName returns the leaf fragment holding the dentry name.
 func (n *Node) FragOfName(name string) Frag { return n.fragtree.LeafOfName(name) }
 
-// Counters exposes the directory's aggregate popularity counters.
-func (n *Node) Counters() *Counters { return &n.counters }
+// Counters exposes the directory's aggregate popularity counters. Deferred
+// RecordOp charges are folded in first so callers always observe the same
+// values the eager ancestor walk would have produced.
+func (n *Node) Counters() *Counters {
+	if n.ns != nil {
+		n.ns.FlushCounters()
+	}
+	return &n.counters
+}
 
-// Load reports the directory's counter snapshot at time now.
-func (n *Node) Load(now sim.Time) CounterSnapshot { return n.counters.Snapshot(now) }
+// Load reports the directory's counter snapshot at time now, folding in any
+// deferred RecordOp charges first.
+func (n *Node) Load(now sim.Time) CounterSnapshot {
+	if n.ns != nil {
+		n.ns.FlushCounters()
+	}
+	return n.counters.Snapshot(now)
+}
 
 // AuthOverride reports the explicit authority label on this directory
 // (RankNone when authority is inherited).

@@ -1,0 +1,71 @@
+package namespace
+
+import (
+	"mantle/internal/sim"
+)
+
+// Lazy ancestor counter propagation.
+//
+// RecordOp used to charge every ancestor's decay counters inline, making
+// each metadata operation O(path depth). The hot path now appends one record
+// to a namespace-wide log and the fold into ancestor counters happens in one
+// batch the next time any directory counter is read (a snapshot, a heartbeat
+// AuthLoad, or a structural mutation that changes parent chains).
+//
+// Replay preserves bit-identical counter values: records are applied in
+// arrival order — the exact order the eager walk would have used — and each
+// record performs the same DecayCounter.Hit calls on the same counters, so
+// every float operation sequence is unchanged, only deferred.
+
+// DisableLazyCounters reverts new namespaces to the eager ancestor walk in
+// RecordOp. It exists as a proof toggle: equivalence tests and the
+// NamespaceScale benchmarks run both modes and compare.
+var DisableLazyCounters bool
+
+// DisableResolveCache reverts new namespaces to uncached path resolution,
+// the matching proof toggle for the dentry-path cache.
+var DisableResolveCache bool
+
+// DisableHotPathCaches reverts new namespaces to walk-based EffectiveAuth
+// and FrozenFor and uncached Path reconstruction — the remaining per-op
+// ancestor walks the scale pass memoised.
+var DisableHotPathCaches bool
+
+// DisableNodeArena reverts new namespaces to one heap allocation per file
+// node instead of slab allocation.
+var DisableNodeArena bool
+
+// hitRec is one deferred RecordOp charge against dir and all its ancestors.
+type hitRec struct {
+	dir  *Node
+	kind OpKind
+	at   sim.Time
+}
+
+// logHit defers one ancestor-chain charge.
+func (ns *Namespace) logHit(dir *Node, k OpKind, now sim.Time) {
+	ns.pendingHits = append(ns.pendingHits, hitRec{dir: dir, kind: k, at: now})
+}
+
+// FlushCounters folds every deferred hit into the directory counters along
+// each record's ancestor chain, in arrival order. It is invoked
+// automatically before any directory counter is read and before structural
+// mutations (rename, unlink) that would change an ancestor chain; calling it
+// at any other point is harmless.
+func (ns *Namespace) FlushCounters() {
+	if len(ns.pendingHits) == 0 {
+		return
+	}
+	recs := ns.pendingHits
+	ns.pendingHits = ns.pendingHits[:0]
+	for i := range recs {
+		r := &recs[i]
+		for cur := r.dir; cur != nil; cur = cur.parent {
+			cur.counters.Hit(r.kind, r.at)
+		}
+		recs[i].dir = nil // release the node for GC once folded
+	}
+}
+
+// PendingHits reports the number of un-folded RecordOp charges (test hook).
+func (ns *Namespace) PendingHits() int { return len(ns.pendingHits) }

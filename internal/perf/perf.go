@@ -56,6 +56,14 @@ func Benchmarks() []Bench {
 		{"LuaInterpreter", benchLuaInterpreter},
 		{"Table2MantleHooks", benchTable2MantleHooks},
 		{"MDSCreateThroughput", benchMDSCreateThroughput},
+		{"NSRecordOpDeep", benchNSRecordOpDeep},
+		{"NSRecordOpDeepEager", benchNSRecordOpDeepEager},
+		{"NSResolveSteady", benchNSResolveSteady},
+		{"NSResolveSteadyUncached", benchNSResolveSteadyUncached},
+		{"NSCreateStorm1M", benchNSCreateStorm1M},
+		{"NSCreateStorm1MEager", benchNSCreateStorm1MEager},
+		{"NSHeartbeat16Rank", benchNSHeartbeat16Rank},
+		{"NSHeartbeat16RankX4", benchNSHeartbeat16RankX4},
 	}
 }
 
@@ -196,6 +204,53 @@ func benchMDSCreateThroughput(b *testing.B) {
 		totalOps += uint64(res.TotalOps)
 	}
 	b.ReportMetric(float64(totalOps)/float64(b.N), "simops/op")
+}
+
+// Regression flags one benchmark whose ns/op moved past the tolerance.
+type Regression struct {
+	Name       string
+	BaselineNs float64
+	CurrentNs  float64
+	Ratio      float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.0f -> %.0f ns/op (%.2fx, tolerance exceeded)",
+		r.Name, r.BaselineNs, r.CurrentNs, r.Ratio)
+}
+
+// CompareReports returns every benchmark present in both reports whose
+// current ns_per_op exceeds baseline*(1+tolerance). Benchmarks missing from
+// either side are skipped: adding a benchmark must not fail the gate, and a
+// renamed one shows up on the next baseline refresh.
+func CompareReports(baseline, current Report, tolerance float64) []Regression {
+	idx := map[string]Result{}
+	for _, r := range baseline.Benchmarks {
+		idx[r.Name] = r
+	}
+	var out []Regression
+	for _, c := range current.Benchmarks {
+		b, ok := idx[c.Name]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		if c.NsPerOp > b.NsPerOp*(1+tolerance) {
+			out = append(out, Regression{
+				Name:       c.Name,
+				BaselineNs: b.NsPerOp,
+				CurrentNs:  c.NsPerOp,
+				Ratio:      c.NsPerOp / b.NsPerOp,
+			})
+		}
+	}
+	return out
+}
+
+// ReadReport parses a BENCH_<label>.json document.
+func ReadReport(r io.Reader) (Report, error) {
+	var rep Report
+	err := json.NewDecoder(r).Decode(&rep)
+	return rep, err
 }
 
 // Diff renders a human-readable before/after comparison (used by tests and

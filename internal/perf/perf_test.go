@@ -1,0 +1,47 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+)
+
+// Standard-benchmark wrappers so `go test -bench` (and CI's bench-smoke job)
+// exercises the NamespaceScale family without going through RunAll.
+func BenchmarkNSRecordOpDeep(b *testing.B)          { benchNSRecordOpDeep(b) }
+func BenchmarkNSRecordOpDeepEager(b *testing.B)     { benchNSRecordOpDeepEager(b) }
+func BenchmarkNSResolveSteady(b *testing.B)         { benchNSResolveSteady(b) }
+func BenchmarkNSResolveSteadyUncached(b *testing.B) { benchNSResolveSteadyUncached(b) }
+func BenchmarkNSCreateStorm1M(b *testing.B)         { benchNSCreateStorm1M(b) }
+func BenchmarkNSCreateStorm1MEager(b *testing.B)    { benchNSCreateStorm1MEager(b) }
+func BenchmarkNSHeartbeat16Rank(b *testing.B)       { benchNSHeartbeat16Rank(b) }
+func BenchmarkNSHeartbeat16RankX4(b *testing.B)     { benchNSHeartbeat16RankX4(b) }
+
+func report(pairs map[string]float64) Report {
+	var r Report
+	for name, ns := range pairs {
+		r.Benchmarks = append(r.Benchmarks, Result{Name: name, NsPerOp: ns})
+	}
+	return r
+}
+
+func TestCompareReports(t *testing.T) {
+	base := report(map[string]float64{"A": 100, "B": 200, "Gone": 50})
+	cur := report(map[string]float64{"A": 124, "B": 300, "New": 999})
+	regs := CompareReports(base, cur, 0.25)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v, want exactly B", regs)
+	}
+	if regs[0].Name != "B" || regs[0].Ratio != 1.5 {
+		t.Fatalf("regression = %+v", regs[0])
+	}
+	if !strings.Contains(regs[0].String(), "B: 200 -> 300") {
+		t.Fatalf("rendering = %q", regs[0].String())
+	}
+	if regs := CompareReports(base, cur, 0.6); len(regs) != 0 {
+		t.Fatalf("tolerant compare flagged %v", regs)
+	}
+	// A zero/absent baseline must never divide or flag.
+	if regs := CompareReports(report(map[string]float64{"A": 0}), cur, 0.25); len(regs) != 0 {
+		t.Fatalf("zero baseline flagged %v", regs)
+	}
+}
