@@ -1,0 +1,125 @@
+// Command mantle-serve runs the live serving runtime: a concurrent MDS
+// cluster (one actor goroutine per rank) under open-loop load on the wall
+// clock, with the same Lua-programmable balancing the simulator exercises.
+// It prints a latency/throughput/balancing summary and can enforce a p99
+// SLO via exit code.
+//
+// Exit codes: 0 ok; 1 SLO violated; 2 usage/config error; 3 wedged drain or
+// namespace invariant violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mantle/internal/balancer"
+	"mantle/internal/core"
+	"mantle/internal/live"
+	"mantle/internal/namespace"
+	"mantle/internal/sim"
+	"mantle/internal/workload"
+)
+
+func main() {
+	ranks := flag.Int("ranks", 3, "number of MDS ranks")
+	clients := flag.Int("clients", 16, "client identities load is spread across")
+	rate := flag.Float64("rate", 5000, "aggregate open-loop arrival rate (ops/s)")
+	duration := flag.Duration("duration", 10*time.Second, "load duration")
+	policy := flag.String("policy", "greedy_spill", "balancer policy: builtin name or path to a .lua file")
+	sloP99 := flag.Float64("slo-p99", 0, "p99 latency SLO in milliseconds (0 = no SLO)")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	wl := flag.String("workload", "zipf", "workload: zipf | compile")
+	dirs := flag.Int("dirs", 64, "zipf working-set directories")
+	zipfS := flag.Float64("zipf-s", 1.1, "zipf skew (>1)")
+	writeRatio := flag.Float64("write-ratio", 0.8, "fraction of ops that are creates (zipf)")
+	hb := flag.Duration("hb-interval", time.Second, "heartbeat/balance interval")
+	queue := flag.Int("queue", 256, "per-rank request mailbox depth (shed past it)")
+	admit := flag.Int("admit", 128, "MDS queue admission bound")
+	netLat := flag.Duration("net-latency", 150*time.Microsecond, "one-way message latency")
+	netJit := flag.Duration("net-jitter", 30*time.Microsecond, "message latency jitter (+/-)")
+	opTimeout := flag.Duration("op-timeout", 5*time.Second, "abandon an unanswered op after this long")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "shutdown quiesce bound")
+	flag.Parse()
+
+	p, err := pickPolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if rep := core.Validate(p); !rep.OK() {
+		fmt.Fprintf(os.Stderr, "refusing to inject unsafe policy:\n%s", rep)
+		os.Exit(2)
+	}
+
+	cfg := live.DefaultConfig(*ranks, *seed)
+	cfg.Factory = func(namespace.Rank) (balancer.Balancer, error) {
+		return core.NewLuaBalancer(p, core.Options{})
+	}
+	if *hb > 0 {
+		cfg.MDS.HeartbeatInterval = sim.Time(hb.Microseconds())
+		cfg.MDS.RebalanceDelay = cfg.MDS.HeartbeatInterval / 10
+	}
+	cfg.MailboxDepth = *queue
+	cfg.AdmitQueue = *admit
+	cfg.Net.Latency = sim.Time(netLat.Microseconds())
+	cfg.Net.Jitter = sim.Time(netJit.Microseconds())
+	cfg.DrainTimeout = *drainTimeout
+	cfg.Load = live.LoadConfig{
+		Clients:    *clients,
+		Rate:       *rate,
+		Duration:   *duration,
+		Workload:   *wl,
+		Dirs:       *dirs,
+		ZipfS:      *zipfS,
+		WriteRatio: *writeRatio,
+		OpTimeout:  *opTimeout,
+		Seed:       *seed,
+	}
+	if *wl == "compile" {
+		cfg.Load.Compile = workload.CompileConfig{Root: "/build", Seed: *seed}
+	}
+
+	rt, err := live.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Printf("mantle-serve: %d ranks, policy %s, %v @ %.0f op/s (%s workload)\n",
+		*ranks, p.Name, *duration, *rate, *wl)
+	rep, runErr := rt.Run()
+	if rep != nil {
+		rep.Write(os.Stdout)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, runErr)
+		os.Exit(3)
+	}
+	if *sloP99 > 0 {
+		if rep.P99 > *sloP99 {
+			fmt.Printf("SLO: p99 %.3fms > %.3fms — VIOLATED\n", rep.P99, *sloP99)
+			os.Exit(1)
+		}
+		fmt.Printf("SLO: p99 %.3fms <= %.3fms — ok\n", rep.P99, *sloP99)
+	}
+}
+
+// pickPolicy resolves a builtin policy name or a .lua file path.
+func pickPolicy(nameOrPath string) (core.Policy, error) {
+	if strings.ContainsAny(nameOrPath, "/.") {
+		data, err := os.ReadFile(nameOrPath)
+		if err != nil {
+			return core.Policy{}, err
+		}
+		base := strings.TrimSuffix(filepath.Base(nameOrPath), filepath.Ext(nameOrPath))
+		return core.ParsePolicyFile(base, string(data))
+	}
+	p, ok := core.Policies()[nameOrPath]
+	if !ok {
+		return core.Policy{}, fmt.Errorf("unknown policy %q (have: %s)", nameOrPath, strings.Join(core.PolicyNames(), ", "))
+	}
+	return p, nil
+}

@@ -2,6 +2,7 @@ package balancer
 
 import (
 	"fmt"
+	"sync"
 
 	"mantle/internal/namespace"
 )
@@ -16,10 +17,20 @@ import (
 // every version on the stack has failed, the base version's error surfaces to
 // the caller exactly as an unwrapped balancer's would, so existing
 // policy-error accounting still applies.
+//
+// The demote/retry machinery is guarded by an internal mutex so live-mode
+// heartbeats evaluating hooks from concurrent rank actors cannot race a
+// Push or each other; in the single-threaded simulation the uncontended
+// lock changes nothing. The wrapped versions themselves are still invoked
+// under the lock, serialising hook evaluation per Versioned instance — each
+// rank owns its own instance, so ranks never serialise against each other.
+// OnDemote likewise fires under the lock and must not call back in.
 type Versioned struct {
+	mu    sync.Mutex
 	stack []Balancer // stack[len-1] is active; stack[0] is the base
 
 	// Demotions counts versions demoted over the Versioned's lifetime.
+	// Read it only from the owning rank's context (or after quiescing).
 	Demotions uint64
 	// OnDemote, if set, observes each demotion as it happens.
 	OnDemote func(d Demotion)
@@ -49,34 +60,49 @@ func (v *Versioned) Push(b Balancer) {
 	if b == nil {
 		panic("balancer: nil balancer version")
 	}
+	v.mu.Lock()
 	v.stack = append(v.stack, b)
+	v.mu.Unlock()
 }
 
 // Active reports the version currently in charge.
-func (v *Versioned) Active() Balancer { return v.stack[len(v.stack)-1] }
+func (v *Versioned) Active() Balancer {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.active()
+}
+
+// active is Active without the lock, for use under it.
+func (v *Versioned) active() Balancer { return v.stack[len(v.stack)-1] }
 
 // Versions reports the stack depth.
-func (v *Versioned) Versions() int { return len(v.stack) }
+func (v *Versioned) Versions() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.stack)
+}
 
 // DrainDemotions returns the demotions since the last drain. The MDS drains
 // once per heartbeat into its flight record and counters.
 func (v *Versioned) DrainDemotions() []Demotion {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	out := v.events
 	v.events = nil
 	return out
 }
 
-// demote pops the failing active version and reinstates the previous one.
-// It reports false when there is nothing left to fall back to (the base
-// version itself failed); the base stays installed so a transient failure
-// does not leave the MDS with no policy at all.
+// demote pops the failing active version and reinstates the previous one;
+// the caller must hold v.mu. It reports false when there is nothing left to
+// fall back to (the base version itself failed); the base stays installed so
+// a transient failure does not leave the MDS with no policy at all.
 func (v *Versioned) demote(reason error) bool {
 	if len(v.stack) == 1 {
 		return false
 	}
 	from := v.stack[len(v.stack)-1]
 	v.stack = v.stack[:len(v.stack)-1]
-	d := Demotion{From: from.Name(), To: v.Active().Name(), Reason: reason.Error()}
+	d := Demotion{From: from.Name(), To: v.active().Name(), Reason: reason.Error()}
 	v.Demotions++
 	v.events = append(v.events, d)
 	if v.OnDemote != nil {
@@ -90,8 +116,10 @@ func (v *Versioned) Name() string { return v.Active().Name() }
 
 // MetaLoad applies the active version, demoting and retrying on error.
 func (v *Versioned) MetaLoad(d namespace.CounterSnapshot) (float64, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	for {
-		load, err := v.Active().MetaLoad(d)
+		load, err := v.active().MetaLoad(d)
 		if err == nil {
 			return load, nil
 		}
@@ -103,8 +131,10 @@ func (v *Versioned) MetaLoad(d namespace.CounterSnapshot) (float64, error) {
 
 // MDSLoad applies the active version, demoting and retrying on error.
 func (v *Versioned) MDSLoad(rank namespace.Rank, e *Env) (float64, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	for {
-		load, err := v.Active().MDSLoad(rank, e)
+		load, err := v.active().MDSLoad(rank, e)
 		if err == nil {
 			return load, nil
 		}
@@ -116,8 +146,10 @@ func (v *Versioned) MDSLoad(rank namespace.Rank, e *Env) (float64, error) {
 
 // When applies the active version, demoting and retrying on error.
 func (v *Versioned) When(e *Env) (bool, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	for {
-		ok, err := v.Active().When(e)
+		ok, err := v.active().When(e)
 		if err == nil {
 			return ok, nil
 		}
@@ -134,8 +166,10 @@ func (v *Versioned) When(e *Env) (bool, error) {
 // would against an unwrapped balancer — so wrapping a single trusted version
 // never changes a run.
 func (v *Versioned) Where(e *Env) (Targets, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	for {
-		t, err := v.Active().Where(e)
+		t, err := v.active().Where(e)
 		if err == nil && len(v.stack) > 1 {
 			err = sanityCheck(t, e)
 		}
@@ -150,8 +184,10 @@ func (v *Versioned) Where(e *Env) (Targets, error) {
 
 // HowMuch applies the active version, demoting and retrying on error.
 func (v *Versioned) HowMuch(e *Env) ([]string, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	for {
-		sel, err := v.Active().HowMuch(e)
+		sel, err := v.active().HowMuch(e)
 		if err == nil {
 			return sel, nil
 		}

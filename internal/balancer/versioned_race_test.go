@@ -1,0 +1,111 @@
+package balancer
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"mantle/internal/namespace"
+)
+
+// TestVersionedConcurrentDemoteRetry hammers every hook from parallel
+// goroutines while other goroutines push failing versions and drain
+// demotions — the shape of live-mode heartbeats racing a policy injection.
+// Run with -race; correctness assertions are at the end: every pushed bad
+// version must have been demoted exactly once, the base must survive, and
+// no hook may ever have surfaced an error (the base never fails).
+func TestVersionedConcurrentDemoteRetry(t *testing.T) {
+	base := &fakeBal{name: "base", when: true, targets: Targets{1: 1}}
+	v := NewVersioned(base)
+
+	const (
+		evaluators = 8
+		evalIters  = 200
+		pushes     = 50
+	)
+	boom := errors.New("injected version failure")
+	e := func() *Env {
+		return &Env{WhoAmI: 0, MDSs: []MDSMetrics{{Load: 10}, {Load: 0}}, Total: 10}
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, evaluators*evalIters)
+
+	// Evaluators: full hook cycles, as concurrent heartbeats would run them.
+	for g := 0; g < evaluators; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < evalIters; i++ {
+				env := e()
+				if _, err := v.MetaLoad(namespace.CounterSnapshot{}); err != nil {
+					errCh <- err
+				}
+				if _, err := v.MDSLoad(0, env); err != nil {
+					errCh <- err
+				}
+				if _, err := v.When(env); err != nil {
+					errCh <- err
+				}
+				if _, err := v.Where(env); err != nil {
+					errCh <- err
+				}
+				if _, err := v.HowMuch(env); err != nil {
+					errCh <- err
+				}
+				_ = v.Name()
+				_ = v.Versions()
+			}
+		}()
+	}
+
+	// Injector: keeps pushing versions that fail on first evaluation.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < pushes; i++ {
+			v.Push(&fakeBal{name: "bad", err: boom})
+		}
+	}()
+
+	// Drainer: races DrainDemotions against demotions in progress.
+	var drained []Demotion
+	var drainMu sync.Mutex
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < evalIters; i++ {
+			ds := v.DrainDemotions()
+			drainMu.Lock()
+			drained = append(drained, ds...)
+			drainMu.Unlock()
+		}
+	}()
+
+	wg.Wait()
+	// Bad versions pushed after the last evaluator finished are still on the
+	// stack; one more evaluation demotes through all of them in one retry loop.
+	if _, err := v.When(e()); err != nil {
+		t.Fatalf("final When: %v", err)
+	}
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("hook surfaced an error despite a healthy base: %v", err)
+	}
+
+	drained = append(drained, v.DrainDemotions()...)
+	if v.Versions() != 1 || v.Active() != base {
+		t.Fatalf("expected only the base to survive, have %d versions", v.Versions())
+	}
+	if int(v.Demotions) != pushes {
+		t.Fatalf("Demotions = %d, want %d (one per pushed bad version)", v.Demotions, pushes)
+	}
+	if len(drained) != pushes {
+		t.Fatalf("drained %d demotion events, want %d", len(drained), pushes)
+	}
+	for _, d := range drained {
+		if d.From != "bad" {
+			t.Fatalf("unexpected demotion of %q", d.From)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package live
+
+import "sync"
+
+// actor is the goroutine owning one MDS rank. All MDS state transitions for
+// the rank — message handling, timer callbacks, crash/recover — execute as
+// closures drained by loop(), so the MDS keeps the single-writer discipline
+// it has in the simulator without growing any internal locking. Closures run
+// under the runtime's global state lock because the namespace (and nothing
+// else) is shared between ranks.
+//
+// Work arrives on two lanes:
+//   - ctrl: unbounded, for timer callbacks, peer/migration messages and
+//     control operations. These must never be refused — dropping a service
+//     completion or an export ack would wedge the rank.
+//   - reqs: bounded client requests. offer() refuses work past the bound and
+//     the transport sheds (ErrOverloaded), which is the backpressure surface.
+//
+// The loop only takes from reqs while admit() reports the MDS has queue room,
+// so a saturated rank stops draining its request lane, the lane fills, and
+// subsequent requests shed — bounded memory end to end.
+type actor struct {
+	rt      *Runtime
+	mu      sync.Mutex
+	cond    *sync.Cond
+	ctrl    []func()
+	reqs    []func()
+	maxReqs int
+	stopped bool
+	// admit reports whether the rank's MDS can accept another request. It is
+	// only evaluated on the actor goroutine, which is also the only goroutine
+	// mutating the MDS queue, so it needs no locking of its own.
+	admit func() bool
+}
+
+func newActor(rt *Runtime, maxReqs int) *actor {
+	a := &actor{rt: rt, maxReqs: maxReqs, admit: func() bool { return true }}
+	a.cond = sync.NewCond(&a.mu)
+	return a
+}
+
+// post enqueues fn on the control lane. It never blocks and never refuses,
+// so it is safe to call from timer goroutines, other actors (under the state
+// lock), and the runtime itself. Posts to a stopped actor are dropped when
+// the loop exits; by then the runtime has already drained and collected.
+func (a *actor) post(fn func()) {
+	a.mu.Lock()
+	a.ctrl = append(a.ctrl, fn)
+	a.mu.Unlock()
+	a.cond.Signal()
+}
+
+// offer enqueues fn on the bounded request lane, reporting false when the
+// lane is full or the actor has stopped — the caller sheds the request.
+func (a *actor) offer(fn func()) bool {
+	a.mu.Lock()
+	if a.stopped || len(a.reqs) >= a.maxReqs {
+		a.mu.Unlock()
+		return false
+	}
+	a.reqs = append(a.reqs, fn)
+	a.mu.Unlock()
+	a.cond.Signal()
+	return true
+}
+
+// queued reports the depth of both lanes (drain polling).
+func (a *actor) queued() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.ctrl) + len(a.reqs)
+}
+
+// stop makes loop() return once current lanes are irrelevant. The runtime
+// only calls it after quiescing, so dropping still-enqueued work is safe.
+func (a *actor) stop() {
+	a.mu.Lock()
+	a.stopped = true
+	a.mu.Unlock()
+	a.cond.Broadcast()
+}
+
+// loop drains the mailbox: control work first, then admitted requests. Every
+// closure executes under the runtime state lock.
+func (a *actor) loop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		a.mu.Lock()
+		for !a.stopped && len(a.ctrl) == 0 && !(len(a.reqs) > 0 && a.admit()) {
+			a.cond.Wait()
+		}
+		if a.stopped {
+			a.mu.Unlock()
+			return
+		}
+		var fn func()
+		if len(a.ctrl) > 0 {
+			fn = a.ctrl[0]
+			a.ctrl[0] = nil
+			a.ctrl = a.ctrl[1:]
+		} else {
+			fn = a.reqs[0]
+			a.reqs[0] = nil
+			a.reqs = a.reqs[1:]
+		}
+		a.mu.Unlock()
+		a.rt.stateMu.Lock()
+		fn()
+		a.rt.stateMu.Unlock()
+	}
+}

@@ -1,0 +1,73 @@
+package live
+
+import (
+	"math/rand"
+	"time"
+
+	"mantle/internal/sim"
+)
+
+// rankClock implements sim.Clock on the wall clock for one rank. Timers fire
+// on Go runtime timer goroutines, but every callback is posted to the rank's
+// actor, so MDS code written against sim.Clock keeps its single-threaded
+// execution model: callbacks run on the actor loop under the runtime's state
+// lock, exactly where message handlers run.
+//
+// Cancellation is best-effort (a timer may have fired and posted its callback
+// already). That matches how the MDS uses timers: every timeout callback
+// re-checks its own state map before acting, so a late firing is a no-op.
+type rankClock struct {
+	rt *Runtime
+	a  *actor
+	// rng backs Rand/Jitter. It is only touched from MDS code paths, which
+	// all run under the runtime state lock, so no extra locking is needed.
+	rng *rand.Rand
+}
+
+var _ sim.Clock = (*rankClock)(nil)
+
+// Now reports microseconds of wall time since the runtime was built.
+func (c *rankClock) Now() sim.Time { return c.rt.now() }
+
+// Schedule arms a wall-clock timer that posts fn to the owning actor.
+func (c *rankClock) Schedule(delay sim.Time, fn func()) sim.Event {
+	if fn == nil {
+		panic("live: Schedule with nil callback")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	at := c.rt.now() + delay
+	t := time.AfterFunc(delay.Duration(), func() { c.a.post(fn) })
+	return sim.ExternalEvent(at, &liveTimer{t: t})
+}
+
+// Cancel stops the event's wall-clock timer (best-effort, see type comment).
+func (c *rankClock) Cancel(ev sim.Event) {
+	if ext := ev.External(); ext != nil {
+		ext.CancelTimer()
+	}
+}
+
+// NewTicker builds the shared sim.Ticker on this clock.
+func (c *rankClock) NewTicker(offset, interval sim.Time, fn func()) *sim.Ticker {
+	return sim.NewClockTicker(c, offset, interval, fn)
+}
+
+// Rand exposes the rank's random source.
+func (c *rankClock) Rand() *rand.Rand { return c.rng }
+
+// Jitter mirrors sim.Engine.Jitter on the rank's source.
+func (c *rankClock) Jitter(spread sim.Time) sim.Time {
+	if spread <= 0 {
+		return 0
+	}
+	return sim.Time(c.rng.Int63n(int64(2*spread)+1)) - spread
+}
+
+// liveTimer adapts time.Timer to sim.ExternalTimer.
+type liveTimer struct{ t *time.Timer }
+
+// CancelTimer stops the underlying timer; a concurrent firing may already
+// have posted its callback (best-effort contract).
+func (l *liveTimer) CancelTimer() { l.t.Stop() }

@@ -1,0 +1,319 @@
+// Package live is the wall-clock serving runtime: the same MDS mechanism,
+// namespace, balancer and object-store model the simulator runs, executed
+// concurrently — one goroutine-owned actor per rank, a real-time message
+// transport, and an open-loop load generator measuring per-op latency
+// against SLOs.
+//
+// Concurrency model. internal/mds and internal/namespace stay free of
+// internal locking: each rank's MDS only ever executes on its actor
+// goroutine (messages, timer callbacks, crash/recover all arrive as posted
+// closures), and because the namespace is shared cluster state, every actor
+// closure runs under one global state mutex. The lock is uncontended at
+// metadata-service timescales — the actual bookkeeping per op is a few
+// microseconds while modelled service times keep ranks sleeping — and it
+// buys the exact invariant the simulator has: namespace mutations are
+// serialised. Timers (service completions, balancer ticks, migration
+// timeouts) come from a per-rank sim.Clock implementation backed by
+// time.AfterFunc, so MDS code runs unchanged against either clock.
+//
+// Backpressure. Client requests pass through a bounded per-rank mailbox
+// lane; when a rank's MDS queue is full the actor stops draining the lane,
+// the lane fills, and the transport sheds further requests with
+// ErrOverloaded. Control traffic (completions, heartbeats, migration
+// two-phase-commit) uses an unbounded lane and is never refused.
+package live
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"mantle/internal/balancer"
+	"mantle/internal/mds"
+	"mantle/internal/namespace"
+	"mantle/internal/rados"
+	"mantle/internal/sim"
+	"mantle/internal/simnet"
+)
+
+// BalancerFactory builds one policy instance per rank (Lua policies each own
+// a VM, so instances cannot be shared).
+type BalancerFactory func(rank namespace.Rank) (balancer.Balancer, error)
+
+// Config assembles the live runtime.
+type Config struct {
+	// Ranks is the number of MDS daemons.
+	Ranks int
+	// Factory builds the per-rank balancer; each is wrapped in a
+	// balancer.Versioned stack, as the simulated cluster does.
+	Factory BalancerFactory
+	// MDS is the cost model; service times are modelled on the wall clock.
+	MDS mds.Config
+	// Net shapes message delivery latency/jitter.
+	Net simnet.Config
+	// Rados is the object-store model (per-rank instance on the rank clock).
+	Rados rados.Config
+	// HalfLife is the namespace popularity decay half-life.
+	HalfLife sim.Time
+	// MailboxDepth bounds each rank's request lane (shed past it).
+	MailboxDepth int
+	// AdmitQueue stops draining the request lane while the MDS op queue
+	// holds this many requests — the second half of admission control.
+	AdmitQueue int
+	// Seed seeds per-rank RNGs, the transport and the load generator.
+	Seed int64
+	// Load configures the open-loop generator.
+	Load LoadConfig
+	// DrainTimeout bounds the shutdown quiesce (pending ops, migrations).
+	DrainTimeout time.Duration
+}
+
+// DefaultConfig returns a live config mirroring the simulator's calibrated
+// models, with a 1s heartbeat so short wall-clock runs still balance.
+func DefaultConfig(ranks int, seed int64) Config {
+	mcfg := mds.DefaultConfig()
+	mcfg.HeartbeatInterval = 1 * sim.Second
+	mcfg.RebalanceDelay = 100 * sim.Millisecond
+	return Config{
+		Ranks:        ranks,
+		MDS:          mcfg,
+		Net:          simnet.DefaultConfig(),
+		Rados:        rados.DefaultConfig(),
+		HalfLife:     10 * sim.Second,
+		MailboxDepth: 256,
+		AdmitQueue:   128,
+		Seed:         seed,
+		DrainTimeout: 10 * time.Second,
+	}
+}
+
+// Runtime is a wired live deployment.
+type Runtime struct {
+	cfg Config
+
+	// stateMu serialises all shared-state work: every actor closure runs
+	// under it, and runtime-side inspection (drain polling, collection)
+	// takes it too.
+	stateMu sync.Mutex
+
+	startWall time.Time
+	ns        *namespace.Namespace
+	transport *transport
+	actors    []*actor
+	clocks    []*rankClock
+	mdss      []*mds.MDS
+	mdsAddrs  []simnet.Addr
+	gen       *loadgen
+	wg        sync.WaitGroup
+	started   bool
+}
+
+// New wires a runtime: namespace, transport, one actor+clock+MDS per rank,
+// and the load generator. The zipf working set is pre-populated so the first
+// arrivals resolve; all of it lands on rank 0, which is what makes the
+// balancer migrate under load.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Ranks <= 0 {
+		return nil, fmt.Errorf("live: Ranks must be positive")
+	}
+	if cfg.Factory == nil {
+		return nil, fmt.Errorf("live: nil balancer factory")
+	}
+	if cfg.MailboxDepth <= 0 {
+		cfg.MailboxDepth = 256
+	}
+	if cfg.AdmitQueue <= 0 {
+		cfg.AdmitQueue = 128
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 10 * time.Second
+	}
+	if cfg.Load.Rate <= 0 {
+		return nil, fmt.Errorf("live: Load.Rate must be positive")
+	}
+	if cfg.Load.Duration <= 0 {
+		return nil, fmt.Errorf("live: Load.Duration must be positive")
+	}
+	rt := &Runtime{cfg: cfg, startWall: time.Now()}
+	rt.ns = namespace.New(cfg.HalfLife)
+	rt.transport = newTransport(rt, cfg.Net, cfg.Seed^0x74726e73)
+	for r := 0; r < cfg.Ranks; r++ {
+		rt.mdsAddrs = append(rt.mdsAddrs, simnet.Addr(r))
+	}
+	for r := 0; r < cfg.Ranks; r++ {
+		rank := namespace.Rank(r)
+		bal, err := cfg.Factory(rank)
+		if err != nil {
+			return nil, fmt.Errorf("live: balancer for rank %d: %w", r, err)
+		}
+		a := newActor(rt, cfg.MailboxDepth)
+		clk := &rankClock{rt: rt, a: a, rng: newRankRand(cfg.Seed, r)}
+		// Each rank gets its own object-store instance on its clock, so
+		// journal completions post back to the owning actor. Journals are
+		// rank-named, so nothing is shared between the instances.
+		pool := rados.NewCluster(clk, cfg.Rados).Pool("cephfs_metadata")
+		rt.transport.bind(rt.mdsAddrs[r], a)
+		m := mds.New(rank, rt.mdsAddrs[r], clk, rt.transport, rt.ns, pool,
+			cfg.MDS, balancer.NewVersioned(bal), rt.mdsAddrs)
+		limit := cfg.AdmitQueue
+		a.admit = func() bool { return m.QueueLen() < limit }
+		rt.actors = append(rt.actors, a)
+		rt.clocks = append(rt.clocks, clk)
+		rt.mdss = append(rt.mdss, m)
+	}
+	rt.gen = newLoadgen(rt, cfg.Load)
+	if rt.gen.cfg.Workload == "zipf" {
+		for _, p := range zipfDirs(rt.gen.cfg.Dirs) {
+			if _, err := rt.ns.CreatePath(p, true); err != nil {
+				return nil, fmt.Errorf("live: pre-populate: %w", err)
+			}
+		}
+	}
+	return rt, nil
+}
+
+// now is the shared wall-clock origin for every rank clock.
+func (rt *Runtime) now() sim.Time {
+	return sim.Time(time.Since(rt.startWall) / time.Microsecond)
+}
+
+// MDS exposes rank r's daemon (tests; access its state only while the
+// runtime is quiesced or via the rank's actor).
+func (rt *Runtime) MDS(r int) *mds.MDS { return rt.mdss[r] }
+
+// CrashRank kills rank r: the crash executes on the rank's own actor, so it
+// serialises with whatever the rank was doing.
+func (rt *Runtime) CrashRank(r int) {
+	m := rt.mdss[r]
+	rt.actors[r].post(func() { m.Crash() })
+}
+
+// RecoverRank replays rank r's journal and rejoins it; done (optional) fires
+// on the rank's actor once serving resumes.
+func (rt *Runtime) RecoverRank(r int, done func()) {
+	m := rt.mdss[r]
+	rt.actors[r].post(func() { m.Recover(done) })
+}
+
+// Start launches the actors and heartbeat tickers. Run calls it implicitly;
+// it is exposed so tests can inject faults between start and drain.
+func (rt *Runtime) Start() {
+	if rt.started {
+		return
+	}
+	rt.started = true
+	for _, a := range rt.actors {
+		rt.wg.Add(1)
+		go a.loop(&rt.wg)
+	}
+	rt.stateMu.Lock()
+	for _, m := range rt.mdss {
+		m.Start()
+	}
+	rt.stateMu.Unlock()
+}
+
+// Run starts everything, generates load for the configured duration, drains,
+// and reports. The error is non-nil only for invariant violations or a
+// wedged drain — operational outcomes (sheds, SLO misses) are in the Report.
+func (rt *Runtime) Run() (*Report, error) {
+	rt.Start()
+	go rt.gen.run()
+
+	// Reaper: expire abandoned ops while load runs.
+	reaperStop := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-reaperStop:
+				return
+			case now := <-tick.C:
+				rt.gen.reap(now)
+			}
+		}
+	}()
+
+	<-rt.gen.done
+	rep, err := rt.drain()
+	close(reaperStop)
+	return rep, err
+}
+
+// drain quiesces the cluster: wait out in-flight ops, stop periodic work,
+// wait out in-flight migrations, stop the actors, then collect and verify.
+func (rt *Runtime) drain() (*Report, error) {
+	deadline := time.Now().Add(rt.cfg.DrainTimeout)
+
+	// Phase 1: let in-flight client ops finish (the reaper and this loop's
+	// reap calls expire ops pointed at dead ranks).
+	for time.Now().Before(deadline) && rt.gen.pendingCount() > 0 {
+		rt.gen.reap(time.Now())
+		time.Sleep(5 * time.Millisecond)
+	}
+	rt.gen.flushPending()
+
+	// Phase 2: stop periodic balancing, then wait for migrations mid
+	// two-phase-commit to commit or time out.
+	rt.stateMu.Lock()
+	for _, m := range rt.mdss {
+		m.Stop()
+	}
+	rt.stateMu.Unlock()
+	wedged := 0
+	for {
+		rt.stateMu.Lock()
+		inflight := 0
+		for _, m := range rt.mdss {
+			inflight += m.ExportsInFlight() + m.ImportsInFlight()
+		}
+		rt.stateMu.Unlock()
+		if inflight == 0 {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			wedged = inflight
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Phase 3: wait for mailboxes to go quiet (timer callbacks already
+	// posted still run), then stop the actors.
+	for time.Now().Before(deadline) {
+		quiet := 0
+		for _, a := range rt.actors {
+			quiet += a.queued()
+		}
+		if quiet == 0 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for _, a := range rt.actors {
+		a.stop()
+	}
+	rt.wg.Wait()
+
+	rep := rt.collect(wedged)
+	var err error
+	if wedged > 0 {
+		err = fmt.Errorf("live: drain left %d migrations in flight", wedged)
+	}
+	rt.stateMu.Lock()
+	if ierr := rt.ns.CheckInvariants(rt.cfg.Ranks, false); ierr != nil {
+		rep.InvariantViolation = ierr.Error()
+		if err == nil {
+			err = fmt.Errorf("live: namespace invariants violated after drain: %w", ierr)
+		}
+	}
+	rt.stateMu.Unlock()
+	return rep, err
+}
+
+// newRankRand derives a per-rank random source.
+func newRankRand(seed int64, rank int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(rank)*0x9e3779b9))
+}

@@ -1,0 +1,349 @@
+package live
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mantle/internal/mds"
+	"mantle/internal/namespace"
+	"mantle/internal/simnet"
+	"mantle/internal/telemetry"
+	"mantle/internal/workload"
+)
+
+// clientAddrBase offsets load-generator addresses above MDS ranks, matching
+// the simulated cluster's address plan.
+const clientAddrBase = simnet.Addr(1 << 16)
+
+// LoadConfig drives the open-loop generator.
+type LoadConfig struct {
+	// Clients is how many client identities requests are spread across
+	// (distinct reply addresses and MDS sessions).
+	Clients int
+	// Rate is the aggregate arrival rate in ops/second. Open loop: arrivals
+	// do not wait for completions, so overload manifests as queueing and
+	// sheds rather than a slowed generator.
+	Rate float64
+	// Duration is how long arrivals keep coming.
+	Duration time.Duration
+	// Workload picks the op source: "zipf" (hotspot synthetic) or "compile"
+	// (the workload.Compile phase stream replayed at Rate).
+	Workload string
+	// Dirs is the zipf working-set size (directories under /load).
+	Dirs int
+	// ZipfS is the zipf skew parameter (>1; higher = hotter hotspot).
+	ZipfS float64
+	// WriteRatio is the fraction of ops that are creates; the rest are
+	// getattrs on the directory (zipf workload only).
+	WriteRatio float64
+	// Compile configures the compile replay when Workload == "compile".
+	Compile workload.CompileConfig
+	// OpTimeout abandons a request whose reply never arrives (crashed rank,
+	// lost message) so the pending set cannot leak.
+	OpTimeout time.Duration
+	// Seed seeds the generator's private RNG.
+	Seed int64
+}
+
+func (c *LoadConfig) setDefaults() {
+	if c.Clients <= 0 {
+		c.Clients = 16
+	}
+	if c.Workload == "" {
+		c.Workload = "zipf"
+	}
+	if c.Dirs <= 0 {
+		c.Dirs = 64
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.1
+	}
+	if c.WriteRatio <= 0 || c.WriteRatio > 1 {
+		c.WriteRatio = 0.8
+	}
+	if c.OpTimeout <= 0 {
+		c.OpTimeout = 5 * time.Second
+	}
+}
+
+// pendingOp tracks one in-flight request. Latency is measured from the op's
+// scheduled arrival time, not the instant the dispatcher got around to
+// sending it, so dispatcher scheduling hiccups surface as latency instead of
+// being silently absorbed (coordinated-omission correction).
+type pendingOp struct {
+	scheduled time.Time
+}
+
+// loadgen issues the open-loop stream and collects per-op latency. Replies
+// arrive on transport delivery goroutines, so all mutable state is behind
+// lg.mu or atomic; latency goes to a sharded histogram.
+type loadgen struct {
+	rt    *Runtime
+	cfg   LoadConfig
+	addrs []simnet.Addr
+	rtr   *router
+
+	mu      sync.Mutex
+	pending map[uint64]pendingOp
+
+	nextID atomic.Uint64
+
+	lat       *telemetry.ShardedHistogram
+	issued    atomic.Uint64
+	completed atomic.Uint64
+	errors    atomic.Uint64
+	shedSeen  atomic.Uint64
+	timeouts  atomic.Uint64
+	flushes   atomic.Uint64
+	forwards  atomic.Uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newLoadgen(rt *Runtime, cfg LoadConfig) *loadgen {
+	cfg.setDefaults()
+	lg := &loadgen{
+		rt:      rt,
+		cfg:     cfg,
+		rtr:     newRouter(rt.cfg.Ranks),
+		pending: map[uint64]pendingOp{},
+		lat:     &telemetry.ShardedHistogram{},
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for i := 0; i < cfg.Clients; i++ {
+		addr := clientAddrBase + simnet.Addr(i)
+		lg.addrs = append(lg.addrs, addr)
+		rt.transport.Register(addr, lg)
+	}
+	return lg
+}
+
+// HandleMessage implements simnet.Handler; invoked on delivery goroutines.
+func (lg *loadgen) HandleMessage(from simnet.Addr, msg simnet.Message) {
+	switch v := msg.(type) {
+	case *mds.Reply:
+		lg.mu.Lock()
+		p, ok := lg.pending[v.ReqID]
+		if ok {
+			delete(lg.pending, v.ReqID)
+		}
+		lg.mu.Unlock()
+		if !ok {
+			return // already reaped as a timeout
+		}
+		for _, h := range v.Hints {
+			lg.rtr.learn(h)
+		}
+		switch {
+		case IsOverloaded(v.Err):
+			lg.shedSeen.Add(1)
+		case v.Err != "":
+			lg.errors.Add(1)
+		default:
+			lg.completed.Add(1)
+			if v.Forwards > 0 {
+				lg.forwards.Add(uint64(v.Forwards))
+			}
+			lg.lat.Observe(float64(time.Since(p.scheduled)) / float64(time.Microsecond))
+		}
+	case *mds.SessionFlush:
+		lg.flushes.Add(1)
+	}
+}
+
+// run dispatches arrivals until Duration elapses (or the op source dries
+// up), then closes done. The loop wakes every millisecond and issues every
+// op whose scheduled arrival has passed, stamping each with its schedule.
+func (lg *loadgen) run() {
+	defer close(lg.done)
+	next := lg.opSource()
+	start := time.Now()
+	total := int(lg.cfg.Rate * lg.cfg.Duration.Seconds())
+	perOp := time.Duration(float64(time.Second) / lg.cfg.Rate)
+	n := 0
+	for n < total {
+		select {
+		case <-lg.stop:
+			return
+		default:
+		}
+		target := int(float64(time.Since(start)) / float64(perOp))
+		if target > total {
+			target = total
+		}
+		for n < target {
+			op, ok := next()
+			if !ok {
+				return
+			}
+			lg.issue(op, start.Add(time.Duration(n)*perOp))
+			n++
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// issue routes and sends one request.
+func (lg *loadgen) issue(op workload.Op, scheduled time.Time) {
+	id := lg.nextID.Add(1)
+	addr := lg.addrs[int(id)%len(lg.addrs)]
+	rank := lg.rtr.route(op)
+	req := &mds.Request{
+		ID:      id,
+		Client:  addr,
+		Op:      op.Type,
+		Path:    op.Path,
+		DstPath: op.DstPath,
+	}
+	lg.mu.Lock()
+	lg.pending[id] = pendingOp{scheduled: scheduled}
+	lg.mu.Unlock()
+	lg.issued.Add(1)
+	lg.rt.transport.Send(addr, lg.rt.mdsAddrs[rank], req)
+}
+
+// reap abandons pending ops older than OpTimeout. Called periodically and
+// during drain.
+func (lg *loadgen) reap(now time.Time) {
+	lg.mu.Lock()
+	for id, p := range lg.pending {
+		if now.Sub(p.scheduled) > lg.cfg.OpTimeout {
+			delete(lg.pending, id)
+			lg.timeouts.Add(1)
+		}
+	}
+	lg.mu.Unlock()
+}
+
+// pendingCount reports in-flight ops.
+func (lg *loadgen) pendingCount() int {
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	return len(lg.pending)
+}
+
+// flushPending force-expires everything still in flight (drain deadline).
+func (lg *loadgen) flushPending() {
+	lg.mu.Lock()
+	n := len(lg.pending)
+	lg.pending = map[uint64]pendingOp{}
+	lg.mu.Unlock()
+	lg.timeouts.Add(uint64(n))
+}
+
+// opSource builds the op stream. The returned function is only called from
+// the dispatcher goroutine, so the RNG needs no locking.
+func (lg *loadgen) opSource() func() (workload.Op, bool) {
+	if lg.cfg.Workload == "compile" {
+		gen := workload.Compile(lg.cfg.Compile)
+		return gen.Next
+	}
+	rng := rand.New(rand.NewSource(lg.cfg.Seed))
+	zipf := rand.NewZipf(rng, lg.cfg.ZipfS, 1, uint64(lg.cfg.Dirs-1))
+	seq := 0
+	return func() (workload.Op, bool) {
+		d := zipf.Uint64()
+		seq++
+		if rng.Float64() < lg.cfg.WriteRatio {
+			return workload.Op{Type: mds.OpCreate, Path: fmt.Sprintf("/load/d%03d/f%08d", d, seq)}, true
+		}
+		return workload.Op{Type: mds.OpGetattr, Path: fmt.Sprintf("/load/d%03d", d)}, true
+	}
+}
+
+// zipfDirs lists the directories the zipf workload touches (pre-populated by
+// the runtime so getattrs resolve from the first op).
+func zipfDirs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("/load/d%03d", i)
+	}
+	return out
+}
+
+// router is the shared routing cache: the live analogue of the simulated
+// client's hint learning (same longest-prefix and fragment-map rules), made
+// goroutine-safe because replies land on concurrent delivery goroutines
+// while the dispatcher routes.
+type router struct {
+	mu       sync.Mutex
+	numRanks int
+	subtree  map[string]namespace.Rank
+	frags    map[string][]mds.FragHint
+}
+
+func newRouter(numRanks int) *router {
+	return &router{
+		numRanks: numRanks,
+		subtree:  map[string]namespace.Rank{"/": 0},
+		frags:    map[string][]mds.FragHint{},
+	}
+}
+
+// splitPath returns (parentDir, name) for a path; the root has name "".
+func splitPath(p string) (string, string) {
+	if p == "/" || p == "" {
+		return "/", ""
+	}
+	p = strings.TrimRight(p, "/")
+	i := strings.LastIndexByte(p, '/')
+	if i <= 0 {
+		return "/", p[i+1:]
+	}
+	return p[:i], p[i+1:]
+}
+
+// route picks the MDS rank for an op: fragment hints for the parent first,
+// then longest-prefix subtree match.
+func (r *router) route(op workload.Op) namespace.Rank {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	dir, name := splitPath(op.Path)
+	if name != "" {
+		if fh := r.frags[dir]; len(fh) > 0 {
+			h := namespace.HashName(name)
+			for _, f := range fh {
+				if f.Frag.Contains(h) {
+					return r.clamp(f.Rank)
+				}
+			}
+		}
+	}
+	best := ""
+	rank := namespace.Rank(0)
+	for k, rk := range r.subtree {
+		if k != "/" && op.Path != k && !strings.HasPrefix(op.Path, k+"/") {
+			continue
+		}
+		if len(k) > len(best) || best == "" {
+			best = k
+			rank = rk
+		}
+	}
+	return r.clamp(rank)
+}
+
+func (r *router) clamp(rk namespace.Rank) namespace.Rank {
+	if int(rk) >= r.numRanks || rk < 0 {
+		return 0
+	}
+	return rk
+}
+
+// learn folds a reply hint into the cache.
+func (r *router) learn(h mds.Hint) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(h.Frags) > 0 {
+		r.frags[h.DirPath] = h.Frags
+	} else {
+		delete(r.frags, h.DirPath)
+	}
+	r.subtree[h.DirPath] = h.Rank
+}

@@ -1,0 +1,129 @@
+package live
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"time"
+
+	"mantle/internal/mds"
+	"mantle/internal/telemetry"
+)
+
+// Report summarises one live run.
+type Report struct {
+	// Duration is the configured load duration (arrival window).
+	Duration time.Duration
+
+	// Issued counts arrivals dispatched; Completed, ops answered
+	// successfully; Errors, ops answered with a non-shed failure; Sheds,
+	// requests refused by admission control; Timeouts, ops abandoned with
+	// no answer.
+	Issued    uint64
+	Completed uint64
+	Errors    uint64
+	Sheds     uint64
+	Timeouts  uint64
+	// Flushes counts session-flush stalls observed by the generator.
+	Flushes uint64
+	// Forwards counts MDS-to-MDS forwards observed on completed ops.
+	Forwards uint64
+
+	// Throughput is Completed per second of Duration.
+	Throughput float64
+
+	// Latency holds per-op latency in microseconds, measured from each op's
+	// scheduled (open-loop) arrival. P* and Mean are milliseconds.
+	Latency *telemetry.Histogram
+	P50     float64
+	P95     float64
+	P99     float64
+	Mean    float64
+
+	// Balancing activity.
+	Exports         uint64
+	InodesMoved     uint64
+	PolicyErrors    uint64
+	PolicyFallbacks uint64
+	Crashes         uint64
+	Recoveries      uint64
+
+	// PerRank carries each daemon's full counter block.
+	PerRank []mds.Counters
+
+	// Transport totals.
+	Sent        uint64
+	Delivered   uint64
+	DroppedDead uint64
+	DroppedLoss uint64
+
+	// WedgedMigrations is non-zero when drain timed out with two-phase
+	// commits still in flight.
+	WedgedMigrations int
+	// InvariantViolation is the post-drain namespace check failure (""=ok).
+	InvariantViolation string
+}
+
+// collect assembles the report after the actors have stopped.
+func (rt *Runtime) collect(wedged int) *Report {
+	rep := &Report{
+		Duration:         rt.gen.cfg.Duration,
+		Issued:           rt.gen.issued.Load(),
+		Completed:        rt.gen.completed.Load(),
+		Errors:           rt.gen.errors.Load(),
+		Sheds:            rt.transport.Sheds.Load(),
+		Timeouts:         rt.gen.timeouts.Load(),
+		Flushes:          rt.gen.flushes.Load(),
+		Forwards:         rt.gen.forwards.Load(),
+		Sent:             rt.transport.Sent.Load(),
+		Delivered:        rt.transport.Delivered.Load(),
+		DroppedDead:      rt.transport.DroppedDead.Load(),
+		DroppedLoss:      rt.transport.DroppedLoss.Load(),
+		WedgedMigrations: wedged,
+	}
+	rep.Latency = rt.gen.lat.Snapshot()
+	rep.P50 = rep.Latency.Percentile(50) / 1000
+	rep.P95 = rep.Latency.Percentile(95) / 1000
+	rep.P99 = rep.Latency.Percentile(99) / 1000
+	rep.Mean = rep.Latency.Mean() / 1000
+	if s := rep.Duration.Seconds(); s > 0 {
+		rep.Throughput = float64(rep.Completed) / s
+	}
+	rt.stateMu.Lock()
+	for _, m := range rt.mdss {
+		c := m.Counters
+		rep.PerRank = append(rep.PerRank, c)
+		rep.Exports += c.Exports
+		rep.InodesMoved += c.InodesMoved
+		rep.PolicyErrors += c.PolicyErrors
+		rep.PolicyFallbacks += c.PolicyFallbacks
+		rep.Crashes += c.Crashes
+		rep.Recoveries += c.Recoveries
+	}
+	rt.stateMu.Unlock()
+	return rep
+}
+
+// Write renders a human-readable summary.
+func (r *Report) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "duration %v\n", r.Duration)
+	fmt.Fprintf(bw, "issued %d  completed %d (%.1f op/s)  sheds %d  errors %d  timeouts %d\n",
+		r.Issued, r.Completed, r.Throughput, r.Sheds, r.Errors, r.Timeouts)
+	fmt.Fprintf(bw, "latency ms: p50 %.3f  p95 %.3f  p99 %.3f  mean %.3f  (n=%d)\n",
+		r.P50, r.P95, r.P99, r.Mean, r.Latency.N())
+	fmt.Fprintf(bw, "balancing: %d exports, %d inodes moved, %d forwards, %d policy errors, %d fallbacks\n",
+		r.Exports, r.InodesMoved, r.Forwards, r.PolicyErrors, r.PolicyFallbacks)
+	fmt.Fprintf(bw, "transport: %d sent, %d delivered, %d dropped-dead, %d dropped-loss\n",
+		r.Sent, r.Delivered, r.DroppedDead, r.DroppedLoss)
+	if r.Crashes > 0 || r.Recoveries > 0 {
+		fmt.Fprintf(bw, "faults: %d crashes, %d recoveries\n", r.Crashes, r.Recoveries)
+	}
+	if r.WedgedMigrations > 0 {
+		fmt.Fprintf(bw, "WEDGED: %d migrations still in flight after drain\n", r.WedgedMigrations)
+	}
+	if r.InvariantViolation != "" {
+		fmt.Fprintf(bw, "INVARIANT VIOLATION: %s\n", r.InvariantViolation)
+	}
+	return bw.Flush()
+}

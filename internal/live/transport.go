@@ -1,0 +1,202 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mantle/internal/mds"
+	"mantle/internal/sim"
+	"mantle/internal/simnet"
+)
+
+// ErrOverloaded is the admission-control shed: the destination rank's
+// bounded request lane was full, so the transport refused the request and
+// answered the client with this error instead of queuing without bound.
+var ErrOverloaded = errors.New("mds overloaded: request shed")
+
+// IsOverloaded reports whether a reply error string is the shed signal.
+func IsOverloaded(replyErr string) bool { return replyErr == ErrOverloaded.Error() }
+
+// endpoint is one registered address: its handler plus the actor that owns
+// it (nil for load-generator endpoints, whose handlers are goroutine-safe
+// and are invoked directly on the delivery goroutine).
+type endpoint struct {
+	h simnet.Handler
+	a *actor
+}
+
+// transport implements simnet.Transport with real concurrency: sends arm a
+// wall-clock timer for the link latency (plus jitter and fault extras), and
+// delivery posts to the destination's actor. Semantics mirror simnet.Network:
+// duplicate registration panics, sends to unregistered addresses drop at
+// delivery time, and per-link LinkFaults add loss and latency.
+type transport struct {
+	rt  *Runtime
+	cfg simnet.Config
+
+	mu           sync.RWMutex
+	nodes        map[simnet.Addr]*endpoint
+	actors       map[simnet.Addr]*actor // bound before the MDS registers
+	linkFaults   map[[2]simnet.Addr]simnet.LinkFault
+	defaultFault simnet.LinkFault
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	// Counters use atomics: senders run on actor goroutines, timer
+	// goroutines, and the dispatcher concurrently.
+	Sent        atomic.Uint64
+	Delivered   atomic.Uint64
+	DroppedDead atomic.Uint64
+	DroppedLoss atomic.Uint64
+	Sheds       atomic.Uint64
+}
+
+var _ simnet.Transport = (*transport)(nil)
+
+func newTransport(rt *Runtime, cfg simnet.Config, seed int64) *transport {
+	if cfg.Latency < 0 {
+		panic("live: negative latency")
+	}
+	return &transport{
+		rt:     rt,
+		cfg:    cfg,
+		nodes:  map[simnet.Addr]*endpoint{},
+		actors: map[simnet.Addr]*actor{},
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// bind associates an address with its owning actor. Must precede Register
+// for actor-owned addresses (the runtime binds before constructing the MDS).
+func (t *transport) bind(a simnet.Addr, owner *actor) {
+	t.mu.Lock()
+	t.actors[a] = owner
+	t.mu.Unlock()
+}
+
+// Register attaches a handler to an address (panics on duplicates, like the
+// simulated network: silent traffic splits exist in no real deployment).
+func (t *transport) Register(a simnet.Addr, h simnet.Handler) {
+	if h == nil {
+		panic("live: nil handler")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.nodes[a]; dup {
+		panic(fmt.Sprintf("live: address %d registered twice", a))
+	}
+	t.nodes[a] = &endpoint{h: h, a: t.actors[a]}
+}
+
+// Unregister removes a node; in-flight messages to it drop at delivery.
+func (t *transport) Unregister(a simnet.Addr) {
+	t.mu.Lock()
+	delete(t.nodes, a)
+	t.mu.Unlock()
+}
+
+// Registered reports whether a handler currently owns the address.
+func (t *transport) Registered(a simnet.Addr) bool {
+	t.mu.RLock()
+	_, ok := t.nodes[a]
+	t.mu.RUnlock()
+	return ok
+}
+
+// SetLinkFault installs a fault on the directed link from -> to.
+func (t *transport) SetLinkFault(from, to simnet.Addr, f simnet.LinkFault) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if f.LossProb <= 0 && f.ExtraLatency <= 0 {
+		delete(t.linkFaults, [2]simnet.Addr{from, to})
+		return
+	}
+	if t.linkFaults == nil {
+		t.linkFaults = map[[2]simnet.Addr]simnet.LinkFault{}
+	}
+	t.linkFaults[[2]simnet.Addr{from, to}] = f
+}
+
+// SetDefaultLinkFault applies f to every link without a specific fault.
+func (t *transport) SetDefaultLinkFault(f simnet.LinkFault) {
+	t.mu.Lock()
+	t.defaultFault = f
+	t.mu.Unlock()
+}
+
+func (t *transport) faultFor(from, to simnet.Addr) simnet.LinkFault {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if f, ok := t.linkFaults[[2]simnet.Addr{from, to}]; ok {
+		return f
+	}
+	return t.defaultFault
+}
+
+// Send schedules delivery after the link latency. Safe from any goroutine.
+func (t *transport) Send(from, to simnet.Addr, msg simnet.Message) {
+	t.Sent.Add(1)
+	f := t.faultFor(from, to)
+	if f.LossProb > 0 {
+		t.rngMu.Lock()
+		drop := t.rng.Float64() < f.LossProb
+		t.rngMu.Unlock()
+		if drop {
+			t.DroppedLoss.Add(1)
+			return
+		}
+	}
+	delay := t.cfg.Latency + f.ExtraLatency
+	if t.cfg.Jitter > 0 {
+		t.rngMu.Lock()
+		delay += sim.Time(t.rng.Int63n(int64(2*t.cfg.Jitter)+1)) - t.cfg.Jitter
+		t.rngMu.Unlock()
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	time.AfterFunc(delay.Duration(), func() { t.deliver(from, to, msg) })
+}
+
+// deliver routes an arrived message: requests go through the bounded lane
+// (shedding on refusal), everything else through the control lane. A crashed
+// MDS still has live lane entries from before it unregistered; those are
+// dropped at execution time, mirroring the simulated network where delivery
+// to a dead daemon fails.
+func (t *transport) deliver(from, to simnet.Addr, msg simnet.Message) {
+	t.mu.RLock()
+	ep := t.nodes[to]
+	t.mu.RUnlock()
+	if ep == nil {
+		t.DroppedDead.Add(1)
+		return
+	}
+	if ep.a == nil {
+		t.Delivered.Add(1)
+		ep.h.HandleMessage(from, msg)
+		return
+	}
+	run := func() {
+		if c, ok := ep.h.(interface{ Crashed() bool }); ok && c.Crashed() {
+			t.DroppedDead.Add(1)
+			return
+		}
+		ep.h.HandleMessage(from, msg)
+	}
+	if r, ok := msg.(*mds.Request); ok {
+		if !ep.a.offer(run) {
+			t.Sheds.Add(1)
+			t.Send(to, r.Client, &mds.Reply{ReqID: r.ID, Err: ErrOverloaded.Error()})
+			return
+		}
+		t.Delivered.Add(1)
+		return
+	}
+	t.Delivered.Add(1)
+	ep.a.post(run)
+}

@@ -17,10 +17,14 @@ import (
 // ticker. The namespace is shared cluster state (the collective cache);
 // which rank may serve what is governed by the authority labels.
 type MDS struct {
-	rank     namespace.Rank
-	addr     simnet.Addr
-	engine   *sim.Engine
-	net      *simnet.Network
+	rank namespace.Rank
+	addr simnet.Addr
+	// engine is the tick/timer source: the DES engine in simulation, a
+	// per-rank wall clock in the live runtime. The MDS itself has no
+	// internal locking — in live mode every callback runs on the rank's
+	// actor under the runtime's state lock.
+	engine   sim.Clock
+	net      simnet.Transport
 	ns       *namespace.Namespace
 	cfg      Config
 	bal      balancer.Balancer
@@ -80,7 +84,7 @@ type MDS struct {
 }
 
 // New constructs an MDS rank. peers maps rank→address (including self).
-func New(rank namespace.Rank, addr simnet.Addr, engine *sim.Engine, net *simnet.Network,
+func New(rank namespace.Rank, addr simnet.Addr, engine sim.Clock, net simnet.Transport,
 	ns *namespace.Namespace, pool *rados.Pool, cfg Config, bal balancer.Balancer,
 	peers []simnet.Addr) *MDS {
 	var state balancer.StateStore = &balancer.MemState{}

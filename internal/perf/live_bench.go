@@ -1,0 +1,65 @@
+package perf
+
+import (
+	"testing"
+	"time"
+
+	"mantle/internal/balancer"
+	"mantle/internal/live"
+	"mantle/internal/namespace"
+	"mantle/internal/sim"
+	"mantle/internal/telemetry"
+)
+
+// benchLiveServe2Rank measures the live serving runtime end to end: a fixed
+// 200 ms open-loop zipf burst against two actor-backed ranks, reporting
+// completed metadata ops per iteration as simops/op. Wall time per iteration
+// is dominated by the fixed load window plus drain, so ns/op is stable and
+// regression-gate friendly; throughput changes show up in SimOpsPerSec.
+func benchLiveServe2Rank(b *testing.B) {
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		cfg := live.DefaultConfig(2, int64(i+1))
+		cfg.Factory = func(namespace.Rank) (balancer.Balancer, error) {
+			return balancer.NewGreedySpill(), nil
+		}
+		cfg.MDS.HeartbeatInterval = 200 * sim.Millisecond
+		cfg.MDS.RebalanceDelay = 20 * sim.Millisecond
+		cfg.Load = live.LoadConfig{
+			Clients:   8,
+			Rate:      2000,
+			Duration:  200 * time.Millisecond,
+			Dirs:      32,
+			Seed:      int64(i + 1),
+			OpTimeout: 2 * time.Second,
+		}
+		rt, err := live.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := rt.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += rep.Completed
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "simops/op")
+}
+
+// benchShardedHistogramObserve measures the concurrent latency-recording
+// path under parallel writers — the per-op telemetry cost the live runtime
+// pays on every completed request.
+func benchShardedHistogramObserve(b *testing.B) {
+	var h telemetry.ShardedHistogram
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := 1.0
+		for pb.Next() {
+			h.Observe(v)
+			v += 1.5
+		}
+	})
+	if h.N() == 0 {
+		b.Fatal("no observations recorded")
+	}
+}

@@ -64,6 +64,8 @@ func Benchmarks() []Bench {
 		{"NSCreateStorm1MEager", benchNSCreateStorm1MEager},
 		{"NSHeartbeat16Rank", benchNSHeartbeat16Rank},
 		{"NSHeartbeat16RankX4", benchNSHeartbeat16RankX4},
+		{"LiveServe2Rank", benchLiveServe2Rank},
+		{"ShardedHistogramObserve", benchShardedHistogramObserve},
 	}
 }
 

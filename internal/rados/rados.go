@@ -86,9 +86,12 @@ type Pool struct {
 	placements [][]int
 }
 
-// Cluster is the simulated object store.
+// Cluster is the simulated object store. In simulation it schedules
+// completions on the DES engine; the live runtime builds one Cluster per
+// MDS rank on that rank's wall clock, so completion callbacks run on the
+// owning actor.
 type Cluster struct {
-	engine *sim.Engine
+	engine sim.Clock
 	cfg    Config
 	pools  map[string]*Pool
 	osds   []*osd
@@ -143,8 +146,9 @@ func (c *Cluster) obsRead(l sim.Time) {
 	}
 }
 
-// NewCluster builds an object store on the engine.
-func NewCluster(engine *sim.Engine, cfg Config) *Cluster {
+// NewCluster builds an object store on the clock (the DES engine, or a
+// live rank clock).
+func NewCluster(engine sim.Clock, cfg Config) *Cluster {
 	if cfg.OSDs <= 0 {
 		panic("rados: need at least one OSD")
 	}

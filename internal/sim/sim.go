@@ -50,6 +50,10 @@ type Event struct {
 	e   *event
 	gen uint64
 	at  Time
+	// ext is set only on handles produced by ExternalEvent (wall-clock
+	// timers from non-engine Clock implementations); engine events leave
+	// it nil.
+	ext ExternalTimer
 }
 
 // At reports the virtual time the event fires (or fired).
@@ -126,8 +130,14 @@ func (e *Engine) ScheduleAt(at Time, fn func()) Event {
 
 // Cancel removes a pending event. Cancelling the zero Event, an
 // already-fired, or an already-cancelled event is a no-op: the handle's
-// generation no longer matches the recycled slot.
+// generation no longer matches the recycled slot. Handles carrying an
+// external timer (see ExternalEvent) are cancelled through it, so code
+// written against Clock can cancel events from either implementation.
 func (e *Engine) Cancel(ev Event) {
+	if ev.ext != nil {
+		ev.ext.CancelTimer()
+		return
+	}
 	if ev.e == nil || ev.e.gen != ev.gen {
 		return
 	}
@@ -300,9 +310,12 @@ func (e *Engine) RunUntilIdle() {
 	}
 }
 
-// Ticker repeatedly invokes fn every interval until cancelled.
+// Ticker repeatedly invokes fn every interval until cancelled. It is built
+// purely on the Clock interface, so the same tick-scheduling path serves the
+// DES and the live wall-clock runtime; a Ticker inherits its clock's
+// concurrency contract (the engine's: single-threaded).
 type Ticker struct {
-	engine   *Engine
+	clock    Clock
 	interval Time
 	fn       func()
 	ev       Event
@@ -313,11 +326,17 @@ type Ticker struct {
 // non-zero offset lets callers stagger per-node periodic work (heartbeats)
 // the way independent daemons would be staggered in a real cluster.
 func (e *Engine) NewTicker(offset, interval Time, fn func()) *Ticker {
+	return NewClockTicker(e, offset, interval, fn)
+}
+
+// NewClockTicker builds a Ticker on any Clock. Non-engine Clock
+// implementations delegate their NewTicker method here.
+func NewClockTicker(c Clock, offset, interval Time, fn func()) *Ticker {
 	if interval <= 0 {
 		panic("sim: ticker interval must be positive")
 	}
-	t := &Ticker{engine: e, interval: interval, fn: fn}
-	t.ev = e.Schedule(offset, t.tick)
+	t := &Ticker{clock: c, interval: interval, fn: fn}
+	t.ev = c.Schedule(offset, t.tick)
 	return t
 }
 
@@ -327,22 +346,22 @@ func (t *Ticker) tick() {
 	}
 	t.fn()
 	if !t.stopped {
-		t.ev = t.engine.Schedule(t.interval, t.tick)
+		t.ev = t.clock.Schedule(t.interval, t.tick)
 	}
 }
 
 // Stop cancels future firings. Stopping twice is a no-op.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	t.engine.Cancel(t.ev)
+	t.clock.Cancel(t.ev)
 }
 
 // Restart resumes a stopped ticker, first firing after offset. Restarting a
 // running ticker just reschedules its next firing.
 func (t *Ticker) Restart(offset Time) {
-	t.engine.Cancel(t.ev)
+	t.clock.Cancel(t.ev)
 	t.stopped = false
-	t.ev = t.engine.Schedule(offset, t.tick)
+	t.ev = t.clock.Schedule(offset, t.tick)
 }
 
 // Jitter returns a duration uniformly drawn from [-spread, +spread] using the

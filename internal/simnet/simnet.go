@@ -33,6 +33,27 @@ type HandlerFunc func(from Addr, msg Message)
 // HandleMessage calls f(from, msg).
 func (f HandlerFunc) HandleMessage(from Addr, msg Message) { f(from, msg) }
 
+// Transport is the message-passing surface protocol code (the MDS) depends
+// on instead of a concrete *Network: the simulated network implements it on
+// the discrete-event engine, and the live runtime implements it with real
+// goroutines and wall-clock delivery delays. Semantics both share:
+// registering a taken address panics, sending to an unregistered address
+// silently drops at delivery time, and per-link latency/jitter/loss shape
+// delivery.
+type Transport interface {
+	// Register attaches a handler to an address (panics on duplicates).
+	Register(a Addr, h Handler)
+	// Unregister removes a node; in-flight messages to it are dropped.
+	Unregister(a Addr)
+	// Registered reports whether a handler currently owns the address.
+	Registered(a Addr) bool
+	// Send delivers msg from -> to after the link's delay.
+	Send(from, to Addr, msg Message)
+}
+
+// Network implements Transport.
+var _ Transport = (*Network)(nil)
+
 // Config holds the latency model.
 type Config struct {
 	// Latency is the one-way message delay.

@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file holds the goroutine-safe metric types used by the live serving
+// runtime (internal/live), where many client and rank goroutines record into
+// one instrument. The plain Counter/Gauge/Histogram types in this package
+// stay lock-free and single-threaded — see the goroutine-safety note on
+// Registry — so the simulation's hot path pays nothing for live mode.
+
+// AtomicCounter is a monotonically increasing count safe for concurrent use.
+type AtomicCounter struct{ v atomic.Uint64 }
+
+// Add increases the counter by n.
+func (c *AtomicCounter) Add(n uint64) { c.v.Add(n) }
+
+// Value reports the current count.
+func (c *AtomicCounter) Value() uint64 { return c.v.Load() }
+
+// histShards is the fixed shard count. Sixteen shards keep contention
+// negligible at the concurrency the live runtime runs (ranks + a dispatcher
+// + a handful of timer goroutines) without bloating snapshots.
+const histShards = 16
+
+// histShard pads each mutex+histogram pair onto its own cache lines so
+// observations on different shards never false-share.
+type histShard struct {
+	mu sync.Mutex
+	h  Histogram
+	_  [32]byte
+}
+
+// ShardedHistogram is a goroutine-safe histogram: observations hash onto one
+// of a fixed set of internally locked shards, and Snapshot merges them into a
+// plain Histogram for reporting. Observation cost is one atomic add plus one
+// uncontended mutex in the common case; the buckets, bounds and percentile
+// semantics are exactly those of Histogram.
+type ShardedHistogram struct {
+	next   atomic.Uint64 // round-robin shard cursor
+	shards [histShards]histShard
+}
+
+// Observe records one value. Safe for concurrent use.
+func (s *ShardedHistogram) Observe(v float64) {
+	sh := &s.shards[s.next.Add(1)&(histShards-1)]
+	sh.mu.Lock()
+	sh.h.Observe(v)
+	sh.mu.Unlock()
+}
+
+// Snapshot merges every shard into a fresh Histogram. It locks shards one at
+// a time, so a snapshot taken while observers are active is a consistent
+// point-in-time view per shard, not across shards — exact totals require the
+// observers to have quiesced (the live runtime snapshots after drain).
+func (s *ShardedHistogram) Snapshot() *Histogram {
+	out := &Histogram{}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		out.Merge(&sh.h)
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// N reports the total observation count across shards (same consistency
+// caveat as Snapshot).
+func (s *ShardedHistogram) N() uint64 {
+	var n uint64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.h.N()
+		sh.mu.Unlock()
+	}
+	return n
+}

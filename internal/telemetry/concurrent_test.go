@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestAtomicCounterConcurrent(t *testing.T) {
+	var c AtomicCounter
+	const goroutines, per = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != goroutines*per {
+		t.Fatalf("Value = %d, want %d", c.Value(), goroutines*per)
+	}
+}
+
+// TestShardedHistogramMatchesPlain checks that a sharded histogram fed from
+// many goroutines reports exactly what a plain histogram fed the same values
+// serially reports: same count, sum, min, max, and percentiles (merging is
+// exact, so sharding must not change any statistic).
+func TestShardedHistogramMatchesPlain(t *testing.T) {
+	const goroutines = 8
+	const per = 5000
+
+	// Pre-generate per-goroutine value streams so the serial reference sees
+	// the identical multiset. Integer values keep every partial sum exact in
+	// float64, so the comparison is order-independent and byte-exact.
+	vals := make([][]float64, goroutines)
+	rng := rand.New(rand.NewSource(42))
+	for g := range vals {
+		vals[g] = make([]float64, per)
+		for i := range vals[g] {
+			vals[g][i] = float64(rng.Intn(1 << 20))
+		}
+	}
+
+	var sh ShardedHistogram
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(vs []float64) {
+			defer wg.Done()
+			for _, v := range vs {
+				sh.Observe(v)
+			}
+		}(vals[g])
+	}
+	wg.Wait()
+
+	ref := &Histogram{}
+	for _, vs := range vals {
+		for _, v := range vs {
+			ref.Observe(v)
+		}
+	}
+
+	got := sh.Snapshot()
+	if got.N() != ref.N() || got.Sum() != ref.Sum() || got.Min() != ref.Min() || got.Max() != ref.Max() {
+		t.Fatalf("snapshot n=%d sum=%v min=%v max=%v, want n=%d sum=%v min=%v max=%v",
+			got.N(), got.Sum(), got.Min(), got.Max(), ref.N(), ref.Sum(), ref.Min(), ref.Max())
+	}
+	for _, p := range []float64{50, 90, 99, 99.9} {
+		if got.Percentile(p) != ref.Percentile(p) {
+			t.Fatalf("p%v = %v, want %v", p, got.Percentile(p), ref.Percentile(p))
+		}
+	}
+	if sh.N() != ref.N() {
+		t.Fatalf("sh.N() = %d, want %d", sh.N(), ref.N())
+	}
+}
+
+func TestShardedHistogramEmptySnapshot(t *testing.T) {
+	var sh ShardedHistogram
+	s := sh.Snapshot()
+	if s.N() != 0 || s.Min() != 0 || s.Max() != 0 || s.Percentile(99) != 0 {
+		t.Fatalf("empty snapshot not zero: n=%d", s.N())
+	}
+}

@@ -38,9 +38,19 @@ type metricKey struct {
 
 // Registry holds all metric instances, keyed by (name, rank). Lookups return
 // stable pointers, so hot paths resolve their handles once and then update
-// without map traffic. The registry is not goroutine-safe: the simulation is
-// single-threaded by design, and independent engines use independent
-// registries.
+// without map traffic.
+//
+// Goroutine safety, by type:
+//   - Registry, Counter, Gauge, Histogram are NOT goroutine-safe. They are
+//     the simulation's instruments: the DES is single-threaded by design,
+//     independent engines use independent registries, and keeping these
+//     types lock-free keeps Observe/Add allocation-free and branch-cheap on
+//     the hottest simulated paths.
+//   - AtomicCounter and ShardedHistogram (concurrent.go) ARE goroutine-safe
+//     and exist for the live runtime (internal/live), where client and rank
+//     goroutines record concurrently. Live code snapshots them into plain
+//     Histograms for reporting; it never shares this registry across
+//     goroutines without external synchronisation.
 type Registry struct {
 	counters map[metricKey]*Counter
 	gauges   map[metricKey]*Gauge
