@@ -15,8 +15,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"mantle/internal/experiments"
 	"mantle/internal/perf"
@@ -29,7 +31,9 @@ func main() {
 	parallel := flag.Int("parallel", 1, "run 'all' experiments on N worker goroutines (output stays byte-identical to sequential)")
 	benchJSON := flag.String("bench-json", "", "run the micro-benchmark harness and write BENCH_<label>.json instead of experiments")
 	benchBaseline := flag.String("bench-baseline", "", "with -bench-json: compare against this committed BENCH_*.json and exit nonzero if any ns_per_op regresses past -bench-tolerance")
+	benchHistory := flag.String("bench-history", "", "with -bench-json: comma-separated BENCH_*.json paths (globs allowed, chronological order); gate each benchmark against its fastest historical measurement and print the trend")
 	benchTolerance := flag.Float64("bench-tolerance", 0.25, "allowed fractional ns_per_op regression vs -bench-baseline (0.25 = 25%)")
+	benchHistoryTolerance := flag.Float64("bench-history-tolerance", 0.6, "allowed fractional ns_per_op regression vs each benchmark's fastest committed measurement (looser than -bench-tolerance: the historical best stacks every recording environment's luck)")
 	treeDepth := flag.Int("tree-depth", perf.DefaultScale().TreeDepth, "NamespaceScale benchmarks: directory nesting depth")
 	treeWidth := flag.Int("tree-width", perf.DefaultScale().TreeWidth, "NamespaceScale benchmarks: directory fan-out at the bottom of the tree")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -101,6 +105,24 @@ func main() {
 			}
 			fmt.Printf("no ns_per_op regressions vs %s (tolerance %.0f%%)\n", *benchBaseline, *benchTolerance*100)
 		}
+		if *benchHistory != "" {
+			history, err := readHistory(*benchHistory, name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				exit(2)
+			}
+			fmt.Printf("\ntrend across %d committed report(s):\n%s", len(history), perf.Trend(history, rep))
+			regs := perf.CompareHistory(history, rep, *benchHistoryTolerance)
+			if len(regs) > 0 {
+				fmt.Printf("\n%d benchmark(s) regressed vs historical best (tolerance %.0f%%):\n",
+					len(regs), *benchHistoryTolerance*100)
+				for _, r := range regs {
+					fmt.Println(" ", r)
+				}
+				exit(1)
+			}
+			fmt.Printf("no ns_per_op regressions vs historical best (tolerance %.0f%%)\n", *benchHistoryTolerance*100)
+		}
 		return
 	}
 
@@ -167,6 +189,46 @@ func writeMemProfile(path string) {
 	if err := pprof.WriteHeapProfile(f); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 	}
+}
+
+// readHistory expands a comma-separated list of paths/globs into parsed
+// reports, preserving the given order (lexical within a glob). The report
+// just written this run (skip) is excluded so a BENCH_* glob cannot gate
+// the run against itself.
+func readHistory(spec, skip string) ([]perf.Report, error) {
+	var out []perf.Report
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		paths, err := filepath.Glob(part)
+		if err != nil {
+			return nil, fmt.Errorf("bench-history %q: %w", part, err)
+		}
+		if len(paths) == 0 {
+			return nil, fmt.Errorf("bench-history %q matched no files", part)
+		}
+		for _, p := range paths {
+			if filepath.Clean(p) == filepath.Clean(skip) {
+				continue
+			}
+			f, err := os.Open(p)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := perf.ReadReport(f)
+			f.Close()
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", p, err)
+			}
+			if rep.Label == "" {
+				rep.Label = strings.TrimSuffix(strings.TrimPrefix(filepath.Base(p), "BENCH_"), ".json")
+			}
+			out = append(out, rep)
+		}
+	}
+	return out, nil
 }
 
 func join(ids []string) string {

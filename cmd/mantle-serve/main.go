@@ -18,6 +18,7 @@ import (
 
 	"mantle/internal/balancer"
 	"mantle/internal/core"
+	"mantle/internal/elastic"
 	"mantle/internal/live"
 	"mantle/internal/namespace"
 	"mantle/internal/sim"
@@ -43,6 +44,12 @@ func main() {
 	netJit := flag.Duration("net-jitter", 30*time.Microsecond, "message latency jitter (+/-)")
 	opTimeout := flag.Duration("op-timeout", 5*time.Second, "abandon an unanswered op after this long")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "shutdown quiesce bound")
+	minRanks := flag.Int("min-ranks", 0, "elastic: never shrink below this many ranks (0 = elasticity off)")
+	maxRanks := flag.Int("max-ranks", 0, "elastic: never grow past this many ranks (0 = elasticity off)")
+	elasticPolicy := flag.String("elastic-policy", "", "when_elastic hook: path to a .lua policy file (default: the -policy file's when_elastic section, else the built-in thresholds)")
+	flash := flag.Float64("flash", 1, "rate multiplier during the compile link phase (the flash crowd)")
+	linkPasses := flag.Int("link-passes", 0, "compile workload: readdir sweeps in the link phase (0 = default 3)")
+	idleTail := flag.Duration("idle-tail", 0, "hold the cluster at zero load this long after the stream ends (lets scale-in complete)")
 	flag.Parse()
 
 	p, err := pickPolicy(*policy)
@@ -69,24 +76,53 @@ func main() {
 	cfg.Net.Jitter = sim.Time(netJit.Microseconds())
 	cfg.DrainTimeout = *drainTimeout
 	cfg.Load = live.LoadConfig{
-		Clients:    *clients,
-		Rate:       *rate,
-		Duration:   *duration,
-		Workload:   *wl,
-		Dirs:       *dirs,
-		ZipfS:      *zipfS,
-		WriteRatio: *writeRatio,
-		OpTimeout:  *opTimeout,
-		Seed:       *seed,
+		Clients:     *clients,
+		Rate:        *rate,
+		Duration:    *duration,
+		Workload:    *wl,
+		Dirs:        *dirs,
+		ZipfS:       *zipfS,
+		WriteRatio:  *writeRatio,
+		OpTimeout:   *opTimeout,
+		Seed:        *seed,
+		FlashFactor: *flash,
+		IdleTail:    *idleTail,
 	}
 	if *wl == "compile" {
-		cfg.Load.Compile = workload.CompileConfig{Root: "/build", Seed: *seed}
+		cfg.Load.Compile = workload.CompileConfig{Root: "/build", Seed: *seed, LinkPasses: *linkPasses}
+	}
+	if *maxRanks > 0 {
+		if *maxRanks < *ranks {
+			fmt.Fprintf(os.Stderr, "-max-ranks %d below -ranks %d\n", *maxRanks, *ranks)
+			os.Exit(2)
+		}
+		cfg.MaxRanks = *maxRanks
+		cfg.MinRanks = *minRanks
+		cfg.ElasticPolicy = p.WhenElastic // "" falls back to the built-in hook
+		if *elasticPolicy != "" {
+			ep, err := pickPolicy(*elasticPolicy)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			if ep.WhenElastic == "" {
+				fmt.Fprintf(os.Stderr, "%s has no when_elastic section\n", *elasticPolicy)
+				os.Exit(2)
+			}
+			cfg.ElasticPolicy = ep.WhenElastic
+		}
 	}
 
 	rt, err := live.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if co := rt.Coordinator(); co != nil {
+		co.OnEvent = func(e elastic.Event) {
+			fmt.Printf("elastic: %s\n", e)
+		}
+		fmt.Printf("mantle-serve: elastic %d..%d ranks\n", cfg.MinRanks, cfg.MaxRanks)
 	}
 	fmt.Printf("mantle-serve: %d ranks, policy %s, %v @ %.0f op/s (%s workload)\n",
 		*ranks, p.Name, *duration, *rate, *wl)

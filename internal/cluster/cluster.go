@@ -13,6 +13,7 @@ import (
 	"mantle/internal/balancer"
 	"mantle/internal/client"
 	"mantle/internal/core"
+	"mantle/internal/elastic"
 	"mantle/internal/mds"
 	"mantle/internal/mon"
 	"mantle/internal/namespace"
@@ -26,8 +27,13 @@ import (
 
 // Config assembles the cost models of all substrates.
 type Config struct {
-	Seed             int64
-	NumMDS           int
+	Seed   int64
+	NumMDS int
+	// MaxMDS pre-provisions the rank address table beyond NumMDS so the
+	// elastic coordinator can grow the pool at runtime (0 = NumMDS, a
+	// fixed-size cluster). Ranks [NumMDS, MaxMDS) have addresses reserved
+	// but no daemons until a join activates them.
+	MaxMDS           int
 	Net              simnet.Config
 	Rados            rados.Config
 	MDS              mds.Config
@@ -92,6 +98,10 @@ type Cluster struct {
 	// Monitor is non-nil after EnableFailover.
 	Monitor *mon.Monitor
 
+	// Elastic is non-nil after EnableElastic: the membership coordinator
+	// that grows and shrinks the active rank set at runtime.
+	Elastic *elastic.Coordinator
+
 	// Reassigns counts subtree bounds moved off dead ranks by the
 	// monitor's OnFail hook (failover with no standby left).
 	Reassigns uint64
@@ -136,7 +146,11 @@ func New(cfg Config, factory BalancerFactory) (*Cluster, error) {
 		StopWhenDone: true,
 	}
 	c.factory = factory
-	for r := 0; r < cfg.NumMDS; r++ {
+	maxRanks := cfg.NumMDS
+	if cfg.MaxMDS > maxRanks {
+		maxRanks = cfg.MaxMDS
+	}
+	for r := 0; r < maxRanks; r++ {
 		c.mdsAddrs = append(c.mdsAddrs, simnet.Addr(r))
 	}
 	c.pool = rc.Pool("cephfs_metadata")
@@ -145,6 +159,7 @@ func New(cfg Config, factory BalancerFactory) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
+		m.SetClusterSize(cfg.NumMDS)
 		rate := stats.NewRateCounter(fmt.Sprintf("MDS%d", r), cfg.ThroughputWindow)
 		c.perMDS = append(c.perMDS, rate)
 		c.wireMDS(m, rate)
@@ -237,7 +252,7 @@ const monAddr = simnet.Addr(1 << 15)
 // role in the paper's testbed). Call before Run.
 func (c *Cluster) EnableFailover(standbys int, mcfg mon.Config) {
 	c.standbys = standbys
-	c.Monitor = mon.New(monAddr, c.Engine, c.Net, c.Cfg.NumMDS, mcfg, c.takeOver)
+	c.Monitor = mon.New(monAddr, c.Engine, c.Net, len(c.MDSs), mcfg, c.takeOver)
 	c.Monitor.OnFail = c.reassignSubtrees
 	for r, m := range c.MDSs {
 		m.SetMonitor(monAddr)
@@ -307,6 +322,12 @@ func (c *Cluster) takeOver(rank namespace.Rank) bool {
 	old.Crash() // fencing: idempotent if it already died
 	replay := c.Cfg.MDS.RecoverBase + sim.Time(old.Journal().Flushed())*c.Cfg.MDS.RecoverPerEntry
 	c.Engine.Schedule(replay, func() {
+		if int(rank) >= len(c.MDSs) {
+			// The elastic coordinator retired the rank while the
+			// standby was replaying (forced leave won the race).
+			c.standbys++
+			return
+		}
 		if c.MDSs[rank] != old || !old.Crashed() {
 			// The rank came back on its own during the replay (e.g. a
 			// fault-plan recovery); return the standby to the pool.
@@ -321,6 +342,7 @@ func (c *Cluster) takeOver(rank namespace.Rank) bool {
 			return
 		}
 		c.retired = append(c.retired, old.Counters)
+		repl.SetClusterSize(len(c.MDSs))
 		c.wireMDS(repl, c.perMDS[rank])
 		repl.Counters.Recoveries++
 		c.MDSs[rank] = repl
@@ -381,7 +403,7 @@ func (c *Cluster) PreAssign(path string, rank namespace.Rank) error {
 	if err != nil {
 		return err
 	}
-	if int(rank) >= c.Cfg.NumMDS {
+	if int(rank) >= len(c.MDSs) {
 		return fmt.Errorf("cluster: rank %d out of range", rank)
 	}
 	c.NS.SetAuthOverride(n, rank)
@@ -399,6 +421,9 @@ func (c *Cluster) Run(maxDur sim.Time) *Result {
 		if c.Monitor != nil {
 			c.Monitor.Start()
 		}
+		if c.Elastic != nil {
+			c.Elastic.Start()
+		}
 		for _, cl := range c.Clients {
 			cl.Start()
 		}
@@ -409,6 +434,9 @@ func (c *Cluster) Run(maxDur sim.Time) *Result {
 	}
 	if c.Monitor != nil {
 		c.Monitor.Stop()
+	}
+	if c.Elastic != nil {
+		c.Elastic.Stop()
 	}
 	return c.collect()
 }
@@ -455,6 +483,13 @@ type Result struct {
 	ImportAborts     uint64 // import intents rolled back
 	SubtreeReassigns uint64 // bounds moved off dead ranks by the monitor
 	TotalGaveUp      int    // client ops abandoned after the retry budget
+
+	// Elastic membership (zero-valued unless EnableElastic was called).
+	Elastic       elastic.Counters
+	ElasticEvents []elastic.Event
+	// FinalRanks / PeakRanks bracket the active rank count over the run.
+	FinalRanks int
+	PeakRanks  int
 }
 
 func (c *Cluster) collect() *Result {
@@ -489,6 +524,17 @@ func (c *Cluster) collect() *Result {
 		res.ImportAborts += cnt.ImportAborts
 	}
 	res.SubtreeReassigns = c.Reassigns
+	res.FinalRanks = len(c.MDSs)
+	res.PeakRanks = len(c.MDSs)
+	if c.Elastic != nil {
+		res.Elastic = c.Elastic.Counters
+		res.ElasticEvents = append(res.ElasticEvents, c.Elastic.Events...)
+		for _, e := range res.ElasticEvents {
+			if e.Active > res.PeakRanks {
+				res.PeakRanks = e.Active
+			}
+		}
+	}
 	res.TotalSeries = c.total.Finish(now)
 	for _, cl := range c.Clients {
 		if !cl.Done() {

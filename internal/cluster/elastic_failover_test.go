@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"testing"
+
+	"mantle/internal/elastic"
+	"mantle/internal/mon"
+	"mantle/internal/namespace"
+	"mantle/internal/sim"
+)
+
+// Monitor failover racing a membership change: the crash of a mid-transition
+// rank can be seen first by the elastic coordinator (forced leave / join
+// abort) or first by the monitor (standby promotion). Every interleaving
+// must end with a consistent bound set — the acceptance criterion is the
+// invariant check, not which side won.
+
+// raceCluster builds a 3-rank cluster with bounds on every rank, fast
+// heartbeats, a monitor with one standby, and an elastic coordinator whose
+// poll interval is pollIvl (the race knob: shorter than the failover path
+// and the coordinator sees the crash first; longer and the standby takeover
+// lands first).
+func raceCluster(t *testing.T, seed int64, pollIvl sim.Time) *Cluster {
+	t.Helper()
+	cfg := DefaultConfig(3, seed)
+	cfg.MDS.HeartbeatInterval = 500 * sim.Millisecond
+	cfg.MDS.RecoverBase = 300 * sim.Millisecond
+	c, err := New(cfg, noBalance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.EnableFailover(1, mon.Config{CheckInterval: 250 * sim.Millisecond, Grace: 1200 * sim.Millisecond})
+	ecfg := elastic.DefaultConfig(cfg.MDS.HeartbeatInterval)
+	ecfg.MaxRanks = 3
+	ecfg.PollInterval = pollIvl
+	ecfg.JoinWarmup = 2 * sim.Second
+	if _, err := c.EnableElastic(ecfg, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PrePopulate([]string{"/a", "/b", "/c"}, true); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range []string{"/a", "/b", "/c"} {
+		if err := c.PreAssign(p, namespace.Rank(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// checkConsistent asserts the post-race end state: the target rank count,
+// clean invariants, and no wedged migrations.
+func checkConsistent(t *testing.T, c *Cluster, wantRanks int) {
+	t.Helper()
+	if got := c.RanksActive(); got != wantRanks {
+		t.Fatalf("active ranks = %d, want %d (events: %v)", got, wantRanks, c.Elastic.Events)
+	}
+	if err := c.NS.CheckInvariants(wantRanks, false); err != nil {
+		t.Fatalf("invariants: %v (events: %v)", err, c.Elastic.Events)
+	}
+	if c.WedgedMigrations() != 0 {
+		t.Fatalf("wedged migrations: %d", c.WedgedMigrations())
+	}
+}
+
+// TestLeaveCrashCoordinatorWins: the draining rank dies; the coordinator's
+// fast poll force-reassigns and retires it before the monitor's grace
+// period expires, so the later standby promotion must stand down.
+func TestLeaveCrashCoordinatorWins(t *testing.T) {
+	c := raceCluster(t, 61, 500*sim.Millisecond)
+	c.Engine.Schedule(3*sim.Second, func() { c.Elastic.Shrink() })
+	c.Engine.Schedule(3*sim.Second+100*sim.Millisecond, func() { c.MDSs[2].Crash() })
+	c.Run(2 * sim.Minute)
+	if c.Elastic.Counters.ForcedLeaves != 1 {
+		t.Fatalf("expected a forced leave: %+v (events %v)", c.Elastic.Counters, c.Elastic.Events)
+	}
+	checkConsistent(t, c, 2)
+	if n := len(c.NS.SubtreeRoots(2)); n != 0 {
+		t.Fatalf("dead rank still owns %d bounds", n)
+	}
+}
+
+// TestLeaveCrashMonitorWins: same crash, but the coordinator polls slowly,
+// so the monitor promotes the standby first. The replacement daemon comes
+// back without the drain mark; the coordinator must re-arm it and drive the
+// leave to a normal commit.
+func TestLeaveCrashMonitorWins(t *testing.T) {
+	c := raceCluster(t, 67, 20*sim.Second)
+	old := c.MDSs[2]
+	c.Engine.Schedule(3*sim.Second, func() { c.Elastic.Shrink() })
+	c.Engine.Schedule(3*sim.Second+100*sim.Millisecond, func() { old.Crash() })
+	c.Run(3 * sim.Minute)
+	if c.Monitor.Takeovers == 0 {
+		t.Fatal("monitor never promoted the standby")
+	}
+	if c.Elastic.Counters.Shrinks != 1 {
+		t.Fatalf("leave never committed: %+v (events %v)", c.Elastic.Counters, c.Elastic.Events)
+	}
+	// The promoted replacement drained and retired — a normal commit, not
+	// a forced one, because the daemon was alive again when polled.
+	if c.Elastic.Counters.ForcedLeaves != 0 {
+		t.Fatalf("expected re-armed drain, got forced leave: %v", c.Elastic.Events)
+	}
+	checkConsistent(t, c, 2)
+}
+
+// TestJoinCrashAborts: the standby dies during warmup, before activation.
+// The join must abort with no membership change and no monitor involvement
+// (a standby sends no beacons, so the monitor never tracks it).
+func TestJoinCrashAborts(t *testing.T) {
+	cfg := DefaultConfig(2, 71)
+	cfg.MaxMDS = 3
+	cfg.MDS.HeartbeatInterval = 500 * sim.Millisecond
+	c, err := New(cfg, noBalance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.EnableFailover(1, mon.Config{CheckInterval: 250 * sim.Millisecond, Grace: 1200 * sim.Millisecond})
+	ecfg := elastic.DefaultConfig(cfg.MDS.HeartbeatInterval)
+	ecfg.MaxRanks = 3
+	ecfg.JoinWarmup = 2 * sim.Second
+	if _, err := c.EnableElastic(ecfg, ""); err != nil {
+		t.Fatal(err)
+	}
+	c.Engine.Schedule(sim.Second, func() { c.Elastic.Grow() })
+	c.Engine.Schedule(2*sim.Second, func() { c.MDSs[2].Crash() })
+	c.Run(2 * sim.Minute)
+	if c.Elastic.Counters.JoinAborts != 1 || c.Elastic.Counters.Grows != 0 {
+		t.Fatalf("join did not abort: %+v (events %v)", c.Elastic.Counters, c.Elastic.Events)
+	}
+	if c.Monitor.Takeovers != 0 {
+		t.Fatalf("monitor acted on a standby: takeovers=%d", c.Monitor.Takeovers)
+	}
+	checkConsistent(t, c, 2)
+	if c.Elastic.Epoch() != 0 {
+		t.Fatalf("aborted join bumped the epoch: %d", c.Elastic.Epoch())
+	}
+}
+
+// TestMonitorFailsActiveDuringLeave: while rank 2 drains cleanly, rank 1 (a
+// drain donor) crashes and fails over. The leave must still converge: the
+// drain targets the promoted replacement or rank 0, and the final bound set
+// is consistent across the membership epoch and the failover.
+func TestMonitorFailsActiveDuringLeave(t *testing.T) {
+	c := raceCluster(t, 73, 500*sim.Millisecond)
+	c.Engine.Schedule(3*sim.Second, func() { c.Elastic.Shrink() })
+	c.Engine.Schedule(4*sim.Second, func() { c.MDSs[1].Crash() })
+	c.Run(3 * sim.Minute)
+	if c.Monitor.Takeovers == 0 {
+		t.Fatal("monitor never promoted the standby for rank 1")
+	}
+	if c.Elastic.Counters.Shrinks != 1 {
+		t.Fatalf("leave never committed: %+v (events %v)", c.Elastic.Counters, c.Elastic.Events)
+	}
+	checkConsistent(t, c, 2)
+	if n := len(c.NS.SubtreeRoots(2)); n != 0 {
+		t.Fatalf("retired rank still owns %d bounds", n)
+	}
+}

@@ -1,0 +1,293 @@
+package cluster
+
+import (
+	"testing"
+
+	"mantle/internal/elastic"
+	"mantle/internal/namespace"
+	"mantle/internal/sim"
+	"mantle/internal/workload"
+)
+
+// elasticCfg is a test coordinator config with fast polling and no
+// automatic voting hook unless a test installs one.
+func elasticCfg(maxRanks int) elastic.Config {
+	cfg := elastic.DefaultConfig(10 * sim.Second)
+	cfg.MaxRanks = maxRanks
+	cfg.PollInterval = 2 * sim.Second
+	cfg.JoinWarmup = sim.Second
+	return cfg
+}
+
+func TestElasticGrowActivatesRank(t *testing.T) {
+	cfg := DefaultConfig(1, 7)
+	cfg.MaxMDS = 3
+	c, err := New(cfg, noBalance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.EnableElastic(elasticCfg(3), ""); err != nil {
+		t.Fatal(err)
+	}
+	c.Engine.Schedule(5*sim.Second, func() {
+		if !c.Elastic.Grow() {
+			t.Error("grow refused")
+		}
+	})
+	c.Run(2 * sim.Minute)
+	if got := c.RanksActive(); got != 2 {
+		t.Fatalf("active ranks = %d, want 2", got)
+	}
+	if c.Elastic.Epoch() != 1 || c.Elastic.Counters.Grows != 1 {
+		t.Fatalf("epoch=%d grows=%d", c.Elastic.Epoch(), c.Elastic.Counters.Grows)
+	}
+	if err := c.NS.CheckInvariants(2, false); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	// The journal recorded the join start and commit.
+	kinds := []elastic.EventKind{}
+	for _, e := range c.Elastic.Events {
+		kinds = append(kinds, e.Kind)
+	}
+	if len(kinds) != 2 || kinds[0] != elastic.EventJoinStart || kinds[1] != elastic.EventJoinCommit {
+		t.Fatalf("events = %v", kinds)
+	}
+}
+
+func TestElasticGrownRankServes(t *testing.T) {
+	cfg := DefaultConfig(1, 11)
+	cfg.MaxMDS = 2
+	c, err := New(cfg, noBalance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.EnableElastic(elasticCfg(2), ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PrePopulate([]string{"/hot"}, true); err != nil {
+		t.Fatal(err)
+	}
+	c.Engine.Schedule(sim.Second, func() { c.Elastic.Grow() })
+	// Once the join committed (spawn + 1s warmup), pin /hot to the new
+	// rank; the client's subsequent creates must be served there.
+	c.Engine.Schedule(3*sim.Second, func() {
+		if err := c.PreAssign("/hot", 1); err != nil {
+			t.Error(err)
+		}
+	})
+	c.AddClient(workload.SharedDirCreates("/hot", 0, 20000))
+	res := c.Run(10 * sim.Minute)
+	if !res.AllDone {
+		t.Fatal("client did not finish")
+	}
+	if res.FinalRanks != 2 || res.PeakRanks != 2 {
+		t.Fatalf("final=%d peak=%d", res.FinalRanks, res.PeakRanks)
+	}
+	if res.MDSCounters[1].Served == 0 {
+		t.Fatal("grown rank served nothing")
+	}
+	if err := c.NS.CheckInvariants(2, false); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}
+
+func TestElasticShrinkDrainsBounds(t *testing.T) {
+	cfg := DefaultConfig(3, 13)
+	c, err := New(cfg, noBalance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.EnableElastic(elasticCfg(3), ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PrePopulate([]string{"/a", "/b", "/c"}, true); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range []string{"/a", "/b", "/c"} {
+		if err := c.PreAssign(p, namespace.Rank(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.PrePopulateTree("/c/deep", "f", 200); err != nil {
+		t.Fatal(err)
+	}
+	// Let two heartbeat rounds establish peer load views, then shrink.
+	c.Engine.Schedule(25*sim.Second, func() {
+		if !c.Elastic.Shrink() {
+			t.Error("shrink refused")
+		}
+	})
+	c.Run(5 * sim.Minute)
+	if got := c.RanksActive(); got != 2 {
+		t.Fatalf("active ranks = %d, want 2", got)
+	}
+	if c.Elastic.Counters.Shrinks != 1 || c.Elastic.Counters.ForcedLeaves != 0 {
+		t.Fatalf("counters = %+v", c.Elastic.Counters)
+	}
+	if n := len(c.NS.SubtreeRoots(2)); n != 0 {
+		t.Fatalf("retired rank still owns %d bounds", n)
+	}
+	if err := c.NS.CheckInvariants(2, false); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	if c.WedgedMigrations() != 0 {
+		t.Fatalf("wedged migrations: %d", c.WedgedMigrations())
+	}
+}
+
+func TestElasticForcedLeaveOnCrash(t *testing.T) {
+	cfg := DefaultConfig(3, 17)
+	c, err := New(cfg, noBalance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.EnableElastic(elasticCfg(3), ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PrePopulate([]string{"/a", "/b", "/c"}, true); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range []string{"/a", "/b", "/c"} {
+		if err := c.PreAssign(p, namespace.Rank(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Engine.Schedule(25*sim.Second, func() { c.Elastic.Shrink() })
+	// The rank dies mid-drain, before the handoff can finish.
+	c.Engine.Schedule(25*sim.Second+100*sim.Millisecond, func() { c.MDSs[2].Crash() })
+	c.Run(5 * sim.Minute)
+	if got := c.RanksActive(); got != 2 {
+		t.Fatalf("active ranks = %d, want 2", got)
+	}
+	if c.Elastic.Counters.ForcedLeaves != 1 {
+		t.Fatalf("counters = %+v", c.Elastic.Counters)
+	}
+	if n := len(c.NS.SubtreeRoots(2)); n != 0 {
+		t.Fatalf("dead rank still owns %d bounds", n)
+	}
+	if err := c.NS.CheckInvariants(2, false); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	if c.Reassigns == 0 {
+		t.Fatal("forced leave moved no bounds")
+	}
+}
+
+func TestElasticDrainTimeoutAborts(t *testing.T) {
+	cfg := DefaultConfig(2, 19)
+	c, err := New(cfg, noBalance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecfg := elasticCfg(2)
+	ecfg.DrainTimeout = 10 * sim.Second
+	if _, err := c.EnableElastic(ecfg, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PrePopulate([]string{"/a", "/b"}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PreAssign("/b", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the only donor: rank 0 down means the drain can never finish.
+	c.Engine.Schedule(2*sim.Second, func() { c.MDSs[0].Crash() })
+	c.Engine.Schedule(5*sim.Second, func() { c.Elastic.Shrink() })
+	c.Run(2 * sim.Minute)
+	if got := c.RanksActive(); got != 2 {
+		t.Fatalf("active ranks = %d, want 2 (leave must abort)", got)
+	}
+	if c.Elastic.Counters.LeaveAborts != 1 || c.Elastic.Counters.Shrinks != 0 {
+		t.Fatalf("counters = %+v", c.Elastic.Counters)
+	}
+	// The aborted rank is a full member again, still owning its bound.
+	if c.MDSs[1].Draining() {
+		t.Fatal("drain mark not cleared")
+	}
+	if n := len(c.NS.SubtreeRoots(1)); n == 0 {
+		t.Fatal("aborted leave lost the rank's bounds")
+	}
+}
+
+// TestElasticPolicyDrivesMembership exercises the when_elastic hook end to
+// end: a stateful script votes grow for its first ticks and shrink after,
+// so the pool must expand and then contract with no manual Grow/Shrink.
+func TestElasticPolicyDrivesMembership(t *testing.T) {
+	cfg := DefaultConfig(1, 23)
+	cfg.MaxMDS = 3
+	c, err := New(cfg, noBalance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecfg := elasticCfg(3)
+	ecfg.Interval = 5 * sim.Second
+	ecfg.Cooldown = 5 * sim.Second
+	ecfg.SustainGrow = 1
+	ecfg.SustainShrink = 1
+	hook := `
+local ticks = (RDstate() or 0) + 1
+WRstate(ticks)
+if ticks <= 4 and active < max_ranks then return 1 end
+if ticks > 6 and active > min_ranks then return -1 end
+return 0
+`
+	if _, err := c.EnableElastic(ecfg, hook); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(10 * sim.Minute)
+	if c.Elastic.Counters.Grows < 1 || c.Elastic.Counters.Shrinks < 1 {
+		t.Fatalf("policy drove no full cycle: %+v", c.Elastic.Counters)
+	}
+	if got := c.RanksActive(); got != 1 {
+		t.Fatalf("active ranks = %d, want 1 after shrink phase", got)
+	}
+	if err := c.NS.CheckInvariants(c.RanksActive(), false); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	if c.Elastic.Counters.HookErrors != 0 {
+		t.Fatalf("hook errors: %d", c.Elastic.Counters.HookErrors)
+	}
+}
+
+// TestElasticDeterministic re-runs a grow/shrink cycle and requires
+// identical membership traces — the coordinator must not introduce
+// nondeterminism into the DES.
+func TestElasticDeterministic(t *testing.T) {
+	run := func() []elastic.Event {
+		cfg := DefaultConfig(2, 31)
+		cfg.MaxMDS = 4
+		c, err := New(cfg, noBalance())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ecfg := elasticCfg(4)
+		ecfg.Interval = 5 * sim.Second
+		ecfg.SustainGrow = 1
+		ecfg.SustainShrink = 1
+		hook := `
+local ticks = (RDstate() or 0) + 1
+WRstate(ticks)
+if ticks <= 3 and active < max_ranks then return 1 end
+if ticks > 5 and active > min_ranks then return -1 end
+return 0
+`
+		if _, err := c.EnableElastic(ecfg, hook); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2; i++ {
+			c.AddClient(workload.SeparateDirCreates("", i, 1500))
+		}
+		c.StopWhenDone = false
+		c.Run(8 * sim.Minute)
+		return c.Elastic.Events
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -46,6 +46,11 @@ type Policy struct {
 	// HowMuch returns the list of dirfrag selectors to try
 	// (mds_bal_howmuch), e.g. `{"big_first"}` or `{"half","small"}`.
 	HowMuch string
+	// WhenElastic decides whether the rank pool grows or shrinks
+	// (when_elastic). Evaluated by the elastic coordinator, not by the
+	// per-rank balancer; see ElasticHook. Empty = no opinion (a cluster
+	// without elasticity enabled ignores it entirely).
+	WhenElastic string
 }
 
 // hook identifies one compiled script.

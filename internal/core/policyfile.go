@@ -29,13 +29,17 @@ var sectionNames = map[string]int{
 	"when": 2, "mds_bal_when": 2,
 	"where": 3, "mds_bal_where": 3,
 	"howmuch": 4, "mds_bal_howmuch": 4,
+	"when_elastic": 5, "mds_bal_when_elastic": 5,
 }
+
+// numSections is the number of distinct policy-file sections.
+const numSections = 6
 
 // ParsePolicyFile parses the sectioned policy format. name labels the policy
 // (usually the file basename).
 func ParsePolicyFile(name, src string) (Policy, error) {
 	p := Policy{Name: name}
-	sections := [5]*strings.Builder{}
+	sections := [numSections]*strings.Builder{}
 	for i := range sections {
 		sections[i] = &strings.Builder{}
 	}
@@ -70,6 +74,7 @@ func ParsePolicyFile(name, src string) (Policy, error) {
 	p.When = strings.TrimSpace(sections[2].String())
 	p.Where = strings.TrimSpace(sections[3].String())
 	p.HowMuch = strings.TrimSpace(sections[4].String())
+	p.WhenElastic = strings.TrimSpace(sections[5].String())
 	return p, nil
 }
 
@@ -102,5 +107,6 @@ func FormatPolicyFile(p Policy) string {
 	write("when", p.When)
 	write("where", p.Where)
 	write("howmuch", p.HowMuch)
+	write("when_elastic", p.WhenElastic)
 	return b.String()
 }

@@ -153,5 +153,12 @@ func Validate(p Policy) *ValidationReport {
 			add("%s", err)
 		}
 	}
+
+	// The elastic hook is validated only when the policy carries one: most
+	// balancing policies have no membership opinion, and a missing hook must
+	// not count against them.
+	if strings.TrimSpace(p.WhenElastic) != "" {
+		validateElastic(p.WhenElastic, add)
+	}
 	return rep
 }

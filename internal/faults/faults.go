@@ -31,6 +31,8 @@ const (
 	KindLinkLoss  = "link_loss"  // probabilistic loss / extra latency on a link
 	KindOSDSlow   = "osd_slow"   // multiply OSD latency, optionally error ops
 	KindBadPolicy = "bad_policy" // inject a broken balancer version, unlinted
+	KindGrow      = "grow"       // elastic: activate one more rank
+	KindShrink    = "shrink"     // elastic: drain and retire the top rank
 )
 
 // Wildcard as a rank or link endpoint expands to every MDS rank at fire time.
@@ -128,7 +130,7 @@ func (p Plan) Validate(numRanks int) error {
 			if ev.Kind == KindLinkLoss && (ev.LossProb < 0 || ev.LossProb > 1) {
 				return fmt.Errorf("faults: event %d: loss_prob %v outside [0,1]", i, ev.LossProb)
 			}
-		case KindHealAll:
+		case KindHealAll, KindGrow, KindShrink:
 		case KindOSDSlow:
 			if ev.SlowFactor < 0 || ev.ErrorProb < 0 || ev.ErrorProb > 1 {
 				return fmt.Errorf("faults: event %d: bad OSD knobs (%v, %v)", i, ev.SlowFactor, ev.ErrorProb)
@@ -152,7 +154,14 @@ func (p Plan) Validate(numRanks int) error {
 // time (c.MDSs is re-read), so faults compose with failover replacements.
 // An empty plan schedules nothing and seeds nothing.
 func Apply(c *cluster.Cluster, p Plan) error {
-	if err := p.Validate(c.Cfg.NumMDS); err != nil {
+	// An elastic cluster may grow past NumMDS, so plans validate against
+	// the provisioned rank table, not just the initial active set. A rank
+	// that does not exist when its event fires is skipped.
+	maxRanks := c.Cfg.NumMDS
+	if c.Cfg.MaxMDS > maxRanks {
+		maxRanks = c.Cfg.MaxMDS
+	}
+	if err := p.Validate(maxRanks); err != nil {
 		return err
 	}
 	if len(p.Events) == 0 {
@@ -172,12 +181,18 @@ func Apply(c *cluster.Cluster, p Plan) error {
 	return nil
 }
 
-// ranksOf expands a possibly-wildcard rank reference.
+// ranksOf expands a possibly-wildcard rank reference against the ranks that
+// exist at fire time (the active set moves under an elastic coordinator).
+// A directed reference to a rank that does not currently exist expands to
+// nothing.
 func ranksOf(c *cluster.Cluster, r int) []namespace.Rank {
 	if r != Wildcard {
+		if r >= len(c.MDSs) {
+			return nil
+		}
 		return []namespace.Rank{namespace.Rank(r)}
 	}
-	out := make([]namespace.Rank, c.Cfg.NumMDS)
+	out := make([]namespace.Rank, len(c.MDSs))
 	for i := range out {
 		out[i] = namespace.Rank(i)
 	}
@@ -261,6 +276,18 @@ func fire(c *cluster.Cluster, p Plan, ev Event) {
 				c.Rados.ClearFault()
 			})
 		}
+	case KindGrow:
+		// No-ops (refused transitions, no coordinator) are deliberate:
+		// chaos plans race membership changes against other faults, and
+		// a grow landing mid-transition is simply lost, as in a real
+		// cluster where the operator's second max_mds bump waits.
+		if c.Elastic != nil {
+			c.Elastic.Grow()
+		}
+	case KindShrink:
+		if c.Elastic != nil {
+			c.Elastic.Shrink()
+		}
 	case KindBadPolicy:
 		for _, r := range ranksOf(c, ev.Rank) {
 			// Injection can only fail if the script does not compile;
@@ -318,6 +345,25 @@ func RandomPlan(seed int64, numRanks int, horizonSec float64) Plan {
 				At: at(), Kind: KindBadPolicy, Rank: rng.Intn(numRanks), Mode: mode,
 			})
 		}
+	}
+	return p
+}
+
+// RandomElasticPlan extends RandomPlan with membership churn: paired
+// grow/shrink events race the ordinary faults, exercising joins and leaves
+// under crashes, partitions and loss. Kept separate from RandomPlan so
+// existing seeds keep producing byte-identical plans.
+func RandomElasticPlan(seed int64, numRanks int, horizonSec float64) Plan {
+	p := RandomPlan(seed, numRanks, horizonSec)
+	p.Name = fmt.Sprintf("random-elastic-%d", seed)
+	rng := rand.New(rand.NewSource(seed ^ 0x656c6173)) // distinct stream from the base plan
+	n := 1 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		growAt := rng.Float64() * horizonSec * 0.4
+		p.Events = append(p.Events,
+			Event{At: growAt, Kind: KindGrow},
+			Event{At: growAt + 0.2*horizonSec + rng.Float64()*horizonSec*0.3, Kind: KindShrink},
+		)
 	}
 	return p
 }

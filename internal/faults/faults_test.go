@@ -9,6 +9,7 @@ import (
 	"mantle/internal/balancer"
 	"mantle/internal/cluster"
 	"mantle/internal/core"
+	"mantle/internal/elastic"
 	"mantle/internal/sim"
 	"mantle/internal/workload"
 )
@@ -226,6 +227,72 @@ func TestEmptyPlanChangesNothing(t *testing.T) {
 	}
 }
 
+func TestElasticFaultEventsDriveMembership(t *testing.T) {
+	cfg := cluster.DefaultConfig(1, 31)
+	cfg.MaxMDS = 2
+	cfg.Client.RequestTimeout = 500 * sim.Millisecond
+	c, err := cluster.New(cfg, noBal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecfg := elastic.DefaultConfig(10 * sim.Second)
+	ecfg.MaxRanks = 2
+	ecfg.PollInterval = 2 * sim.Second
+	ecfg.JoinWarmup = sim.Second
+	ecfg.Cooldown = 2 * sim.Second
+	if _, err := c.EnableElastic(ecfg, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Long enough that both events fire while the run is still live —
+	// the engine stops once the workload drains.
+	c.AddClient(workload.SeparateDirCreates("", 0, 20000))
+	plan := Plan{Events: []Event{
+		{At: 1, Kind: KindGrow},
+		// Past the cooldown after the join commits (t=2), so the shrink
+		// is accepted rather than refused.
+		{At: 6, Kind: KindShrink},
+	}}
+	if err := Apply(c, plan); err != nil {
+		t.Fatal(err)
+	}
+	res := c.Run(5 * sim.Minute)
+	if !res.AllDone {
+		t.Fatal("workload did not finish around the membership churn")
+	}
+	if res.Elastic.Grows != 1 || res.Elastic.Shrinks != 1 {
+		t.Fatalf("grows=%d shrinks=%d, want 1/1 (events %v)",
+			res.Elastic.Grows, res.Elastic.Shrinks, res.ElasticEvents)
+	}
+	if res.PeakRanks != 2 || res.FinalRanks != 1 {
+		t.Fatalf("peak=%d final=%d, want 2/1", res.PeakRanks, res.FinalRanks)
+	}
+	if err := c.NS.CheckInvariants(1, false); err != nil {
+		t.Fatalf("invariants after churn: %v", err)
+	}
+}
+
+// TestElasticFaultsWithoutCoordinatorAreNoops: grow/shrink events on a
+// fixed-size cluster apply cleanly and change nothing — so one chaos plan
+// can run against both elastic and non-elastic configurations.
+func TestElasticFaultsWithoutCoordinatorAreNoops(t *testing.T) {
+	c := newCluster(t, 2, 37, noBal())
+	c.AddClient(workload.SeparateDirCreates("", 0, 2000))
+	plan := Plan{Events: []Event{
+		{At: 1, Kind: KindGrow},
+		{At: 2, Kind: KindShrink},
+	}}
+	if err := Apply(c, plan); err != nil {
+		t.Fatal(err)
+	}
+	res := c.Run(5 * sim.Minute)
+	if !res.AllDone {
+		t.Fatal("workload did not finish")
+	}
+	if got := c.RanksActive(); got != 2 {
+		t.Fatalf("membership moved without a coordinator: %d ranks", got)
+	}
+}
+
 func TestRandomPlanDeterministicAndValid(t *testing.T) {
 	a := RandomPlan(42, 3, 30)
 	b := RandomPlan(42, 3, 30)
@@ -248,6 +315,51 @@ func TestRandomPlanDeterministicAndValid(t *testing.T) {
 	for _, k := range []string{KindCrash, KindPartition, KindLinkLoss, KindOSDSlow, KindBadPolicy} {
 		if !kinds[k] {
 			t.Errorf("200 random plans never produced a %s event", k)
+		}
+	}
+}
+
+func TestRandomElasticPlanExtendsBasePlan(t *testing.T) {
+	a := RandomElasticPlan(42, 3, 30)
+	b := RandomElasticPlan(42, 3, 30)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different plans")
+	}
+	// The promise in the doc comment: existing RandomPlan seeds are
+	// unchanged — the elastic events are strictly appended.
+	base := RandomPlan(42, 3, 30)
+	if len(a.Events) <= len(base.Events) {
+		t.Fatalf("no elastic events appended: %d vs %d", len(a.Events), len(base.Events))
+	}
+	if !reflect.DeepEqual(a.Events[:len(base.Events)], base.Events) {
+		t.Fatal("elastic plan perturbed the base plan's events")
+	}
+	for seed := int64(0); seed < 100; seed++ {
+		p := RandomElasticPlan(seed, 3, 30)
+		if err := p.Validate(3); err != nil {
+			t.Fatalf("seed %d: invalid plan: %v", seed, err)
+		}
+		nb := len(RandomPlan(seed, 3, 30).Events)
+		grows, shrinks := 0, 0
+		for _, ev := range p.Events[nb:] {
+			switch ev.Kind {
+			case KindGrow:
+				grows++
+			case KindShrink:
+				shrinks++
+			default:
+				t.Fatalf("seed %d: appended a %s event", seed, ev.Kind)
+			}
+		}
+		if grows == 0 || grows != shrinks {
+			t.Fatalf("seed %d: %d grows, %d shrinks — want paired and nonzero", seed, grows, shrinks)
+		}
+		// Each pair is appended grow-then-shrink with the shrink later.
+		for i := nb; i < len(p.Events); i += 2 {
+			if p.Events[i].Kind != KindGrow || p.Events[i+1].Kind != KindShrink ||
+				p.Events[i+1].At <= p.Events[i].At {
+				t.Fatalf("seed %d: malformed pair %+v %+v", seed, p.Events[i], p.Events[i+1])
+			}
 		}
 	}
 }

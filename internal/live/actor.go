@@ -20,13 +20,14 @@ import "sync"
 // so a saturated rank stops draining its request lane, the lane fills, and
 // subsequent requests shed — bounded memory end to end.
 type actor struct {
-	rt      *Runtime
-	mu      sync.Mutex
-	cond    *sync.Cond
-	ctrl    []func()
-	reqs    []func()
-	maxReqs int
-	stopped bool
+	rt       *Runtime
+	mu       sync.Mutex
+	cond     *sync.Cond
+	ctrl     []func()
+	reqs     []func()
+	maxReqs  int
+	stopped  bool
+	retiring bool
 	// admit reports whether the rank's MDS can accept another request. It is
 	// only evaluated on the actor goroutine, which is also the only goroutine
 	// mutating the MDS queue, so it needs no locking of its own.
@@ -54,7 +55,7 @@ func (a *actor) post(fn func()) {
 // lane is full or the actor has stopped — the caller sheds the request.
 func (a *actor) offer(fn func()) bool {
 	a.mu.Lock()
-	if a.stopped || len(a.reqs) >= a.maxReqs {
+	if a.stopped || a.retiring || len(a.reqs) >= a.maxReqs {
 		a.mu.Unlock()
 		return false
 	}
@@ -80,16 +81,28 @@ func (a *actor) stop() {
 	a.cond.Broadcast()
 }
 
+// retire makes loop() exit once both lanes are empty — the graceful variant
+// of stop for a rank leaving an otherwise-running cluster: work already
+// mailed (late migration acks, timer callbacks) still executes, new requests
+// are refused, and the goroutine then ends.
+func (a *actor) retire() {
+	a.mu.Lock()
+	a.retiring = true
+	a.mu.Unlock()
+	a.cond.Broadcast()
+}
+
 // loop drains the mailbox: control work first, then admitted requests. Every
 // closure executes under the runtime state lock.
 func (a *actor) loop(wg *sync.WaitGroup) {
 	defer wg.Done()
 	for {
 		a.mu.Lock()
-		for !a.stopped && len(a.ctrl) == 0 && !(len(a.reqs) > 0 && a.admit()) {
+		for !a.stopped && !(a.retiring && len(a.ctrl) == 0 && len(a.reqs) == 0) &&
+			len(a.ctrl) == 0 && !(len(a.reqs) > 0 && a.admit()) {
 			a.cond.Wait()
 		}
-		if a.stopped {
+		if a.stopped || (a.retiring && len(a.ctrl) == 0 && len(a.reqs) == 0) {
 			a.mu.Unlock()
 			return
 		}

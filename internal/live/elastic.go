@@ -1,0 +1,183 @@
+package live
+
+import (
+	"fmt"
+
+	"mantle/internal/core"
+	"mantle/internal/elastic"
+	"mantle/internal/mds"
+	"mantle/internal/namespace"
+	"mantle/internal/rados"
+)
+
+// Elastic membership in the live runtime. The coordinator runs on a
+// dedicated controller actor: its ticks and polls post to the controller's
+// mailbox and execute under stateMu, so membership transitions serialise
+// with rank work the same way everything else does. A join builds a rank
+// (actor + clock + object store + MDS) as a standby, activates it, and
+// widens the router's clamp; a leave drains the top rank through the
+// ordinary migration path, retires the daemon, and lets its actor goroutine
+// exit after the mailbox empties.
+
+// setupElastic wires the controller actor, the when_elastic hook, and the
+// coordinator. Called from New when cfg.MaxRanks > 0.
+func (rt *Runtime) setupElastic() error {
+	cfg := rt.cfg
+	if cfg.MaxRanks > len(rt.mdsAddrs) {
+		return fmt.Errorf("live: MaxRanks %d beyond provisioned table", cfg.MaxRanks)
+	}
+	src := cfg.ElasticPolicy
+	if src == "" {
+		src = core.DefaultElasticScript
+	}
+	hook, err := core.NewElasticHook(src, core.Options{})
+	if err != nil {
+		return fmt.Errorf("live: when_elastic hook: %w", err)
+	}
+	rt.controller = newActor(rt, 1)
+	rt.ctrlClock = &rankClock{rt: rt, a: rt.controller, rng: newRankRand(cfg.Seed, len(rt.mdsAddrs)+1)}
+	// The coordinator journals membership transitions to its own
+	// object-store instance, like each rank journals metadata.
+	pool := rados.NewCluster(rt.ctrlClock, cfg.Rados).Pool("cephfs_metadata")
+	ecfg := elastic.DefaultConfig(cfg.MDS.HeartbeatInterval)
+	if cfg.Elastic != nil {
+		ecfg = *cfg.Elastic
+	}
+	ecfg.MaxRanks = cfg.MaxRanks
+	ecfg.MinRanks = cfg.MinRanks
+	if ecfg.MinRanks < 1 {
+		ecfg.MinRanks = 1
+	}
+	co, err := elastic.New(rt.ctrlClock, (*liveHost)(rt), hook, rados.NewJournal(pool, "elastic", 0), ecfg)
+	if err != nil {
+		return err
+	}
+	rt.coord = co
+	return nil
+}
+
+// Coordinator exposes the membership coordinator (nil for a fixed cluster).
+func (rt *Runtime) Coordinator() *elastic.Coordinator { return rt.coord }
+
+// liveHost adapts the runtime to elastic.Host. Every method is invoked from
+// coordinator callbacks on the controller actor, i.e. under stateMu.
+type liveHost Runtime
+
+func (h *liveHost) rt() *Runtime { return (*Runtime)(h) }
+
+func (h *liveHost) ActiveRanks() int { return len(h.rt().mdss) }
+
+// Metrics feeds the hook: live queue depth read directly from each MDS, the
+// rank's advertised load metrics, and the generator's recent per-rank served
+// latency (the open-loop measurement the SLO uses).
+func (h *liveHost) Metrics() []core.ElasticRankMetrics {
+	rt := h.rt()
+	out := make([]core.ElasticRankMetrics, len(rt.mdss))
+	for r, m := range rt.mdss {
+		hb := m.LastHeartbeat()
+		out[r] = core.ElasticRankMetrics{
+			Queue: float64(m.QueueLen()),
+			Req:   hb.Req,
+			CPU:   hb.CPU,
+			Load:  hb.Auth,
+			LatMS: rt.gen.rankLatencyMs(r),
+		}
+	}
+	return out
+}
+
+func (h *liveHost) SpawnStandby(rank namespace.Rank) error {
+	rt := h.rt()
+	if int(rank) != len(rt.mdss) {
+		return fmt.Errorf("live: spawn for rank %d but active set is [0, %d)", rank, len(rt.mdss))
+	}
+	m, err := rt.buildRank(int(rank))
+	if err != nil {
+		return err
+	}
+	m.SetClusterSize(int(rank) + 1)
+	if rt.started {
+		a := rt.actors[rank]
+		rt.wg.Add(1)
+		go a.loop(&rt.wg)
+	}
+	return nil
+}
+
+func (h *liveHost) ActivateRank(rank namespace.Rank, newSize int) {
+	rt := h.rt()
+	for _, m := range rt.mdss {
+		m.SetClusterSize(newSize)
+	}
+	rt.mdss[rank].Start()
+	rt.gen.rtr.setNumRanks(newSize)
+}
+
+func (h *liveHost) AbortStandby(rank namespace.Rank) {
+	rt := h.rt()
+	m := rt.mdss[rank]
+	m.Retire()
+	rt.actors[rank].retire()
+	rt.retired = append(rt.retired, m.Counters)
+	rt.mdss = rt.mdss[:rank]
+	rt.actors = rt.actors[:rank]
+	rt.clocks = rt.clocks[:rank]
+}
+
+func (h *liveHost) StartDrain(rank namespace.Rank)    { h.rt().mdss[rank].StartDrain() }
+func (h *liveHost) AbortDrain(rank namespace.Rank)    { h.rt().mdss[rank].AbortDrain() }
+func (h *liveHost) Draining(rank namespace.Rank) bool { return h.rt().mdss[rank].Draining() }
+func (h *liveHost) DrainComplete(rank namespace.Rank) bool {
+	return h.rt().mdss[rank].DrainComplete()
+}
+func (h *liveHost) RankCrashed(rank namespace.Rank) bool { return h.rt().mdss[rank].Crashed() }
+
+func (h *liveHost) RetireRank(rank namespace.Rank, newSize int) {
+	rt := h.rt()
+	m := rt.mdss[rank]
+	m.Retire()
+	rt.actors[rank].retire()
+	rt.retired = append(rt.retired, m.Counters)
+	rt.mdss = rt.mdss[:newSize]
+	rt.actors = rt.actors[:newSize]
+	rt.clocks = rt.clocks[:newSize]
+	for _, s := range rt.mdss {
+		s.SetClusterSize(newSize)
+	}
+	rt.gen.rtr.setNumRanks(newSize)
+}
+
+func (h *liveHost) ForceReassign(rank namespace.Rank, newSize int) {
+	rt := h.rt()
+	var live []namespace.Rank
+	for r := 0; r < newSize && r < len(rt.mdss); r++ {
+		if !rt.mdss[r].Crashed() {
+			live = append(live, namespace.Rank(r))
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	i := 0
+	next := func() namespace.Rank {
+		r := live[i%len(live)]
+		i++
+		return r
+	}
+	if rt.ns.EffectiveAuth(rt.ns.Root()) == rank {
+		rt.ns.SetAuthOverride(rt.ns.Root(), next())
+	}
+	for _, root := range rt.ns.SubtreeRoots(rank) {
+		if root.IsFrag {
+			rt.ns.SetFragAuth(root.Dir, root.Frag, next())
+		} else {
+			rt.ns.SetAuthOverride(root.Dir, next())
+		}
+	}
+}
+
+var _ elastic.Host = (*liveHost)(nil)
+
+// retiredCounters snapshots counters of daemons that left the cluster
+// (report folding).
+func (rt *Runtime) retiredCounters() []mds.Counters { return rt.retired }

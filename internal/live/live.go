@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"mantle/internal/balancer"
+	"mantle/internal/elastic"
 	"mantle/internal/mds"
 	"mantle/internal/namespace"
 	"mantle/internal/rados"
@@ -67,6 +68,19 @@ type Config struct {
 	Load LoadConfig
 	// DrainTimeout bounds the shutdown quiesce (pending ops, migrations).
 	DrainTimeout time.Duration
+
+	// MaxRanks > 0 enables the elastic coordinator: the pool may grow to
+	// MaxRanks (addresses are pre-provisioned) and shrink to MinRanks
+	// (default 1), driven by the when_elastic hook in ElasticPolicy.
+	// Zero leaves the cluster fixed at Ranks.
+	MaxRanks int
+	MinRanks int
+	// ElasticPolicy is the when_elastic Lua hook source ("" uses the
+	// built-in queue/latency thresholds, core.DefaultElasticScript).
+	ElasticPolicy string
+	// Elastic optionally overrides coordinator tuning; nil derives
+	// defaults from the heartbeat interval. MinRanks/MaxRanks above win.
+	Elastic *elastic.Config
 }
 
 // DefaultConfig returns a live config mirroring the simulator's calibrated
@@ -107,6 +121,15 @@ type Runtime struct {
 	gen       *loadgen
 	wg        sync.WaitGroup
 	started   bool
+
+	// Elastic membership (nil/empty for a fixed-size cluster). The
+	// controller actor hosts the coordinator's timers so membership
+	// transitions serialise with rank work under stateMu like everything
+	// else.
+	controller *actor
+	ctrlClock  *rankClock
+	coord      *elastic.Coordinator
+	retired    []mds.Counters
 }
 
 // New wires a runtime: namespace, transport, one actor+clock+MDS per rank,
@@ -135,34 +158,33 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.Load.Duration <= 0 {
 		return nil, fmt.Errorf("live: Load.Duration must be positive")
 	}
+	if cfg.MaxRanks > 0 && cfg.MaxRanks < cfg.Ranks {
+		return nil, fmt.Errorf("live: MaxRanks %d below initial Ranks %d", cfg.MaxRanks, cfg.Ranks)
+	}
 	rt := &Runtime{cfg: cfg, startWall: time.Now()}
 	rt.ns = namespace.New(cfg.HalfLife)
 	rt.transport = newTransport(rt, cfg.Net, cfg.Seed^0x74726e73)
-	for r := 0; r < cfg.Ranks; r++ {
+	maxRanks := cfg.Ranks
+	if cfg.MaxRanks > maxRanks {
+		maxRanks = cfg.MaxRanks
+	}
+	for r := 0; r < maxRanks; r++ {
 		rt.mdsAddrs = append(rt.mdsAddrs, simnet.Addr(r))
 	}
 	for r := 0; r < cfg.Ranks; r++ {
-		rank := namespace.Rank(r)
-		bal, err := cfg.Factory(rank)
-		if err != nil {
-			return nil, fmt.Errorf("live: balancer for rank %d: %w", r, err)
+		if _, err := rt.buildRank(r); err != nil {
+			return nil, err
 		}
-		a := newActor(rt, cfg.MailboxDepth)
-		clk := &rankClock{rt: rt, a: a, rng: newRankRand(cfg.Seed, r)}
-		// Each rank gets its own object-store instance on its clock, so
-		// journal completions post back to the owning actor. Journals are
-		// rank-named, so nothing is shared between the instances.
-		pool := rados.NewCluster(clk, cfg.Rados).Pool("cephfs_metadata")
-		rt.transport.bind(rt.mdsAddrs[r], a)
-		m := mds.New(rank, rt.mdsAddrs[r], clk, rt.transport, rt.ns, pool,
-			cfg.MDS, balancer.NewVersioned(bal), rt.mdsAddrs)
-		limit := cfg.AdmitQueue
-		a.admit = func() bool { return m.QueueLen() < limit }
-		rt.actors = append(rt.actors, a)
-		rt.clocks = append(rt.clocks, clk)
-		rt.mdss = append(rt.mdss, m)
+	}
+	for _, m := range rt.mdss {
+		m.SetClusterSize(cfg.Ranks)
 	}
 	rt.gen = newLoadgen(rt, cfg.Load)
+	if cfg.MaxRanks > 0 {
+		if err := rt.setupElastic(); err != nil {
+			return nil, err
+		}
+	}
 	if rt.gen.cfg.Workload == "zipf" {
 		for _, p := range zipfDirs(rt.gen.cfg.Dirs) {
 			if _, err := rt.ns.CreatePath(p, true); err != nil {
@@ -171,6 +193,31 @@ func New(cfg Config) (*Runtime, error) {
 		}
 	}
 	return rt, nil
+}
+
+// buildRank constructs the actor, clock, object store and MDS for rank r
+// and appends them to the runtime (initial construction and elastic joins).
+// Each rank gets its own object-store instance on its clock, so journal
+// completions post back to the owning actor; journals are rank-named, so
+// nothing is shared between the instances.
+func (rt *Runtime) buildRank(r int) (*mds.MDS, error) {
+	rank := namespace.Rank(r)
+	bal, err := rt.cfg.Factory(rank)
+	if err != nil {
+		return nil, fmt.Errorf("live: balancer for rank %d: %w", r, err)
+	}
+	a := newActor(rt, rt.cfg.MailboxDepth)
+	clk := &rankClock{rt: rt, a: a, rng: newRankRand(rt.cfg.Seed, r)}
+	pool := rados.NewCluster(clk, rt.cfg.Rados).Pool("cephfs_metadata")
+	rt.transport.bind(rt.mdsAddrs[r], a)
+	m := mds.New(rank, rt.mdsAddrs[r], clk, rt.transport, rt.ns, pool,
+		rt.cfg.MDS, balancer.NewVersioned(bal), rt.mdsAddrs)
+	limit := rt.cfg.AdmitQueue
+	a.admit = func() bool { return m.QueueLen() < limit }
+	rt.actors = append(rt.actors, a)
+	rt.clocks = append(rt.clocks, clk)
+	rt.mdss = append(rt.mdss, m)
+	return m, nil
 }
 
 // now is the shared wall-clock origin for every rank clock.
@@ -207,9 +254,16 @@ func (rt *Runtime) Start() {
 		rt.wg.Add(1)
 		go a.loop(&rt.wg)
 	}
+	if rt.controller != nil {
+		rt.wg.Add(1)
+		go rt.controller.loop(&rt.wg)
+	}
 	rt.stateMu.Lock()
 	for _, m := range rt.mdss {
 		m.Start()
+	}
+	if rt.coord != nil {
+		rt.coord.Start()
 	}
 	rt.stateMu.Unlock()
 }
@@ -255,9 +309,14 @@ func (rt *Runtime) drain() (*Report, error) {
 	}
 	rt.gen.flushPending()
 
-	// Phase 2: stop periodic balancing, then wait for migrations mid
-	// two-phase-commit to commit or time out.
+	// Phase 2: freeze membership first (an in-flight transition is left
+	// incomplete, exactly as a coordinator crash would leave it — the
+	// journal records it), then stop periodic balancing and wait for
+	// migrations mid two-phase-commit to commit or time out.
 	rt.stateMu.Lock()
+	if rt.coord != nil {
+		rt.coord.Stop()
+	}
 	for _, m := range rt.mdss {
 		m.Stop()
 	}
@@ -287,6 +346,9 @@ func (rt *Runtime) drain() (*Report, error) {
 		for _, a := range rt.actors {
 			quiet += a.queued()
 		}
+		if rt.controller != nil {
+			quiet += rt.controller.queued()
+		}
 		if quiet == 0 {
 			break
 		}
@@ -294,6 +356,9 @@ func (rt *Runtime) drain() (*Report, error) {
 	}
 	for _, a := range rt.actors {
 		a.stop()
+	}
+	if rt.controller != nil {
+		rt.controller.stop()
 	}
 	rt.wg.Wait()
 
@@ -303,7 +368,7 @@ func (rt *Runtime) drain() (*Report, error) {
 		err = fmt.Errorf("live: drain left %d migrations in flight", wedged)
 	}
 	rt.stateMu.Lock()
-	if ierr := rt.ns.CheckInvariants(rt.cfg.Ranks, false); ierr != nil {
+	if ierr := rt.ns.CheckInvariants(len(rt.mdss), false); ierr != nil {
 		rep.InvariantViolation = ierr.Error()
 		if err == nil {
 			err = fmt.Errorf("live: namespace invariants violated after drain: %w", ierr)

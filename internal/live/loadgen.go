@@ -42,6 +42,14 @@ type LoadConfig struct {
 	WriteRatio float64
 	// Compile configures the compile replay when Workload == "compile".
 	Compile workload.CompileConfig
+	// FlashFactor multiplies Rate while the op stream is in its link phase
+	// (ops tagged workload.PhaseLink), producing the compile flash crowd.
+	// Values <= 1 leave pacing flat.
+	FlashFactor float64
+	// IdleTail keeps the cluster alive under zero arrivals after the stream
+	// ends, giving an elastic policy its quiet window to scale back in
+	// before drain.
+	IdleTail time.Duration
 	// OpTimeout abandons a request whose reply never arrives (crashed rank,
 	// lost message) so the pending set cannot leak.
 	OpTimeout time.Duration
@@ -90,6 +98,11 @@ type loadgen struct {
 	mu      sync.Mutex
 	pending map[uint64]pendingOp
 
+	// rankLat holds a sliding latency window per provisioned rank, fed on
+	// completions and read by the elastic host's Metrics (the per-rank
+	// latency signal when_elastic votes on).
+	rankLat []*latWindow
+
 	nextID atomic.Uint64
 
 	lat       *telemetry.ShardedHistogram
@@ -116,12 +129,24 @@ func newLoadgen(rt *Runtime, cfg LoadConfig) *loadgen {
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
+	for range rt.mdsAddrs {
+		lg.rankLat = append(lg.rankLat, &latWindow{})
+	}
 	for i := 0; i < cfg.Clients; i++ {
 		addr := clientAddrBase + simnet.Addr(i)
 		lg.addrs = append(lg.addrs, addr)
 		rt.transport.Register(addr, lg)
 	}
 	return lg
+}
+
+// rankLatencyMs reports the mean served latency of rank r over the recent
+// window, in milliseconds (0 when the rank served nothing recently).
+func (lg *loadgen) rankLatencyMs(r int) float64 {
+	if r < 0 || r >= len(lg.rankLat) {
+		return 0
+	}
+	return lg.rankLat[r].meanMs(latWindowSpan)
 }
 
 // HandleMessage implements simnet.Handler; invoked on delivery goroutines.
@@ -150,42 +175,68 @@ func (lg *loadgen) HandleMessage(from simnet.Addr, msg simnet.Message) {
 			if v.Forwards > 0 {
 				lg.forwards.Add(uint64(v.Forwards))
 			}
-			lg.lat.Observe(float64(time.Since(p.scheduled)) / float64(time.Microsecond))
+			us := float64(time.Since(p.scheduled)) / float64(time.Microsecond)
+			lg.lat.Observe(us)
+			// The reply's source address is the serving rank.
+			if r := int(from); r >= 0 && r < len(lg.rankLat) {
+				lg.rankLat[r].observe(us)
+			}
 		}
 	case *mds.SessionFlush:
 		lg.flushes.Add(1)
 	}
 }
 
-// run dispatches arrivals until Duration elapses (or the op source dries
-// up), then closes done. The loop wakes every millisecond and issues every
-// op whose scheduled arrival has passed, stamping each with its schedule.
+// run dispatches arrivals until Duration of schedule elapses (or the op
+// source dries up), then holds through IdleTail and closes done. The loop
+// wakes every millisecond and issues every op whose scheduled arrival has
+// passed, stamping each with its schedule. The inter-arrival gap shrinks by
+// FlashFactor while the stream emits link-phase ops, so the flash crowd is
+// a genuine rate spike, not just an op-mix change.
 func (lg *loadgen) run() {
 	defer close(lg.done)
 	next := lg.opSource()
 	start := time.Now()
-	total := int(lg.cfg.Rate * lg.cfg.Duration.Seconds())
 	perOp := time.Duration(float64(time.Second) / lg.cfg.Rate)
-	n := 0
-	for n < total {
+	flashOp := perOp
+	if lg.cfg.FlashFactor > 1 {
+		flashOp = time.Duration(float64(perOp) / lg.cfg.FlashFactor)
+	}
+	sched := time.Duration(0) // schedule offset of the next arrival
+	for sched < lg.cfg.Duration {
 		select {
 		case <-lg.stop:
 			return
 		default:
 		}
-		target := int(float64(time.Since(start)) / float64(perOp))
-		if target > total {
-			target = total
-		}
-		for n < target {
+		elapsed := time.Since(start)
+		for sched < lg.cfg.Duration && sched <= elapsed {
 			op, ok := next()
 			if !ok {
+				lg.idleTail()
 				return
 			}
-			lg.issue(op, start.Add(time.Duration(n)*perOp))
-			n++
+			lg.issue(op, start.Add(sched))
+			if op.Phase == workload.PhaseLink {
+				sched += flashOp
+			} else {
+				sched += perOp
+			}
 		}
 		time.Sleep(time.Millisecond)
+	}
+	lg.idleTail()
+}
+
+// idleTail parks the generator under zero load for IdleTail (shutdown still
+// interrupts it) so scale-in completes while the runtime is still up.
+func (lg *loadgen) idleTail() {
+	if lg.cfg.IdleTail <= 0 {
+		return
+	}
+	select {
+	case <-lg.stop:
+	case <-time.After(lg.cfg.IdleTail):
 	}
 }
 
@@ -267,6 +318,52 @@ func zipfDirs(n int) []string {
 	return out
 }
 
+// latWindowSpan bounds how far back rank latency samples count: old samples
+// from before a rank went idle must not keep its latency signal inflated
+// (that would wedge every shrink vote).
+const latWindowSpan = 5 * time.Second
+
+// latWindow is a fixed ring of timestamped latency samples, safe for
+// concurrent observe (delivery goroutines) and meanMs (the elastic tick).
+type latWindow struct {
+	mu  sync.Mutex
+	buf [512]latSample
+	n   int // total samples ever observed
+}
+
+type latSample struct {
+	at time.Time
+	us float64
+}
+
+func (w *latWindow) observe(us float64) {
+	w.mu.Lock()
+	w.buf[w.n%len(w.buf)] = latSample{at: time.Now(), us: us}
+	w.n++
+	w.mu.Unlock()
+}
+
+func (w *latWindow) meanMs(span time.Duration) float64 {
+	cutoff := time.Now().Add(-span)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	limit := w.n
+	if limit > len(w.buf) {
+		limit = len(w.buf)
+	}
+	sum, cnt := 0.0, 0
+	for i := 0; i < limit; i++ {
+		if s := w.buf[i]; s.at.After(cutoff) {
+			sum += s.us
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt) / 1000
+}
+
 // router is the shared routing cache: the live analogue of the simulated
 // client's hint learning (same longest-prefix and fragment-map rules), made
 // goroutine-safe because replies land on concurrent delivery goroutines
@@ -334,6 +431,15 @@ func (r *router) clamp(rk namespace.Rank) namespace.Rank {
 		return 0
 	}
 	return rk
+}
+
+// setNumRanks moves the clamp when the elastic coordinator changes the
+// active set: stale hints pointing past the boundary re-route to rank 0
+// instead of a retired address.
+func (r *router) setNumRanks(n int) {
+	r.mu.Lock()
+	r.numRanks = n
+	r.mu.Unlock()
 }
 
 // learn folds a reply hint into the cache.

@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"mantle/internal/elastic"
 	"mantle/internal/mds"
 	"mantle/internal/telemetry"
 )
@@ -62,6 +63,13 @@ type Report struct {
 	WedgedMigrations int
 	// InvariantViolation is the post-drain namespace check failure (""=ok).
 	InvariantViolation string
+
+	// Elastic membership (zero unless the coordinator was enabled).
+	Membership []elastic.Event
+	ElasticOps elastic.Counters
+	// FinalRanks / PeakRanks bracket the active rank count over the run.
+	FinalRanks int
+	PeakRanks  int
 }
 
 // collect assembles the report after the actors have stopped.
@@ -90,15 +98,32 @@ func (rt *Runtime) collect(wedged int) *Report {
 		rep.Throughput = float64(rep.Completed) / s
 	}
 	rt.stateMu.Lock()
-	for _, m := range rt.mdss {
-		c := m.Counters
-		rep.PerRank = append(rep.PerRank, c)
+	fold := func(c mds.Counters) {
 		rep.Exports += c.Exports
 		rep.InodesMoved += c.InodesMoved
 		rep.PolicyErrors += c.PolicyErrors
 		rep.PolicyFallbacks += c.PolicyFallbacks
 		rep.Crashes += c.Crashes
 		rep.Recoveries += c.Recoveries
+	}
+	for _, m := range rt.mdss {
+		rep.PerRank = append(rep.PerRank, m.Counters)
+		fold(m.Counters)
+	}
+	// Daemons retired by a shrink still count toward run totals.
+	for _, c := range rt.retired {
+		fold(c)
+	}
+	rep.FinalRanks = len(rt.mdss)
+	rep.PeakRanks = len(rt.mdss)
+	if rt.coord != nil {
+		rep.Membership = append(rep.Membership, rt.coord.Events...)
+		rep.ElasticOps = rt.coord.Counters
+		for _, e := range rep.Membership {
+			if e.Active > rep.PeakRanks {
+				rep.PeakRanks = e.Active
+			}
+		}
 	}
 	rt.stateMu.Unlock()
 	return rep
@@ -118,6 +143,14 @@ func (r *Report) Write(w io.Writer) error {
 		r.Sent, r.Delivered, r.DroppedDead, r.DroppedLoss)
 	if r.Crashes > 0 || r.Recoveries > 0 {
 		fmt.Fprintf(bw, "faults: %d crashes, %d recoveries\n", r.Crashes, r.Recoveries)
+	}
+	if len(r.Membership) > 0 {
+		fmt.Fprintf(bw, "elastic: %d grows, %d shrinks (%d forced, %d join aborts, %d leave aborts), peak %d ranks, final %d\n",
+			r.ElasticOps.Grows, r.ElasticOps.Shrinks, r.ElasticOps.ForcedLeaves,
+			r.ElasticOps.JoinAborts, r.ElasticOps.LeaveAborts, r.PeakRanks, r.FinalRanks)
+		for _, e := range r.Membership {
+			fmt.Fprintf(bw, "  %s\n", e)
+		}
 	}
 	if r.WedgedMigrations > 0 {
 		fmt.Fprintf(bw, "WEDGED: %d migrations still in flight after drain\n", r.WedgedMigrations)

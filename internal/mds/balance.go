@@ -67,14 +67,15 @@ func (m *MDS) balancerTick() {
 	}
 	m.hbSeq++
 	hb := Heartbeat{
-		From:  m.rank,
-		Seq:   m.hbSeq,
-		Auth:  reported,
-		All:   reported,
-		CPU:   m.cpuSample(),
-		Mem:   m.memSample(),
-		Queue: float64(m.QueueLen()),
-		Req:   m.lastReqRate,
+		From:     m.rank,
+		Seq:      m.hbSeq,
+		Auth:     reported,
+		All:      reported,
+		CPU:      m.cpuSample(),
+		Mem:      m.memSample(),
+		Queue:    float64(m.QueueLen()),
+		Req:      m.lastReqRate,
+		Draining: m.draining,
 	}
 	m.hbData[m.rank] = hb
 	if m.tel != nil {
@@ -93,13 +94,17 @@ func (m *MDS) balancerTick() {
 	if m.hasMon {
 		m.net.Send(m.addr, m.monAddr, &mon.Beacon{Rank: m.rank, Seq: m.hbSeq})
 	}
-	for r, addr := range m.peers {
+	for r := 0; r < m.numRanks; r++ {
 		if namespace.Rank(r) == m.rank {
 			continue
 		}
 		hbCopy := hb
-		m.net.Send(m.addr, addr, &hbCopy)
+		m.net.Send(m.addr, m.peers[r], &hbCopy)
 		m.Counters.HBsSent++
+	}
+	if m.draining {
+		m.engine.Schedule(m.cfg.RebalanceDelay, m.drainTick)
+		return
 	}
 	m.engine.Schedule(m.cfg.RebalanceDelay, m.rebalance)
 }
@@ -237,6 +242,11 @@ func (m *MDS) rebalance() {
 	for _, t := range order {
 		if m.activeExports >= m.cfg.MaxConcurrentExports {
 			break
+		}
+		// Never target a rank that is draining out of the cluster — it
+		// would nack the discover anyway.
+		if m.hbData[t.rank].Draining {
+			continue
 		}
 		units := m.selectExports(t.amt, selectors)
 		for _, u := range units {

@@ -58,6 +58,8 @@ type MDS struct {
 	ticker     *sim.Ticker
 	crashed    bool
 	recovering bool
+	draining   bool
+	retired    bool
 	monAddr    simnet.Addr
 	hasMon     bool
 
@@ -193,6 +195,8 @@ func (m *MDS) HandleMessage(from simnet.Addr, msg simnet.Message) {
 		m.handleExportPayload(from, v)
 	case *exportAck:
 		m.handleExportAck(v)
+	case *exportNack:
+		m.handleExportNack(v)
 	default:
 		panic(fmt.Sprintf("mds%d: unknown message %T", m.rank, msg))
 	}
@@ -293,6 +297,11 @@ func (m *MDS) ImportsInFlight() int { return len(m.imports) }
 // was taken over during the replay (a promoted standby got there first)
 // stays fenced instead of split-braining the rank.
 func (m *MDS) Recover(done func()) {
+	if m.retired {
+		// The elastic coordinator deregistered this rank; a late
+		// fault-plan recovery must not resurrect it as a zombie member.
+		return
+	}
 	if !m.crashed {
 		if done != nil {
 			done()

@@ -111,7 +111,14 @@ func (m *MDS) abortImport(id uint64) {
 }
 
 // handleExportDiscover (importer): journal the intent, then ack with prep.
+// A draining rank refuses: it is handing its own metadata off and must not
+// accept more (the exporter saw a pre-drain heartbeat, or none at all).
 func (m *MDS) handleExportDiscover(from simnet.Addr, d *exportDiscover) {
+	if m.draining {
+		m.Counters.ImportRefusals++
+		m.net.Send(m.addr, m.peers[d.From], &exportNack{ExportID: d.ExportID, From: m.rank})
+		return
+	}
 	ist := &importState{id: d.ExportID, from: d.From, path: d.Path, isFrag: d.IsFrag, frag: d.Frag, nodes: d.Nodes}
 	m.imports[d.ExportID] = ist
 	if m.cfg.ExportTimeout > 0 {

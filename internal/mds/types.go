@@ -137,6 +137,11 @@ type Heartbeat struct {
 	Mem   float64
 	Queue float64
 	Req   float64
+	// Draining marks a rank that is leaving the cluster: peers must stop
+	// selecting it as a migration target (mechanism, not policy — a
+	// draining rank refuses imports anyway, but honouring the flag avoids
+	// a wasted discover/nack round trip).
+	Draining bool
 }
 
 // exportUnit identifies a migration unit: a whole directory subtree or a
@@ -189,6 +194,13 @@ type (
 	}
 	// exportAck commits: the importer has journaled the import.
 	exportAck struct {
+		ExportID uint64
+		From     namespace.Rank
+	}
+	// exportNack refuses a discover (the importer is draining out of the
+	// cluster); the exporter aborts immediately instead of waiting out the
+	// export timeout.
+	exportNack struct {
 		ExportID uint64
 		From     namespace.Rank
 	}
@@ -393,4 +405,6 @@ type Counters struct {
 	PolicyFallbacks uint64 // balancer versions demoted to last-known-good
 	Crashes         uint64 // simulated failures injected
 	Recoveries      uint64 // journal replays completed
+	DrainExports    uint64 // units exported while draining out of the cluster
+	ImportRefusals  uint64 // discovers nacked because this rank was draining
 }

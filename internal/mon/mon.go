@@ -39,10 +39,14 @@ func DefaultConfig() Config {
 // a later sweep).
 type TakeoverFunc func(rank namespace.Rank) bool
 
-// Monitor tracks beacons and drives takeover.
+// Monitor tracks beacons and drives takeover. It is written against the
+// Clock and Transport seams so the same failure detector runs inside the
+// discrete-event simulator and on the live runtime's wall clock; like the
+// MDS, a Monitor inherits its clock's concurrency contract (the live runtime
+// binds it to a controller actor so beacon handling and sweeps serialize).
 type Monitor struct {
 	addr     simnet.Addr
-	engine   *sim.Engine
+	clock    sim.Clock
 	cfg      Config
 	numRanks int
 	takeover TakeoverFunc
@@ -63,7 +67,7 @@ type Monitor struct {
 }
 
 // New registers a monitor on the network.
-func New(addr simnet.Addr, engine *sim.Engine, net *simnet.Network, numRanks int,
+func New(addr simnet.Addr, clock sim.Clock, net simnet.Transport, numRanks int,
 	cfg Config, takeover TakeoverFunc) *Monitor {
 	if cfg.CheckInterval <= 0 {
 		cfg.CheckInterval = 2 * sim.Second
@@ -73,7 +77,7 @@ func New(addr simnet.Addr, engine *sim.Engine, net *simnet.Network, numRanks int
 	}
 	m := &Monitor{
 		addr:     addr,
-		engine:   engine,
+		clock:    clock,
 		cfg:      cfg,
 		numRanks: numRanks,
 		takeover: takeover,
@@ -92,14 +96,14 @@ func (m *Monitor) Addr() simnet.Addr { return m.addr }
 // restart, where the stale pre-Stop timestamps would otherwise mass-fail the
 // whole cluster on the first sweep.
 func (m *Monitor) Start() {
-	now := m.engine.Now()
+	now := m.clock.Now()
 	for r := 0; r < m.numRanks; r++ {
 		m.lastSeen[namespace.Rank(r)] = now
 	}
 	if m.ticker != nil {
 		m.ticker.Stop()
 	}
-	m.ticker = m.engine.NewTicker(m.cfg.CheckInterval, m.cfg.CheckInterval, m.sweep)
+	m.ticker = m.clock.NewTicker(m.cfg.CheckInterval, m.cfg.CheckInterval, m.sweep)
 }
 
 // Stop halts sweeps.
@@ -115,7 +119,7 @@ func (m *Monitor) HandleMessage(from simnet.Addr, msg simnet.Message) {
 	if !ok {
 		return
 	}
-	m.lastSeen[b.Rank] = m.engine.Now()
+	m.lastSeen[b.Rank] = m.clock.Now()
 	if m.failed[b.Rank] {
 		// The rank is back (a promoted standby or a recovered daemon).
 		delete(m.failed, b.Rank)
@@ -124,7 +128,7 @@ func (m *Monitor) HandleMessage(from simnet.Addr, msg simnet.Message) {
 
 // sweep declares silent ranks failed and promotes standbys.
 func (m *Monitor) sweep() {
-	now := m.engine.Now()
+	now := m.clock.Now()
 	for r := 0; r < m.numRanks; r++ {
 		rank := namespace.Rank(r)
 		if m.failed[rank] {
@@ -154,6 +158,32 @@ func (m *Monitor) sweep() {
 		}
 	}
 }
+
+// SetNumRanks resizes the monitor's view of the active rank set. The elastic
+// coordinator calls this on every membership epoch: a grown-in rank gets a
+// full grace window from now (its first beacon hasn't had time to arrive), a
+// shrunk-out rank's liveness state is discarded so a later sweep cannot
+// declare a deliberately-removed rank failed and trigger a spurious takeover.
+func (m *Monitor) SetNumRanks(n int) {
+	if n < 1 {
+		panic("mon: cluster must keep at least one rank")
+	}
+	now := m.clock.Now()
+	for r := m.numRanks; r < n; r++ {
+		m.lastSeen[namespace.Rank(r)] = now
+	}
+	for r := n; r < m.numRanks; r++ {
+		delete(m.lastSeen, namespace.Rank(r))
+		delete(m.failed, namespace.Rank(r))
+	}
+	m.numRanks = n
+}
+
+// NumRanks reports the monitor's current view of the active rank count.
+func (m *Monitor) NumRanks() int { return m.numRanks }
+
+// RankFailed reports whether the monitor currently considers rank down.
+func (m *Monitor) RankFailed(rank namespace.Rank) bool { return m.failed[rank] }
 
 // FailedRanks lists ranks currently considered down (deterministic order).
 func (m *Monitor) FailedRanks() []namespace.Rank {

@@ -11,25 +11,28 @@ import (
 	"mantle/internal/telemetry"
 )
 
-// benchLiveServe2Rank measures the live serving runtime end to end: a fixed
-// 200 ms open-loop zipf burst against two actor-backed ranks, reporting
+// benchLiveServeNRank measures the live serving runtime end to end: a fixed
+// 200 ms open-loop zipf burst against n actor-backed ranks, reporting
 // completed metadata ops per iteration as simops/op. Wall time per iteration
 // is dominated by the fixed load window plus drain, so ns/op is stable and
 // regression-gate friendly; throughput changes show up in SimOpsPerSec.
-func benchLiveServe2Rank(b *testing.B) {
+// Load scales with the rank count (1000 op/s and 4 clients per rank, one
+// working-set directory shard per client) so the family exposes how fan-in
+// costs — transport, router, actor wakeups — scale from 2 to 32 ranks.
+func benchLiveServeNRank(b *testing.B, ranks int) {
 	var total uint64
 	for i := 0; i < b.N; i++ {
-		cfg := live.DefaultConfig(2, int64(i+1))
+		cfg := live.DefaultConfig(ranks, int64(i+1))
 		cfg.Factory = func(namespace.Rank) (balancer.Balancer, error) {
 			return balancer.NewGreedySpill(), nil
 		}
 		cfg.MDS.HeartbeatInterval = 200 * sim.Millisecond
 		cfg.MDS.RebalanceDelay = 20 * sim.Millisecond
 		cfg.Load = live.LoadConfig{
-			Clients:   8,
-			Rate:      2000,
+			Clients:   4 * ranks,
+			Rate:      1000 * float64(ranks),
 			Duration:  200 * time.Millisecond,
-			Dirs:      32,
+			Dirs:      16 * ranks,
 			Seed:      int64(i + 1),
 			OpTimeout: 2 * time.Second,
 		}
@@ -45,6 +48,10 @@ func benchLiveServe2Rank(b *testing.B) {
 	}
 	b.ReportMetric(float64(total)/float64(b.N), "simops/op")
 }
+
+func benchLiveServe2Rank(b *testing.B)  { benchLiveServeNRank(b, 2) }
+func benchLiveServe8Rank(b *testing.B)  { benchLiveServeNRank(b, 8) }
+func benchLiveServe32Rank(b *testing.B) { benchLiveServeNRank(b, 32) }
 
 // benchShardedHistogramObserve measures the concurrent latency-recording
 // path under parallel writers — the per-op telemetry cost the live runtime

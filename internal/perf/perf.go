@@ -65,6 +65,8 @@ func Benchmarks() []Bench {
 		{"NSHeartbeat16Rank", benchNSHeartbeat16Rank},
 		{"NSHeartbeat16RankX4", benchNSHeartbeat16RankX4},
 		{"LiveServe2Rank", benchLiveServe2Rank},
+		{"LiveServe8Rank", benchLiveServe8Rank},
+		{"LiveServe32Rank", benchLiveServe32Rank},
 		{"ShardedHistogramObserve", benchShardedHistogramObserve},
 	}
 }
@@ -214,9 +216,16 @@ type Regression struct {
 	BaselineNs float64
 	CurrentNs  float64
 	Ratio      float64
+	// BaselineLabel names which historical report supplied the baseline
+	// (empty for single-report comparisons).
+	BaselineLabel string
 }
 
 func (r Regression) String() string {
+	if r.BaselineLabel != "" {
+		return fmt.Sprintf("%s: %.0f (%s) -> %.0f ns/op (%.2fx, tolerance exceeded)",
+			r.Name, r.BaselineNs, r.BaselineLabel, r.CurrentNs, r.Ratio)
+	}
 	return fmt.Sprintf("%s: %.0f -> %.0f ns/op (%.2fx, tolerance exceeded)",
 		r.Name, r.BaselineNs, r.CurrentNs, r.Ratio)
 }
@@ -244,6 +253,69 @@ func CompareReports(baseline, current Report, tolerance float64) []Regression {
 				Ratio:      c.NsPerOp / b.NsPerOp,
 			})
 		}
+	}
+	return out
+}
+
+// CompareHistory gates current against the entire committed benchmark
+// trajectory: each benchmark's baseline is its fastest measurement across
+// all history reports (worst-of gating). Pairwise comparison against only
+// the previous PR's numbers lets a slow creep ratchet in — each PR
+// regresses just under tolerance and the losses compound; comparing against
+// the historical best bounds total drift since the benchmark's best-ever
+// committed run. Benchmarks absent from all of history are skipped, same as
+// CompareReports.
+func CompareHistory(history []Report, current Report, tolerance float64) []Regression {
+	type best struct {
+		ns    float64
+		label string
+	}
+	idx := map[string]best{}
+	for _, rep := range history {
+		for _, r := range rep.Benchmarks {
+			if r.NsPerOp <= 0 {
+				continue
+			}
+			if b, ok := idx[r.Name]; !ok || r.NsPerOp < b.ns {
+				idx[r.Name] = best{ns: r.NsPerOp, label: rep.Label}
+			}
+		}
+	}
+	var out []Regression
+	for _, c := range current.Benchmarks {
+		b, ok := idx[c.Name]
+		if !ok {
+			continue
+		}
+		if c.NsPerOp > b.ns*(1+tolerance) {
+			out = append(out, Regression{
+				Name:          c.Name,
+				BaselineNs:    b.ns,
+				CurrentNs:     c.NsPerOp,
+				Ratio:         c.NsPerOp / b.ns,
+				BaselineLabel: b.label,
+			})
+		}
+	}
+	return out
+}
+
+// Trend renders each benchmark's ns/op across the history (in the order
+// given) plus the current run — the committed trajectory at a glance.
+func Trend(history []Report, current Report) string {
+	all := append(append([]Report{}, history...), current)
+	out := ""
+	for _, c := range current.Benchmarks {
+		line := c.Name + ":"
+		for _, rep := range all {
+			for _, r := range rep.Benchmarks {
+				if r.Name == c.Name {
+					line += fmt.Sprintf(" %.0f (%s)", r.NsPerOp, rep.Label)
+					break
+				}
+			}
+		}
+		out += line + " ns/op\n"
 	}
 	return out
 }

@@ -15,6 +15,9 @@ func BenchmarkNSCreateStorm1M(b *testing.B)         { benchNSCreateStorm1M(b) }
 func BenchmarkNSCreateStorm1MEager(b *testing.B)    { benchNSCreateStorm1MEager(b) }
 func BenchmarkNSHeartbeat16Rank(b *testing.B)       { benchNSHeartbeat16Rank(b) }
 func BenchmarkNSHeartbeat16RankX4(b *testing.B)     { benchNSHeartbeat16RankX4(b) }
+func BenchmarkLiveServe2Rank(b *testing.B)          { benchLiveServe2Rank(b) }
+func BenchmarkLiveServe8Rank(b *testing.B)          { benchLiveServe8Rank(b) }
+func BenchmarkLiveServe32Rank(b *testing.B)         { benchLiveServe32Rank(b) }
 
 func report(pairs map[string]float64) Report {
 	var r Report
@@ -43,5 +46,51 @@ func TestCompareReports(t *testing.T) {
 	// A zero/absent baseline must never divide or flag.
 	if regs := CompareReports(report(map[string]float64{"A": 0}), cur, 0.25); len(regs) != 0 {
 		t.Fatalf("zero baseline flagged %v", regs)
+	}
+}
+
+func labeled(label string, pairs map[string]float64) Report {
+	r := report(pairs)
+	r.Label = label
+	return r
+}
+
+// TestCompareHistory pins the worst-of semantics: the gate is each
+// benchmark's fastest historical measurement, so a creep that stays under
+// tolerance PR-over-PR still fails once it compounds past the best-ever run.
+func TestCompareHistory(t *testing.T) {
+	history := []Report{
+		labeled("v0", map[string]float64{"A": 100, "B": 300, "Zero": 0}),
+		labeled("pr1", map[string]float64{"A": 120, "B": 200}),
+		labeled("pr2", map[string]float64{"A": 115, "B": 240}),
+	}
+	// A at 130: each step vs its predecessor is < 25%, but vs the v0 best
+	// (100) it is 1.3x — the ratchet the history gate exists to catch.
+	cur := labeled("pr3", map[string]float64{"A": 130, "B": 249, "New": 50, "Zero": 10})
+	regs := CompareHistory(history, cur, 0.25)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v, want exactly A", regs)
+	}
+	if regs[0].Name != "A" || regs[0].BaselineLabel != "v0" || regs[0].BaselineNs != 100 {
+		t.Fatalf("regression = %+v", regs[0])
+	}
+	if !strings.Contains(regs[0].String(), "(v0)") {
+		t.Fatalf("rendering = %q", regs[0].String())
+	}
+	// B's best is pr1's 200; 249 stays within 25%.
+	if regs := CompareHistory(history, cur, 0.3); len(regs) != 0 {
+		t.Fatalf("tolerant compare flagged %v", regs)
+	}
+}
+
+func TestTrend(t *testing.T) {
+	history := []Report{
+		labeled("v0", map[string]float64{"A": 100}),
+		labeled("pr1", map[string]float64{"A": 120}),
+	}
+	cur := labeled("pr2", map[string]float64{"A": 110})
+	got := Trend(history, cur)
+	if !strings.Contains(got, "A: 100 (v0) 120 (pr1) 110 (pr2) ns/op") {
+		t.Fatalf("trend = %q", got)
 	}
 }

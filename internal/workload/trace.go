@@ -21,7 +21,9 @@ import (
 //	rename /a/file1 /a/file2
 //	readdir /a
 //
-// Op names match mds.OpType strings.
+// Op names match mds.OpType strings. A `#phase name` directive tags every
+// following op with that phase (rate shapers key off the link phase); plain
+// comments are ignored.
 
 var opByName = map[string]mds.OpType{
 	"create": mds.OpCreate, "mkdir": mds.OpMkdir, "getattr": mds.OpGetattr,
@@ -35,10 +37,14 @@ func ParseTrace(r io.Reader) (*SliceGen, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
 	lineNo := 0
+	phase := ""
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
+			if rest, ok := strings.CutPrefix(line, "#phase"); ok {
+				phase = strings.TrimSpace(rest)
+			}
 			continue
 		}
 		fields := strings.Fields(line)
@@ -59,7 +65,7 @@ func ParseTrace(r io.Reader) (*SliceGen, error) {
 				return nil, fmt.Errorf("trace line %d: path %q is not absolute", lineNo, p)
 			}
 		}
-		o := Op{Type: op, Path: fields[1]}
+		o := Op{Type: op, Path: fields[1], Phase: phase}
 		if op == mds.OpRename {
 			o.DstPath = fields[2]
 		}
@@ -74,7 +80,12 @@ func ParseTrace(r io.Reader) (*SliceGen, error) {
 // WriteTrace renders operations in the trace format.
 func WriteTrace(w io.Writer, ops []Op) error {
 	bw := bufio.NewWriter(w)
+	phase := ""
 	for _, op := range ops {
+		if op.Phase != phase {
+			phase = op.Phase
+			fmt.Fprintf(bw, "#phase %s\n", phase)
+		}
 		if op.Type == mds.OpRename {
 			fmt.Fprintf(bw, "%s %s %s\n", op.Type, op.Path, op.DstPath)
 			continue

@@ -16,6 +16,9 @@ type Op struct {
 	Type    mds.OpType
 	Path    string
 	DstPath string
+	// Phase tags which workload phase produced the op ("" for untagged
+	// generators). Rate shapers key off it (the link-phase flash crowd).
+	Phase string
 }
 
 // Generator produces a client's operation stream. Next returns ok=false

@@ -1,0 +1,45 @@
+-- policy: elastic
+-- The when_elastic hook: the coordinator's grow/shrink vote, evaluated once
+-- per elastic tick against per-rank queue depth and p99 latency (the
+-- Prequal-style signals) plus the pool bounds. Returns > 0 to grow by one
+-- rank, < 0 to shrink by one, 0 to hold; the coordinator adds its own
+-- sustain counts and cooldown on top, so the thresholds here can stay
+-- memoryless.
+--
+-- Tunables: a rank counts as hot past either threshold; the pool grows when
+-- most ranks are hot and shrinks only when every rank is cold. WRstate
+-- tracks consecutive cold ticks so a momentary lull between workload phases
+-- (the compile untar -> link gap) does not flap the pool.
+-- [when_elastic]
+local grow_q, grow_lat = 32, 40
+local shrink_q, shrink_lat = 4, 8
+local cold_ticks_needed = 2
+
+local hot, cold = 0, 0
+for i = 1, active do
+	local m = MDSs[i]
+	if m["q"] > grow_q or m["lat"] > grow_lat then
+		hot = hot + 1
+	end
+	if m["q"] < shrink_q and m["lat"] < shrink_lat then
+		cold = cold + 1
+	end
+end
+
+if hot * 2 > active and active < max_ranks then
+	WRstate(0)
+	return 1
+end
+
+if cold == active and active > min_ranks then
+	local streak = (RDstate() or 0) + 1
+	WRstate(streak)
+	if streak >= cold_ticks_needed then
+		WRstate(0)
+		return -1
+	end
+	return 0
+end
+
+WRstate(0)
+return 0
