@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -50,7 +52,19 @@ func main() {
 	flash := flag.Float64("flash", 1, "rate multiplier during the compile link phase (the flash crowd)")
 	linkPasses := flag.Int("link-passes", 0, "compile workload: readdir sweeps in the link phase (0 = default 3)")
 	idleTail := flag.Duration("idle-tail", 0, "hold the cluster at zero load this long after the stream ends (lets scale-in complete)")
+	seedBounds := flag.Bool("seed-bounds", true, "pre-partition the zipf working set across the initial ranks (warm client mdsmap); false starts everything on rank 0")
+	mutexProfile := flag.String("mutexprofile", "", "write a lock-contention profile to this file after the run")
+	blockProfile := flag.String("blockprofile", "", "write a goroutine-blocking profile to this file after the run")
+	chaosInterval := flag.Duration("chaos-interval", 0, "crash a live rank this often while load runs (0 = no fault injection)")
+	chaosDown := flag.Duration("chaos-down", 300*time.Millisecond, "how long a chaos-crashed rank stays down before recovery")
 	flag.Parse()
+
+	if *mutexProfile != "" {
+		runtime.SetMutexProfileFraction(5)
+	}
+	if *blockProfile != "" {
+		runtime.SetBlockProfileRate(100_000) // sample blocking events >= 100µs
+	}
 
 	p, err := pickPolicy(*policy)
 	if err != nil {
@@ -72,6 +86,7 @@ func main() {
 	}
 	cfg.MailboxDepth = *queue
 	cfg.AdmitQueue = *admit
+	cfg.SeedBounds = *seedBounds
 	cfg.Net.Latency = sim.Time(netLat.Microseconds())
 	cfg.Net.Jitter = sim.Time(netJit.Microseconds())
 	cfg.DrainTimeout = *drainTimeout
@@ -126,10 +141,33 @@ func main() {
 	}
 	fmt.Printf("mantle-serve: %d ranks, policy %s, %v @ %.0f op/s (%s workload)\n",
 		*ranks, p.Name, *duration, *rate, *wl)
+	if *chaosInterval > 0 && *ranks > 1 {
+		fmt.Printf("mantle-serve: chaos every %v (down %v)\n", *chaosInterval, *chaosDown)
+		go func() {
+			// Inject only inside the arrival window so drain measures
+			// recovery, not fresh damage. Victims cycle over ranks 1..N-1;
+			// a victim already retired by a shrink makes the crash a no-op.
+			until := time.Now().Add(*duration)
+			victim := 1
+			for time.Now().Before(until) {
+				time.Sleep(*chaosInterval)
+				if !time.Now().Before(until) {
+					return
+				}
+				r := victim
+				victim = 1 + victim%(*ranks-1)
+				rt.CrashRank(r)
+				time.Sleep(*chaosDown)
+				rt.RecoverRank(r, nil)
+			}
+		}()
+	}
 	rep, runErr := rt.Run()
 	if rep != nil {
 		rep.Write(os.Stdout)
 	}
+	writeProfile("mutex", *mutexProfile)
+	writeProfile("block", *blockProfile)
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, runErr)
 		os.Exit(3)
@@ -140,6 +178,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("SLO: p99 %.3fms <= %.3fms — ok\n", rep.P99, *sloP99)
+	}
+}
+
+// writeProfile dumps a named runtime profile ("mutex", "block") to path.
+func writeProfile(kind, path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s profile: %v\n", kind, err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(kind).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "%s profile: %v\n", kind, err)
 	}
 }
 

@@ -6,8 +6,9 @@ import "sync"
 // the rank — message handling, timer callbacks, crash/recover — execute as
 // closures drained by loop(), so the MDS keeps the single-writer discipline
 // it has in the simulator without growing any internal locking. Closures run
-// under the runtime's global state lock because the namespace (and nothing
-// else) is shared between ranks.
+// under the actor's shard lock (one mutex per rank, see Runtime.shards):
+// rank-local work never contends with other ranks, and cross-rank state —
+// the namespace — synchronises itself via its own two-level tree lock.
 //
 // Work arrives on two lanes:
 //   - ctrl: unbounded, for timer callbacks, peer/migration messages and
@@ -20,7 +21,13 @@ import "sync"
 // so a saturated rank stops draining its request lane, the lane fills, and
 // subsequent requests shed — bounded memory end to end.
 type actor struct {
-	rt       *Runtime
+	rt *Runtime
+	// smu is the rank's shard lock: every closure executes under it, and
+	// runtime-side inspection of the rank (drain polling, report
+	// collection, elastic membership) takes it to observe a consistent
+	// MDS. Only this actor holds it on the hot path, so it is effectively
+	// uncontended.
+	smu      *sync.Mutex
 	mu       sync.Mutex
 	cond     *sync.Cond
 	ctrl     []func()
@@ -34,15 +41,15 @@ type actor struct {
 	admit func() bool
 }
 
-func newActor(rt *Runtime, maxReqs int) *actor {
-	a := &actor{rt: rt, maxReqs: maxReqs, admit: func() bool { return true }}
+func newActor(rt *Runtime, maxReqs int, smu *sync.Mutex) *actor {
+	a := &actor{rt: rt, smu: smu, maxReqs: maxReqs, admit: func() bool { return true }}
 	a.cond = sync.NewCond(&a.mu)
 	return a
 }
 
 // post enqueues fn on the control lane. It never blocks and never refuses,
-// so it is safe to call from timer goroutines, other actors (under the state
-// lock), and the runtime itself. Posts to a stopped actor are dropped when
+// so it is safe to call from timer goroutines, other actors (it only takes
+// the mailbox mutex, never a shard), and the runtime itself. Posts to a stopped actor are dropped when
 // the loop exits; by then the runtime has already drained and collected.
 func (a *actor) post(fn func()) {
 	a.mu.Lock()
@@ -93,7 +100,7 @@ func (a *actor) retire() {
 }
 
 // loop drains the mailbox: control work first, then admitted requests. Every
-// closure executes under the runtime state lock.
+// closure executes under the actor's own shard lock.
 func (a *actor) loop(wg *sync.WaitGroup) {
 	defer wg.Done()
 	for {
@@ -117,8 +124,8 @@ func (a *actor) loop(wg *sync.WaitGroup) {
 			a.reqs = a.reqs[1:]
 		}
 		a.mu.Unlock()
-		a.rt.stateMu.Lock()
+		a.smu.Lock()
 		fn()
-		a.rt.stateMu.Unlock()
+		a.smu.Unlock()
 	}
 }

@@ -12,8 +12,10 @@ import (
 
 // Elastic membership in the live runtime. The coordinator runs on a
 // dedicated controller actor: its ticks and polls post to the controller's
-// mailbox and execute under stateMu, so membership transitions serialise
-// with rank work the same way everything else does. A join builds a rank
+// mailbox and execute under the controller's shard lock. Reaching into a
+// rank — reading metrics, starting a drain, retiring a daemon — locks that
+// rank's shard (ascending order when several are involved), which is the
+// only cross-shard locking in the runtime. A join builds a rank
 // (actor + clock + object store + MDS) as a standby, activates it, and
 // widens the router's clamp; a leave drains the top rank through the
 // ordinary migration path, retires the daemon, and lets its actor goroutine
@@ -34,7 +36,7 @@ func (rt *Runtime) setupElastic() error {
 	if err != nil {
 		return fmt.Errorf("live: when_elastic hook: %w", err)
 	}
-	rt.controller = newActor(rt, 1)
+	rt.controller = newActor(rt, 1, rt.ctrlShard())
 	rt.ctrlClock = &rankClock{rt: rt, a: rt.controller, rng: newRankRand(cfg.Seed, len(rt.mdsAddrs)+1)}
 	// The coordinator journals membership transitions to its own
 	// object-store instance, like each rank journals metadata.
@@ -60,23 +62,45 @@ func (rt *Runtime) setupElastic() error {
 func (rt *Runtime) Coordinator() *elastic.Coordinator { return rt.coord }
 
 // liveHost adapts the runtime to elastic.Host. Every method is invoked from
-// coordinator callbacks on the controller actor, i.e. under stateMu.
+// coordinator callbacks on the controller actor (under the controller's
+// shard); touching a rank's MDS additionally takes that rank's shard, in
+// ascending order when fanning out, per the Runtime.shards discipline.
 type liveHost Runtime
 
 func (h *liveHost) rt() *Runtime { return (*Runtime)(h) }
 
-func (h *liveHost) ActiveRanks() int { return len(h.rt().mdss) }
+func (h *liveHost) ActiveRanks() int {
+	rt := h.rt()
+	rt.memberMu.RLock()
+	defer rt.memberMu.RUnlock()
+	return len(rt.mdss)
+}
+
+// withRank runs fn on rank's daemon under that rank's shard lock.
+func (h *liveHost) withRank(rank namespace.Rank, fn func(*mds.MDS)) {
+	rt := h.rt()
+	rt.memberMu.RLock()
+	m := rt.mdss[rank]
+	rt.memberMu.RUnlock()
+	rt.shards[rank].Lock()
+	fn(m)
+	rt.shards[rank].Unlock()
+}
 
 // Metrics feeds the hook: live queue depth read directly from each MDS, the
 // rank's advertised load metrics, and the generator's recent per-rank served
 // latency (the open-loop measurement the SLO uses).
 func (h *liveHost) Metrics() []core.ElasticRankMetrics {
 	rt := h.rt()
-	out := make([]core.ElasticRankMetrics, len(rt.mdss))
-	for r, m := range rt.mdss {
+	mdss := rt.members()
+	out := make([]core.ElasticRankMetrics, len(mdss))
+	for r, m := range mdss {
+		rt.shards[r].Lock()
 		hb := m.LastHeartbeat()
+		q := m.QueueLen()
+		rt.shards[r].Unlock()
 		out[r] = core.ElasticRankMetrics{
-			Queue: float64(m.QueueLen()),
+			Queue: float64(q),
 			Req:   hb.Req,
 			CPU:   hb.CPU,
 			Load:  hb.Auth,
@@ -88,16 +112,24 @@ func (h *liveHost) Metrics() []core.ElasticRankMetrics {
 
 func (h *liveHost) SpawnStandby(rank namespace.Rank) error {
 	rt := h.rt()
-	if int(rank) != len(rt.mdss) {
-		return fmt.Errorf("live: spawn for rank %d but active set is [0, %d)", rank, len(rt.mdss))
+	rt.memberMu.RLock()
+	active := len(rt.mdss)
+	started := rt.started
+	rt.memberMu.RUnlock()
+	if int(rank) != active {
+		return fmt.Errorf("live: spawn for rank %d but active set is [0, %d)", rank, active)
 	}
 	m, err := rt.buildRank(int(rank))
 	if err != nil {
 		return err
 	}
+	rt.shards[rank].Lock()
 	m.SetClusterSize(int(rank) + 1)
-	if rt.started {
+	rt.shards[rank].Unlock()
+	if started {
+		rt.memberMu.RLock()
 		a := rt.actors[rank]
+		rt.memberMu.RUnlock()
 		rt.wg.Add(1)
 		go a.loop(&rt.wg)
 	}
@@ -106,52 +138,88 @@ func (h *liveHost) SpawnStandby(rank namespace.Rank) error {
 
 func (h *liveHost) ActivateRank(rank namespace.Rank, newSize int) {
 	rt := h.rt()
-	for _, m := range rt.mdss {
+	for r, m := range rt.members() {
+		rt.shards[r].Lock()
 		m.SetClusterSize(newSize)
+		if r == int(rank) {
+			m.Start()
+		}
+		rt.shards[r].Unlock()
 	}
-	rt.mdss[rank].Start()
 	rt.gen.rtr.setNumRanks(newSize)
 }
 
 func (h *liveHost) AbortStandby(rank namespace.Rank) {
-	rt := h.rt()
-	m := rt.mdss[rank]
-	m.Retire()
-	rt.actors[rank].retire()
-	rt.retired = append(rt.retired, m.Counters)
-	rt.mdss = rt.mdss[:rank]
-	rt.actors = rt.actors[:rank]
-	rt.clocks = rt.clocks[:rank]
+	h.removeRank(rank, int(rank), 0)
 }
 
-func (h *liveHost) StartDrain(rank namespace.Rank)    { h.rt().mdss[rank].StartDrain() }
-func (h *liveHost) AbortDrain(rank namespace.Rank)    { h.rt().mdss[rank].AbortDrain() }
-func (h *liveHost) Draining(rank namespace.Rank) bool { return h.rt().mdss[rank].Draining() }
-func (h *liveHost) DrainComplete(rank namespace.Rank) bool {
-	return h.rt().mdss[rank].DrainComplete()
+func (h *liveHost) StartDrain(rank namespace.Rank) {
+	h.withRank(rank, func(m *mds.MDS) { m.StartDrain() })
 }
-func (h *liveHost) RankCrashed(rank namespace.Rank) bool { return h.rt().mdss[rank].Crashed() }
+func (h *liveHost) AbortDrain(rank namespace.Rank) {
+	h.withRank(rank, func(m *mds.MDS) { m.AbortDrain() })
+}
+func (h *liveHost) Draining(rank namespace.Rank) bool {
+	var v bool
+	h.withRank(rank, func(m *mds.MDS) { v = m.Draining() })
+	return v
+}
+func (h *liveHost) DrainComplete(rank namespace.Rank) bool {
+	var v bool
+	h.withRank(rank, func(m *mds.MDS) { v = m.DrainComplete() })
+	return v
+}
+func (h *liveHost) RankCrashed(rank namespace.Rank) bool {
+	var v bool
+	h.withRank(rank, func(m *mds.MDS) { v = m.Crashed() })
+	return v
+}
 
 func (h *liveHost) RetireRank(rank namespace.Rank, newSize int) {
+	h.removeRank(rank, newSize, newSize)
+}
+
+// removeRank retires rank's daemon under its shard, truncates the
+// membership slices to newSize under memberMu, and — when fanout > 0 —
+// pushes the shrunk cluster size to the survivors and narrows the router
+// clamp. The retire and the truncation are separate critical sections by
+// design: shards are never held together with memberMu.
+func (h *liveHost) removeRank(rank namespace.Rank, newSize, fanout int) {
 	rt := h.rt()
-	m := rt.mdss[rank]
+	rt.memberMu.RLock()
+	m, a := rt.mdss[rank], rt.actors[rank]
+	rt.memberMu.RUnlock()
+	rt.shards[rank].Lock()
 	m.Retire()
-	rt.actors[rank].retire()
-	rt.retired = append(rt.retired, m.Counters)
+	c := m.Counters
+	rt.shards[rank].Unlock()
+	a.retire()
+	rt.memberMu.Lock()
+	rt.retired = append(rt.retired, c)
 	rt.mdss = rt.mdss[:newSize]
 	rt.actors = rt.actors[:newSize]
 	rt.clocks = rt.clocks[:newSize]
-	for _, s := range rt.mdss {
-		s.SetClusterSize(newSize)
+	rt.memberMu.Unlock()
+	if fanout == 0 {
+		return
 	}
-	rt.gen.rtr.setNumRanks(newSize)
+	for r, s := range rt.members() {
+		rt.shards[r].Lock()
+		s.SetClusterSize(fanout)
+		rt.shards[r].Unlock()
+	}
+	rt.gen.rtr.setNumRanks(fanout)
 }
 
 func (h *liveHost) ForceReassign(rank namespace.Rank, newSize int) {
 	rt := h.rt()
+	mdss := rt.members()
 	var live []namespace.Rank
-	for r := 0; r < newSize && r < len(rt.mdss); r++ {
-		if !rt.mdss[r].Crashed() {
+	for r := 0; r < newSize && r < len(mdss); r++ {
+		rt.shards[r].Lock()
+		crashed := mdss[r].Crashed()
+		rt.shards[r].Unlock()
+		if !crashed {
 			live = append(live, namespace.Rank(r))
 		}
 	}
@@ -180,4 +248,8 @@ var _ elastic.Host = (*liveHost)(nil)
 
 // retiredCounters snapshots counters of daemons that left the cluster
 // (report folding).
-func (rt *Runtime) retiredCounters() []mds.Counters { return rt.retired }
+func (rt *Runtime) retiredCounters() []mds.Counters {
+	rt.memberMu.RLock()
+	defer rt.memberMu.RUnlock()
+	return append([]mds.Counters(nil), rt.retired...)
+}

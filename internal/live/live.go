@@ -4,17 +4,23 @@
 // transport, and an open-loop load generator measuring per-op latency
 // against SLOs.
 //
-// Concurrency model. internal/mds and internal/namespace stay free of
-// internal locking: each rank's MDS only ever executes on its actor
-// goroutine (messages, timer callbacks, crash/recover all arrive as posted
-// closures), and because the namespace is shared cluster state, every actor
-// closure runs under one global state mutex. The lock is uncontended at
-// metadata-service timescales — the actual bookkeeping per op is a few
-// microseconds while modelled service times keep ranks sleeping — and it
-// buys the exact invariant the simulator has: namespace mutations are
-// serialised. Timers (service completions, balancer ticks, migration
-// timeouts) come from a per-rank sim.Clock implementation backed by
-// time.AfterFunc, so MDS code runs unchanged against either clock.
+// Concurrency model. internal/mds stays free of internal locking: each
+// rank's MDS only ever executes on its actor goroutine (messages, timer
+// callbacks, crash/recover all arrive as posted closures), and every
+// closure runs under that rank's own shard lock — one mutex per rank, held
+// by nobody else on the hot path, so ranks serve concurrently with zero
+// cross-rank contention. The shared state between ranks is the namespace,
+// which synchronises itself: sharded mode (namespace.EnableSharding) gives
+// hot operations a read-locked tree plus per-directory leaf locks and
+// rank-private domains, while structural mutations (migration relabels,
+// rename, fragmentation) take the tree write lock. Cross-rank coordination
+// — elastic membership, drain polling, report collection — is an explicit
+// path that snapshots the membership under memberMu and then locks exactly
+// the participating shards in ascending rank order (see Runtime.shards for
+// the full ordering discipline). Timers (service completions, balancer
+// ticks, migration timeouts) come from a per-rank sim.Clock implementation
+// backed by time.AfterFunc, so MDS code runs unchanged against either
+// clock.
 //
 // Backpressure. Client requests pass through a bounded per-rank mailbox
 // lane; when a rank's MDS queue is full the actor stops draining the lane,
@@ -64,6 +70,12 @@ type Config struct {
 	AdmitQueue int
 	// Seed seeds per-rank RNGs, the transport and the load generator.
 	Seed int64
+	// SeedBounds pre-assigns the zipf working set round-robin across the
+	// initial ranks at construction time and primes the load generator's
+	// router with the same map — the live analogue of clients mounting
+	// with a warm mdsmap. Without it every pre-populated directory starts
+	// on rank 0 and balancer spills are the only path to parallelism.
+	SeedBounds bool
 	// Load configures the open-loop generator.
 	Load LoadConfig
 	// DrainTimeout bounds the shutdown quiesce (pending ops, migrations).
@@ -98,6 +110,7 @@ func DefaultConfig(ranks int, seed int64) Config {
 		MailboxDepth: 256,
 		AdmitQueue:   128,
 		Seed:         seed,
+		SeedBounds:   true,
 		DrainTimeout: 10 * time.Second,
 	}
 }
@@ -106,10 +119,26 @@ func DefaultConfig(ranks int, seed int64) Config {
 type Runtime struct {
 	cfg Config
 
-	// stateMu serialises all shared-state work: every actor closure runs
-	// under it, and runtime-side inspection (drain polling, collection)
-	// takes it too.
-	stateMu sync.Mutex
+	// shards holds one state lock per provisioned rank slot plus one for
+	// the elastic controller (the last element). shards[r] serialises
+	// rank r's world: its MDS, every closure its actor runs, and
+	// runtime-side inspection of that rank. Ordering discipline:
+	//   - a rank actor holds exactly its own shard and never acquires
+	//     another (cross-rank work travels as transport messages, which
+	//     execute on the recipient's actor under the recipient's shard);
+	//   - the controller actor holds its own shard and may additionally
+	//     lock rank shards, one at a time in ascending rank order;
+	//   - the runtime main goroutine (Start, drain, collect) locks shards
+	//     one at a time in ascending order, holding none of its own;
+	//   - nobody acquires a shard while holding memberMu — membership is
+	//     snapshotted under memberMu.RLock, released, then shards locked;
+	//   - namespace tree locks nest inside shard locks (shard → ns),
+	//     never the reverse: namespace code cannot call back into live.
+	shards []*sync.Mutex
+	// memberMu guards the membership slices (actors/clocks/mdss/retired)
+	// and started. Mutations happen at elastic-transition rate; the hot
+	// path never touches it.
+	memberMu sync.RWMutex
 
 	startWall time.Time
 	ns        *namespace.Namespace
@@ -123,19 +152,21 @@ type Runtime struct {
 	started   bool
 
 	// Elastic membership (nil/empty for a fixed-size cluster). The
-	// controller actor hosts the coordinator's timers so membership
-	// transitions serialise with rank work under stateMu like everything
-	// else.
+	// controller actor hosts the coordinator's timers; it owns the last
+	// shard and reaches into rank shards only through the ordered
+	// coordination path above.
 	controller *actor
 	ctrlClock  *rankClock
 	coord      *elastic.Coordinator
 	retired    []mds.Counters
 }
 
-// New wires a runtime: namespace, transport, one actor+clock+MDS per rank,
-// and the load generator. The zipf working set is pre-populated so the first
-// arrivals resolve; all of it lands on rank 0, which is what makes the
-// balancer migrate under load.
+// New wires a runtime: namespace (in sharded mode), transport, one
+// actor+clock+MDS per rank, and the load generator. The zipf working set is
+// pre-populated so the first arrivals resolve; with SeedBounds it is also
+// partitioned round-robin across the initial ranks (and the router primed to
+// match), otherwise all of it lands on rank 0 and only balancer spills
+// spread it.
 func New(cfg Config) (*Runtime, error) {
 	if cfg.Ranks <= 0 {
 		return nil, fmt.Errorf("live: Ranks must be positive")
@@ -162,12 +193,17 @@ func New(cfg Config) (*Runtime, error) {
 		return nil, fmt.Errorf("live: MaxRanks %d below initial Ranks %d", cfg.MaxRanks, cfg.Ranks)
 	}
 	rt := &Runtime{cfg: cfg, startWall: time.Now()}
-	rt.ns = namespace.New(cfg.HalfLife)
-	rt.transport = newTransport(rt, cfg.Net, cfg.Seed^0x74726e73)
 	maxRanks := cfg.Ranks
 	if cfg.MaxRanks > maxRanks {
 		maxRanks = cfg.MaxRanks
 	}
+	rt.ns = namespace.New(cfg.HalfLife)
+	rt.ns.EnableSharding(maxRanks)
+	rt.shards = make([]*sync.Mutex, maxRanks+1)
+	for i := range rt.shards {
+		rt.shards[i] = new(sync.Mutex)
+	}
+	rt.transport = newTransport(rt, cfg.Net, cfg.Seed^0x74726e73)
 	for r := 0; r < maxRanks; r++ {
 		rt.mdsAddrs = append(rt.mdsAddrs, simnet.Addr(r))
 	}
@@ -186,9 +222,23 @@ func New(cfg Config) (*Runtime, error) {
 		}
 	}
 	if rt.gen.cfg.Workload == "zipf" {
-		for _, p := range zipfDirs(rt.gen.cfg.Dirs) {
+		dirs := zipfDirs(rt.gen.cfg.Dirs)
+		for _, p := range dirs {
 			if _, err := rt.ns.CreatePath(p, true); err != nil {
 				return nil, fmt.Errorf("live: pre-populate: %w", err)
+			}
+		}
+		if cfg.SeedBounds && cfg.Ranks > 1 {
+			for i, p := range dirs {
+				rank := namespace.Rank(i % cfg.Ranks)
+				n, err := rt.ns.Resolve(p)
+				if err != nil {
+					return nil, fmt.Errorf("live: seed bounds: %w", err)
+				}
+				if rank != 0 {
+					rt.ns.SetAuthOverride(n, rank)
+				}
+				rt.gen.rtr.seed(p, rank)
 			}
 		}
 	}
@@ -206,7 +256,7 @@ func (rt *Runtime) buildRank(r int) (*mds.MDS, error) {
 	if err != nil {
 		return nil, fmt.Errorf("live: balancer for rank %d: %w", r, err)
 	}
-	a := newActor(rt, rt.cfg.MailboxDepth)
+	a := newActor(rt, rt.cfg.MailboxDepth, rt.shards[r])
 	clk := &rankClock{rt: rt, a: a, rng: newRankRand(rt.cfg.Seed, r)}
 	pool := rados.NewCluster(clk, rt.cfg.Rados).Pool("cephfs_metadata")
 	rt.transport.bind(rt.mdsAddrs[r], a)
@@ -214,10 +264,24 @@ func (rt *Runtime) buildRank(r int) (*mds.MDS, error) {
 		rt.cfg.MDS, balancer.NewVersioned(bal), rt.mdsAddrs)
 	limit := rt.cfg.AdmitQueue
 	a.admit = func() bool { return m.QueueLen() < limit }
+	rt.memberMu.Lock()
 	rt.actors = append(rt.actors, a)
 	rt.clocks = append(rt.clocks, clk)
 	rt.mdss = append(rt.mdss, m)
+	rt.memberMu.Unlock()
 	return m, nil
+}
+
+// ctrlShard is the controller actor's state lock (the last shard).
+func (rt *Runtime) ctrlShard() *sync.Mutex { return rt.shards[len(rt.shards)-1] }
+
+// members snapshots the active daemon set. Each entry's slice index is its
+// rank and therefore its shard index; the snapshot stays safe to use after
+// a concurrent shrink because retired daemons outlive the slices.
+func (rt *Runtime) members() []*mds.MDS {
+	rt.memberMu.RLock()
+	defer rt.memberMu.RUnlock()
+	return append([]*mds.MDS(nil), rt.mdss...)
 }
 
 // now is the shared wall-clock origin for every rank clock.
@@ -227,30 +291,54 @@ func (rt *Runtime) now() sim.Time {
 
 // MDS exposes rank r's daemon (tests; access its state only while the
 // runtime is quiesced or via the rank's actor).
-func (rt *Runtime) MDS(r int) *mds.MDS { return rt.mdss[r] }
+func (rt *Runtime) MDS(r int) *mds.MDS {
+	rt.memberMu.RLock()
+	defer rt.memberMu.RUnlock()
+	return rt.mdss[r]
+}
 
 // CrashRank kills rank r: the crash executes on the rank's own actor, so it
-// serialises with whatever the rank was doing.
+// serialises with whatever the rank was doing. A rank beyond the current
+// membership (already retired by a shrink) is a no-op, so fault injectors
+// need not track elastic transitions.
 func (rt *Runtime) CrashRank(r int) {
-	m := rt.mdss[r]
-	rt.actors[r].post(func() { m.Crash() })
+	rt.memberMu.RLock()
+	if r < 0 || r >= len(rt.mdss) {
+		rt.memberMu.RUnlock()
+		return
+	}
+	m, a := rt.mdss[r], rt.actors[r]
+	rt.memberMu.RUnlock()
+	a.post(func() { m.Crash() })
 }
 
 // RecoverRank replays rank r's journal and rejoins it; done (optional) fires
-// on the rank's actor once serving resumes.
+// on the rank's actor once serving resumes. No-op past the membership edge,
+// like CrashRank.
 func (rt *Runtime) RecoverRank(r int, done func()) {
-	m := rt.mdss[r]
-	rt.actors[r].post(func() { m.Recover(done) })
+	rt.memberMu.RLock()
+	if r < 0 || r >= len(rt.mdss) {
+		rt.memberMu.RUnlock()
+		return
+	}
+	m, a := rt.mdss[r], rt.actors[r]
+	rt.memberMu.RUnlock()
+	a.post(func() { m.Recover(done) })
 }
 
 // Start launches the actors and heartbeat tickers. Run calls it implicitly;
 // it is exposed so tests can inject faults between start and drain.
 func (rt *Runtime) Start() {
+	rt.memberMu.Lock()
 	if rt.started {
+		rt.memberMu.Unlock()
 		return
 	}
 	rt.started = true
-	for _, a := range rt.actors {
+	actors := append([]*actor(nil), rt.actors...)
+	mdss := append([]*mds.MDS(nil), rt.mdss...)
+	rt.memberMu.Unlock()
+	for _, a := range actors {
 		rt.wg.Add(1)
 		go a.loop(&rt.wg)
 	}
@@ -258,14 +346,17 @@ func (rt *Runtime) Start() {
 		rt.wg.Add(1)
 		go rt.controller.loop(&rt.wg)
 	}
-	rt.stateMu.Lock()
-	for _, m := range rt.mdss {
+	for r, m := range mdss {
+		rt.shards[r].Lock()
 		m.Start()
+		rt.shards[r].Unlock()
 	}
 	if rt.coord != nil {
+		cs := rt.ctrlShard()
+		cs.Lock()
 		rt.coord.Start()
+		cs.Unlock()
 	}
-	rt.stateMu.Unlock()
 }
 
 // Run starts everything, generates load for the configured duration, drains,
@@ -312,23 +403,29 @@ func (rt *Runtime) drain() (*Report, error) {
 	// Phase 2: freeze membership first (an in-flight transition is left
 	// incomplete, exactly as a coordinator crash would leave it — the
 	// journal records it), then stop periodic balancing and wait for
-	// migrations mid two-phase-commit to commit or time out.
-	rt.stateMu.Lock()
+	// migrations mid two-phase-commit to commit or time out. Each rank is
+	// stopped and polled under its own shard; the membership snapshot is
+	// re-taken per poll round because a shrink already in the controller's
+	// mailbox may still retire a rank.
 	if rt.coord != nil {
+		cs := rt.ctrlShard()
+		cs.Lock()
 		rt.coord.Stop()
+		cs.Unlock()
 	}
-	for _, m := range rt.mdss {
+	for r, m := range rt.members() {
+		rt.shards[r].Lock()
 		m.Stop()
+		rt.shards[r].Unlock()
 	}
-	rt.stateMu.Unlock()
 	wedged := 0
 	for {
-		rt.stateMu.Lock()
 		inflight := 0
-		for _, m := range rt.mdss {
+		for r, m := range rt.members() {
+			rt.shards[r].Lock()
 			inflight += m.ExportsInFlight() + m.ImportsInFlight()
+			rt.shards[r].Unlock()
 		}
-		rt.stateMu.Unlock()
 		if inflight == 0 {
 			break
 		}
@@ -343,7 +440,10 @@ func (rt *Runtime) drain() (*Report, error) {
 	// posted still run), then stop the actors.
 	for time.Now().Before(deadline) {
 		quiet := 0
-		for _, a := range rt.actors {
+		rt.memberMu.RLock()
+		actors := append([]*actor(nil), rt.actors...)
+		rt.memberMu.RUnlock()
+		for _, a := range actors {
 			quiet += a.queued()
 		}
 		if rt.controller != nil {
@@ -354,7 +454,10 @@ func (rt *Runtime) drain() (*Report, error) {
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	for _, a := range rt.actors {
+	rt.memberMu.RLock()
+	actors := append([]*actor(nil), rt.actors...)
+	rt.memberMu.RUnlock()
+	for _, a := range actors {
 		a.stop()
 	}
 	if rt.controller != nil {
@@ -367,14 +470,15 @@ func (rt *Runtime) drain() (*Report, error) {
 	if wedged > 0 {
 		err = fmt.Errorf("live: drain left %d migrations in flight", wedged)
 	}
-	rt.stateMu.Lock()
-	if ierr := rt.ns.CheckInvariants(len(rt.mdss), false); ierr != nil {
+	rt.memberMu.RLock()
+	ranks := len(rt.mdss)
+	rt.memberMu.RUnlock()
+	if ierr := rt.ns.CheckInvariants(ranks, false); ierr != nil {
 		rep.InvariantViolation = ierr.Error()
 		if err == nil {
 			err = fmt.Errorf("live: namespace invariants violated after drain: %w", ierr)
 		}
 	}
-	rt.stateMu.Unlock()
 	return rep, err
 }
 

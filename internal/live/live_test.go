@@ -24,6 +24,9 @@ func testConfig(ranks int, rate float64, dur time.Duration) Config {
 	cfg.MDS.RecoverPerEntry = 0
 	cfg.MDS.ExportTimeout = 500 * sim.Millisecond
 	cfg.DrainTimeout = 15 * time.Second
+	// Cold-start ownership: these tests exercise the balancer spreading a
+	// rank-0-resident working set, so keep the pre-seeded partition off.
+	cfg.SeedBounds = false
 	cfg.Load = LoadConfig{
 		Clients:   8,
 		Rate:      rate,

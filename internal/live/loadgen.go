@@ -433,6 +433,14 @@ func (r *router) clamp(rk namespace.Rank) namespace.Rank {
 	return rk
 }
 
+// seed pre-loads a subtree→rank mapping before traffic starts (the
+// SeedBounds warm-mdsmap analogue); later learned hints overwrite it.
+func (r *router) seed(path string, rk namespace.Rank) {
+	r.mu.Lock()
+	r.subtree[path] = rk
+	r.mu.Unlock()
+}
+
 // setNumRanks moves the clamp when the elastic coordinator changes the
 // active set: stale hints pointing past the boundary re-route to rank 0
 // instead of a retired address.

@@ -97,7 +97,6 @@ func (rt *Runtime) collect(wedged int) *Report {
 	if s := rep.Duration.Seconds(); s > 0 {
 		rep.Throughput = float64(rep.Completed) / s
 	}
-	rt.stateMu.Lock()
 	fold := func(c mds.Counters) {
 		rep.Exports += c.Exports
 		rep.InodesMoved += c.InodesMoved
@@ -106,26 +105,39 @@ func (rt *Runtime) collect(wedged int) *Report {
 		rep.Crashes += c.Crashes
 		rep.Recoveries += c.Recoveries
 	}
-	for _, m := range rt.mdss {
-		rep.PerRank = append(rep.PerRank, m.Counters)
-		fold(m.Counters)
-	}
-	// Daemons retired by a shrink still count toward run totals.
-	for _, c := range rt.retired {
+	// Per-rank counters are folded shard by shard: snapshot the membership
+	// once, then copy each daemon's counter block under that rank's own
+	// shard lock. Nothing freezes the whole cluster — at 100+ ranks a
+	// global pause here stalled every rank for the length of the pass.
+	mdss := rt.members()
+	rt.memberMu.RLock()
+	retired := append([]mds.Counters(nil), rt.retired...)
+	rt.memberMu.RUnlock()
+	for r, m := range mdss {
+		rt.shards[r].Lock()
+		c := m.Counters
+		rt.shards[r].Unlock()
+		rep.PerRank = append(rep.PerRank, c)
 		fold(c)
 	}
-	rep.FinalRanks = len(rt.mdss)
-	rep.PeakRanks = len(rt.mdss)
+	// Daemons retired by a shrink still count toward run totals.
+	for _, c := range retired {
+		fold(c)
+	}
+	rep.FinalRanks = len(mdss)
+	rep.PeakRanks = len(mdss)
 	if rt.coord != nil {
+		cs := rt.ctrlShard()
+		cs.Lock()
 		rep.Membership = append(rep.Membership, rt.coord.Events...)
 		rep.ElasticOps = rt.coord.Counters
+		cs.Unlock()
 		for _, e := range rep.Membership {
 			if e.Active > rep.PeakRanks {
 				rep.PeakRanks = e.Active
 			}
 		}
 	}
-	rt.stateMu.Unlock()
 	return rep
 }
 

@@ -297,7 +297,7 @@ func (m *MDS) divisible(u exportUnit) bool {
 	if u.isFrag {
 		return false
 	}
-	if u.dir.FragTree().NumLeaves() > 1 {
+	if u.dir.NumFragLeaves() > 1 {
 		return true
 	}
 	hasSubdir := false
@@ -316,8 +316,8 @@ func (m *MDS) divisible(u exportUnit) bool {
 func (m *MDS) expandDir(dir *namespace.Node) []exportUnit {
 	now := m.engine.Now()
 	var out []exportUnit
-	if dir.FragTree().NumLeaves() > 1 {
-		for _, f := range dir.FragTree().Leaves() {
+	if dir.NumFragLeaves() > 1 {
+		for _, f := range dir.FragLeaves() {
 			fs, ok := dir.FragStateOf(f)
 			if !ok || fs.Frozen() {
 				continue

@@ -26,6 +26,7 @@ type MDS struct {
 	engine   sim.Clock
 	net      simnet.Transport
 	ns       *namespace.Namespace
+	nsv      *namespace.View // rank-scoped handle: private resolve cache + hit log
 	cfg      Config
 	bal      balancer.Balancer
 	balState balancer.StateStore
@@ -99,6 +100,7 @@ func New(rank namespace.Rank, addr simnet.Addr, engine sim.Clock, net simnet.Tra
 		engine:   engine,
 		net:      net,
 		ns:       ns,
+		nsv:      ns.View(int(rank)),
 		cfg:      cfg,
 		bal:      bal,
 		balState: state,
@@ -353,14 +355,14 @@ type resolved struct {
 func (m *MDS) resolve(r *Request) (res resolved, auth namespace.Rank, err error) {
 	switch r.Op {
 	case OpCreate, OpMkdir:
-		dir, name, e := m.ns.ResolveDirOf(r.Path)
+		dir, name, e := m.nsv.ResolveDirOf(r.Path)
 		if e != nil {
 			return res, 0, e
 		}
 		res = resolved{dir: dir, name: name}
 		return res, m.ns.AuthForDentry(dir, name), nil
 	case OpUnlink:
-		dir, name, e := m.ns.ResolveDirOf(r.Path)
+		dir, name, e := m.nsv.ResolveDirOf(r.Path)
 		if e != nil {
 			return res, 0, e
 		}
@@ -370,14 +372,14 @@ func (m *MDS) resolve(r *Request) (res resolved, auth namespace.Rank, err error)
 		res = resolved{dir: dir, name: name}
 		return res, m.ns.AuthForDentry(dir, name), nil
 	case OpRename:
-		dir, name, e := m.ns.ResolveDirOf(r.Path)
+		dir, name, e := m.nsv.ResolveDirOf(r.Path)
 		if e != nil {
 			return res, 0, e
 		}
 		res = resolved{dir: dir, name: name}
 		return res, m.ns.AuthForDentry(dir, name), nil
 	case OpReaddir:
-		node, e := m.ns.Resolve(r.Path)
+		node, e := m.nsv.Resolve(r.Path)
 		if e != nil {
 			return res, 0, e
 		}
@@ -387,7 +389,7 @@ func (m *MDS) resolve(r *Request) (res resolved, auth namespace.Rank, err error)
 		res = resolved{dir: node}
 		return res, m.ns.EffectiveAuth(node), nil
 	default: // Getattr, Lookup, Open, Setattr
-		node, e := m.ns.Resolve(r.Path)
+		node, e := m.nsv.Resolve(r.Path)
 		if e != nil {
 			return res, 0, e
 		}
@@ -555,7 +557,7 @@ func (m *MDS) fetchPenalty(r *Request, res resolved) sim.Time {
 		return 0
 	}
 	m.Counters.Fetches++
-	m.ns.RecordOp(res.dir, res.name, namespace.OpFetch, now)
+	m.nsv.RecordOp(res.dir, res.name, namespace.OpFetch, now)
 	return m.cfg.FetchSvc
 }
 
@@ -597,38 +599,38 @@ func (m *MDS) apply(r *Request, res resolved) error {
 	now := m.engine.Now()
 	switch r.Op {
 	case OpCreate, OpMkdir:
-		if _, err := m.ns.Create(res.dir, res.name, r.Op == OpMkdir); err != nil {
+		if _, err := m.nsv.Create(res.dir, res.name, r.Op == OpMkdir); err != nil {
 			return err
 		}
-		m.ns.RecordOp(res.dir, res.name, namespace.OpIWR, now)
+		m.nsv.RecordOp(res.dir, res.name, namespace.OpIWR, now)
 		m.maybeSplit(res.dir, res.name)
 		return nil
 	case OpUnlink:
 		if err := m.ns.Remove(res.dir, res.name); err != nil {
 			return err
 		}
-		m.ns.RecordOp(res.dir, res.name, namespace.OpIWR, now)
+		m.nsv.RecordOp(res.dir, res.name, namespace.OpIWR, now)
 		m.maybeMerge(res.dir, res.name)
 		return nil
 	case OpRename:
-		dstDir, dstName, err := m.ns.ResolveDirOf(r.DstPath)
+		dstDir, dstName, err := m.nsv.ResolveDirOf(r.DstPath)
 		if err != nil {
 			return err
 		}
 		if err := m.ns.Rename(res.dir, res.name, dstDir, dstName); err != nil {
 			return err
 		}
-		m.ns.RecordOp(res.dir, res.name, namespace.OpIWR, now)
-		m.ns.RecordOp(dstDir, dstName, namespace.OpIWR, now)
+		m.nsv.RecordOp(res.dir, res.name, namespace.OpIWR, now)
+		m.nsv.RecordOp(dstDir, dstName, namespace.OpIWR, now)
 		return nil
 	case OpReaddir:
-		m.ns.RecordOp(res.dir, "", namespace.OpReaddir, now)
+		m.nsv.RecordOp(res.dir, "", namespace.OpReaddir, now)
 		return nil
 	case OpSetattr:
-		m.ns.RecordOp(res.dir, res.name, namespace.OpIWR, now)
+		m.nsv.RecordOp(res.dir, res.name, namespace.OpIWR, now)
 		return nil
 	default: // Getattr, Lookup, Open
-		m.ns.RecordOp(res.dir, res.name, namespace.OpIRD, now)
+		m.nsv.RecordOp(res.dir, res.name, namespace.OpIRD, now)
 		return nil
 	}
 }
@@ -650,7 +652,7 @@ func (m *MDS) maybeSplit(dir *namespace.Node, name string) {
 	}
 	m.ns.SplitDir(dir, frag, m.cfg.SplitBits, m.engine.Now())
 	m.Counters.Splits++
-	m.ns.RecordOp(dir, "", namespace.OpStore, m.engine.Now())
+	m.nsv.RecordOp(dir, "", namespace.OpStore, m.engine.Now())
 	m.journal.Append(rados.EntryUpdate, m.cfg.JournalBytesPerOp, nil)
 }
 
@@ -682,7 +684,7 @@ func (m *MDS) maybeMerge(dir *namespace.Node, name string) {
 	}
 	if m.ns.MergeDir(dir, parent, m.cfg.SplitBits, m.engine.Now()) {
 		m.Counters.Merges++
-		m.ns.RecordOp(dir, "", namespace.OpStore, m.engine.Now())
+		m.nsv.RecordOp(dir, "", namespace.OpStore, m.engine.Now())
 		m.journal.Append(rados.EntryUpdate, m.cfg.JournalBytesPerOp, nil)
 	}
 }
@@ -716,10 +718,10 @@ func (m *MDS) hintFor(dir *namespace.Node) Hint {
 	}
 	h := Hint{DirPath: top.Path(), Rank: rank}
 	// Fragment-level hints are attached for the exact directory.
-	if dir.FragTree().NumLeaves() > 1 {
+	if dir.NumFragLeaves() > 1 {
 		split := false
 		var fh []FragHint
-		for _, f := range dir.FragTree().Leaves() {
+		for _, f := range dir.FragLeaves() {
 			fr := rank
 			if fs, ok := dir.FragStateOf(f); ok && fs.Auth() != namespace.RankNone {
 				fr = fs.Auth()

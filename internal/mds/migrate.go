@@ -192,7 +192,7 @@ func (m *MDS) handleExportPayload(from simnet.Addr, p *exportPayload) {
 	// the cleanup timer must not fire underneath it.
 	m.engine.Cancel(ist.timeout)
 	m.journal.Append(rados.EntryImportFinish, 256+ist.nodes/8, func() {
-		node, err := m.ns.Resolve(ist.path)
+		node, err := m.nsv.Resolve(ist.path)
 		if err != nil {
 			// The subtree vanished mid-migration (concurrent
 			// unlink); abort by acking without taking authority.

@@ -20,6 +20,16 @@ import (
 // be computed without temporarily clearing the fragment's label (see
 // AuthLoad).
 func (ns *Namespace) EffectiveAuth(n *Node) Rank {
+	ns.rlock()
+	defer ns.runlock()
+	return ns.effAuthOf(n)
+}
+
+// effAuthOf is EffectiveAuth under either side of the tree lock. Labels and
+// authGen cannot change while any side is held; the memo words are atomic,
+// and concurrent read-side fills for one generation compute identical ranks,
+// so racing stores are idempotent.
+func (ns *Namespace) effAuthOf(n *Node) Rank {
 	if !n.isDir {
 		parent := n.parent
 		if parent == nil {
@@ -48,8 +58,8 @@ func (ns *Namespace) EffectiveAuth(n *Node) Rank {
 			cur = parent
 		}
 	}
-	if n.effGen == ns.authGen {
-		return n.effAuth
+	if w := n.effMemo.Load(); w>>effRankBits == ns.authGen {
+		return Rank(uint16(w)) - 1
 	}
 	// Climb to the nearest cached or labelled ancestor, then fill the
 	// cache back down the chain — every directory passed on the way up
@@ -57,8 +67,8 @@ func (ns *Namespace) EffectiveAuth(n *Node) Rank {
 	var rank Rank
 	cur := n
 	for {
-		if cur.effGen == ns.authGen {
-			rank = cur.effAuth
+		if w := cur.effMemo.Load(); w>>effRankBits == ns.authGen {
+			rank = Rank(uint16(w)) - 1
 			break
 		}
 		if cur.authOverride != RankNone {
@@ -79,9 +89,9 @@ func (ns *Namespace) EffectiveAuth(n *Node) Rank {
 		}
 		cur = parent
 	}
+	word := packEff(ns.authGen, rank)
 	for c := n; ; c = c.parent {
-		c.effAuth = rank
-		c.effGen = ns.authGen
+		c.effMemo.Store(word)
 		if c == cur {
 			break
 		}
@@ -92,11 +102,13 @@ func (ns *Namespace) EffectiveAuth(n *Node) Rank {
 // AuthForDentry resolves the rank authoritative for the dentry name inside
 // dir — the rank that must serve operations on that dentry.
 func (ns *Namespace) AuthForDentry(dir *Node, name string) Rank {
+	ns.rlock()
+	defer ns.runlock()
 	frag := dir.fragtree.LeafOfName(name)
 	if fs := dir.frags[frag]; fs.auth != RankNone {
 		return fs.auth
 	}
-	return ns.EffectiveAuth(dir)
+	return ns.effAuthOf(dir)
 }
 
 // SetAuthOverride labels the directory subtree rooted at n with rank,
@@ -104,6 +116,12 @@ func (ns *Namespace) AuthForDentry(dir *Node, name string) Rank {
 // bound instead (coalescing, which makes migration back to the parent's MDS
 // clean up the partition).
 func (ns *Namespace) SetAuthOverride(n *Node, rank Rank) {
+	ns.wlock()
+	defer ns.wunlock()
+	ns.setAuthOverrideLocked(n, rank)
+}
+
+func (ns *Namespace) setAuthOverrideLocked(n *Node, rank Rank) {
 	if !n.isDir {
 		panic("namespace: authority labels attach to directories")
 	}
@@ -119,10 +137,10 @@ func (ns *Namespace) SetAuthOverride(n *Node, rank Rank) {
 	// may still hold the label being replaced.
 	n.authOverride = RankNone
 	ns.authGen++
-	inherited := ns.EffectiveAuth(n)
+	inherited := ns.effAuthOf(n)
 	if rank == inherited {
 		delete(ns.overrides, n)
-		ns.bidxRemove(n.Path())
+		ns.bidxRemove(n.path())
 	} else {
 		n.authOverride = rank
 		ns.overrides[n] = struct{}{}
@@ -142,16 +160,22 @@ func (ns *Namespace) SetAuthOverride(n *Node, rank Rank) {
 // SetFragAuth labels a single fragment of dir with rank; RankNone or the
 // directory's effective rank clears the label.
 func (ns *Namespace) SetFragAuth(dir *Node, frag Frag, rank Rank) {
+	ns.wlock()
+	defer ns.wunlock()
+	ns.setFragAuthLocked(dir, frag, rank)
+}
+
+func (ns *Namespace) setFragAuthLocked(dir *Node, frag Frag, rank Rank) {
 	fs, ok := dir.frags[frag]
 	if !ok {
-		panic(fmt.Sprintf("namespace: SetFragAuth(%v): not a live frag of %s", frag, dir.Path()))
+		panic(fmt.Sprintf("namespace: SetFragAuth(%v): not a live frag of %s", frag, dir.path()))
 	}
 	fs.auth = RankNone
 	ns.authGen++
-	inherited := ns.EffectiveAuth(dir)
+	inherited := ns.effAuthOf(dir)
 	if rank == RankNone || rank == inherited {
 		delete(ns.fragOverrides, fragKey{dir, frag})
-		ns.bidxRemove(dir.Path() + "#" + frag.String())
+		ns.bidxRemove(dir.path() + "#" + frag.String())
 	} else {
 		fs.auth = rank
 		ns.fragOverrides[fragKey{dir, frag}] = struct{}{}
@@ -170,6 +194,7 @@ func (ns *Namespace) SetFragAuth(dir *Node, frag Frag, rank Rank) {
 }
 
 // clearSubtreeOverrides drops authority labels in a subtree being unlinked.
+// Always called under the write lock in sharded mode.
 func (ns *Namespace) clearSubtreeOverrides(n *Node) {
 	removed := false
 	Walk(n, func(c *Node) bool {
@@ -195,6 +220,8 @@ func (ns *Namespace) clearSubtreeOverrides(n *Node) {
 // Freeze marks the subtree rooted at n as mid-migration; the MDS defers
 // operations that land in frozen subtrees (the paper's migration pauses).
 func (ns *Namespace) Freeze(n *Node, frozen bool) {
+	ns.wlock()
+	defer ns.wunlock()
 	if n.frozen != frozen {
 		if frozen {
 			ns.frozenDirs++
@@ -207,6 +234,8 @@ func (ns *Namespace) Freeze(n *Node, frozen bool) {
 
 // FreezeFrag marks one fragment as mid-migration.
 func (ns *Namespace) FreezeFrag(dir *Node, frag Frag, frozen bool) {
+	ns.wlock()
+	defer ns.wunlock()
 	if fs, ok := dir.frags[frag]; ok {
 		if fs.frozen != frozen {
 			if frozen {
@@ -224,6 +253,8 @@ func (ns *Namespace) FreezeFrag(dir *Node, frag Frag, frozen bool) {
 // overwhelmingly common case on the op fast path — this is two counter
 // checks, not an ancestor walk.
 func (ns *Namespace) FrozenFor(dir *Node, name string) bool {
+	ns.rlock()
+	defer ns.runlock()
 	if ns.hotCaches {
 		if ns.frozenDirs == 0 && ns.frozenFrags == 0 {
 			return false
@@ -271,11 +302,26 @@ func (r SubtreeRoot) Path() string {
 	return r.Dir.Path()
 }
 
+// path is Path for callers already holding the tree lock (index keys).
+func (r SubtreeRoot) path() string {
+	if r.IsFrag {
+		return r.Dir.path() + "#" + r.Frag.String()
+	}
+	return r.Dir.path()
+}
+
 // SubtreeRoots enumerates the current partition bounds, sorted by path for
 // determinism. With rank >= 0 only that rank's bounds are returned. The
 // bounds come straight from the sorted index — no per-call collection or
-// re-sort.
+// re-sort. Takes the write lock in sharded mode: the index rebuild mutates
+// shared state.
 func (ns *Namespace) SubtreeRoots(rank Rank) []SubtreeRoot {
+	ns.wlock()
+	defer ns.wunlock()
+	return ns.subtreeRootsLocked(rank)
+}
+
+func (ns *Namespace) subtreeRootsLocked(rank Rank) []SubtreeRoot {
 	ns.ensureBoundIndex()
 	if len(ns.bidx) == 0 {
 		return nil
@@ -314,7 +360,9 @@ func (ns *Namespace) nearestEnclosingBound(n *Node) (*Node, bool) {
 // here and the fragment owner is passed explicitly instead of being
 // re-derived by temporarily clearing the fragment's label.
 func (ns *Namespace) AuthLoad(numRanks int, now sim.Time, load func(CounterSnapshot) float64) []float64 {
-	ns.FlushCounters()
+	ns.wlock()
+	defer ns.wunlock()
+	ns.flushLocked()
 	ns.ensureBoundIndex()
 	out := make([]float64, numRanks)
 	add := func(rank Rank, v float64) {
@@ -362,6 +410,12 @@ func (ns *Namespace) AuthLoad(numRanks int, now sim.Time, load func(CounterSnaps
 // bounds contribute their dentry counts. Like AuthLoad, a linear pass over
 // the bound index with owners read off the entries.
 func (ns *Namespace) OwnedNodes(numRanks int) []int {
+	ns.wlock()
+	defer ns.wunlock()
+	return ns.ownedNodesLocked(numRanks)
+}
+
+func (ns *Namespace) ownedNodesLocked(numRanks int) []int {
 	ns.ensureBoundIndex()
 	out := make([]int, numRanks)
 	add := func(rank Rank, v int) {
@@ -408,7 +462,7 @@ func (ns *Namespace) recomputeDescendantSpreads(n *Node) {
 	ns.ensureBoundIndex()
 	prefix := "/"
 	if n.parent != nil {
-		prefix = n.Path() + "/"
+		prefix = n.path() + "/"
 	}
 	var last *Node
 	for i := ns.bidxFind(prefix); i < len(ns.bidx); i++ {
@@ -439,7 +493,7 @@ func (ns *Namespace) recomputeSpread(dir *Node) {
 		}
 	}
 	if inherited {
-		owners[ns.EffectiveAuth(dir)] = struct{}{}
+		owners[ns.effAuthOf(dir)] = struct{}{}
 	}
 	if len(owners) == 0 {
 		dir.rankSpread = 1

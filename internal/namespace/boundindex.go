@@ -50,7 +50,7 @@ func (ns *Namespace) ensureBoundIndex() {
 	ns.bidx = ns.bidx[:0]
 	for n := range ns.overrides {
 		ns.bidx = append(ns.bidx, boundEntry{
-			key:  n.Path(),
+			key:  n.path(),
 			root: SubtreeRoot{Dir: n, Frag: RootFrag, Rank: n.authOverride},
 		})
 	}
@@ -60,7 +60,7 @@ func (ns *Namespace) ensureBoundIndex() {
 			continue
 		}
 		ns.bidx = append(ns.bidx, boundEntry{
-			key:  k.node.Path() + "#" + k.frag.String(),
+			key:  k.node.path() + "#" + k.frag.String(),
 			root: SubtreeRoot{Dir: k.node, Frag: k.frag, IsFrag: true, Rank: fs.auth},
 		})
 	}
@@ -74,7 +74,7 @@ func (ns *Namespace) ensureBoundIndex() {
 // bidxDerive recomputes an entry's derived fields from the tree.
 func (ns *Namespace) bidxDerive(e *boundEntry) {
 	if e.root.IsFrag {
-		e.dirOwner = ns.EffectiveAuth(e.root.Dir)
+		e.dirOwner = ns.effAuthOf(e.root.Dir)
 		return
 	}
 	e.encl = nil
@@ -94,7 +94,7 @@ func (ns *Namespace) bidxUpsert(root SubtreeRoot) {
 	if ns.bidxDirty {
 		return
 	}
-	e := boundEntry{key: root.Path(), root: root}
+	e := boundEntry{key: root.path(), root: root}
 	ns.bidxDerive(&e)
 	i := ns.bidxFind(e.key)
 	if i < len(ns.bidx) && ns.bidx[i].key == e.key {
@@ -132,7 +132,7 @@ func (ns *Namespace) bidxRefreshBelow(dir *Node) {
 	if dir.parent == nil {
 		prefixes = []string{"/"} // every key descends from the root
 	} else {
-		base := dir.Path()
+		base := dir.path()
 		prefixes = []string{base + "#", base + "/"}
 	}
 	for _, p := range prefixes {

@@ -25,8 +25,10 @@ import (
 //  10. the incremental bound index is byte-equal to a from-scratch rebuild
 //     (keys, order, ranks, enclosing bounds, fragment-dir owners).
 func (ns *Namespace) CheckInvariants(numRanks int, allowFrozen bool) error {
-	ns.FlushCounters()
-	if n := ns.PendingHits(); n != 0 {
+	ns.wlock()
+	defer ns.wunlock()
+	ns.flushLocked()
+	if n := ns.pendingLocked(); n != 0 {
 		return fmt.Errorf("invariant: %d deferred hits survived FlushCounters", n)
 	}
 	seenOverrides := 0
@@ -37,27 +39,27 @@ func (ns *Namespace) CheckInvariants(numRanks int, allowFrozen bool) error {
 		if n.parent != nil {
 			child, ok := n.parent.children[n.name]
 			if !ok || child != n {
-				return fmt.Errorf("invariant: %s not linked under its parent", n.Path())
+				return fmt.Errorf("invariant: %s not linked under its parent", n.path())
 			}
 		}
-		if auth := ns.EffectiveAuth(n); auth < 0 || (numRanks > 0 && int(auth) >= numRanks) {
-			return fmt.Errorf("invariant: %s has authority %d outside [0,%d)", n.Path(), auth, numRanks)
+		if auth := ns.effAuthOf(n); auth < 0 || (numRanks > 0 && int(auth) >= numRanks) {
+			return fmt.Errorf("invariant: %s has authority %d outside [0,%d)", n.path(), auth, numRanks)
 		}
 		if !n.isDir {
 			if n.SubtreeNodes() != 1 {
-				return fmt.Errorf("invariant: file %s has subtree size %d", n.Path(), n.SubtreeNodes())
+				return fmt.Errorf("invariant: file %s has subtree size %d", n.path(), n.SubtreeNodes())
 			}
 			return nil
 		}
 		if !allowFrozen && n.frozen {
-			return fmt.Errorf("invariant: %s left frozen", n.Path())
+			return fmt.Errorf("invariant: %s left frozen", n.path())
 		}
 		if n.frozen {
 			frozenDirs++
 		}
 		if n.authOverride != RankNone {
 			if _, ok := ns.overrides[n]; !ok && n.parent != nil {
-				return fmt.Errorf("invariant: %s has label %d missing from the override index", n.Path(), n.authOverride)
+				return fmt.Errorf("invariant: %s has label %d missing from the override index", n.path(), n.authOverride)
 			}
 			if n.parent != nil {
 				seenOverrides++
@@ -66,7 +68,7 @@ func (ns *Namespace) CheckInvariants(numRanks int, allowFrozen bool) error {
 		// Fragment checks.
 		leaves := n.fragtree.Leaves()
 		if len(leaves) == 0 {
-			return fmt.Errorf("invariant: %s has no leaf fragments", n.Path())
+			return fmt.Errorf("invariant: %s has no leaf fragments", n.path())
 		}
 		entries := 0
 		owners := map[Rank]struct{}{}
@@ -74,10 +76,10 @@ func (ns *Namespace) CheckInvariants(numRanks int, allowFrozen bool) error {
 		for _, f := range leaves {
 			fs, ok := n.frags[f]
 			if !ok {
-				return fmt.Errorf("invariant: %s leaf %v has no state", n.Path(), f)
+				return fmt.Errorf("invariant: %s leaf %v has no state", n.path(), f)
 			}
 			if !allowFrozen && fs.frozen {
-				return fmt.Errorf("invariant: %s frag %v left frozen", n.Path(), f)
+				return fmt.Errorf("invariant: %s frag %v left frozen", n.path(), f)
 			}
 			if fs.frozen {
 				frozenFrags++
@@ -85,7 +87,7 @@ func (ns *Namespace) CheckInvariants(numRanks int, allowFrozen bool) error {
 			entries += fs.Entries
 			if fs.auth != RankNone {
 				if _, ok := ns.fragOverrides[fragKey{n, f}]; !ok {
-					return fmt.Errorf("invariant: %s frag %v label missing from index", n.Path(), f)
+					return fmt.Errorf("invariant: %s frag %v label missing from index", n.path(), f)
 				}
 				seenFragOverrides++
 				owners[fs.auth] = struct{}{}
@@ -94,34 +96,34 @@ func (ns *Namespace) CheckInvariants(numRanks int, allowFrozen bool) error {
 			}
 		}
 		if len(n.frags) != len(leaves) {
-			return fmt.Errorf("invariant: %s has %d frag states for %d leaves", n.Path(), len(n.frags), len(leaves))
+			return fmt.Errorf("invariant: %s has %d frag states for %d leaves", n.path(), len(n.frags), len(leaves))
 		}
 		if entries != len(n.children) {
-			return fmt.Errorf("invariant: %s frag entries %d != %d children", n.Path(), entries, len(n.children))
+			return fmt.Errorf("invariant: %s frag entries %d != %d children", n.path(), entries, len(n.children))
 		}
 		// Every child must land in the leaf that counts it.
 		for name, child := range n.children {
 			leaf := n.fragtree.LeafOfName(name)
 			if _, ok := n.frags[leaf]; !ok {
-				return fmt.Errorf("invariant: %s child %q hashes to missing frag %v", n.Path(), name, leaf)
+				return fmt.Errorf("invariant: %s child %q hashes to missing frag %v", n.path(), name, leaf)
 			}
 			if err := walk(child); err != nil {
 				return err
 			}
 		}
 		if inherited {
-			owners[ns.EffectiveAuth(n)] = struct{}{}
+			owners[ns.effAuthOf(n)] = struct{}{}
 		}
 		if n.rankSpread != len(owners) {
-			return fmt.Errorf("invariant: %s rankSpread %d, recount %d", n.Path(), n.rankSpread, len(owners))
+			return fmt.Errorf("invariant: %s rankSpread %d, recount %d", n.path(), n.rankSpread, len(owners))
 		}
 		// Subtree size.
 		size := 1
 		for _, c := range n.children {
 			size += c.SubtreeNodes()
 		}
-		if size != n.subtreeNodes {
-			return fmt.Errorf("invariant: %s subtreeNodes %d, recount %d", n.Path(), n.subtreeNodes, size)
+		if size != int(n.subtreeNodes.Load()) {
+			return fmt.Errorf("invariant: %s subtreeNodes %d, recount %d", n.path(), n.subtreeNodes.Load(), size)
 		}
 		return nil
 	}
@@ -148,7 +150,7 @@ func (ns *Namespace) CheckInvariants(numRanks int, allowFrozen bool) error {
 	// Ownership accounting: every node is owned exactly once. (OwnedNodes
 	// reads the bound index, which checkBoundIndex just validated.)
 	if numRanks > 0 {
-		owned := ns.OwnedNodes(numRanks)
+		owned := ns.ownedNodesLocked(numRanks)
 		total := 0
 		for _, v := range owned {
 			total += v
@@ -156,8 +158,8 @@ func (ns *Namespace) CheckInvariants(numRanks int, allowFrozen bool) error {
 		// Frag bounds count dentries rather than whole subtrees, so the
 		// total may undercount when frag-level ownership splits a
 		// directory; allow that slack but never overcounting.
-		if total > ns.count {
-			return fmt.Errorf("invariant: OwnedNodes total %d exceeds node count %d", total, ns.count)
+		if total > int(ns.count.Load()) {
+			return fmt.Errorf("invariant: OwnedNodes total %d exceeds node count %d", total, ns.count.Load())
 		}
 	}
 	return nil

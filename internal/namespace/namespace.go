@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"mantle/internal/sim"
 )
@@ -25,9 +27,9 @@ var (
 // the authority labels and checked by the MDS package.
 type Namespace struct {
 	root     *Node
-	nextIno  InodeID
+	nextIno  atomic.Uint64 // next InodeID; atomic for concurrent creates
 	halfLife sim.Time
-	count    int
+	count    atomic.Int64
 
 	// overrides tracks every directory with an explicit authority label;
 	// fragOverrides tracks fragments owned separately from their
@@ -36,10 +38,9 @@ type Namespace struct {
 	overrides     map[*Node]struct{}
 	fragOverrides map[fragKey]struct{}
 
-	// pendingHits is the deferred RecordOp log; lazy gates it (captured
-	// from DisableLazyCounters at New time).
-	pendingHits []hitRec
-	lazy        bool
+	// lazy gates the deferred RecordOp log (captured from
+	// DisableLazyCounters at New time); the log itself lives per domain.
+	lazy bool
 
 	// hotCaches gates the per-op ancestor-walk memos (EffectiveAuth,
 	// FrozenFor fast path, Path); pool gates slab allocation of file
@@ -47,21 +48,23 @@ type Namespace struct {
 	hotCaches bool
 	pool      bool
 
-	// fileSlab is the tail of the current file-node slab; newFileNode
-	// bump-allocates from it so a million-file create storm costs one heap
-	// allocation per slab instead of one per node. Slots are never reused,
-	// so a node reference can outlive its unlink exactly as it could when
-	// every node was heap-allocated.
-	fileSlab []Node
+	// sharded enables the concurrent ownership mode (see shard.go):
+	// treeMu protects tree structure and authority state, def is the
+	// default ownership domain (the only one in sim mode), domains are
+	// the per-rank ones.
+	sharded bool
+	treeMu  sync.RWMutex
+	def     *domain
+	domains []*domain
 
-	// resCache memoises path resolution; resGen stales it wholesale on
-	// rename/unlink/label changes. Nil when the cache is disabled.
-	resCache map[string]resolveEnt
-	resGen   uint64
+	// resGen stales every domain's resolution cache wholesale on
+	// rename/unlink/label changes.
+	resGen atomic.Uint64
 
 	// authGen versions cached EffectiveAuth values on directory nodes;
 	// pathGen versions cached Path strings. Both start at 1 so node
-	// zero values are always stale.
+	// zero values are always stale. Written only under the write lock in
+	// sharded mode.
 	authGen uint64
 	pathGen uint64
 
@@ -97,10 +100,7 @@ func New(halfLife sim.Time) *Namespace {
 		pathGen:       1,
 		bidxDirty:     true,
 	}
-	if !DisableResolveCache {
-		ns.resCache = make(map[string]resolveEnt)
-	}
-	ns.nextIno = 1
+	ns.def = ns.newDomain()
 	ns.root = ns.newDirNode(nil, "")
 	ns.root.authOverride = 0
 	ns.overrides[ns.root] = struct{}{}
@@ -110,7 +110,7 @@ func New(halfLife sim.Time) *Namespace {
 func (ns *Namespace) newDirNode(parent *Node, name string) *Node {
 	n := &Node{
 		name:         name,
-		ino:          ns.nextIno,
+		ino:          InodeID(ns.nextIno.Add(1)),
 		parent:       parent,
 		isDir:        true,
 		ns:           ns,
@@ -119,12 +119,11 @@ func (ns *Namespace) newDirNode(parent *Node, name string) *Node {
 		frags:        map[Frag]*FragState{},
 		counters:     NewCounters(ns.halfLife),
 		authOverride: RankNone,
-		subtreeNodes: 1,
 	}
-	n.frags[RootFrag] = &FragState{Frag: RootFrag, Counters: NewCounters(ns.halfLife), auth: RankNone}
+	n.subtreeNodes.Store(1)
+	n.frags[RootFrag] = &FragState{Frag: RootFrag, Counters: NewCounters(ns.halfLife), auth: RankNone, ns: ns}
 	n.rankSpread = 1
-	ns.nextIno++
-	ns.count++
+	ns.count.Add(1)
 	return n
 }
 
@@ -132,24 +131,23 @@ func (ns *Namespace) newDirNode(parent *Node, name string) *Node {
 // heap allocation keeps blocks around 128 KiB.
 const fileSlabSize = 512
 
-func (ns *Namespace) newFileNode(parent *Node, name string) *Node {
+func (ns *Namespace) newFileNode(d *domain, parent *Node, name string) *Node {
 	var n *Node
 	if ns.pool {
-		if len(ns.fileSlab) == 0 {
-			ns.fileSlab = make([]Node, fileSlabSize)
+		if len(d.fileSlab) == 0 {
+			d.fileSlab = make([]Node, fileSlabSize)
 		}
-		n = &ns.fileSlab[0]
-		ns.fileSlab = ns.fileSlab[1:]
+		n = &d.fileSlab[0]
+		d.fileSlab = d.fileSlab[1:]
 	} else {
 		n = &Node{}
 	}
 	n.name = name
-	n.ino = ns.nextIno
+	n.ino = InodeID(ns.nextIno.Add(1))
 	n.parent = parent
 	n.ns = ns
 	n.authOverride = RankNone
-	ns.nextIno++
-	ns.count++
+	ns.count.Add(1)
 	return n
 }
 
@@ -157,7 +155,7 @@ func (ns *Namespace) newFileNode(parent *Node, name string) *Node {
 func (ns *Namespace) Root() *Node { return ns.root }
 
 // NumNodes reports the total number of nodes in the tree.
-func (ns *Namespace) NumNodes() int { return ns.count }
+func (ns *Namespace) NumNodes() int { return int(ns.count.Load()) }
 
 // HalfLife reports the popularity-counter half-life.
 func (ns *Namespace) HalfLife() sim.Time { return ns.halfLife }
@@ -184,7 +182,13 @@ func SplitPath(path string) ([]string, error) {
 // answered by the resolution cache (see rescache.go); misses and every
 // failure take the original component walk so error values are unchanged.
 func (ns *Namespace) Resolve(path string) (*Node, error) {
-	if n := ns.cacheResolve(path); n != nil {
+	ns.rlock()
+	defer ns.runlock()
+	return ns.resolveIn(ns.def, path)
+}
+
+func (ns *Namespace) resolveIn(d *domain, path string) (*Node, error) {
+	if n := ns.cacheResolve(d, path); n != nil {
 		return n, nil
 	}
 	parts, err := SplitPath(path)
@@ -194,15 +198,15 @@ func (ns *Namespace) Resolve(path string) (*Node, error) {
 	cur := ns.root
 	for _, p := range parts {
 		if !cur.isDir {
-			return nil, fmt.Errorf("%w: %s", ErrNotDir, cur.Path())
+			return nil, fmt.Errorf("%w: %s", ErrNotDir, cur.path())
 		}
-		next, ok := cur.children[p]
+		next, ok := cur.childGet(p)
 		if !ok {
-			return nil, fmt.Errorf("%w: %s/%s", ErrNotExist, cur.Path(), p)
+			return nil, fmt.Errorf("%w: %s/%s", ErrNotExist, cur.path(), p)
 		}
 		cur = next
 	}
-	ns.cachePut(path, cur)
+	ns.cachePut(d, path, cur)
 	return cur, nil
 }
 
@@ -212,7 +216,13 @@ func (ns *Namespace) Resolve(path string) (*Node, error) {
 // directory costs one map lookup per create after the first — and populated
 // on the slow path.
 func (ns *Namespace) ResolveDirOf(path string) (*Node, string, error) {
-	if dir, name, ok := ns.cacheResolveDir(path); ok {
+	ns.rlock()
+	defer ns.runlock()
+	return ns.resolveDirOfIn(ns.def, path)
+}
+
+func (ns *Namespace) resolveDirOfIn(d *domain, path string) (*Node, string, error) {
+	if dir, name, ok := ns.cacheResolveDir(d, path); ok {
 		return dir, name, nil
 	}
 	parts, err := SplitPath(path)
@@ -224,55 +234,63 @@ func (ns *Namespace) ResolveDirOf(path string) (*Node, string, error) {
 	}
 	cur := ns.root
 	for _, p := range parts[:len(parts)-1] {
-		next, ok := cur.children[p]
+		next, ok := cur.childGet(p)
 		if !ok {
-			return nil, "", fmt.Errorf("%w: %s/%s", ErrNotExist, cur.Path(), p)
+			return nil, "", fmt.Errorf("%w: %s/%s", ErrNotExist, cur.path(), p)
 		}
 		if !next.isDir {
-			return nil, "", fmt.Errorf("%w: %s", ErrNotDir, next.Path())
+			return nil, "", fmt.Errorf("%w: %s", ErrNotDir, next.path())
 		}
 		cur = next
 	}
 	if prefix, _, ok := splitLast(path); ok && prefix != "" {
-		ns.cachePut(prefix, cur)
+		ns.cachePut(d, prefix, cur)
 	}
 	return cur, parts[len(parts)-1], nil
 }
 
 func (ns *Namespace) attach(parent *Node, n *Node) {
-	parent.children[n.name] = n
+	parent.childPut(n)
 	frag := parent.fragtree.LeafOfName(n.name)
 	parent.frags[frag].Entries++
+	size := n.SubtreeNodes()
 	for cur := parent; cur != nil; cur = cur.parent {
-		cur.subtreeNodes += n.SubtreeNodes()
+		cur.subtreeNodes.Add(int64(size))
 	}
 }
 
 func (ns *Namespace) detach(parent *Node, n *Node) {
-	delete(parent.children, n.name)
+	parent.childDel(n.name)
 	frag := parent.fragtree.LeafOfName(n.name)
 	parent.frags[frag].Entries--
+	size := n.SubtreeNodes()
 	for cur := parent; cur != nil; cur = cur.parent {
-		cur.subtreeNodes -= n.SubtreeNodes()
+		cur.subtreeNodes.Add(int64(-size))
 	}
 }
 
 // Create adds a new file or directory dentry under parent.
 func (ns *Namespace) Create(parent *Node, name string, isDir bool) (*Node, error) {
+	ns.rlock()
+	defer ns.runlock()
+	return ns.createIn(ns.def, parent, name, isDir)
+}
+
+func (ns *Namespace) createIn(d *domain, parent *Node, name string, isDir bool) (*Node, error) {
 	if parent == nil || !parent.isDir {
 		return nil, ErrNotDir
 	}
 	if name == "" || strings.Contains(name, "/") {
 		return nil, fmt.Errorf("%w: bad name %q", ErrInvalidArg, name)
 	}
-	if _, dup := parent.children[name]; dup {
-		return nil, fmt.Errorf("%w: %s/%s", ErrExist, parent.Path(), name)
+	if _, dup := parent.childGet(name); dup {
+		return nil, fmt.Errorf("%w: %s/%s", ErrExist, parent.path(), name)
 	}
 	var n *Node
 	if isDir {
 		n = ns.newDirNode(parent, name)
 	} else {
-		n = ns.newFileNode(parent, name)
+		n = ns.newFileNode(d, parent, name)
 	}
 	ns.attach(parent, n)
 	return n, nil
@@ -281,6 +299,8 @@ func (ns *Namespace) Create(parent *Node, name string, isDir bool) (*Node, error
 // CreatePath creates every missing directory along path and returns the
 // final node, creating it as a directory if isDir or as a file otherwise.
 func (ns *Namespace) CreatePath(path string, isDir bool) (*Node, error) {
+	ns.rlock()
+	defer ns.runlock()
 	parts, err := SplitPath(path)
 	if err != nil {
 		return nil, err
@@ -291,10 +311,10 @@ func (ns *Namespace) CreatePath(path string, isDir bool) (*Node, error) {
 	cur := ns.root
 	for i, p := range parts {
 		last := i == len(parts)-1
-		next, ok := cur.children[p]
+		next, ok := cur.childGet(p)
 		if ok {
 			if !next.isDir && !(last && !isDir) {
-				return nil, fmt.Errorf("%w: %s", ErrNotDir, next.Path())
+				return nil, fmt.Errorf("%w: %s", ErrNotDir, next.path())
 			}
 			if last {
 				return next, nil
@@ -306,7 +326,7 @@ func (ns *Namespace) CreatePath(path string, isDir bool) (*Node, error) {
 		if last {
 			wantDir = isDir
 		}
-		next, err = ns.Create(cur, p, wantDir)
+		next, err = ns.createIn(ns.def, cur, p, wantDir)
 		if err != nil {
 			return nil, err
 		}
@@ -317,19 +337,21 @@ func (ns *Namespace) CreatePath(path string, isDir bool) (*Node, error) {
 
 // Remove unlinks the named dentry. Directories must be empty.
 func (ns *Namespace) Remove(parent *Node, name string) error {
+	ns.wlock()
+	defer ns.wunlock()
 	if parent == nil || !parent.isDir {
 		return ErrNotDir
 	}
 	n, ok := parent.children[name]
 	if !ok {
-		return fmt.Errorf("%w: %s/%s", ErrNotExist, parent.Path(), name)
+		return fmt.Errorf("%w: %s/%s", ErrNotExist, parent.path(), name)
 	}
 	if n.isDir && len(n.children) > 0 {
-		return fmt.Errorf("%w: %s", ErrNotEmpty, n.Path())
+		return fmt.Errorf("%w: %s", ErrNotEmpty, n.path())
 	}
 	// Fold deferred counter charges while n's ancestor chain is intact;
 	// replaying a hit on a detached node would drop its ancestors' share.
-	ns.FlushCounters()
+	ns.flushLocked()
 	ns.clearSubtreeOverrides(n)
 	if n.frozen {
 		ns.frozenDirs--
@@ -345,9 +367,9 @@ func (ns *Namespace) Remove(parent *Node, name string) error {
 	n.parent = nil
 	// The detached node must not keep serving memoised authority/path
 	// state from its old location.
-	n.effGen = 0
-	n.cachedPath = ""
-	ns.count -= n.SubtreeNodes()
+	n.effMemo.Store(0)
+	n.pathMemo.Store(nil)
+	ns.count.Add(int64(-n.SubtreeNodes()))
 	ns.invalidateResolves()
 	return nil
 }
@@ -356,15 +378,17 @@ func (ns *Namespace) Remove(parent *Node, name string) error {
 // existing dentry fails (the MDS layer may unlink first). Renaming a
 // directory into its own subtree fails.
 func (ns *Namespace) Rename(srcDir *Node, srcName string, dstDir *Node, dstName string) error {
+	ns.wlock()
+	defer ns.wunlock()
 	if srcDir == nil || !srcDir.isDir || dstDir == nil || !dstDir.isDir {
 		return ErrNotDir
 	}
 	n, ok := srcDir.children[srcName]
 	if !ok {
-		return fmt.Errorf("%w: %s/%s", ErrNotExist, srcDir.Path(), srcName)
+		return fmt.Errorf("%w: %s/%s", ErrNotExist, srcDir.path(), srcName)
 	}
 	if _, dup := dstDir.children[dstName]; dup {
-		return fmt.Errorf("%w: %s/%s", ErrExist, dstDir.Path(), dstName)
+		return fmt.Errorf("%w: %s/%s", ErrExist, dstDir.path(), dstName)
 	}
 	if n.isDir {
 		for cur := dstDir; cur != nil; cur = cur.parent {
@@ -375,7 +399,7 @@ func (ns *Namespace) Rename(srcDir *Node, srcName string, dstDir *Node, dstName 
 	}
 	// Fold deferred counter charges before the parent chain changes:
 	// hits logged under the old location must replay up the old chain.
-	ns.FlushCounters()
+	ns.flushLocked()
 	ns.detach(srcDir, n)
 	n.name = dstName
 	n.parent = dstDir
@@ -392,7 +416,9 @@ func (ns *Namespace) Rename(srcDir *Node, srcName string, dstDir *Node, dstName 
 }
 
 // Walk visits n and every descendant in deterministic (sorted-child) order.
-// fn returning false prunes the subtree below that node.
+// fn returning false prunes the subtree below that node. Walk takes no tree
+// lock itself (quiesced callers — tests, sim experiments — do not need one);
+// the per-directory accessors it uses are childMu-safe.
 func Walk(n *Node, fn func(*Node) bool) {
 	if !fn(n) {
 		return
@@ -401,7 +427,9 @@ func Walk(n *Node, fn func(*Node) bool) {
 		return
 	}
 	for _, name := range n.ChildNames() {
-		Walk(n.children[name], fn)
+		if c, ok := n.childGet(name); ok {
+			Walk(c, fn)
+		}
 	}
 }
 
@@ -411,6 +439,15 @@ func Walk(n *Node, fn func(*Node) bool) {
 // namespace operation hits that directory or any of its children"). Pass an
 // empty name for whole-directory operations (readdir).
 func (ns *Namespace) RecordOp(dir *Node, name string, k OpKind, now sim.Time) {
+	ns.rlock()
+	ns.recordOpIn(ns.def, dir, name, k, now)
+	ns.runlock()
+}
+
+// recordOpIn charges the frag counters inline (single-writer per frag: only
+// the owning rank's actor serves ops on it) and defers the ancestor walk
+// into the domain's log.
+func (ns *Namespace) recordOpIn(d *domain, dir *Node, name string, k OpKind, now sim.Time) {
 	if dir == nil || !dir.isDir {
 		return
 	}
@@ -432,7 +469,7 @@ func (ns *Namespace) RecordOp(dir *Node, name string, k OpKind, now sim.Time) {
 		// Defer the ancestor walk: one append now, the identical
 		// sequence of Hit calls replayed in arrival order at the next
 		// counter read (see oplog.go).
-		ns.logHit(dir, k, now)
+		d.pendingHits = append(d.pendingHits, hitRec{dir: dir, kind: k, at: now})
 		return
 	}
 	for cur := dir; cur != nil; cur = cur.parent {
@@ -444,6 +481,8 @@ func (ns *Namespace) RecordOp(dir *Node, name string, k OpKind, now sim.Time) {
 // parent frag's entries and heat among them according to the actual dentry
 // rebucketing. Returns the new frags.
 func (ns *Namespace) SplitDir(dir *Node, leaf Frag, bits uint8, now sim.Time) []Frag {
+	ns.wlock()
+	defer ns.wunlock()
 	if !dir.isDir {
 		panic("namespace: SplitDir on file")
 	}
@@ -465,7 +504,7 @@ func (ns *Namespace) SplitDir(dir *Node, leaf Frag, bits uint8, now sim.Time) []
 	oldSnap := old.Counters.Snapshot(now)
 	total := old.Entries
 	for _, kf := range kids {
-		fs := &FragState{Frag: kf, Counters: NewCounters(ns.halfLife), auth: old.auth, Entries: perKid[kf]}
+		fs := &FragState{Frag: kf, Counters: NewCounters(ns.halfLife), auth: old.auth, Entries: perKid[kf], ns: ns}
 		// Seed the child's heat proportionally to the entries it
 		// inherited so the balancer does not see a fragmented hot
 		// directory as suddenly cold.
@@ -499,6 +538,8 @@ func (ns *Namespace) SplitDir(dir *Node, leaf Frag, bits uint8, now sim.Time) []
 // leaves, unfrozen, and owned by the same rank; their entries and heat are
 // combined. Reports whether the merge happened.
 func (ns *Namespace) MergeDir(dir *Node, parent Frag, bits uint8, now sim.Time) bool {
+	ns.wlock()
+	defer ns.wunlock()
 	if !dir.isDir || bits == 0 {
 		return false
 	}
@@ -520,7 +561,7 @@ func (ns *Namespace) MergeDir(dir *Node, parent Frag, bits uint8, now sim.Time) 
 	if !dir.fragtree.Merge(parent, bits) {
 		return false
 	}
-	merged := &FragState{Frag: parent, Counters: NewCounters(ns.halfLife), auth: RankNone}
+	merged := &FragState{Frag: parent, Counters: NewCounters(ns.halfLife), auth: RankNone, ns: ns}
 	var heat CounterSnapshot
 	for i, k := range kids {
 		merged.Entries += states[i].Entries
@@ -536,7 +577,7 @@ func (ns *Namespace) MergeDir(dir *Node, parent Frag, bits uint8, now sim.Time) 
 		// merged bound through the normal path).
 		ns.bidxDirty = true
 		ns.authGen++
-		ns.SetFragAuth(dir, parent, auth)
+		ns.setFragAuthLocked(dir, parent, auth)
 	} else {
 		ns.recomputeSpread(dir)
 	}

@@ -42,22 +42,13 @@ type hitRec struct {
 	at   sim.Time
 }
 
-// logHit defers one ancestor-chain charge.
-func (ns *Namespace) logHit(dir *Node, k OpKind, now sim.Time) {
-	ns.pendingHits = append(ns.pendingHits, hitRec{dir: dir, kind: k, at: now})
-}
-
-// FlushCounters folds every deferred hit into the directory counters along
-// each record's ancestor chain, in arrival order. It is invoked
-// automatically before any directory counter is read and before structural
-// mutations (rename, unlink) that would change an ancestor chain; calling it
-// at any other point is harmless.
-func (ns *Namespace) FlushCounters() {
-	if len(ns.pendingHits) == 0 {
+// flush folds the domain's deferred hits in arrival order.
+func (d *domain) flush() {
+	if len(d.pendingHits) == 0 {
 		return
 	}
-	recs := ns.pendingHits
-	ns.pendingHits = ns.pendingHits[:0]
+	recs := d.pendingHits
+	d.pendingHits = d.pendingHits[:0]
 	for i := range recs {
 		r := &recs[i]
 		for cur := r.dir; cur != nil; cur = cur.parent {
@@ -67,5 +58,41 @@ func (ns *Namespace) FlushCounters() {
 	}
 }
 
+// FlushCounters folds every deferred hit into the directory counters along
+// each record's ancestor chain, in arrival order. It is invoked
+// automatically before any directory counter is read and before structural
+// mutations (rename, unlink) that would change an ancestor chain; calling it
+// at any other point is harmless.
+func (ns *Namespace) FlushCounters() {
+	ns.wlock()
+	defer ns.wunlock()
+	ns.flushLocked()
+}
+
+// flushLocked replays the default domain first, then the rank domains in
+// rank order. In sim mode only the default domain ever holds records, so
+// replay order — and every folded float — is exactly the single-log
+// behaviour. Across concurrently-filled rank domains there is no global
+// arrival order to preserve; per-domain order plus a fixed domain order
+// keeps the fold deterministic given identical per-rank histories.
+func (ns *Namespace) flushLocked() {
+	ns.def.flush()
+	for _, d := range ns.domains {
+		d.flush()
+	}
+}
+
 // PendingHits reports the number of un-folded RecordOp charges (test hook).
-func (ns *Namespace) PendingHits() int { return len(ns.pendingHits) }
+func (ns *Namespace) PendingHits() int {
+	ns.wlock()
+	defer ns.wunlock()
+	return ns.pendingLocked()
+}
+
+func (ns *Namespace) pendingLocked() int {
+	n := len(ns.def.pendingHits)
+	for _, d := range ns.domains {
+		n += len(d.pendingHits)
+	}
+	return n
+}

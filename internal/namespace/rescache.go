@@ -37,27 +37,27 @@ type resolveEnt struct {
 	gen  uint64
 }
 
-// cacheGet answers path from the cache, nil on miss or stale entry.
-func (ns *Namespace) cacheGet(path string) *Node {
-	if e, ok := ns.resCache[path]; ok && e.gen == ns.resGen {
+// cacheGet answers path from the domain's cache, nil on miss or stale entry.
+func (ns *Namespace) cacheGet(d *domain, path string) *Node {
+	if e, ok := d.resCache[path]; ok && e.gen == ns.resGen.Load() {
 		return e.node
 	}
 	return nil
 }
 
 // cachePut records a slow-path resolution success.
-func (ns *Namespace) cachePut(path string, n *Node) {
-	if ns.resCache == nil {
+func (ns *Namespace) cachePut(d *domain, path string, n *Node) {
+	if d.resCache == nil {
 		return
 	}
-	if len(ns.resCache) >= resolveCacheMax {
-		ns.resCache = make(map[string]resolveEnt, resolveCacheMax/4)
+	if len(d.resCache) >= resolveCacheMax {
+		d.resCache = make(map[string]resolveEnt, resolveCacheMax/4)
 	}
-	ns.resCache[path] = resolveEnt{node: n, gen: ns.resGen}
+	d.resCache[path] = resolveEnt{node: n, gen: ns.resGen.Load()}
 }
 
-// invalidateResolves stales every cached resolution.
-func (ns *Namespace) invalidateResolves() { ns.resGen++ }
+// invalidateResolves stales every domain's cached resolutions.
+func (ns *Namespace) invalidateResolves() { ns.resGen.Add(1) }
 
 // simpleComponent reports whether name is a valid single path component by
 // SplitPath's rules (no separators, not empty, not "." or "..").
@@ -89,11 +89,11 @@ func splitLast(path string) (prefix, name string, ok bool) {
 
 // cacheResolve answers Resolve(path) from the cache, nil when the slow path
 // must run (miss, failure, or unsplittable path).
-func (ns *Namespace) cacheResolve(path string) *Node {
-	if ns.resCache == nil {
+func (ns *Namespace) cacheResolve(d *domain, path string) *Node {
+	if d.resCache == nil {
 		return nil
 	}
-	if n := ns.cacheGet(path); n != nil {
+	if n := ns.cacheGet(d, path); n != nil {
 		return n
 	}
 	prefix, name, ok := splitLast(path)
@@ -102,25 +102,25 @@ func (ns *Namespace) cacheResolve(path string) *Node {
 	}
 	dir := ns.root
 	if prefix != "" {
-		if dir = ns.cacheGet(prefix); dir == nil {
+		if dir = ns.cacheGet(d, prefix); dir == nil {
 			return nil
 		}
 	}
 	if !dir.isDir {
 		return nil // slow path reports ErrNotDir with the right message
 	}
-	child, ok2 := dir.children[name]
+	child, ok2 := dir.childGet(name)
 	if !ok2 {
 		return nil // slow path reports ErrNotExist
 	}
-	ns.cachePut(path, child)
+	ns.cachePut(d, path, child)
 	return child
 }
 
 // cacheResolveDir answers ResolveDirOf(path) from the cache. Unlike
 // cacheResolve, the final component need not exist — only its directory.
-func (ns *Namespace) cacheResolveDir(path string) (*Node, string, bool) {
-	if ns.resCache == nil {
+func (ns *Namespace) cacheResolveDir(d *domain, path string) (*Node, string, bool) {
+	if d.resCache == nil {
 		return nil, "", false
 	}
 	prefix, name, ok := splitLast(path)
@@ -130,7 +130,7 @@ func (ns *Namespace) cacheResolveDir(path string) (*Node, string, bool) {
 	if prefix == "" {
 		return ns.root, name, true
 	}
-	dir := ns.cacheGet(prefix)
+	dir := ns.cacheGet(d, prefix)
 	if dir == nil || !dir.isDir {
 		return nil, "", false
 	}

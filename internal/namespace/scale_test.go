@@ -161,10 +161,10 @@ func TestScalePassEquivalence(t *testing.T) {
 			rng := rand.New(rand.NewSource(seed))
 			fast := New(sim.Second / 2)
 			slow := newEagerNamespace(sim.Second / 2)
-			if fast.resCache == nil || !fast.lazy {
+			if fast.def.resCache == nil || !fast.lazy {
 				t.Fatal("fast namespace did not enable the scale pass")
 			}
-			if slow.resCache != nil || slow.lazy {
+			if slow.def.resCache != nil || slow.lazy {
 				t.Fatal("eager namespace still has the scale pass enabled")
 			}
 

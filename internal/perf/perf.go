@@ -67,6 +67,7 @@ func Benchmarks() []Bench {
 		{"LiveServe2Rank", benchLiveServe2Rank},
 		{"LiveServe8Rank", benchLiveServe8Rank},
 		{"LiveServe32Rank", benchLiveServe32Rank},
+		{"LiveServe128Rank", benchLiveServe128Rank},
 		{"ShardedHistogramObserve", benchShardedHistogramObserve},
 	}
 }

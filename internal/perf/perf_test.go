@@ -18,6 +18,7 @@ func BenchmarkNSHeartbeat16RankX4(b *testing.B)     { benchNSHeartbeat16RankX4(b
 func BenchmarkLiveServe2Rank(b *testing.B)          { benchLiveServe2Rank(b) }
 func BenchmarkLiveServe8Rank(b *testing.B)          { benchLiveServe8Rank(b) }
 func BenchmarkLiveServe32Rank(b *testing.B)         { benchLiveServe32Rank(b) }
+func BenchmarkLiveServe128Rank(b *testing.B)        { benchLiveServe128Rank(b) }
 
 func report(pairs map[string]float64) Report {
 	var r Report
