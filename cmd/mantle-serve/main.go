@@ -21,6 +21,7 @@ import (
 	"mantle/internal/balancer"
 	"mantle/internal/core"
 	"mantle/internal/elastic"
+	"mantle/internal/faults"
 	"mantle/internal/live"
 	"mantle/internal/namespace"
 	"mantle/internal/sim"
@@ -57,6 +58,10 @@ func main() {
 	blockProfile := flag.String("blockprofile", "", "write a goroutine-blocking profile to this file after the run")
 	chaosInterval := flag.Duration("chaos-interval", 0, "crash a live rank this often while load runs (0 = no fault injection)")
 	chaosDown := flag.Duration("chaos-down", 300*time.Millisecond, "how long a chaos-crashed rank stays down before recovery")
+	chaosKind := flag.String("chaos-kind", "crash", "chaos fault flavour: crash | partition (isolate the victim from peers and monitor, clients still reachable)")
+	standbys := flag.Int("standbys", 0, "warm standby pool: a monitor-declared-failed rank is replaced after journal replay (enables the monitor)")
+	monGrace := flag.Duration("mon-grace", 0, "declare a rank failed after this much beacon silence (0 with -standbys derives 4x heartbeat; >0 alone enables the monitor without takeover)")
+	faultsFile := flag.String("faults", "", "JSON fault plan file injected against the live runtime (same schema as mantle-sim -faults; endpoint -2 = the monitor)")
 	flag.Parse()
 
 	if *mutexProfile != "" {
@@ -90,6 +95,8 @@ func main() {
 	cfg.Net.Latency = sim.Time(netLat.Microseconds())
 	cfg.Net.Jitter = sim.Time(netJit.Microseconds())
 	cfg.DrainTimeout = *drainTimeout
+	cfg.Standbys = *standbys
+	cfg.MonGrace = *monGrace
 	cfg.Load = live.LoadConfig{
 		Clients:     *clients,
 		Rate:        *rate,
@@ -139,14 +146,36 @@ func main() {
 		}
 		fmt.Printf("mantle-serve: elastic %d..%d ranks\n", cfg.MinRanks, cfg.MaxRanks)
 	}
+	if *standbys > 0 || *monGrace > 0 {
+		fmt.Printf("mantle-serve: monitor on (%d standbys, grace %v)\n", *standbys, *monGrace)
+	}
+	if *faultsFile != "" {
+		plan, err := faults.Load(*faultsFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := rt.ApplyFaults(plan); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("mantle-serve: fault plan %q (%d events)\n", plan.Name, len(plan.Events))
+	}
 	fmt.Printf("mantle-serve: %d ranks, policy %s, %v @ %.0f op/s (%s workload)\n",
 		*ranks, p.Name, *duration, *rate, *wl)
+	if *chaosKind != "crash" && *chaosKind != "partition" {
+		fmt.Fprintf(os.Stderr, "unknown -chaos-kind %q\n", *chaosKind)
+		os.Exit(2)
+	}
 	if *chaosInterval > 0 && *ranks > 1 {
-		fmt.Printf("mantle-serve: chaos every %v (down %v)\n", *chaosInterval, *chaosDown)
+		fmt.Printf("mantle-serve: %s chaos every %v (down %v)\n", *chaosKind, *chaosInterval, *chaosDown)
 		go func() {
 			// Inject only inside the arrival window so drain measures
-			// recovery, not fresh damage. Victims cycle over ranks 1..N-1;
-			// a victim already retired by a shrink makes the crash a no-op.
+			// recovery, not fresh damage. Victims cycle over ranks
+			// 1..active-1, re-reading membership each round so elastically
+			// grown ranks are targeted too (and a shrunk victim becomes a
+			// no-op); the down time is clamped to the window so recovery
+			// never lands after arrivals stop.
 			until := time.Now().Add(*duration)
 			victim := 1
 			for time.Now().Before(until) {
@@ -154,11 +183,28 @@ func main() {
 				if !time.Now().Before(until) {
 					return
 				}
+				active := rt.ActiveRanks()
+				if active < 2 {
+					continue
+				}
+				if victim >= active {
+					victim = 1
+				}
 				r := victim
-				victim = 1 + victim%(*ranks-1)
-				rt.CrashRank(r)
-				time.Sleep(*chaosDown)
-				rt.RecoverRank(r, nil)
+				victim = 1 + victim%(active-1)
+				down := *chaosDown
+				if rem := time.Until(until); down > rem {
+					down = rem
+				}
+				if *chaosKind == "partition" {
+					rt.IsolateRank(r)
+					time.Sleep(down)
+					rt.HealRank(r)
+				} else {
+					rt.CrashRank(r)
+					time.Sleep(down)
+					rt.RecoverRank(r, nil)
+				}
 			}
 		}()
 	}

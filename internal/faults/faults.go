@@ -38,6 +38,12 @@ const (
 // Wildcard as a rank or link endpoint expands to every MDS rank at fire time.
 const Wildcard = -1
 
+// Mon as a link endpoint of partition and link_loss events targets the
+// monitor's address — the asymmetric rank↔monitor cuts that make a loaded
+// rank go beacon-silent without dying. Expands to nothing when the run has
+// no monitor.
+const Mon = -2
+
 // Event is one scheduled fault. Times are seconds of virtual time; rank and
 // link endpoints are MDS ranks (Wildcard = all).
 type Event struct {
@@ -118,13 +124,15 @@ func (p Plan) Validate(numRanks int) error {
 			return fmt.Errorf("faults: event %d: negative time %v", i, ev.At)
 		}
 		rankOK := func(r int) bool { return r == Wildcard || (r >= 0 && r < numRanks) }
+		// Link endpoints additionally accept the monitor.
+		endOK := func(r int) bool { return r == Mon || rankOK(r) }
 		switch ev.Kind {
 		case KindCrash, KindRecover:
 			if !rankOK(ev.Rank) {
 				return fmt.Errorf("faults: event %d: rank %d out of range", i, ev.Rank)
 			}
 		case KindPartition, KindLinkLoss:
-			if !rankOK(ev.From) || !rankOK(ev.To) {
+			if !endOK(ev.From) || !endOK(ev.To) {
 				return fmt.Errorf("faults: event %d: link %d->%d out of range", i, ev.From, ev.To)
 			}
 			if ev.Kind == KindLinkLoss && (ev.LossProb < 0 || ev.LossProb > 1) {
@@ -199,18 +207,36 @@ func ranksOf(c *cluster.Cluster, r int) []namespace.Rank {
 	return out
 }
 
+// endpointsOf expands a link endpoint reference into transport addresses at
+// fire time: one rank (if it currently exists), every active rank for
+// Wildcard, or the monitor's address for Mon (nothing when the run has no
+// monitor).
+func endpointsOf(c *cluster.Cluster, r int) []simnet.Addr {
+	if r == Mon {
+		if c.Monitor == nil {
+			return nil
+		}
+		return []simnet.Addr{c.Monitor.Addr()}
+	}
+	var out []simnet.Addr
+	for _, rk := range ranksOf(c, r) {
+		out = append(out, simnet.Addr(rk))
+	}
+	return out
+}
+
 // linksOf expands a possibly-wildcard link reference into directed pairs,
 // excluding self-links.
 func linksOf(c *cluster.Cluster, from, to int, symmetric bool) [][2]simnet.Addr {
 	var out [][2]simnet.Addr
-	for _, f := range ranksOf(c, from) {
-		for _, t := range ranksOf(c, to) {
+	for _, f := range endpointsOf(c, from) {
+		for _, t := range endpointsOf(c, to) {
 			if f == t {
 				continue
 			}
-			out = append(out, [2]simnet.Addr{simnet.Addr(f), simnet.Addr(t)})
+			out = append(out, [2]simnet.Addr{f, t})
 			if symmetric {
-				out = append(out, [2]simnet.Addr{simnet.Addr(t), simnet.Addr(f)})
+				out = append(out, [2]simnet.Addr{t, f})
 			}
 		}
 	}
@@ -254,19 +280,30 @@ func fire(c *cluster.Cluster, p Plan, ev Event) {
 			LossProb:     ev.LossProb,
 			ExtraLatency: sim.Time(ev.ExtraLatencyMs * float64(sim.Millisecond)),
 		}
-		apply := func(f simnet.LinkFault) {
-			if ev.From == Wildcard && ev.To == Wildcard {
-				c.Net.SetDefaultLinkFault(f)
-				return
+		if ev.From == Wildcard && ev.To == Wildcard {
+			c.Net.SetDefaultLinkFault(f)
+			if ev.Duration > 0 {
+				c.Engine.Schedule(sim.Time(ev.Duration*float64(sim.Second)), func() {
+					c.Net.SetDefaultLinkFault(simnet.LinkFault{})
+				})
 			}
-			for _, l := range linksOf(c, ev.From, ev.To, ev.Symmetric) {
-				c.Net.SetLinkFault(l[0], l[1], f)
-			}
+			return
 		}
-		apply(f)
+		// Capture the expanded links at fire time, exactly as partition
+		// does for its heal: re-expanding at clear time against live
+		// membership would leak permanent faults onto links whose rank
+		// was retired before the clear (and then afflict a rank regrown
+		// at the same address), and would miss links the fault was never
+		// set on.
+		links := linksOf(c, ev.From, ev.To, ev.Symmetric)
+		for _, l := range links {
+			c.Net.SetLinkFault(l[0], l[1], f)
+		}
 		if ev.Duration > 0 {
 			c.Engine.Schedule(sim.Time(ev.Duration*float64(sim.Second)), func() {
-				apply(simnet.LinkFault{})
+				for _, l := range links {
+					c.Net.SetLinkFault(l[0], l[1], simnet.LinkFault{})
+				}
 			})
 		}
 	case KindOSDSlow:

@@ -10,7 +10,9 @@ import (
 	"mantle/internal/cluster"
 	"mantle/internal/core"
 	"mantle/internal/elastic"
+	"mantle/internal/mon"
 	"mantle/internal/sim"
+	"mantle/internal/simnet"
 	"mantle/internal/workload"
 )
 
@@ -361,5 +363,106 @@ func TestRandomElasticPlanExtendsBasePlan(t *testing.T) {
 				t.Fatalf("seed %d: malformed pair %+v %+v", seed, p.Events[i], p.Events[i+1])
 			}
 		}
+	}
+}
+
+// TestWildcardPartitionExpandsLiveMembership: a wildcard partition firing
+// after an elastic grow must cut the grown rank's links. The cluster starts
+// with a single rank — a static snapshot of the initial membership would
+// expand to zero links and the partition would drop nothing.
+func TestWildcardPartitionExpandsLiveMembership(t *testing.T) {
+	cfg := cluster.DefaultConfig(1, 43)
+	cfg.MaxMDS = 2
+	cfg.MDS.HeartbeatInterval = 500 * sim.Millisecond
+	cfg.Client.RequestTimeout = 500 * sim.Millisecond
+	c, err := cluster.New(cfg, noBal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecfg := elastic.DefaultConfig(10 * sim.Second)
+	ecfg.MaxRanks = 2
+	ecfg.PollInterval = 2 * sim.Second
+	ecfg.JoinWarmup = sim.Second
+	if _, err := c.EnableElastic(ecfg, ""); err != nil {
+		t.Fatal(err)
+	}
+	c.AddClient(workload.SeparateDirCreates("", 0, 20000))
+	plan := Plan{Events: []Event{
+		{At: 1, Kind: KindGrow},
+		// Fires well after the join commits; both ranks heartbeat across
+		// the cut until it heals.
+		{At: 6, Kind: KindPartition, From: Wildcard, To: Wildcard, Symmetric: true, HealAfter: 3},
+	}}
+	if err := Apply(c, plan); err != nil {
+		t.Fatal(err)
+	}
+	res := c.Run(5 * sim.Minute)
+	if !res.AllDone {
+		t.Fatal("workload did not finish")
+	}
+	if res.PeakRanks != 2 {
+		t.Fatalf("grow never happened (peak %d)", res.PeakRanks)
+	}
+	if c.Net.DroppedPartition == 0 {
+		t.Fatal("wildcard partition expanded against stale membership: the grown rank's links were never cut")
+	}
+}
+
+// TestLinkLossClearSurvivesShrink: the Duration-bounded clear of a link_loss
+// fault must undo exactly the fire-time links. Re-expanding the reference at
+// clear time against live membership — the old behaviour — expands to
+// nothing once the rank retires, leaking a permanent fault that afflicts a
+// rank later regrown at the same address.
+func TestLinkLossClearSurvivesShrink(t *testing.T) {
+	c := newCluster(t, 2, 41, noBal())
+	fire(c, Plan{}, Event{Kind: KindLinkLoss, From: 1, To: 0, Symmetric: true, LossProb: 1, Duration: 1})
+	// Rank 1 leaves the active set before the clear fires (what an elastic
+	// retirement does to the membership slice).
+	c.MDSs = c.MDSs[:1]
+	c.Engine.Run(2 * sim.Second) // the clear fires at t=1
+	// Probe the link the fault was set on: loss is drawn at send time, so
+	// the destination handler is unregistered first and a healthy link
+	// shows up as dropped-dead at delivery instead. With the leak, the
+	// LossProb-1 fault eats the probe at send.
+	c.Net.Unregister(simnet.Addr(1))
+	before := c.Net.DroppedLoss
+	c.Net.Send(simnet.Addr(0), simnet.Addr(1), &struct{}{})
+	c.Engine.Run(3 * sim.Second)
+	if c.Net.DroppedLoss != before {
+		t.Fatalf("link fault leaked past its duration: %d drops after the clear", c.Net.DroppedLoss-before)
+	}
+}
+
+// TestMonEndpointValidation: Mon is a link endpoint, never a rank.
+func TestMonEndpointValidation(t *testing.T) {
+	ok := Plan{Events: []Event{
+		{At: 1, Kind: KindPartition, From: Mon, To: Wildcard, Symmetric: true, HealAfter: 2},
+		{At: 1, Kind: KindLinkLoss, From: 0, To: Mon, LossProb: 0.5, Duration: 1},
+	}}
+	if err := ok.Validate(2); err != nil {
+		t.Fatalf("monitor link endpoints rejected: %v", err)
+	}
+	bad := Plan{Events: []Event{{At: 1, Kind: KindCrash, Rank: Mon}}}
+	if err := bad.Validate(2); err == nil {
+		t.Fatal("crash accepted the monitor as a rank")
+	}
+}
+
+// TestMonEndpointExpansion: Mon expands to the monitor's address when
+// failover is enabled and to nothing otherwise, so one plan runs against
+// monitored and unmonitored configurations alike.
+func TestMonEndpointExpansion(t *testing.T) {
+	c := newCluster(t, 2, 47, noBal())
+	if links := linksOf(c, Mon, 0, false); len(links) != 0 {
+		t.Fatalf("monitor links on a monitorless cluster: %v", links)
+	}
+	c.EnableFailover(1, mon.DefaultConfig())
+	links := linksOf(c, Mon, Wildcard, true)
+	want := [][2]simnet.Addr{
+		{c.Monitor.Addr(), simnet.Addr(0)}, {simnet.Addr(0), c.Monitor.Addr()},
+		{c.Monitor.Addr(), simnet.Addr(1)}, {simnet.Addr(1), c.Monitor.Addr()},
+	}
+	if !reflect.DeepEqual(links, want) {
+		t.Fatalf("links = %v, want %v", links, want)
 	}
 }

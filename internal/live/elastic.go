@@ -36,8 +36,7 @@ func (rt *Runtime) setupElastic() error {
 	if err != nil {
 		return fmt.Errorf("live: when_elastic hook: %w", err)
 	}
-	rt.controller = newActor(rt, 1, rt.ctrlShard())
-	rt.ctrlClock = &rankClock{rt: rt, a: rt.controller, rng: newRankRand(cfg.Seed, len(rt.mdsAddrs)+1)}
+	rt.ensureController()
 	// The coordinator journals membership transitions to its own
 	// object-store instance, like each rank journals metadata.
 	pool := rados.NewCluster(rt.ctrlClock, cfg.Rados).Pool("cephfs_metadata")
@@ -147,6 +146,11 @@ func (h *liveHost) ActivateRank(rank namespace.Rank, newSize int) {
 		rt.shards[r].Unlock()
 	}
 	rt.gen.rtr.setNumRanks(newSize)
+	if rt.mon != nil {
+		// Runs on the controller actor: the grown rank gets a fresh grace
+		// window before the next sweep can declare it.
+		rt.mon.SetNumRanks(newSize)
+	}
 }
 
 func (h *liveHost) AbortStandby(rank namespace.Rank) {
@@ -199,7 +203,17 @@ func (h *liveHost) removeRank(rank namespace.Rank, newSize, fanout int) {
 	rt.mdss = rt.mdss[:newSize]
 	rt.actors = rt.actors[:newSize]
 	rt.clocks = rt.clocks[:newSize]
+	rt.radoses = rt.radoses[:newSize]
 	rt.memberMu.Unlock()
+	if rt.monitored {
+		// Fence stragglers from the retired incarnation: a regrown rank at
+		// this slot joins above this epoch, and late messages from the
+		// retired daemon's timers drop at the transport.
+		rt.epochs[rank].Add(1)
+		if rt.mon != nil {
+			rt.mon.SetNumRanks(newSize)
+		}
+	}
 	if fanout == 0 {
 		return
 	}

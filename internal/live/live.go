@@ -33,11 +33,13 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mantle/internal/balancer"
 	"mantle/internal/elastic"
 	"mantle/internal/mds"
+	"mantle/internal/mon"
 	"mantle/internal/namespace"
 	"mantle/internal/rados"
 	"mantle/internal/sim"
@@ -80,6 +82,21 @@ type Config struct {
 	Load LoadConfig
 	// DrainTimeout bounds the shutdown quiesce (pending ops, migrations).
 	DrainTimeout time.Duration
+
+	// Standbys is the warm standby pool for self-healing: a rank the
+	// monitor declares failed is replaced — after modelled journal replay —
+	// by a fresh daemon at a higher membership epoch, without external
+	// intervention. Standbys > 0 or MonGrace > 0 enables the monitor (it
+	// runs on the controller actor, beacons flow over the live transport);
+	// both zero leaves the runtime exactly as it was: no monitor, no
+	// epochs, raw transport.
+	Standbys int
+	// MonGrace is how long a rank may stay silent before the monitor
+	// declares it failed (default 4x the heartbeat interval).
+	MonGrace time.Duration
+	// MonInterval is the monitor sweep cadence (default: the heartbeat
+	// interval).
+	MonInterval time.Duration
 
 	// MaxRanks > 0 enables the elastic coordinator: the pool may grow to
 	// MaxRanks (addresses are pre-provisioned) and shrink to MinRanks
@@ -146,6 +163,7 @@ type Runtime struct {
 	actors    []*actor
 	clocks    []*rankClock
 	mdss      []*mds.MDS
+	radoses   []*rados.Cluster
 	mdsAddrs  []simnet.Addr
 	gen       *loadgen
 	wg        sync.WaitGroup
@@ -159,6 +177,33 @@ type Runtime struct {
 	ctrlClock  *rankClock
 	coord      *elastic.Coordinator
 	retired    []mds.Counters
+
+	// Self-healing (zero-valued unless Standbys/MonGrace enable the
+	// monitor). epochs is the shared fencing table — the mdsmap/blocklist
+	// analogue: rt.epochs[r] holds the newest membership epoch issued for
+	// rank slot r, and a daemon whose own epoch is below it is fenced
+	// (sends dropped, writes rejected, self-fence on discovery). The table
+	// is atomics because daemons consult it from their actor goroutines
+	// while the monitor (controller actor) bumps it — it models state on
+	// the store plane, reachable even when the message plane is cut.
+	// mon, standbys, zombies, takeovers and reassigns are controller-actor
+	// state, guarded by the controller's shard.
+	monitored bool
+	epochs    []atomic.Uint64
+	mon       *mon.Monitor
+	standbys  int
+	zombies   []zombieMDS
+	takeovers []TakeoverEvent
+	reassigns uint64
+}
+
+// zombieMDS is a superseded daemon kept for report folding: it may keep
+// mutating its counters (rejected writes, the eventual self-fence) until it
+// discovers it was replaced, so its counters are folded at collect time
+// under its rank's shard instead of being snapshotted at takeover.
+type zombieMDS struct {
+	rank int
+	m    *mds.MDS
 }
 
 // New wires a runtime: namespace (in sharded mode), transport, one
@@ -192,7 +237,11 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.MaxRanks > 0 && cfg.MaxRanks < cfg.Ranks {
 		return nil, fmt.Errorf("live: MaxRanks %d below initial Ranks %d", cfg.MaxRanks, cfg.Ranks)
 	}
+	if cfg.Standbys < 0 {
+		return nil, fmt.Errorf("live: negative Standbys")
+	}
 	rt := &Runtime{cfg: cfg, startWall: time.Now()}
+	rt.monitored = cfg.Standbys > 0 || cfg.MonGrace > 0
 	maxRanks := cfg.Ranks
 	if cfg.MaxRanks > maxRanks {
 		maxRanks = cfg.MaxRanks
@@ -203,6 +252,7 @@ func New(cfg Config) (*Runtime, error) {
 	for i := range rt.shards {
 		rt.shards[i] = new(sync.Mutex)
 	}
+	rt.epochs = make([]atomic.Uint64, maxRanks)
 	rt.transport = newTransport(rt, cfg.Net, cfg.Seed^0x74726e73)
 	for r := 0; r < maxRanks; r++ {
 		rt.mdsAddrs = append(rt.mdsAddrs, simnet.Addr(r))
@@ -216,10 +266,16 @@ func New(cfg Config) (*Runtime, error) {
 		m.SetClusterSize(cfg.Ranks)
 	}
 	rt.gen = newLoadgen(rt, cfg.Load)
+	if cfg.MaxRanks > 0 || rt.monitored {
+		rt.ensureController()
+	}
 	if cfg.MaxRanks > 0 {
 		if err := rt.setupElastic(); err != nil {
 			return nil, err
 		}
+	}
+	if rt.monitored {
+		rt.setupMonitor()
 	}
 	if rt.gen.cfg.Workload == "zipf" {
 		dirs := zipfDirs(rt.gen.cfg.Dirs)
@@ -258,16 +314,37 @@ func (rt *Runtime) buildRank(r int) (*mds.MDS, error) {
 	}
 	a := newActor(rt, rt.cfg.MailboxDepth, rt.shards[r])
 	clk := &rankClock{rt: rt, a: a, rng: newRankRand(rt.cfg.Seed, r)}
-	pool := rados.NewCluster(clk, rt.cfg.Rados).Pool("cephfs_metadata")
+	store := rados.NewCluster(clk, rt.cfg.Rados)
+	pool := store.Pool("cephfs_metadata")
 	rt.transport.bind(rt.mdsAddrs[r], a)
-	m := mds.New(rank, rt.mdsAddrs[r], clk, rt.transport, rt.ns, pool,
+	// Monitored daemons see the transport through a fencing wrapper that
+	// stamps their membership epoch; unmonitored runtimes use the raw
+	// transport, preserving today's behavior exactly.
+	net := simnet.Transport(rt.transport)
+	var epoch uint64
+	if rt.monitored {
+		epoch = rt.epochs[r].Add(1)
+		net = &fencedNet{t: rt.transport, rank: r, epoch: epoch}
+	}
+	m := mds.New(rank, rt.mdsAddrs[r], clk, net, rt.ns, pool,
 		rt.cfg.MDS, balancer.NewVersioned(bal), rt.mdsAddrs)
+	if rt.monitored {
+		rt.wireFencing(m, r, epoch)
+		if rt.mon != nil {
+			// Elastic grow after construction: prime the monitor so a
+			// pre-beacon failure still fences this daemon's epoch.
+			// (Initial ranks are primed in setupMonitor; this path runs
+			// on the controller actor, where monitor state lives.)
+			rt.mon.SetEpoch(rank, epoch)
+		}
+	}
 	limit := rt.cfg.AdmitQueue
 	a.admit = func() bool { return m.QueueLen() < limit }
 	rt.memberMu.Lock()
 	rt.actors = append(rt.actors, a)
 	rt.clocks = append(rt.clocks, clk)
 	rt.mdss = append(rt.mdss, m)
+	rt.radoses = append(rt.radoses, store)
 	rt.memberMu.Unlock()
 	return m, nil
 }
@@ -357,6 +434,12 @@ func (rt *Runtime) Start() {
 		rt.coord.Start()
 		cs.Unlock()
 	}
+	if rt.mon != nil {
+		cs := rt.ctrlShard()
+		cs.Lock()
+		rt.mon.Start()
+		cs.Unlock()
+	}
 }
 
 // Run starts everything, generates load for the configured duration, drains,
@@ -411,6 +494,15 @@ func (rt *Runtime) drain() (*Report, error) {
 		cs := rt.ctrlShard()
 		cs.Lock()
 		rt.coord.Stop()
+		cs.Unlock()
+	}
+	if rt.mon != nil {
+		// Stop failure sweeps before stopping ranks: a drain-stopped rank
+		// stops beaconing, and a takeover firing mid-shutdown would race
+		// the quiesce.
+		cs := rt.ctrlShard()
+		cs.Lock()
+		rt.mon.Stop()
 		cs.Unlock()
 	}
 	for r, m := range rt.members() {

@@ -53,10 +53,29 @@ type Report struct {
 	PerRank []mds.Counters
 
 	// Transport totals.
-	Sent        uint64
-	Delivered   uint64
-	DroppedDead uint64
-	DroppedLoss uint64
+	Sent         uint64
+	Delivered    uint64
+	DroppedDead  uint64
+	DroppedLoss  uint64
+	DroppedPart  uint64
+	DroppedStale uint64
+
+	// Self-healing (zero unless the monitor was enabled). MonFailures is
+	// rank-failed declarations; MonTakeovers, standby promotions;
+	// StaleBeacons, beacons rejected by the epoch/sequence filters;
+	// StaleRejects, namespace writes a fenced daemon refused; SelfFences,
+	// daemons that discovered they were replaced and fenced themselves;
+	// Reassigns, subtree moves off failed ranks with no standby.
+	MonFailures  uint64
+	MonTakeovers uint64
+	StaleBeacons uint64
+	StaleRejects uint64
+	SelfFences   uint64
+	Reassigns    uint64
+	StandbysLeft int
+	// Takeovers records each promotion with its measured MTTR
+	// (declare→serving), which must fit the grace + replay budget.
+	Takeovers []TakeoverEvent
 
 	// WedgedMigrations is non-zero when drain timed out with two-phase
 	// commits still in flight.
@@ -87,6 +106,8 @@ func (rt *Runtime) collect(wedged int) *Report {
 		Delivered:        rt.transport.Delivered.Load(),
 		DroppedDead:      rt.transport.DroppedDead.Load(),
 		DroppedLoss:      rt.transport.DroppedLoss.Load(),
+		DroppedPart:      rt.transport.DroppedPart.Load(),
+		DroppedStale:     rt.transport.DroppedStale.Load(),
 		WedgedMigrations: wedged,
 	}
 	rep.Latency = rt.gen.lat.Snapshot()
@@ -104,6 +125,8 @@ func (rt *Runtime) collect(wedged int) *Report {
 		rep.PolicyFallbacks += c.PolicyFallbacks
 		rep.Crashes += c.Crashes
 		rep.Recoveries += c.Recoveries
+		rep.StaleRejects += c.StaleRejects
+		rep.SelfFences += c.SelfFences
 	}
 	// Per-rank counters are folded shard by shard: snapshot the membership
 	// once, then copy each daemon's counter block under that rank's own
@@ -123,6 +146,29 @@ func (rt *Runtime) collect(wedged int) *Report {
 	// Daemons retired by a shrink still count toward run totals.
 	for _, c := range retired {
 		fold(c)
+	}
+	if rt.mon != nil {
+		// Monitor and takeover state live on the controller actor; the
+		// actors have stopped, so its shard is uncontended here. Zombie
+		// counters fold under each zombie's rank shard — a superseded
+		// daemon keeps mutating them until it self-fences, so they are
+		// snapshotted now, not at takeover time (counter conservation).
+		cs := rt.ctrlShard()
+		cs.Lock()
+		rep.MonFailures = rt.mon.Failures
+		rep.MonTakeovers = rt.mon.Takeovers
+		rep.StaleBeacons = rt.mon.StaleBeacons
+		rep.Reassigns = rt.reassigns
+		rep.StandbysLeft = rt.standbys
+		rep.Takeovers = append(rep.Takeovers, rt.takeovers...)
+		zombies := append([]zombieMDS(nil), rt.zombies...)
+		cs.Unlock()
+		for _, z := range zombies {
+			rt.shards[z.rank].Lock()
+			c := z.m.Counters
+			rt.shards[z.rank].Unlock()
+			fold(c)
+		}
 	}
 	rep.FinalRanks = len(mdss)
 	rep.PeakRanks = len(mdss)
@@ -153,8 +199,20 @@ func (r *Report) Write(w io.Writer) error {
 		r.Exports, r.InodesMoved, r.Forwards, r.PolicyErrors, r.PolicyFallbacks)
 	fmt.Fprintf(bw, "transport: %d sent, %d delivered, %d dropped-dead, %d dropped-loss\n",
 		r.Sent, r.Delivered, r.DroppedDead, r.DroppedLoss)
+	if r.DroppedPart > 0 || r.DroppedStale > 0 {
+		fmt.Fprintf(bw, "fencing: %d dropped-partition, %d dropped-stale-epoch, %d stale-beacons, %d stale-rejects, %d self-fences\n",
+			r.DroppedPart, r.DroppedStale, r.StaleBeacons, r.StaleRejects, r.SelfFences)
+	}
 	if r.Crashes > 0 || r.Recoveries > 0 {
 		fmt.Fprintf(bw, "faults: %d crashes, %d recoveries\n", r.Crashes, r.Recoveries)
+	}
+	if r.MonFailures > 0 || len(r.Takeovers) > 0 {
+		fmt.Fprintf(bw, "monitor: %d failures declared, %d takeovers, %d reassigns, %d standbys left\n",
+			r.MonFailures, r.MonTakeovers, r.Reassigns, r.StandbysLeft)
+		for _, t := range r.Takeovers {
+			fmt.Fprintf(bw, "  rank %d -> epoch %d: mttr %v (replay %v, %d journal entries)\n",
+				t.Rank, t.Epoch, t.MTTR.Round(time.Millisecond), t.Replay.Round(time.Millisecond), t.JournalEntries)
+		}
 	}
 	if len(r.Membership) > 0 {
 		fmt.Fprintf(bw, "elastic: %d grows, %d shrinks (%d forced, %d join aborts, %d leave aborts), peak %d ranks, final %d\n",

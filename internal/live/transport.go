@@ -23,10 +23,14 @@ func IsOverloaded(replyErr string) bool { return replyErr == ErrOverloaded.Error
 
 // endpoint is one registered address: its handler plus the actor that owns
 // it (nil for load-generator endpoints, whose handlers are goroutine-safe
-// and are invoked directly on the delivery goroutine).
+// and are invoked directly on the delivery goroutine). epoch is the
+// membership epoch that owns the registration (0 for unfenced endpoints):
+// a superseded daemon cannot unregister its replacement, and a replacement
+// at a higher epoch forcibly evicts the zombie's registration.
 type endpoint struct {
-	h simnet.Handler
-	a *actor
+	h     simnet.Handler
+	a     *actor
+	epoch uint64
 }
 
 // transport implements simnet.Transport with real concurrency: sends arm a
@@ -43,17 +47,20 @@ type transport struct {
 	actors       map[simnet.Addr]*actor // bound before the MDS registers
 	linkFaults   map[[2]simnet.Addr]simnet.LinkFault
 	defaultFault simnet.LinkFault
+	partitions   map[[2]simnet.Addr]bool // directed cuts: messages drop at send
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
 	// Counters use atomics: senders run on actor goroutines, timer
 	// goroutines, and the dispatcher concurrently.
-	Sent        atomic.Uint64
-	Delivered   atomic.Uint64
-	DroppedDead atomic.Uint64
-	DroppedLoss atomic.Uint64
-	Sheds       atomic.Uint64
+	Sent         atomic.Uint64
+	Delivered    atomic.Uint64
+	DroppedDead  atomic.Uint64
+	DroppedLoss  atomic.Uint64
+	DroppedPart  atomic.Uint64 // dropped by a partition cut
+	DroppedStale atomic.Uint64 // dropped because the sender's epoch was fenced
+	Sheds        atomic.Uint64
 }
 
 var _ simnet.Transport = (*transport)(nil)
@@ -108,6 +115,75 @@ func (t *transport) Registered(a simnet.Addr) bool {
 	return ok
 }
 
+// Partition cuts the directed link from -> to: every message on it drops at
+// send time until Heal. Asymmetric by design — cutting rank->monitor while
+// leaving monitor->rank intact (or vice versa) is exactly the failure shape
+// that makes naive liveness detection split-brain.
+func (t *transport) Partition(from, to simnet.Addr) {
+	t.mu.Lock()
+	if t.partitions == nil {
+		t.partitions = map[[2]simnet.Addr]bool{}
+	}
+	t.partitions[[2]simnet.Addr{from, to}] = true
+	t.mu.Unlock()
+}
+
+// Heal removes the directed cut from -> to.
+func (t *transport) Heal(from, to simnet.Addr) {
+	t.mu.Lock()
+	delete(t.partitions, [2]simnet.Addr{from, to})
+	t.mu.Unlock()
+}
+
+// HealAll removes every partition cut.
+func (t *transport) HealAll() {
+	t.mu.Lock()
+	t.partitions = nil
+	t.mu.Unlock()
+}
+
+func (t *transport) partitioned(from, to simnet.Addr) bool {
+	t.mu.RLock()
+	cut := t.partitions[[2]simnet.Addr{from, to}]
+	t.mu.RUnlock()
+	return cut
+}
+
+// registerEpoch attaches a handler whose registration is owned by a
+// membership epoch. Unlike Register, an existing registration does not
+// panic: a higher epoch forcibly replaces it (the monitor already fenced
+// the old daemon — this is the blocklist taking effect at the message
+// plane), a lower epoch is refused silently (a zombie racing its
+// replacement must not steal the address back), and an equal epoch is a
+// runtime bug.
+func (t *transport) registerEpoch(a simnet.Addr, h simnet.Handler, epoch uint64) {
+	if h == nil {
+		panic("live: nil handler")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if old, ok := t.nodes[a]; ok {
+		if epoch < old.epoch {
+			return
+		}
+		if epoch == old.epoch {
+			panic(fmt.Sprintf("live: address %d registered twice at epoch %d", a, epoch))
+		}
+	}
+	t.nodes[a] = &endpoint{h: h, a: t.actors[a], epoch: epoch}
+}
+
+// unregisterEpoch removes the registration only if the caller's epoch still
+// owns it: a fenced zombie crashing after its replacement registered must
+// not tear down the replacement's endpoint.
+func (t *transport) unregisterEpoch(a simnet.Addr, epoch uint64) {
+	t.mu.Lock()
+	if ep, ok := t.nodes[a]; ok && ep.epoch == epoch {
+		delete(t.nodes, a)
+	}
+	t.mu.Unlock()
+}
+
 // SetLinkFault installs a fault on the directed link from -> to.
 func (t *transport) SetLinkFault(from, to simnet.Addr, f simnet.LinkFault) {
 	t.mu.Lock()
@@ -141,6 +217,10 @@ func (t *transport) faultFor(from, to simnet.Addr) simnet.LinkFault {
 // Send schedules delivery after the link latency. Safe from any goroutine.
 func (t *transport) Send(from, to simnet.Addr, msg simnet.Message) {
 	t.Sent.Add(1)
+	if t.partitioned(from, to) {
+		t.DroppedPart.Add(1)
+		return
+	}
 	f := t.faultFor(from, to)
 	if f.LossProb > 0 {
 		t.rngMu.Lock()
@@ -200,3 +280,41 @@ func (t *transport) deliver(from, to simnet.Addr, msg simnet.Message) {
 	t.Delivered.Add(1)
 	ep.a.post(run)
 }
+
+// fencedNet is the transport view handed to a monitored daemon: it stamps
+// the daemon's membership epoch onto the message plane. Sends are dropped
+// once the runtime's fencing table (the mdsmap/blocklist analogue, reachable
+// even when the message plane is partitioned) shows a newer epoch for the
+// rank, and registration is epoch-owned so a zombie can neither reclaim its
+// address nor unregister its replacement. Only built when the monitor is
+// enabled — unmonitored runtimes use the raw transport, byte-for-byte
+// today's behavior.
+type fencedNet struct {
+	t     *transport
+	rank  int
+	epoch uint64
+}
+
+var _ simnet.Transport = (*fencedNet)(nil)
+
+func (f *fencedNet) Send(from, to simnet.Addr, msg simnet.Message) {
+	if f.t.rt.epochAt(f.rank) > f.epoch {
+		f.t.DroppedStale.Add(1)
+		return
+	}
+	f.t.Send(from, to, msg)
+}
+
+func (f *fencedNet) Register(a simnet.Addr, h simnet.Handler) {
+	f.t.registerEpoch(a, h, f.epoch)
+}
+
+func (f *fencedNet) Unregister(a simnet.Addr) {
+	f.t.unregisterEpoch(a, f.epoch)
+}
+
+// Registered reports whether any handler owns the address — deliberately
+// epoch-blind, so a fenced daemon's Recover sees its replacement's
+// registration and stays down (the same semantics mds.Recover relies on
+// against the simulated network).
+func (f *fencedNet) Registered(a simnet.Addr) bool { return f.t.Registered(a) }

@@ -59,6 +59,14 @@ func (m *MDS) memSample() float64 {
 // broadcast them, then evaluate (slightly stale) cluster state shortly
 // after.
 func (m *MDS) balancerTick() {
+	// Periodic mdsmap revalidation: a partitioned-but-alive daemon that
+	// serves no traffic still discovers within one tick that the monitor
+	// replaced it, because the store plane (where epochs live) remains
+	// reachable when the message plane is cut.
+	if m.superseded() {
+		m.selfFence()
+		return
+	}
 	m.rollWindows()
 	authLoads := m.ns.AuthLoad(m.numRanks, m.engine.Now(), m.metaLoadOf)
 	reported := authLoads[m.rank]
@@ -92,7 +100,7 @@ func (m *MDS) balancerTick() {
 		}
 	}
 	if m.hasMon {
-		m.net.Send(m.addr, m.monAddr, &mon.Beacon{Rank: m.rank, Seq: m.hbSeq})
+		m.net.Send(m.addr, m.monAddr, &mon.Beacon{Rank: m.rank, Seq: m.hbSeq, Epoch: m.epoch})
 	}
 	for r := 0; r < m.numRanks; r++ {
 		if namespace.Rank(r) == m.rank {

@@ -64,6 +64,18 @@ type MDS struct {
 	monAddr    simnet.Addr
 	hasMon     bool
 
+	// Epoch fencing (live runtime; zero-valued and inert in simulation).
+	// epoch is the membership incarnation this daemon was built under;
+	// curEpoch reads the shared store's current epoch for the rank — the
+	// analogue of revalidating the mdsmap against RADOS, which stays
+	// reachable across message-plane partitions. When the store says the
+	// rank moved on, the daemon self-fences instead of serving stale
+	// authority. onFenced tells the host (the live runtime returns the
+	// daemon to the standby pool).
+	epoch    uint64
+	curEpoch func() uint64
+	onFenced func()
+
 	// Telemetry (nil = disabled). Metric handles are resolved once in
 	// SetTelemetry so the hot path never touches the registry maps.
 	tel         *telemetry.Telemetry
@@ -343,6 +355,43 @@ func (m *MDS) SetMonitor(addr simnet.Addr) {
 	m.hasMon = true
 }
 
+// SetFencing arms membership-epoch fencing: epoch is this daemon's
+// incarnation, current reads the store-authoritative epoch for the rank
+// (must be safe to call from the daemon's execution context), and onFenced
+// (optional) fires after a self-fence. Call before Start; never called in
+// simulation, where fencing stays disabled and behaviour is unchanged.
+func (m *MDS) SetFencing(epoch uint64, current func() uint64, onFenced func()) {
+	m.epoch = epoch
+	m.curEpoch = current
+	m.onFenced = onFenced
+}
+
+// Epoch reports the daemon's membership epoch (0 = fencing disabled).
+func (m *MDS) Epoch() uint64 { return m.epoch }
+
+// superseded reports whether the store holds a newer epoch for this rank —
+// i.e. the monitor declared this daemon failed and fenced it.
+func (m *MDS) superseded() bool {
+	return m.curEpoch != nil && m.curEpoch() > m.epoch
+}
+
+// selfFence is the daemon's reaction to discovering it was replaced (the
+// EBLOCKLISTED respawn in CephFS): crash — releasing frozen migration units
+// and cancelling timers — and retire permanently, so neither a journal
+// replay nor a late Recover can resurrect this incarnation. The rank itself
+// lives on under its replacement daemon.
+func (m *MDS) selfFence() {
+	if m.retired {
+		return
+	}
+	m.Counters.SelfFences++
+	m.Crash()
+	m.retired = true
+	if m.onFenced != nil {
+		m.onFenced()
+	}
+}
+
 // resolved captures where a request landed in the namespace.
 type resolved struct {
 	dir  *namespace.Node // directory containing the dentry (nil for root ops)
@@ -476,6 +525,16 @@ func (m *MDS) serve(r *Request) {
 		}
 	}
 	m.startBusy(svc, func() {
+		// Fence check at the namespace boundary: the write (or read of
+		// claimed authority) only proceeds if the store still agrees this
+		// daemon owns its epoch. A superseded daemon rejects the operation
+		// and self-fences — the client gets no reply and retries against
+		// the replacement, exactly as with a crash.
+		if m.superseded() {
+			m.Counters.StaleRejects++
+			m.selfFence()
+			return
+		}
 		err := m.apply(r, res)
 		m.Counters.Served++
 		m.reqWindow++

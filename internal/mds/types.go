@@ -407,4 +407,6 @@ type Counters struct {
 	Recoveries      uint64 // journal replays completed
 	DrainExports    uint64 // units exported while draining out of the cluster
 	ImportRefusals  uint64 // discovers nacked because this rank was draining
+	StaleRejects    uint64 // namespace writes refused: the daemon's epoch was superseded
+	SelfFences      uint64 // daemon discovered it was replaced and fenced itself
 }

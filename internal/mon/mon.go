@@ -12,10 +12,15 @@ import (
 	"mantle/internal/simnet"
 )
 
-// Beacon is the liveness message every MDS sends the monitor.
+// Beacon is the liveness message every MDS sends the monitor. Epoch is the
+// sender's membership epoch: 0 for daemons that predate epoch fencing (the
+// whole simulator path), >0 for live-runtime daemons. The monitor ignores
+// beacons from epochs it has already superseded, so a partitioned-but-
+// replaced daemon whose traffic heals late cannot resurrect its rank.
 type Beacon struct {
-	Rank namespace.Rank
-	Seq  uint64
+	Rank  namespace.Rank
+	Seq   uint64
+	Epoch uint64
 }
 
 // Config tunes failure detection.
@@ -55,15 +60,33 @@ type Monitor struct {
 	failed   map[namespace.Rank]bool
 	ticker   *sim.Ticker
 
+	// epochs is the highest membership epoch the monitor has issued or
+	// observed per rank (the mdsmap incarnation number). It is bumped on
+	// every failure declaration — fencing the declared daemon — and raised
+	// by beacons from newer daemons. lastSeq tracks the last accepted
+	// beacon sequence within the current epoch, so a delayed duplicate
+	// cannot refresh liveness out of order. Epoch-0 senders (every
+	// simulator daemon) bypass both filters: their behaviour is unchanged.
+	epochs  map[namespace.Rank]uint64
+	lastSeq map[namespace.Rank]uint64
+
 	// OnFail, if set, is invoked once per rank-failed declaration that no
 	// standby absorbed, so the cluster can reassign the dead rank's
 	// subtrees to the survivors instead of leaving them unanswerable.
 	OnFail func(rank namespace.Rank)
 
+	// OnEpoch, if set, is invoked whenever the monitor issues a new epoch
+	// for a rank (at the failure declaration). The live runtime uses it to
+	// publish the epoch to its shared fencing table — the analogue of the
+	// mon committing a new mdsmap and blocklisting the old daemon.
+	OnEpoch func(rank namespace.Rank, epoch uint64)
+
 	// Failures counts rank-failed declarations; Takeovers counts
-	// successful standby promotions.
-	Failures  uint64
-	Takeovers uint64
+	// successful standby promotions; StaleBeacons counts beacons dropped
+	// by the epoch/sequence filters.
+	Failures     uint64
+	Takeovers    uint64
+	StaleBeacons uint64
 }
 
 // New registers a monitor on the network.
@@ -83,6 +106,8 @@ func New(addr simnet.Addr, clock sim.Clock, net simnet.Transport, numRanks int,
 		takeover: takeover,
 		lastSeen: map[namespace.Rank]sim.Time{},
 		failed:   map[namespace.Rank]bool{},
+		epochs:   map[namespace.Rank]uint64{},
+		lastSeq:  map[namespace.Rank]uint64{},
 	}
 	net.Register(addr, m)
 	return m
@@ -119,6 +144,29 @@ func (m *Monitor) HandleMessage(from simnet.Addr, msg simnet.Message) {
 	if !ok {
 		return
 	}
+	if b.Epoch != 0 {
+		cur := m.epochs[b.Rank]
+		switch {
+		case b.Epoch < cur:
+			// A daemon the monitor already fenced: its rank was declared
+			// failed (bumping the epoch) and possibly handed to a standby.
+			// However late this beacon is, it must not refresh liveness or
+			// clear the failed flag — that would resurrect a zombie.
+			m.StaleBeacons++
+			return
+		case b.Epoch == cur && b.Seq <= m.lastSeq[b.Rank]:
+			// Same incarnation, but a delayed duplicate (or reordered)
+			// beacon: the newest accepted sequence already proved liveness
+			// at a later send time than this one.
+			m.StaleBeacons++
+			return
+		case b.Epoch > cur:
+			// A newer incarnation announced itself (a promoted standby's
+			// first beacon); its sequence numbering restarts.
+			m.epochs[b.Rank] = b.Epoch
+		}
+		m.lastSeq[b.Rank] = b.Seq
+	}
 	m.lastSeen[b.Rank] = m.clock.Now()
 	if m.failed[b.Rank] {
 		// The rank is back (a promoted standby or a recovered daemon).
@@ -147,6 +195,15 @@ func (m *Monitor) sweep() {
 		}
 		m.Failures++
 		m.failed[rank] = true
+		// Issue a new membership epoch: whatever daemon held this rank is
+		// fenced from this instant, whether or not a standby absorbs the
+		// rank. Epoch-0 (simulator) daemons ignore epochs entirely, so the
+		// bump is inert there.
+		m.epochs[rank]++
+		delete(m.lastSeq, rank)
+		if m.OnEpoch != nil {
+			m.OnEpoch(rank, m.epochs[rank])
+		}
 		if m.takeover != nil && m.takeover(rank) {
 			m.Takeovers++
 			m.lastSeen[rank] = now + m.cfg.Grace
@@ -175,9 +232,38 @@ func (m *Monitor) SetNumRanks(n int) {
 	for r := n; r < m.numRanks; r++ {
 		delete(m.lastSeen, namespace.Rank(r))
 		delete(m.failed, namespace.Rank(r))
+		// The epoch survives the shrink: if the rank regrows, the new
+		// daemon joins at a higher epoch and stragglers from the retired
+		// incarnation stay fenced.
+		delete(m.lastSeq, namespace.Rank(r))
 	}
 	m.numRanks = n
 }
+
+// SetEpoch primes the monitor with a rank's current membership epoch — the
+// live runtime calls it when it constructs a daemon, so a rank that dies
+// before its first beacon is still fenced at an epoch above the daemon's.
+// Lower values than the current epoch are ignored.
+func (m *Monitor) SetEpoch(rank namespace.Rank, epoch uint64) {
+	if epoch > m.epochs[rank] {
+		m.epochs[rank] = epoch
+		delete(m.lastSeq, rank)
+	}
+}
+
+// Promoted grants rank a fresh grace window from now. The sweep's own
+// post-takeover allowance (double grace from the declaration) assumes
+// journal replay is short; a host whose replay can outlast it — the live
+// runtime models replay in wall time — calls Promoted when the replacement
+// actually starts serving, so replay time never eats the first beacon's
+// grace and a slow takeover is not immediately re-declared.
+func (m *Monitor) Promoted(rank namespace.Rank) {
+	m.lastSeen[rank] = m.clock.Now()
+	delete(m.failed, rank)
+}
+
+// EpochOf reports the rank's current membership epoch (0 = never fenced).
+func (m *Monitor) EpochOf(rank namespace.Rank) uint64 { return m.epochs[rank] }
 
 // NumRanks reports the monitor's current view of the active rank count.
 func (m *Monitor) NumRanks() int { return m.numRanks }

@@ -226,3 +226,165 @@ func TestMonitorRestartStillDetectsSilence(t *testing.T) {
 		t.Fatalf("FailedRanks after restart = %v, want [1]", got)
 	}
 }
+
+func beaconE(n *simnet.Network, monAddr simnet.Addr, rank namespace.Rank, seq, epoch uint64) {
+	n.Send(simnet.Addr(int(rank)), monAddr, &Beacon{Rank: rank, Seq: seq, Epoch: epoch})
+}
+
+func TestSweepRearmsOnRepeatedTakeoverFailure(t *testing.T) {
+	// With the standby pool dry, every sweep must retry the takeover —
+	// the declaration is not forgotten — while OnFail fires exactly once,
+	// at the declaration, never on retries.
+	cfg := Config{CheckInterval: sim.Second, Grace: 2 * sim.Second}
+	attempts := 0
+	e, _, m := newMonRig(t, 1, cfg, func(r namespace.Rank) bool {
+		attempts++
+		return false
+	})
+	onFails := 0
+	m.OnFail = func(namespace.Rank) { onFails++ }
+	m.Start()
+	e.Run(12 * sim.Second) // total silence, ~9 sweeps past grace
+	m.Stop()
+	if attempts < 8 {
+		t.Fatalf("attempts = %d, want a retry on every sweep", attempts)
+	}
+	if m.Failures != 1 {
+		t.Fatalf("failures = %d, want a single declaration", m.Failures)
+	}
+	if onFails != 1 {
+		t.Fatalf("OnFail fired %d times, want once per declaration", onFails)
+	}
+	if len(m.FailedRanks()) != 1 {
+		t.Fatal("rank no longer marked failed despite no standby")
+	}
+}
+
+func TestStaleEpochBeaconCannotResurrect(t *testing.T) {
+	// A fenced daemon's late beacons (stale epoch) must not clear the
+	// failed flag or refresh liveness; the promoted replacement's beacons
+	// (higher epoch, sequence restarted) must.
+	cfg := Config{CheckInterval: sim.Second, Grace: 2 * sim.Second}
+	e, n, m := newMonRig(t, 1, cfg, nil)
+	var epochs []uint64
+	m.OnEpoch = func(r namespace.Rank, ep uint64) { epochs = append(epochs, ep) }
+	m.SetEpoch(0, 1) // daemon constructed at epoch 1
+	m.Start()
+	e.Schedule(1*sim.Second, func() { beaconE(n, m.Addr(), 0, 1, 1) })
+	// Silence past grace: declared failed at ~t=4s, epoch bumped to 2.
+	e.Run(5 * sim.Second)
+	if m.Failures != 1 || len(m.FailedRanks()) != 1 {
+		t.Fatalf("failures=%d failed=%v, want declaration", m.Failures, m.FailedRanks())
+	}
+	if len(epochs) != 1 || epochs[0] != 2 || m.EpochOf(0) != 2 {
+		t.Fatalf("epochs=%v EpochOf=%d, want bump to 2", epochs, m.EpochOf(0))
+	}
+	// The partitioned-but-alive zombie heals and floods stale beacons.
+	for s := 0; s < 4; s++ {
+		seq := uint64(2 + s)
+		e.Schedule(sim.Time(s)*250*sim.Millisecond, func() { beaconE(n, m.Addr(), 0, seq, 1) })
+	}
+	e.Run(7 * sim.Second)
+	if len(m.FailedRanks()) != 1 {
+		t.Fatal("stale-epoch beacons resurrected a fenced rank")
+	}
+	if m.StaleBeacons != 4 {
+		t.Fatalf("StaleBeacons = %d, want 4", m.StaleBeacons)
+	}
+	// The replacement at epoch 2 announces itself with a restarted
+	// sequence; that must clear the failed state.
+	beaconE(n, m.Addr(), 0, 1, 2)
+	e.Run(7*sim.Second + 200*sim.Millisecond)
+	if len(m.FailedRanks()) != 0 {
+		t.Fatal("replacement's first beacon did not clear the failed flag")
+	}
+}
+
+func TestDuplicateBeaconSeqDoesNotRefreshLiveness(t *testing.T) {
+	// A delayed duplicate (same epoch, seq <= last accepted) proves
+	// nothing about liveness at its arrival time; if it refreshed
+	// lastSeen, a dead rank replaying old traffic would never be
+	// declared.
+	cfg := Config{CheckInterval: sim.Second, Grace: 2 * sim.Second}
+	e, n, m := newMonRig(t, 1, cfg, nil)
+	m.SetEpoch(0, 1)
+	m.Start()
+	e.Schedule(1*sim.Second, func() { beaconE(n, m.Addr(), 0, 5, 1) })
+	// Reordered duplicate arrives just inside the grace window.
+	e.Schedule(2900*sim.Millisecond, func() { beaconE(n, m.Addr(), 0, 3, 1) })
+	e.Run(5 * sim.Second)
+	if m.StaleBeacons != 1 {
+		t.Fatalf("StaleBeacons = %d, want the duplicate dropped", m.StaleBeacons)
+	}
+	if m.Failures != 1 || len(m.FailedRanks()) != 1 {
+		t.Fatalf("failures=%d failed=%v: duplicate refreshed liveness", m.Failures, m.FailedRanks())
+	}
+}
+
+func TestEpochZeroBeaconsBypassFiltering(t *testing.T) {
+	// Simulator daemons (epoch 0) predate fencing: duplicate or replayed
+	// sequences must behave exactly as before the epoch layer existed.
+	cfg := Config{CheckInterval: sim.Second, Grace: 2 * sim.Second}
+	e, n, m := newMonRig(t, 1, cfg, nil)
+	m.Start()
+	for s := 1; s <= 6; s++ {
+		s := s
+		// Sequence number never advances — a recovered daemon restarting
+		// its counter — yet liveness must keep refreshing.
+		e.Schedule(sim.Time(s)*sim.Second, func() { beacon(n, m.Addr(), 0, 1) })
+	}
+	e.Run(6 * sim.Second)
+	m.Stop()
+	if m.StaleBeacons != 0 || m.Failures != 0 {
+		t.Fatalf("epoch-0 beacons filtered: stale=%d failures=%d", m.StaleBeacons, m.Failures)
+	}
+}
+
+func TestSetEpochPrimesFencingBeforeFirstBeacon(t *testing.T) {
+	// A daemon that dies before its first beacon must still be fenced at
+	// an epoch above its own: without priming, the declaration would bump
+	// 0 -> 1 and collide with the daemon's construction epoch.
+	cfg := Config{CheckInterval: sim.Second, Grace: 2 * sim.Second}
+	e, _, m := newMonRig(t, 1, cfg, nil)
+	m.SetEpoch(0, 1)
+	m.SetEpoch(0, 1) // idempotent; lower-or-equal is ignored
+	m.Start()
+	e.Run(5 * sim.Second) // silence from birth
+	if m.EpochOf(0) != 2 {
+		t.Fatalf("EpochOf = %d, want declaration to supersede the primed epoch", m.EpochOf(0))
+	}
+}
+
+func TestPromotedGrantsFreshGraceAfterSlowReplay(t *testing.T) {
+	// A takeover whose journal replay outlasts the sweep's double-grace
+	// allowance: without Promoted the silent-while-replaying replacement
+	// is re-declared before its first beacon, churning the standby pool.
+	cfg := Config{CheckInterval: sim.Second, Grace: 2 * sim.Second}
+	takeovers := 0
+	e, n, m := newMonRig(t, 1, cfg, nil)
+	m.takeover = func(r namespace.Rank) bool {
+		takeovers++
+		// Declaration lands at t=3s; the sweep's allowance stretches to
+		// t=8s. Replay finishes at t=7.5s, but the replacement's first
+		// beacon rides its first balancer tick at t=8.5s — without
+		// Promoted, the t=8s sweep re-declares into that gap.
+		e.Schedule(4500*sim.Millisecond, func() { m.Promoted(r) })
+		for s := 0; s < 10; s++ {
+			s := s
+			e.Schedule(5500*sim.Millisecond+sim.Time(s)*sim.Second, func() {
+				beacon(n, m.Addr(), r, uint64(s+1))
+			})
+		}
+		return true
+	}
+	m.Start()
+	e.Run(15 * sim.Second) // silence from birth: one declaration at t=3s
+	m.Stop()
+	if m.Failures != 1 || takeovers != 1 {
+		t.Fatalf("slow replay re-declared the replacement: failures=%d takeovers=%d",
+			m.Failures, takeovers)
+	}
+	if m.RankFailed(0) {
+		t.Fatal("promoted rank still marked failed")
+	}
+}
