@@ -61,6 +61,9 @@ func main() {
 	chaosKind := flag.String("chaos-kind", "crash", "chaos fault flavour: crash | partition (isolate the victim from peers and monitor, clients still reachable)")
 	standbys := flag.Int("standbys", 0, "warm standby pool: a monitor-declared-failed rank is replaced after journal replay (enables the monitor)")
 	monGrace := flag.Duration("mon-grace", 0, "declare a rank failed after this much beacon silence (0 with -standbys derives 4x heartbeat; >0 alone enables the monitor without takeover)")
+	hbMode := flag.String("hb-mode", "allpairs", "load exchange: allpairs (every rank heartbeats every peer, O(ranks^2) msgs/interval) | aggregated (ranks report to the monitor, which disseminates a load map, O(ranks); enables the monitor)")
+	loadStale := flag.Duration("load-stale", 0, "aggregated mode: age a silent rank's vector out of the load map after this long (0 = the monitor grace)")
+	workers := flag.Int("workers", 0, "load-generator dispatcher goroutines (zipf workload; 0 = GOMAXPROCS capped at 8)")
 	faultsFile := flag.String("faults", "", "JSON fault plan file injected against the live runtime (same schema as mantle-sim -faults; endpoint -2 = the monitor)")
 	flag.Parse()
 
@@ -97,6 +100,15 @@ func main() {
 	cfg.DrainTimeout = *drainTimeout
 	cfg.Standbys = *standbys
 	cfg.MonGrace = *monGrace
+	switch *hbMode {
+	case "allpairs":
+	case "aggregated":
+		cfg.HBAggregated = true
+		cfg.LoadStale = *loadStale
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -hb-mode %q (allpairs | aggregated)\n", *hbMode)
+		os.Exit(2)
+	}
 	cfg.Load = live.LoadConfig{
 		Clients:     *clients,
 		Rate:        *rate,
@@ -109,6 +121,7 @@ func main() {
 		Seed:        *seed,
 		FlashFactor: *flash,
 		IdleTail:    *idleTail,
+		Workers:     *workers,
 	}
 	if *wl == "compile" {
 		cfg.Load.Compile = workload.CompileConfig{Root: "/build", Seed: *seed, LinkPasses: *linkPasses}
@@ -146,8 +159,8 @@ func main() {
 		}
 		fmt.Printf("mantle-serve: elastic %d..%d ranks\n", cfg.MinRanks, cfg.MaxRanks)
 	}
-	if *standbys > 0 || *monGrace > 0 {
-		fmt.Printf("mantle-serve: monitor on (%d standbys, grace %v)\n", *standbys, *monGrace)
+	if *standbys > 0 || *monGrace > 0 || cfg.HBAggregated {
+		fmt.Printf("mantle-serve: monitor on (%d standbys, grace %v, hb-mode %s)\n", *standbys, *monGrace, *hbMode)
 	}
 	if *faultsFile != "" {
 		plan, err := faults.Load(*faultsFile)

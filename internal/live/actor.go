@@ -30,8 +30,8 @@ type actor struct {
 	smu      *sync.Mutex
 	mu       sync.Mutex
 	cond     *sync.Cond
-	ctrl     []func()
-	reqs     []func()
+	ctrl     ringQ
+	reqs     ringQ
 	maxReqs  int
 	stopped  bool
 	retiring bool
@@ -53,7 +53,7 @@ func newActor(rt *Runtime, maxReqs int, smu *sync.Mutex) *actor {
 // the loop exits; by then the runtime has already drained and collected.
 func (a *actor) post(fn func()) {
 	a.mu.Lock()
-	a.ctrl = append(a.ctrl, fn)
+	a.ctrl.push(fn)
 	a.mu.Unlock()
 	a.cond.Signal()
 }
@@ -62,11 +62,11 @@ func (a *actor) post(fn func()) {
 // lane is full or the actor has stopped — the caller sheds the request.
 func (a *actor) offer(fn func()) bool {
 	a.mu.Lock()
-	if a.stopped || a.retiring || len(a.reqs) >= a.maxReqs {
+	if a.stopped || a.retiring || a.reqs.n >= a.maxReqs {
 		a.mu.Unlock()
 		return false
 	}
-	a.reqs = append(a.reqs, fn)
+	a.reqs.push(fn)
 	a.mu.Unlock()
 	a.cond.Signal()
 	return true
@@ -76,7 +76,7 @@ func (a *actor) offer(fn func()) bool {
 func (a *actor) queued() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return len(a.ctrl) + len(a.reqs)
+	return a.ctrl.n + a.reqs.n
 }
 
 // stop makes loop() return once current lanes are irrelevant. The runtime
@@ -105,27 +105,73 @@ func (a *actor) loop(wg *sync.WaitGroup) {
 	defer wg.Done()
 	for {
 		a.mu.Lock()
-		for !a.stopped && !(a.retiring && len(a.ctrl) == 0 && len(a.reqs) == 0) &&
-			len(a.ctrl) == 0 && !(len(a.reqs) > 0 && a.admit()) {
+		for !a.stopped && !(a.retiring && a.ctrl.n == 0 && a.reqs.n == 0) &&
+			a.ctrl.n == 0 && !(a.reqs.n > 0 && a.admit()) {
 			a.cond.Wait()
 		}
-		if a.stopped || (a.retiring && len(a.ctrl) == 0 && len(a.reqs) == 0) {
+		if a.stopped || (a.retiring && a.ctrl.n == 0 && a.reqs.n == 0) {
 			a.mu.Unlock()
 			return
 		}
 		var fn func()
-		if len(a.ctrl) > 0 {
-			fn = a.ctrl[0]
-			a.ctrl[0] = nil
-			a.ctrl = a.ctrl[1:]
+		if a.ctrl.n > 0 {
+			fn = a.ctrl.pop()
 		} else {
-			fn = a.reqs[0]
-			a.reqs[0] = nil
-			a.reqs = a.reqs[1:]
+			fn = a.reqs.pop()
 		}
 		a.mu.Unlock()
 		a.smu.Lock()
 		fn()
 		a.smu.Unlock()
 	}
+}
+
+// ringQ is a lazily-allocated power-of-two ring buffer of mailbox closures.
+// The old slice lanes paid an allocation per enqueue batch and — because
+// dequeue was a re-slice — the backing array migrated forward forever,
+// holding peak-burst memory until the next growth. At 1000 ranks the idle
+// cost matters: a ring starts with no buffer at all (an idle standby's
+// mailbox is 48 bytes of struct), grows by doubling under bursts, and
+// shrinks back when it drains, so mailbox memory tracks each rank's actual
+// depth instead of its historical maximum. All methods run under the actor's
+// mailbox mutex.
+type ringQ struct {
+	buf  []func()
+	head int
+	n    int
+}
+
+func (q *ringQ) push(fn func()) {
+	if q.n == len(q.buf) {
+		q.resize(q.n * 2)
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = fn
+	q.n++
+}
+
+func (q *ringQ) pop() func() {
+	fn := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	// Right-size after a burst: halving at 1/8 occupancy keeps shrinks
+	// amortised O(1) and leaves hysteresis against push/pop flutter.
+	if len(q.buf) > 64 && q.n <= len(q.buf)/8 {
+		q.resize(len(q.buf) / 2)
+	}
+	return fn
+}
+
+// resize moves the live entries into a fresh power-of-two buffer of at least
+// the requested size (minimum 8; rings never shrink below that once used).
+func (q *ringQ) resize(size int) {
+	if size < 8 {
+		size = 8
+	}
+	nb := make([]func(), size)
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = nb
+	q.head = 0
 }

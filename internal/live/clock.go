@@ -29,7 +29,17 @@ var _ sim.Clock = (*rankClock)(nil)
 // Now reports microseconds of wall time since the runtime was built.
 func (c *rankClock) Now() sim.Time { return c.rt.now() }
 
+// wheelCutoff routes timers at or above this delay through the shared
+// timing wheel (millisecond quantisation, O(1) arm/cancel, no runtime
+// timer-heap entry). Below it — modelled service times and network delays,
+// all well under a millisecond — wheel rounding would be real distortion,
+// so those stay on time.AfterFunc.
+const wheelCutoff = 4 * time.Millisecond
+
 // Schedule arms a wall-clock timer that posts fn to the owning actor.
+// Coarse delays (heartbeat ticks, rebalance evaluation, export timeouts)
+// ride the runtime's shared timing wheel; precise short delays use a
+// dedicated runtime timer.
 func (c *rankClock) Schedule(delay sim.Time, fn func()) sim.Event {
 	if fn == nil {
 		panic("live: Schedule with nil callback")
@@ -38,7 +48,11 @@ func (c *rankClock) Schedule(delay sim.Time, fn func()) sim.Event {
 		delay = 0
 	}
 	at := c.rt.now() + delay
-	t := time.AfterFunc(delay.Duration(), func() { c.a.post(fn) })
+	d := delay.Duration()
+	if w := c.rt.wheel; w != nil && d >= wheelCutoff {
+		return sim.ExternalEvent(at, w.Schedule(d, func() { c.a.post(fn) }))
+	}
+	t := time.AfterFunc(d, func() { c.a.post(fn) })
 	return sim.ExternalEvent(at, &liveTimer{t: t})
 }
 

@@ -98,6 +98,18 @@ type Config struct {
 	// interval).
 	MonInterval time.Duration
 
+	// HBAggregated switches the balancer's load exchange from all-pairs
+	// heartbeats (O(ranks²) messages per interval) to monitor-aggregated:
+	// each rank piggybacks its load vector on the beacon it already sends
+	// the monitor, which answers with a versioned aggregated load map —
+	// O(ranks) messages per interval. Enabling it implies a monitor (the
+	// aggregation point); MonGrace/MonInterval tune it as usual.
+	HBAggregated bool
+	// LoadStale bounds how long a silent rank's vector stays in the
+	// aggregated load map before peers see it as never-heartbeated zeros
+	// (default: the monitor grace). Only meaningful with HBAggregated.
+	LoadStale time.Duration
+
 	// MaxRanks > 0 enables the elastic coordinator: the pool may grow to
 	// MaxRanks (addresses are pre-provisioned) and shrink to MinRanks
 	// (default 1), driven by the when_elastic hook in ElasticPolicy.
@@ -195,6 +207,16 @@ type Runtime struct {
 	zombies   []zombieMDS
 	takeovers []TakeoverEvent
 	reassigns uint64
+
+	// wheel batches every coarse rank timer (heartbeat tickers, rebalance
+	// delays, export timeouts, monitor sweeps) into one shared hashed
+	// timing wheel instead of a time.AfterFunc per arm — at 1000 ranks
+	// that is thousands of runtime timer-heap entries replaced by one
+	// driver goroutine. Created in Start (before any actor runs, so rank
+	// clocks read it without synchronisation), stopped at the end of
+	// drain. Sub-millisecond delays (service times, network latency) stay
+	// on time.AfterFunc for precision — see wheelCutoff.
+	wheel *sim.Wheel
 }
 
 // zombieMDS is a superseded daemon kept for report folding: it may keep
@@ -240,8 +262,11 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.Standbys < 0 {
 		return nil, fmt.Errorf("live: negative Standbys")
 	}
+	// Aggregated heartbeat exchange runs through the monitor, so asking
+	// for it enables one; the MDS-side toggle follows the runtime config.
+	cfg.MDS.HBAggregated = cfg.HBAggregated
 	rt := &Runtime{cfg: cfg, startWall: time.Now()}
-	rt.monitored = cfg.Standbys > 0 || cfg.MonGrace > 0
+	rt.monitored = cfg.Standbys > 0 || cfg.MonGrace > 0 || cfg.HBAggregated
 	maxRanks := cfg.Ranks
 	if cfg.MaxRanks > maxRanks {
 		maxRanks = cfg.MaxRanks
@@ -415,6 +440,12 @@ func (rt *Runtime) Start() {
 	actors := append([]*actor(nil), rt.actors...)
 	mdss := append([]*mds.MDS(nil), rt.mdss...)
 	rt.memberMu.Unlock()
+	if rt.wheel == nil {
+		// Before any actor goroutine exists, so rank clocks see the wheel
+		// without synchronisation (the go statements below are the
+		// happens-before edge).
+		rt.wheel = sim.NewWheel(time.Millisecond, 4096)
+	}
 	for _, a := range actors {
 		rt.wg.Add(1)
 		go a.loop(&rt.wg)
@@ -556,6 +587,12 @@ func (rt *Runtime) drain() (*Report, error) {
 		rt.controller.stop()
 	}
 	rt.wg.Wait()
+	if rt.wheel != nil {
+		// After the actors: every ticker is stopped and every remaining
+		// armed timer belongs to a stopped actor, so none can fire into
+		// live state.
+		rt.wheel.Stop()
+	}
 
 	rep := rt.collect(wedged)
 	var err error

@@ -3,6 +3,8 @@ package live
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -53,6 +55,13 @@ type LoadConfig struct {
 	// OpTimeout abandons a request whose reply never arrives (crashed rank,
 	// lost message) so the pending set cannot leak.
 	OpTimeout time.Duration
+	// Workers is how many dispatcher goroutines pace zipf arrivals (the
+	// compile replay is inherently sequential — phase order matters — and
+	// always runs one). Worker w owns arrival indices w, w+Workers, … of
+	// the single aggregate schedule, so the arrival times — and the
+	// coordinated-omission latency origin of every op — are identical
+	// regardless of worker count. 0 defaults to GOMAXPROCS capped at 8.
+	Workers int
 	// Seed seeds the generator's private RNG.
 	Seed int64
 }
@@ -76,6 +85,12 @@ func (c *LoadConfig) setDefaults() {
 	if c.OpTimeout <= 0 {
 		c.OpTimeout = 5 * time.Second
 	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+		if c.Workers > 8 {
+			c.Workers = 8
+		}
+	}
 }
 
 // pendingOp tracks one in-flight request. Latency is measured from the op's
@@ -86,17 +101,32 @@ type pendingOp struct {
 	scheduled time.Time
 }
 
+// pendShards is the pending-set shard count (power of two). One global map
+// behind one mutex was the biggest lock in the 128-rank mutex profile —
+// every issue, every reply and every reaper pass serialised on it. Sharding
+// by request ID spreads that across 32 locks; IDs are a monotone counter, so
+// consecutive ops land on different shards by construction.
+const pendShards = 32
+
+// pendShard is one pending-set shard, padded so two shards never share a
+// cache line under concurrent issue/reply traffic.
+type pendShard struct {
+	mu sync.Mutex
+	m  map[uint64]pendingOp
+	_  [40]byte
+}
+
 // loadgen issues the open-loop stream and collects per-op latency. Replies
-// arrive on transport delivery goroutines, so all mutable state is behind
-// lg.mu or atomic; latency goes to a sharded histogram.
+// arrive on transport delivery goroutines; mutable state is sharded
+// (pending set), per-rank (latency windows) or atomic, so no single lock
+// sits on the issue/reply path.
 type loadgen struct {
 	rt    *Runtime
 	cfg   LoadConfig
 	addrs []simnet.Addr
 	rtr   *router
 
-	mu      sync.Mutex
-	pending map[uint64]pendingOp
+	pend [pendShards]pendShard
 
 	// rankLat holds a sliding latency window per provisioned rank, fed on
 	// completions and read by the elastic host's Metrics (the per-rank
@@ -121,13 +151,15 @@ type loadgen struct {
 func newLoadgen(rt *Runtime, cfg LoadConfig) *loadgen {
 	cfg.setDefaults()
 	lg := &loadgen{
-		rt:      rt,
-		cfg:     cfg,
-		rtr:     newRouter(rt.cfg.Ranks),
-		pending: map[uint64]pendingOp{},
-		lat:     &telemetry.ShardedHistogram{},
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+		rt:   rt,
+		cfg:  cfg,
+		rtr:  newRouter(rt.cfg.Ranks),
+		lat:  &telemetry.ShardedHistogram{},
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	for i := range lg.pend {
+		lg.pend[i].m = map[uint64]pendingOp{}
 	}
 	for range rt.mdsAddrs {
 		lg.rankLat = append(lg.rankLat, &latWindow{})
@@ -153,12 +185,13 @@ func (lg *loadgen) rankLatencyMs(r int) float64 {
 func (lg *loadgen) HandleMessage(from simnet.Addr, msg simnet.Message) {
 	switch v := msg.(type) {
 	case *mds.Reply:
-		lg.mu.Lock()
-		p, ok := lg.pending[v.ReqID]
+		s := &lg.pend[v.ReqID&(pendShards-1)]
+		s.mu.Lock()
+		p, ok := s.m[v.ReqID]
 		if ok {
-			delete(lg.pending, v.ReqID)
+			delete(s.m, v.ReqID)
 		}
-		lg.mu.Unlock()
+		s.mu.Unlock()
 		if !ok {
 			return // already reaped as a timeout
 		}
@@ -188,16 +221,70 @@ func (lg *loadgen) HandleMessage(from simnet.Addr, msg simnet.Message) {
 }
 
 // run dispatches arrivals until Duration of schedule elapses (or the op
-// source dries up), then holds through IdleTail and closes done. The loop
-// wakes every millisecond and issues every op whose scheduled arrival has
-// passed, stamping each with its schedule. The inter-arrival gap shrinks by
-// FlashFactor while the stream emits link-phase ops, so the flash crowd is
-// a genuine rate spike, not just an op-mix change.
+// source dries up), then holds through IdleTail and closes done. The zipf
+// workload fans the single aggregate schedule across Workers goroutines
+// (worker w issues arrivals w, w+W, w+2W, …, each stamped with its planned
+// time k·perOp); the compile replay keeps one dispatcher because its phase
+// stream is ordered and its pacing is phase-dependent.
 func (lg *loadgen) run() {
 	defer close(lg.done)
-	next := lg.opSource()
-	start := time.Now()
 	perOp := time.Duration(float64(time.Second) / lg.cfg.Rate)
+	if lg.cfg.Workload == "compile" {
+		lg.runCompile(perOp)
+		return
+	}
+	start := time.Now()
+	w := lg.cfg.Workers
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			lg.zipfWorker(worker, w, start, perOp)
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case <-lg.stop:
+		return
+	default:
+	}
+	lg.idleTail()
+}
+
+// zipfWorker paces its slice of the arrival schedule. Each worker has a
+// private op source (seeded Seed+worker; worker 0 keeps the single-worker
+// stream byte-identical to the old dispatcher) and wakes every millisecond
+// to issue every owned arrival whose scheduled time has passed.
+func (lg *loadgen) zipfWorker(worker, workers int, start time.Time, perOp time.Duration) {
+	next := lg.zipfSource(worker, workers)
+	sched := time.Duration(worker) * perOp
+	step := time.Duration(workers) * perOp
+	for sched < lg.cfg.Duration {
+		select {
+		case <-lg.stop:
+			return
+		default:
+		}
+		elapsed := time.Since(start)
+		for sched < lg.cfg.Duration && sched <= elapsed {
+			op, ok := next()
+			if !ok {
+				return
+			}
+			lg.issue(op, start.Add(sched))
+			sched += step
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// runCompile is the single-dispatcher replay loop: phase order matters and
+// the inter-arrival gap shrinks by FlashFactor during link-phase ops.
+func (lg *loadgen) runCompile(perOp time.Duration) {
+	gen := workload.Compile(lg.cfg.Compile)
+	next := gen.Next
+	start := time.Now()
 	flashOp := perOp
 	if lg.cfg.FlashFactor > 1 {
 		flashOp = time.Duration(float64(perOp) / lg.cfg.FlashFactor)
@@ -252,59 +339,77 @@ func (lg *loadgen) issue(op workload.Op, scheduled time.Time) {
 		Path:    op.Path,
 		DstPath: op.DstPath,
 	}
-	lg.mu.Lock()
-	lg.pending[id] = pendingOp{scheduled: scheduled}
-	lg.mu.Unlock()
+	s := &lg.pend[id&(pendShards-1)]
+	s.mu.Lock()
+	s.m[id] = pendingOp{scheduled: scheduled}
+	s.mu.Unlock()
 	lg.issued.Add(1)
 	lg.rt.transport.Send(addr, lg.rt.mdsAddrs[rank], req)
 }
 
 // reap abandons pending ops older than OpTimeout. Called periodically and
-// during drain.
+// during drain; each shard is swept under its own lock, so the reaper never
+// stalls the whole issue/reply plane.
 func (lg *loadgen) reap(now time.Time) {
-	lg.mu.Lock()
-	for id, p := range lg.pending {
-		if now.Sub(p.scheduled) > lg.cfg.OpTimeout {
-			delete(lg.pending, id)
-			lg.timeouts.Add(1)
+	for i := range lg.pend {
+		s := &lg.pend[i]
+		s.mu.Lock()
+		for id, p := range s.m {
+			if now.Sub(p.scheduled) > lg.cfg.OpTimeout {
+				delete(s.m, id)
+				lg.timeouts.Add(1)
+			}
 		}
+		s.mu.Unlock()
 	}
-	lg.mu.Unlock()
 }
 
 // pendingCount reports in-flight ops.
 func (lg *loadgen) pendingCount() int {
-	lg.mu.Lock()
-	defer lg.mu.Unlock()
-	return len(lg.pending)
+	n := 0
+	for i := range lg.pend {
+		s := &lg.pend[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // flushPending force-expires everything still in flight (drain deadline).
 func (lg *loadgen) flushPending() {
-	lg.mu.Lock()
-	n := len(lg.pending)
-	lg.pending = map[uint64]pendingOp{}
-	lg.mu.Unlock()
+	n := 0
+	for i := range lg.pend {
+		s := &lg.pend[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.m = map[uint64]pendingOp{}
+		s.mu.Unlock()
+	}
 	lg.timeouts.Add(uint64(n))
 }
 
-// opSource builds the op stream. The returned function is only called from
-// the dispatcher goroutine, so the RNG needs no locking.
-func (lg *loadgen) opSource() func() (workload.Op, bool) {
-	if lg.cfg.Workload == "compile" {
-		gen := workload.Compile(lg.cfg.Compile)
-		return gen.Next
-	}
-	rng := rand.New(rand.NewSource(lg.cfg.Seed))
+// zipfSource builds one worker's op stream. The returned function is only
+// called from that worker's goroutine, so the RNG needs no locking. Create
+// sequence numbers start at the worker index and step by the worker count,
+// so paths stay unique across workers; directory paths are interned once
+// (the getattr majority re-uses them instead of re-formatting per op).
+func (lg *loadgen) zipfSource(worker, workers int) func() (workload.Op, bool) {
+	rng := rand.New(rand.NewSource(lg.cfg.Seed + int64(worker)*0x9e3779b9))
 	zipf := rand.NewZipf(rng, lg.cfg.ZipfS, 1, uint64(lg.cfg.Dirs-1))
-	seq := 0
+	dirs := zipfDirs(lg.cfg.Dirs)
+	seq := worker
+	var buf []byte
 	return func() (workload.Op, bool) {
 		d := zipf.Uint64()
-		seq++
+		seq += workers
 		if rng.Float64() < lg.cfg.WriteRatio {
-			return workload.Op{Type: mds.OpCreate, Path: fmt.Sprintf("/load/d%03d/f%08d", d, seq)}, true
+			buf = append(buf[:0], dirs[d]...)
+			buf = append(buf, "/f"...)
+			buf = strconv.AppendInt(buf, int64(seq), 10)
+			return workload.Op{Type: mds.OpCreate, Path: string(buf)}, true
 		}
-		return workload.Op{Type: mds.OpGetattr, Path: fmt.Sprintf("/load/d%03d", d)}, true
+		return workload.Op{Type: mds.OpGetattr, Path: dirs[d]}, true
 	}
 }
 
@@ -323,11 +428,17 @@ func zipfDirs(n int) []string {
 // (that would wedge every shrink vote).
 const latWindowSpan = 5 * time.Second
 
-// latWindow is a fixed ring of timestamped latency samples, safe for
-// concurrent observe (delivery goroutines) and meanMs (the elastic tick).
+// latWindowCap bounds one rank's sample ring.
+const latWindowCap = 512
+
+// latWindow is a ring of timestamped latency samples, safe for concurrent
+// observe (delivery goroutines) and meanMs (the elastic tick). The ring is
+// lazily allocated and grows by doubling up to latWindowCap: a rank that
+// never serves (a warm standby, a provisioned-but-inactive elastic slot —
+// most of the table at 1000 ranks) costs a pointer, not 8 KiB of samples.
 type latWindow struct {
 	mu  sync.Mutex
-	buf [512]latSample
+	buf []latSample
 	n   int // total samples ever observed
 }
 
@@ -338,6 +449,18 @@ type latSample struct {
 
 func (w *latWindow) observe(us float64) {
 	w.mu.Lock()
+	if w.n == len(w.buf) && len(w.buf) < latWindowCap {
+		size := 2 * len(w.buf)
+		if size < 64 {
+			size = 64
+		}
+		if size > latWindowCap {
+			size = latWindowCap
+		}
+		nb := make([]latSample, size)
+		copy(nb, w.buf)
+		w.buf = nb
+	}
 	w.buf[w.n%len(w.buf)] = latSample{at: time.Now(), us: us}
 	w.n++
 	w.mu.Unlock()
@@ -367,9 +490,12 @@ func (w *latWindow) meanMs(span time.Duration) float64 {
 // router is the shared routing cache: the live analogue of the simulated
 // client's hint learning (same longest-prefix and fragment-map rules), made
 // goroutine-safe because replies land on concurrent delivery goroutines
-// while the dispatcher routes.
+// while the dispatchers route. Reads (every issue) take the read lock and
+// walk the op path's own prefixes — O(path depth) map probes instead of the
+// old O(cache entries) scan; writes (hint learning, rare and usually
+// idempotent) upgrade only when the hint actually changes something.
 type router struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	numRanks int
 	subtree  map[string]namespace.Rank
 	frags    map[string][]mds.FragHint
@@ -397,11 +523,12 @@ func splitPath(p string) (string, string) {
 }
 
 // route picks the MDS rank for an op: fragment hints for the parent first,
-// then longest-prefix subtree match.
+// then longest-prefix subtree match, walking up the path one component at a
+// time (the first hit is the longest matching prefix).
 func (r *router) route(op workload.Op) namespace.Rank {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	dir, name := splitPath(op.Path)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	if name != "" {
 		if fh := r.frags[dir]; len(fh) > 0 {
 			h := namespace.HashName(name)
@@ -412,18 +539,18 @@ func (r *router) route(op workload.Op) namespace.Rank {
 			}
 		}
 	}
-	best := ""
-	rank := namespace.Rank(0)
-	for k, rk := range r.subtree {
-		if k != "/" && op.Path != k && !strings.HasPrefix(op.Path, k+"/") {
-			continue
+	p := strings.TrimRight(op.Path, "/")
+	for p != "" && p != "/" {
+		if rk, ok := r.subtree[p]; ok {
+			return r.clamp(rk)
 		}
-		if len(k) > len(best) || best == "" {
-			best = k
-			rank = rk
+		i := strings.LastIndexByte(p, '/')
+		if i <= 0 {
+			break
 		}
+		p = p[:i]
 	}
-	return r.clamp(rank)
+	return r.clamp(r.subtree["/"])
 }
 
 func (r *router) clamp(rk namespace.Rank) namespace.Rank {
@@ -450,8 +577,17 @@ func (r *router) setNumRanks(n int) {
 	r.mu.Unlock()
 }
 
-// learn folds a reply hint into the cache.
+// learn folds a reply hint into the cache. The fast path re-checks under the
+// read lock first: most hints restate what the cache already knows, and
+// skipping the write-lock upgrade keeps reply handling off the routing
+// writers' lock.
 func (r *router) learn(h mds.Hint) {
+	r.mu.RLock()
+	same := r.subtree[h.DirPath] == h.Rank && fragsEqual(r.frags[h.DirPath], h.Frags)
+	r.mu.RUnlock()
+	if same {
+		return
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if len(h.Frags) > 0 {
@@ -460,4 +596,17 @@ func (r *router) learn(h mds.Hint) {
 		delete(r.frags, h.DirPath)
 	}
 	r.subtree[h.DirPath] = h.Rank
+}
+
+// fragsEqual reports whether two fragment hint lists are identical.
+func fragsEqual(a, b []mds.FragHint) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -60,6 +60,18 @@ type Report struct {
 	DroppedPart  uint64
 	DroppedStale uint64
 
+	// Load-exchange plane. HBMode is "allpairs" or "aggregated"; HBMessages
+	// and HBBytes count heartbeat-plane traffic (per-peer heartbeats,
+	// monitor beacons, load maps) over the whole run; HBPerInterval
+	// normalises messages to one balancer interval, the number the
+	// complexity claim is about — O(ranks²) all-pairs vs O(ranks)
+	// aggregated. LoadMapsRecv counts aggregated maps the ranks folded in.
+	HBMode        string
+	HBMessages    uint64
+	HBBytes       uint64
+	HBPerInterval float64
+	LoadMapsRecv  uint64
+
 	// Self-healing (zero unless the monitor was enabled). MonFailures is
 	// rank-failed declarations; MonTakeovers, standby promotions;
 	// StaleBeacons, beacons rejected by the epoch/sequence filters;
@@ -108,7 +120,20 @@ func (rt *Runtime) collect(wedged int) *Report {
 		DroppedLoss:      rt.transport.DroppedLoss.Load(),
 		DroppedPart:      rt.transport.DroppedPart.Load(),
 		DroppedStale:     rt.transport.DroppedStale.Load(),
+		HBMessages:       rt.transport.HBMsgs.Load(),
+		HBBytes:          rt.transport.HBBytes.Load(),
 		WedgedMigrations: wedged,
+	}
+	rep.HBMode = "allpairs"
+	if rt.cfg.HBAggregated {
+		rep.HBMode = "aggregated"
+	}
+	hbIv := rt.cfg.MDS.HeartbeatInterval.Duration()
+	if hbIv <= 0 {
+		hbIv = 10 * time.Second // mds.Config default
+	}
+	if rep.Duration > 0 {
+		rep.HBPerInterval = float64(rep.HBMessages) * hbIv.Seconds() / rep.Duration.Seconds()
 	}
 	rep.Latency = rt.gen.lat.Snapshot()
 	rep.P50 = rep.Latency.Percentile(50) / 1000
@@ -127,6 +152,7 @@ func (rt *Runtime) collect(wedged int) *Report {
 		rep.Recoveries += c.Recoveries
 		rep.StaleRejects += c.StaleRejects
 		rep.SelfFences += c.SelfFences
+		rep.LoadMapsRecv += c.LoadMapsRecv
 	}
 	// Per-rank counters are folded shard by shard: snapshot the membership
 	// once, then copy each daemon's counter block under that rank's own
@@ -199,6 +225,10 @@ func (r *Report) Write(w io.Writer) error {
 		r.Exports, r.InodesMoved, r.Forwards, r.PolicyErrors, r.PolicyFallbacks)
 	fmt.Fprintf(bw, "transport: %d sent, %d delivered, %d dropped-dead, %d dropped-loss\n",
 		r.Sent, r.Delivered, r.DroppedDead, r.DroppedLoss)
+	if r.HBMessages > 0 {
+		fmt.Fprintf(bw, "load exchange: mode %s, %d hb msgs (%.1f/interval), %d hb bytes, %d load maps folded\n",
+			r.HBMode, r.HBMessages, r.HBPerInterval, r.HBBytes, r.LoadMapsRecv)
+	}
 	if r.DroppedPart > 0 || r.DroppedStale > 0 {
 		fmt.Fprintf(bw, "fencing: %d dropped-partition, %d dropped-stale-epoch, %d stale-beacons, %d stale-rejects, %d self-fences\n",
 			r.DroppedPart, r.DroppedStale, r.StaleBeacons, r.StaleRejects, r.SelfFences)

@@ -74,6 +74,9 @@ func (rt *Runtime) setupMonitor() {
 		CheckInterval: sim.Time(interval / time.Microsecond),
 		Grace:         sim.Time(grace / time.Microsecond),
 	}
+	if rt.cfg.LoadStale > 0 {
+		mcfg.LoadStale = sim.Time(rt.cfg.LoadStale / time.Microsecond)
+	}
 	rt.standbys = rt.cfg.Standbys
 	rt.transport.bind(liveMonAddr, rt.controller)
 	rt.mon = mon.New(liveMonAddr, rt.ctrlClock, rt.transport, rt.cfg.Ranks, mcfg, rt.takeover)

@@ -1,0 +1,9 @@
+//go:build !race
+
+package live
+
+// raceEnabled reports whether the race detector is compiled in; the scale
+// soak caps its emulated rank count under race (the detector multiplies CPU
+// and memory cost ~10x, and 256 instrumented ranks already exercise every
+// cross-rank interleaving the full-size soak does).
+const raceEnabled = false

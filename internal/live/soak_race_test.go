@@ -1,0 +1,6 @@
+//go:build race
+
+package live
+
+// raceEnabled: see soak_norace_test.go.
+const raceEnabled = true

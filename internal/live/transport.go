@@ -3,12 +3,12 @@ package live
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"mantle/internal/mds"
+	"mantle/internal/mon"
 	"mantle/internal/sim"
 	"mantle/internal/simnet"
 )
@@ -49,8 +49,12 @@ type transport struct {
 	defaultFault simnet.LinkFault
 	partitions   map[[2]simnet.Addr]bool // directed cuts: messages drop at send
 
-	rngMu sync.Mutex
-	rng   *rand.Rand
+	// rng drives loss and jitter draws. Lock-free: every Send on a lossy or
+	// jittery network used to serialise on a mutex-guarded *rand.Rand, which
+	// put the RNG lock on the hot path of all 1000 ranks at once. The live
+	// transport has no bit-reproducibility contract (wall-clock interleaving
+	// already varies run to run), so a splitmix64 counter is enough.
+	rng atomicRng
 
 	// Counters use atomics: senders run on actor goroutines, timer
 	// goroutines, and the dispatcher concurrently.
@@ -61,6 +65,37 @@ type transport struct {
 	DroppedPart  atomic.Uint64 // dropped by a partition cut
 	DroppedStale atomic.Uint64 // dropped because the sender's epoch was fenced
 	Sheds        atomic.Uint64
+	// HBMsgs/HBBytes meter the load-exchange plane only (heartbeats,
+	// beacons, load maps), counted at send with modelled wire sizes, so a
+	// serve run can report heartbeat traffic per balancer interval —
+	// O(ranks²) all-pairs vs O(ranks) aggregated — separately from client
+	// traffic.
+	HBMsgs  atomic.Uint64
+	HBBytes atomic.Uint64
+}
+
+// atomicRng is a lock-free splitmix64 stream: a shared atomic counter plus
+// the finaliser permutation. Statistically strong enough for loss/jitter
+// draws; deliberately not the simulator's seeded stream (no digest contract
+// in live mode).
+type atomicRng struct{ state atomic.Uint64 }
+
+func (r *atomicRng) float64() float64 {
+	x := r.state.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}
+
+func (r *atomicRng) int63n(n int64) int64 {
+	v := int64(r.float64() * float64(n))
+	if v >= n {
+		v = n - 1
+	}
+	return v
 }
 
 var _ simnet.Transport = (*transport)(nil)
@@ -69,13 +104,14 @@ func newTransport(rt *Runtime, cfg simnet.Config, seed int64) *transport {
 	if cfg.Latency < 0 {
 		panic("live: negative latency")
 	}
-	return &transport{
+	t := &transport{
 		rt:     rt,
 		cfg:    cfg,
 		nodes:  map[simnet.Addr]*endpoint{},
 		actors: map[simnet.Addr]*actor{},
-		rng:    rand.New(rand.NewSource(seed)),
 	}
+	t.rng.state.Store(uint64(seed))
+	return t
 }
 
 // bind associates an address with its owning actor. Must precede Register
@@ -214,28 +250,47 @@ func (t *transport) faultFor(from, to simnet.Addr) simnet.LinkFault {
 	return t.defaultFault
 }
 
+// hbWireSize models the on-wire size of a load-exchange message (0 for
+// everything else). Sizes are the field payloads a real encoding would
+// carry: a full heartbeat is ~8 float64 loads plus header, a beacon is
+// three scalars (plus an inlined load vector in aggregated mode), a load
+// map is a header plus one vector per present rank.
+func hbWireSize(msg simnet.Message) int {
+	switch v := msg.(type) {
+	case *mds.Heartbeat:
+		return 64
+	case *mon.Beacon:
+		if v.Load != nil {
+			return 80
+		}
+		return 24
+	case *mon.LoadMap:
+		return 16 + 57*len(v.Loads)
+	}
+	return 0
+}
+
 // Send schedules delivery after the link latency. Safe from any goroutine.
 func (t *transport) Send(from, to simnet.Addr, msg simnet.Message) {
 	t.Sent.Add(1)
+	if sz := hbWireSize(msg); sz > 0 {
+		t.HBMsgs.Add(1)
+		t.HBBytes.Add(uint64(sz))
+	}
 	if t.partitioned(from, to) {
 		t.DroppedPart.Add(1)
 		return
 	}
 	f := t.faultFor(from, to)
 	if f.LossProb > 0 {
-		t.rngMu.Lock()
-		drop := t.rng.Float64() < f.LossProb
-		t.rngMu.Unlock()
-		if drop {
+		if t.rng.float64() < f.LossProb {
 			t.DroppedLoss.Add(1)
 			return
 		}
 	}
 	delay := t.cfg.Latency + f.ExtraLatency
 	if t.cfg.Jitter > 0 {
-		t.rngMu.Lock()
-		delay += sim.Time(t.rng.Int63n(int64(2*t.cfg.Jitter)+1)) - t.cfg.Jitter
-		t.rngMu.Unlock()
+		delay += sim.Time(t.rng.int63n(int64(2*t.cfg.Jitter)+1)) - t.cfg.Jitter
 	}
 	if delay < 0 {
 		delay = 0

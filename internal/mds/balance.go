@@ -59,6 +59,11 @@ func (m *MDS) memSample() float64 {
 // broadcast them, then evaluate (slightly stale) cluster state shortly
 // after.
 func (m *MDS) balancerTick() {
+	// A tick already posted when Stop cancelled the ticker still fires;
+	// it must not beacon or arm another rebalance phase.
+	if m.stopped {
+		return
+	}
 	// Periodic mdsmap revalidation: a partitioned-but-alive daemon that
 	// serves no traffic still discovers within one tick that the monitor
 	// replaced it, because the store plane (where epochs live) remains
@@ -99,16 +104,33 @@ func (m *MDS) balancerTick() {
 				telemetry.Arg{Key: "queue", Val: hb.Queue})
 		}
 	}
+	// Aggregated mode needs a monitor to aggregate; without one the rank
+	// falls back to all-pairs rather than balancing blind.
+	aggregated := m.cfg.HBAggregated && m.hasMon
 	if m.hasMon {
-		m.net.Send(m.addr, m.monAddr, &mon.Beacon{Rank: m.rank, Seq: m.hbSeq, Epoch: m.epoch})
-	}
-	for r := 0; r < m.numRanks; r++ {
-		if namespace.Rank(r) == m.rank {
-			continue
+		b := &mon.Beacon{Rank: m.rank, Seq: m.hbSeq, Epoch: m.epoch}
+		if aggregated {
+			// Piggyback the load vector on the beacon already in flight.
+			// The jitter above (LoadNoisePct) is applied before the vector
+			// is built, so the monitor aggregates exactly the numbers the
+			// all-pairs path would have mailed to every peer.
+			b.Load = &mon.RankLoad{
+				Auth: hb.Auth, All: hb.All, CPU: hb.CPU,
+				Mem: hb.Mem, Queue: hb.Queue, Req: hb.Req,
+				Draining: hb.Draining,
+			}
 		}
-		hbCopy := hb
-		m.net.Send(m.addr, m.peers[r], &hbCopy)
-		m.Counters.HBsSent++
+		m.net.Send(m.addr, m.monAddr, b)
+	}
+	if !aggregated {
+		for r := 0; r < m.numRanks; r++ {
+			if namespace.Rank(r) == m.rank {
+				continue
+			}
+			hbCopy := hb
+			m.net.Send(m.addr, m.peers[r], &hbCopy)
+			m.Counters.HBsSent++
+		}
 	}
 	if m.draining {
 		m.engine.Schedule(m.cfg.RebalanceDelay, m.drainTick)
@@ -139,13 +161,49 @@ func (m *MDS) buildEnv() *balancer.Env {
 	return e
 }
 
+// applyLoadMap folds the monitor's aggregated load map into hbData, the same
+// table all-pairs heartbeats populate — buildEnv, drain donor selection and
+// the rebalance draining check all read one data path regardless of mode. A
+// rank absent from the map (never reported, aged out, or declared failed) is
+// deleted, giving buildEnv the documented never-sent-a-heartbeat zeros. The
+// version check drops reordered older maps; the own-rank entry is never
+// overwritten (local measurement at this tick beats the monitor's echo of
+// the previous one).
+func (m *MDS) applyLoadMap(lm *mon.LoadMap) {
+	if lm.Version <= m.loadMapVer {
+		return
+	}
+	m.loadMapVer = lm.Version
+	m.Counters.LoadMapsRecv++
+	n := len(lm.Loads)
+	if n > m.numRanks {
+		n = m.numRanks
+	}
+	for r := 0; r < n; r++ {
+		rank := namespace.Rank(r)
+		if rank == m.rank {
+			continue
+		}
+		if lm.Present[r] {
+			ld := lm.Loads[r]
+			m.hbData[rank] = Heartbeat{
+				From: rank, Auth: ld.Auth, All: ld.All, CPU: ld.CPU,
+				Mem: ld.Mem, Queue: ld.Queue, Req: ld.Req,
+				Draining: ld.Draining,
+			}
+		} else {
+			delete(m.hbData, rank)
+		}
+	}
+}
+
 // rebalance is the "recv HB → migrate?" phase: scalarise loads, ask the
 // policy when/where/how-much, then partition the namespace and start
 // exports. When the flight recorder is on, the full environment, every hook
 // verdict (or failure), and each started export are captured as one
 // HeartbeatRecord.
 func (m *MDS) rebalance() {
-	if m.numRanks < 2 {
+	if m.stopped || m.crashed || m.numRanks < 2 {
 		return
 	}
 	e := m.buildEnv()

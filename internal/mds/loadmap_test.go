@@ -1,0 +1,140 @@
+package mds
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mantle/internal/mon"
+	"mantle/internal/namespace"
+	"mantle/internal/simnet"
+)
+
+// randHB builds a random post-jitter load vector. MeasurementError is applied
+// by the *sender* before its heartbeat (or beacon) leaves the rank, so by the
+// time values reach either exchange path they are identical noisy numbers —
+// these random vectors stand in for any jitter outcome.
+func randHB(rng *rand.Rand, from namespace.Rank) Heartbeat {
+	return Heartbeat{
+		From:     from,
+		Auth:     rng.Float64() * 100,
+		All:      rng.Float64() * 150,
+		CPU:      rng.Float64(),
+		Mem:      rng.Float64(),
+		Queue:    float64(rng.Intn(64)),
+		Req:      rng.Float64() * 2000,
+		Draining: rng.Intn(8) == 0,
+	}
+}
+
+// TestLoadMapEnvMatchesAllPairs is the randomized twin: the same set of load
+// vectors — whatever jitter produced them — delivered once as all-pairs
+// heartbeats and once as a monitor load map must yield byte-identical
+// balancer Envs. This is the seam the aggregated mode's correctness rests
+// on: Table 2 metrics cannot depend on which exchange carried them.
+func TestLoadMapEnvMatchesAllPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(14)
+		hAll := newHarness(t, n, noBal, nil)
+		hAgg := newHarness(t, n, noBal, nil)
+		self := rng.Intn(n) // observe the env from a random rank
+
+		// A random subset of peers reported this interval; absent ranks
+		// never heartbeated (the documented zero semantics on both paths).
+		lm := &mon.LoadMap{
+			Version: 1,
+			Loads:   make([]mon.RankLoad, n),
+			Present: make([]bool, n),
+		}
+		own := randHB(rng, namespace.Rank(self))
+		for r := 0; r < n; r++ {
+			if r != self && rng.Intn(4) == 0 {
+				continue // silent rank
+			}
+			hb := randHB(rng, namespace.Rank(r))
+			if r == self {
+				hb = own
+			}
+			lm.Present[r] = true
+			lm.Loads[r] = mon.RankLoad{
+				Auth: hb.Auth, All: hb.All, CPU: hb.CPU,
+				Mem: hb.Mem, Queue: hb.Queue, Req: hb.Req,
+				Draining: hb.Draining,
+			}
+			if r != self {
+				copyHB := hb
+				hAll.mdss[self].HandleMessage(simnet.Addr(r), &copyHB)
+			}
+		}
+		// Both twins measured their own load locally (the map's echo of
+		// self is ignored by applyLoadMap, so the local value must win).
+		hAll.mdss[self].hbData[namespace.Rank(self)] = own
+		hAgg.mdss[self].hbData[namespace.Rank(self)] = own
+		hAgg.mdss[self].HandleMessage(simnet.Addr(9000), lm)
+
+		envAll := hAll.mdss[self].buildEnv()
+		envAgg := hAgg.mdss[self].buildEnv()
+		if !reflect.DeepEqual(envAll, envAgg) {
+			t.Fatalf("trial %d (n=%d, self=%d): envs diverge\nallpairs: %+v\naggregated: %+v",
+				trial, n, self, envAll, envAgg)
+		}
+	}
+}
+
+// TestLoadMapVersionFiltering: reordered older maps are dropped, newer maps
+// replace the whole peer view, and ranks absent from a newer map age out of
+// hbData (buildEnv sees never-heartbeated zeros again).
+func TestLoadMapVersionFiltering(t *testing.T) {
+	h := newHarness(t, 3, noBal, nil)
+	m := h.mdss[0]
+	mk := func(ver uint64, present map[int]float64) *mon.LoadMap {
+		lm := &mon.LoadMap{Version: ver, Loads: make([]mon.RankLoad, 3), Present: make([]bool, 3)}
+		for r, auth := range present {
+			lm.Present[r] = true
+			lm.Loads[r] = mon.RankLoad{Auth: auth}
+		}
+		return lm
+	}
+	m.HandleMessage(simnet.Addr(9000), mk(2, map[int]float64{1: 10, 2: 20}))
+	if hb, ok := m.PeerHeartbeat(1); !ok || hb.Auth != 10 {
+		t.Fatalf("map v2 not applied: %+v %v", hb, ok)
+	}
+	// An older (reordered) map must not roll the view back.
+	m.HandleMessage(simnet.Addr(9000), mk(1, map[int]float64{1: 99}))
+	if hb, _ := m.PeerHeartbeat(1); hb.Auth != 10 {
+		t.Fatalf("stale map applied: %+v", hb)
+	}
+	// Rank 2 ages out of the next map: its entry must vanish, not linger.
+	m.HandleMessage(simnet.Addr(9000), mk(3, map[int]float64{1: 11}))
+	if _, ok := m.PeerHeartbeat(2); ok {
+		t.Fatal("aged-out rank still present in hbData")
+	}
+	env := m.buildEnv()
+	if env.MDSs[2].Auth != 0 || env.MDSs[2].Req != 0 {
+		t.Fatalf("aged-out rank not zero in env: %+v", env.MDSs[2])
+	}
+	if m.Counters.LoadMapsRecv != 2 {
+		t.Fatalf("LoadMapsRecv = %d, want 2 (stale map not counted)", m.Counters.LoadMapsRecv)
+	}
+}
+
+// TestLoadMapNeverOverwritesSelf: the monitor's echo of this rank's previous
+// vector must not clobber the fresher local measurement.
+func TestLoadMapNeverOverwritesSelf(t *testing.T) {
+	h := newHarness(t, 2, noBal, nil)
+	m := h.mdss[0]
+	m.hbData[0] = Heartbeat{From: 0, Auth: 77}
+	lm := &mon.LoadMap{
+		Version: 1,
+		Loads:   []mon.RankLoad{{Auth: 1}, {Auth: 2}},
+		Present: []bool{true, true},
+	}
+	m.HandleMessage(simnet.Addr(9000), lm)
+	if m.hbData[0].Auth != 77 {
+		t.Fatalf("load map overwrote own measurement: %+v", m.hbData[0])
+	}
+	if m.hbData[1].Auth != 2 {
+		t.Fatalf("peer entry not applied: %+v", m.hbData[1])
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"mantle/internal/balancer"
+	"mantle/internal/mon"
 	"mantle/internal/namespace"
 	"mantle/internal/rados"
 	"mantle/internal/sim"
@@ -48,6 +49,10 @@ type MDS struct {
 	// Heartbeat state.
 	hbSeq  uint64
 	hbData map[namespace.Rank]Heartbeat
+	// loadMapVer is the version of the newest aggregated load map folded
+	// into hbData (HBAggregated mode); older maps arriving out of order
+	// are dropped.
+	loadMapVer uint64
 
 	// Migration state.
 	exportSeq     uint64
@@ -57,6 +62,7 @@ type MDS struct {
 
 	sessions   map[simnet.Addr]bool
 	ticker     *sim.Ticker
+	stopped    bool
 	crashed    bool
 	recovering bool
 	draining   bool
@@ -182,11 +188,17 @@ func (m *MDS) Start() {
 	if offset < 0 {
 		offset = 0
 	}
+	m.stopped = false
 	m.ticker = m.engine.NewTicker(offset, m.cfg.HeartbeatInterval, m.balancerTick)
 }
 
-// Stop halts periodic work.
+// Stop halts periodic work. The stopped flag also gates the deferred
+// rebalance/drain phases a tick scheduled before Stop ran: without it a
+// drain can pass its migrations-in-flight check and then watch a late
+// rebalance closure start a fresh export into a cluster being torn down,
+// stranding the unit frozen.
 func (m *MDS) Stop() {
+	m.stopped = true
 	if m.ticker != nil {
 		m.ticker.Stop()
 	}
@@ -201,6 +213,8 @@ func (m *MDS) HandleMessage(from simnet.Addr, msg simnet.Message) {
 	case *Heartbeat:
 		m.Counters.HBsRecv++
 		m.hbData[v.From] = *v
+	case *mon.LoadMap:
+		m.applyLoadMap(v)
 	case *exportDiscover:
 		m.handleExportDiscover(from, v)
 	case *exportPrep:

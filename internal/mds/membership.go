@@ -92,13 +92,22 @@ func (m *MDS) Retired() bool { return m.retired }
 // when_elastic hook.
 func (m *MDS) LastHeartbeat() Heartbeat { return m.hbData[m.rank] }
 
+// PeerHeartbeat returns this rank's current view of a peer's load vector
+// (false when the peer never heartbeated, or its aggregated load-map entry
+// aged out). Callers must hold the rank's execution context — the actor's
+// shard lock in the live runtime.
+func (m *MDS) PeerHeartbeat(r namespace.Rank) (Heartbeat, bool) {
+	hb, ok := m.hbData[r]
+	return hb, ok
+}
+
 // drainTick is the draining rank's replacement for rebalance: export every
 // unit this rank owns toward the least-loaded active peers, respecting the
 // same concurrent-export bound as normal balancing. Frozen units are already
 // mid-migration and are skipped; whatever does not fit this tick goes on the
 // next one.
 func (m *MDS) drainTick() {
-	if m.crashed || !m.draining {
+	if m.stopped || m.crashed || !m.draining {
 		return
 	}
 	donors := m.drainDonors()

@@ -25,6 +25,7 @@ type exportState struct {
 	nodes   int
 	timeout sim.Event
 	started sim.Time // for the migration trace span
+	acked   bool     // ack received; only the session-flush tail remains
 }
 
 // importState tracks an in-flight import on the importer.
@@ -54,7 +55,11 @@ func (m *MDS) startExport(u exportUnit, dest namespace.Rank) {
 		return
 	}
 	m.exportSeq++
-	st := &exportState{id: m.exportSeq<<8 | uint64(m.rank), unit: u, dest: dest,
+	// The rank field needs 16 bits: with only 8, a rank ≥ 256 bleeds into
+	// the sequence bits and distinct exports from the same rank collide on
+	// one ID — the later startExport overwrites the earlier entry, whose
+	// frozen unit is then orphaned (no state left to abort or finish).
+	st := &exportState{id: m.exportSeq<<16 | uint64(m.rank), unit: u, dest: dest,
 		nodes: u.nodeCount(), started: m.engine.Now()}
 	m.exports[st.id] = st
 	m.activeExports++
@@ -78,7 +83,10 @@ func (m *MDS) startExport(u exportUnit, dest namespace.Rank) {
 // commit normally completes in milliseconds.
 func (m *MDS) abortExport(id uint64) {
 	st, ok := m.exports[id]
-	if !ok {
+	if !ok || st.acked {
+		// Acked exports are past the point of no return: the importer
+		// already holds authority, only the exporter's session-flush tail
+		// remains. A late timeout firing here must not roll that back.
 		return
 	}
 	delete(m.exports, id)
@@ -144,7 +152,7 @@ func (m *MDS) handleExportDiscover(from simnet.Addr, d *exportDiscover) {
 // serialisation delay.
 func (m *MDS) handleExportPrep(p *exportPrep) {
 	st, ok := m.exports[p.ExportID]
-	if !ok {
+	if !ok || st.acked {
 		return
 	}
 	pack := m.cfg.ExportFreezeOverhead + sim.Time(st.nodes)*m.cfg.ExportPerInode
@@ -221,10 +229,14 @@ func (m *MDS) handleExportPayload(from simnet.Addr, p *exportPayload) {
 // release the unit.
 func (m *MDS) handleExportAck(a *exportAck) {
 	st, ok := m.exports[a.ExportID]
-	if !ok {
+	if !ok || st.acked {
 		return
 	}
-	delete(m.exports, a.ExportID)
+	// The entry stays in m.exports until finish() releases the freeze:
+	// ExportsInFlight must cover the session-flush tail, or a drain that
+	// polls it can declare the cluster quiet, stop the timer plane, and
+	// strand the unit frozen forever.
+	st.acked = true
 	m.engine.Cancel(st.timeout)
 	m.journal.Append(rados.EntryExportFinish, 256, nil)
 	// Session flushes: every client with a session here must halt
@@ -242,6 +254,12 @@ func (m *MDS) handleExportAck(a *exportAck) {
 		flushCost += m.cfg.SessionFlushCost
 	}
 	finish := func() {
+		if cur, live := m.exports[a.ExportID]; !live || cur != st {
+			// Crashed mid-flush: Crash() already released the freeze and
+			// reset the export table; replaying the tail would double-count.
+			return
+		}
+		delete(m.exports, a.ExportID)
 		m.activeExports--
 		m.Counters.Exports++
 		m.Counters.InodesMoved += uint64(st.nodes)

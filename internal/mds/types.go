@@ -257,6 +257,17 @@ type Config struct {
 	// paper measures.
 	SvcJitterPct float64
 
+	// HBAggregated switches heartbeat exchange from all-pairs (every rank
+	// mails its heartbeat to every peer, O(ranks²) messages per interval)
+	// to monitor-aggregated: the rank piggybacks its load vector on the
+	// beacon it already sends the monitor, and folds the monitor's
+	// aggregated LoadMap replies into hbData — O(ranks) messages per
+	// interval. Requires a monitor (SetMonitor); without one the rank
+	// falls back to all-pairs so a balancer never runs blind. Off by
+	// default, and never set on the simulator path, so sim digests are
+	// bit-identical.
+	HBAggregated bool
+
 	// SplitSize fragments a dirfrag past this many entries (50 000 in
 	// the paper's shared-directory experiment).
 	SplitSize int
@@ -409,4 +420,5 @@ type Counters struct {
 	ImportRefusals  uint64 // discovers nacked because this rank was draining
 	StaleRejects    uint64 // namespace writes refused: the daemon's epoch was superseded
 	SelfFences      uint64 // daemon discovered it was replaced and fenced itself
+	LoadMapsRecv    uint64 // aggregated load maps folded into hbData (HBAggregated mode)
 }

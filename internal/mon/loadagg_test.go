@@ -1,0 +1,129 @@
+package mon
+
+import (
+	"testing"
+
+	"mantle/internal/namespace"
+	"mantle/internal/sim"
+	"mantle/internal/simnet"
+)
+
+func beaconL(n *simnet.Network, monAddr simnet.Addr, rank namespace.Rank, seq uint64, auth float64) {
+	n.Send(simnet.Addr(int(rank)), monAddr, &Beacon{
+		Rank: rank, Seq: seq,
+		Load: &RankLoad{Auth: auth, All: auth * 1.5, Req: 100},
+	})
+}
+
+// TestLoadMapAggregatesAndReplies: load-carrying beacons populate the
+// snapshot, and the monitor answers each one with the current map on the
+// beacon's return path (no extra connections, no extra round trips).
+func TestLoadMapAggregatesAndReplies(t *testing.T) {
+	cfg := Config{CheckInterval: sim.Second, Grace: 100 * sim.Second}
+	e, n, m := newMonRig(t, 2, cfg, nil)
+	var got []*LoadMap
+	n.Register(simnet.Addr(0), simnet.HandlerFunc(func(from simnet.Addr, msg simnet.Message) {
+		if lm, ok := msg.(*LoadMap); ok {
+			got = append(got, lm)
+		}
+	}))
+	m.Start()
+	for s := 1; s <= 5; s++ {
+		s := s
+		e.Schedule(sim.Time(s)*sim.Second, func() {
+			beaconL(n, m.Addr(), 0, uint64(s), 10)
+			beaconL(n, m.Addr(), 1, uint64(s), 20)
+		})
+	}
+	e.Run(6 * sim.Second)
+	m.Stop()
+	if m.LoadReports != 10 {
+		t.Fatalf("LoadReports = %d, want 10", m.LoadReports)
+	}
+	if len(got) == 0 {
+		t.Fatal("rank 0 never received a load map")
+	}
+	last := got[len(got)-1]
+	if !last.Present[0] || !last.Present[1] {
+		t.Fatalf("map incomplete: %+v", last)
+	}
+	if last.Loads[1].Auth != 20 || last.Loads[0].Auth != 10 {
+		t.Fatalf("map values wrong: %+v", last.Loads)
+	}
+	// Versions on the reply path must be non-decreasing (ranks use them to
+	// drop reordered maps).
+	for i := 1; i < len(got); i++ {
+		if got[i].Version < got[i-1].Version {
+			t.Fatalf("map versions went backwards: %d then %d", got[i-1].Version, got[i].Version)
+		}
+	}
+}
+
+// TestLoadMapStaleVectorAgesOut: a rank that stops reporting falls out of
+// the snapshot after LoadStale even when the failure grace (much longer
+// here) has not expired — balancing must stop trusting a silent rank's load
+// long before the monitor is ready to declare it dead.
+func TestLoadMapStaleVectorAgesOut(t *testing.T) {
+	cfg := Config{CheckInterval: sim.Second, Grace: 100 * sim.Second, LoadStale: 3 * sim.Second}
+	e, n, m := newMonRig(t, 2, cfg, nil)
+	m.Start()
+	for s := 1; s <= 10; s++ {
+		s := s
+		e.Schedule(sim.Time(s)*sim.Second, func() {
+			beaconL(n, m.Addr(), 0, uint64(s), 10)
+			if s <= 2 {
+				beaconL(n, m.Addr(), 1, uint64(s), 20)
+			}
+		})
+	}
+	e.Run(4 * sim.Second)
+	snap := m.Snapshot()
+	if snap == nil || !snap.Present[1] {
+		t.Fatalf("rank 1 should still be fresh at t=4s: %+v", snap)
+	}
+	e.Run(10 * sim.Second) // rank 1 silent since t=2s; stale bound is 3s
+	m.Stop()
+	snap = m.Snapshot()
+	if snap == nil {
+		t.Fatal("no snapshot")
+	}
+	if !snap.Present[0] {
+		t.Fatal("live rank aged out")
+	}
+	if snap.Present[1] {
+		t.Fatal("silent rank's stale vector still in the load map")
+	}
+	if m.Failures != 0 {
+		t.Fatalf("staleness must not imply failure: %d declarations", m.Failures)
+	}
+}
+
+// TestLoadMapFailedRankDroppedImmediately: a failure declaration removes the
+// rank's vector at once — even a generous LoadStale must not keep a dead
+// rank looking loaded (migrations would still target it).
+func TestLoadMapFailedRankDroppedImmediately(t *testing.T) {
+	cfg := Config{CheckInterval: sim.Second, Grace: 2 * sim.Second, LoadStale: 100 * sim.Second}
+	e, n, m := newMonRig(t, 2, cfg, nil)
+	m.Start()
+	for s := 1; s <= 8; s++ {
+		s := s
+		e.Schedule(sim.Time(s)*sim.Second, func() {
+			beaconL(n, m.Addr(), 0, uint64(s), 10)
+			if s <= 1 {
+				beaconL(n, m.Addr(), 1, uint64(s), 20)
+			}
+		})
+	}
+	e.Run(8 * sim.Second) // rank 1 silent after t=1s, declared ~t=4s
+	m.Stop()
+	if m.Failures != 1 {
+		t.Fatalf("failures = %d, want rank 1 declared", m.Failures)
+	}
+	snap := m.Snapshot()
+	if snap == nil || !snap.Present[0] {
+		t.Fatalf("live rank missing: %+v", snap)
+	}
+	if snap.Present[1] {
+		t.Fatal("declared-failed rank still present in the load map")
+	}
+}

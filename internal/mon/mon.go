@@ -21,6 +21,43 @@ type Beacon struct {
 	Rank  namespace.Rank
 	Seq   uint64
 	Epoch uint64
+	// Load, when non-nil, is the sender's load vector for aggregated
+	// heartbeat mode: instead of mailing a full heartbeat to every peer
+	// (O(ranks²) messages per interval), the rank piggybacks its vector on
+	// the beacon it already sends the monitor, and the monitor answers
+	// with the aggregated LoadMap — O(ranks) messages total. Nil (the
+	// default, and always in the simulator) leaves beacon handling exactly
+	// as before.
+	Load *RankLoad
+}
+
+// RankLoad is one rank's load vector as carried on a beacon and in the
+// aggregated LoadMap. The fields mirror mds.Heartbeat's measurement columns;
+// any sender-side measurement jitter (LoadNoisePct) is applied before the
+// vector is built, so aggregation transports exactly the numbers the
+// all-pairs path would have mailed.
+type RankLoad struct {
+	Auth     float64
+	All      float64
+	CPU      float64
+	Mem      float64
+	Queue    float64
+	Req      float64
+	Draining bool
+}
+
+// LoadMap is the monitor's aggregated, versioned view of every live rank's
+// load vector. It is rebuilt once per sweep and sent (as a shared snapshot)
+// in reply to each load-carrying beacon. Present[r] is false when rank r's
+// vector is unknown, has aged past the staleness bound, or the rank is
+// currently declared failed — receivers treat those ranks exactly like a
+// peer that never sent a heartbeat (zeros in the balancer env). Version
+// increases monotonically so a reordered older map can never overwrite a
+// newer one at the receiver.
+type LoadMap struct {
+	Version uint64
+	Loads   []RankLoad
+	Present []bool
 }
 
 // Config tunes failure detection.
@@ -30,6 +67,12 @@ type Config struct {
 	// Grace is how long a rank may stay silent before it is declared
 	// failed (CephFS defaults to several beacon periods).
 	Grace sim.Time
+	// LoadStale bounds how long a rank's load vector stays in the
+	// aggregated LoadMap without a fresh beacon. A partitioned rank's
+	// vector ages out (Present goes false) instead of steering migrations
+	// at a dead rank, even when Grace is long enough that the rank has not
+	// yet been declared failed. Zero defaults to Grace.
+	LoadStale sim.Time
 }
 
 // DefaultConfig mirrors Ceph's shape: 4-second beacons, ~15-second grace.
@@ -51,6 +94,7 @@ type TakeoverFunc func(rank namespace.Rank) bool
 // binds it to a controller actor so beacon handling and sweeps serialize).
 type Monitor struct {
 	addr     simnet.Addr
+	net      simnet.Transport
 	clock    sim.Clock
 	cfg      Config
 	numRanks int
@@ -59,6 +103,18 @@ type Monitor struct {
 	lastSeen map[namespace.Rank]sim.Time
 	failed   map[namespace.Rank]bool
 	ticker   *sim.Ticker
+
+	// Aggregated heartbeat state: the latest load vector per rank (with
+	// receipt time for staleness ageing and the beacon's source address
+	// for the reply), plus the shared snapshot handed to every
+	// load-carrying beacon until the next sweep rebuilds it. The snapshot
+	// is immutable once published — receivers on other goroutines (the
+	// live runtime's rank actors) only read it.
+	loads    map[namespace.Rank]RankLoad
+	loadSeen map[namespace.Rank]sim.Time
+	senders  map[namespace.Rank]simnet.Addr
+	snapshot *LoadMap
+	mapVer   uint64
 
 	// epochs is the highest membership epoch the monitor has issued or
 	// observed per rank (the mdsmap incarnation number). It is bumped on
@@ -83,10 +139,14 @@ type Monitor struct {
 
 	// Failures counts rank-failed declarations; Takeovers counts
 	// successful standby promotions; StaleBeacons counts beacons dropped
-	// by the epoch/sequence filters.
+	// by the epoch/sequence filters. LoadReports counts load vectors
+	// accepted off beacons; LoadMapsSent counts aggregated maps mailed
+	// back to ranks.
 	Failures     uint64
 	Takeovers    uint64
 	StaleBeacons uint64
+	LoadReports  uint64
+	LoadMapsSent uint64
 }
 
 // New registers a monitor on the network.
@@ -100,6 +160,7 @@ func New(addr simnet.Addr, clock sim.Clock, net simnet.Transport, numRanks int,
 	}
 	m := &Monitor{
 		addr:     addr,
+		net:      net,
 		clock:    clock,
 		cfg:      cfg,
 		numRanks: numRanks,
@@ -108,6 +169,9 @@ func New(addr simnet.Addr, clock sim.Clock, net simnet.Transport, numRanks int,
 		failed:   map[namespace.Rank]bool{},
 		epochs:   map[namespace.Rank]uint64{},
 		lastSeq:  map[namespace.Rank]uint64{},
+		loads:    map[namespace.Rank]RankLoad{},
+		loadSeen: map[namespace.Rank]sim.Time{},
+		senders:  map[namespace.Rank]simnet.Addr{},
 	}
 	net.Register(addr, m)
 	return m
@@ -172,6 +236,23 @@ func (m *Monitor) HandleMessage(from simnet.Addr, msg simnet.Message) {
 		// The rank is back (a promoted standby or a recovered daemon).
 		delete(m.failed, b.Rank)
 	}
+	if b.Load != nil {
+		// Load recording sits behind the epoch/sequence filters above, so
+		// a fenced zombie's late beacon can no longer inject a vector into
+		// the map its replacement is balancing from.
+		m.loads[b.Rank] = *b.Load
+		m.loadSeen[b.Rank] = m.clock.Now()
+		m.senders[b.Rank] = from
+		m.LoadReports++
+		if m.snapshot != nil {
+			// Reply on the beacon path with the current snapshot: one map
+			// per beacon, so aggregated exchange is O(ranks) messages per
+			// interval and each rank holds a map at most one sweep old
+			// when its own rebalance fires shortly after this beacon.
+			m.net.Send(m.addr, from, m.snapshot)
+			m.LoadMapsSent++
+		}
+	}
 }
 
 // sweep declares silent ranks failed and promotes standbys.
@@ -201,6 +282,11 @@ func (m *Monitor) sweep() {
 		// bump is inert there.
 		m.epochs[rank]++
 		delete(m.lastSeq, rank)
+		// The fenced daemon's load vector dies with it: the next snapshot
+		// must not steer exports at a rank the monitor just declared down.
+		delete(m.loads, rank)
+		delete(m.loadSeen, rank)
+		delete(m.senders, rank)
 		if m.OnEpoch != nil {
 			m.OnEpoch(rank, m.epochs[rank])
 		}
@@ -214,7 +300,50 @@ func (m *Monitor) sweep() {
 			m.OnFail(rank)
 		}
 	}
+	m.rebuildSnapshot(now)
 }
+
+// rebuildSnapshot refreshes the aggregated LoadMap once per sweep. Entries
+// older than the staleness bound (LoadStale, defaulting to Grace) or
+// belonging to a currently-failed rank are left absent. The snapshot stays
+// nil until the first load vector arrives, so a cluster running all-pairs
+// heartbeats (or the simulator) never pays for — or receives — load maps.
+func (m *Monitor) rebuildSnapshot(now sim.Time) {
+	if len(m.loads) == 0 && m.snapshot == nil {
+		return
+	}
+	stale := m.cfg.LoadStale
+	if stale <= 0 {
+		stale = m.cfg.Grace
+	}
+	lm := &LoadMap{
+		Loads:   make([]RankLoad, m.numRanks),
+		Present: make([]bool, m.numRanks),
+	}
+	for r := 0; r < m.numRanks; r++ {
+		rank := namespace.Rank(r)
+		ld, ok := m.loads[rank]
+		if !ok || m.failed[rank] {
+			continue
+		}
+		if now-m.loadSeen[rank] > stale {
+			// Aged out: the rank is silent (partitioned or wedged) but not
+			// yet past Grace. Receivers fold absence into zeros — the same
+			// env a peer that never heartbeated produces.
+			continue
+		}
+		lm.Loads[r] = ld
+		lm.Present[r] = true
+	}
+	m.mapVer++
+	lm.Version = m.mapVer
+	m.snapshot = lm
+}
+
+// Snapshot exposes the current aggregated load map (nil until the first
+// sweep after a load-carrying beacon). Tests and operators read it; callers
+// must not mutate it.
+func (m *Monitor) Snapshot() *LoadMap { return m.snapshot }
 
 // SetNumRanks resizes the monitor's view of the active rank set. The elastic
 // coordinator calls this on every membership epoch: a grown-in rank gets a
@@ -236,6 +365,9 @@ func (m *Monitor) SetNumRanks(n int) {
 		// daemon joins at a higher epoch and stragglers from the retired
 		// incarnation stay fenced.
 		delete(m.lastSeq, namespace.Rank(r))
+		delete(m.loads, namespace.Rank(r))
+		delete(m.loadSeen, namespace.Rank(r))
+		delete(m.senders, namespace.Rank(r))
 	}
 	m.numRanks = n
 }

@@ -31,18 +31,31 @@ func benchLiveServeNRank(b *testing.B, ranks int) {
 		}
 		cfg.MDS.HeartbeatInterval = 200 * sim.Millisecond
 		cfg.MDS.RebalanceDelay = 20 * sim.Millisecond
+		if ranks >= 512 {
+			// Past a few hundred ranks the all-pairs exchange alone is
+			// O(ranks²) messages per interval — at 512 ranks that is more
+			// traffic than the whole client workload. The big points run
+			// the aggregated monitor exchange (the configuration anything
+			// at this scale would deploy); failure declaration is off
+			// (enormous grace) because a saturated bench host pausing a
+			// rank for a scheduler quantum is not a failure.
+			cfg.HBAggregated = true
+			cfg.MonGrace = time.Hour
+		}
 		cfg.Load = live.LoadConfig{
 			Clients:  4 * ranks,
 			Rate:     1000 * float64(ranks),
 			Duration: 200 * time.Millisecond,
 			Dirs:     16 * ranks,
 			Seed:     int64(i + 1),
-			// Generous: on a saturated small host the backlog drains at
-			// CPU capacity after the arrival window; reaping it early
-			// would discount served ops and understate throughput.
-			OpTimeout: 8 * time.Second,
+			// Generous, and scaled with rank count: on a saturated small
+			// host the backlog drains at CPU capacity after the arrival
+			// window, and the backlog is proportional to offered load.
+			// Reaping early would discount served ops and understate
+			// throughput; a fixed bound that fits 8 ranks starves 512.
+			OpTimeout: 8*time.Second + time.Duration(ranks)*20*time.Millisecond,
 		}
-		cfg.DrainTimeout = 20 * time.Second
+		cfg.DrainTimeout = 20*time.Second + time.Duration(ranks)*80*time.Millisecond
 		rt, err := live.New(cfg)
 		if err != nil {
 			b.Fatal(err)
@@ -56,10 +69,12 @@ func benchLiveServeNRank(b *testing.B, ranks int) {
 	b.ReportMetric(float64(total)/float64(b.N), "simops/op")
 }
 
-func benchLiveServe2Rank(b *testing.B)   { benchLiveServeNRank(b, 2) }
-func benchLiveServe8Rank(b *testing.B)   { benchLiveServeNRank(b, 8) }
-func benchLiveServe32Rank(b *testing.B)  { benchLiveServeNRank(b, 32) }
-func benchLiveServe128Rank(b *testing.B) { benchLiveServeNRank(b, 128) }
+func benchLiveServe2Rank(b *testing.B)    { benchLiveServeNRank(b, 2) }
+func benchLiveServe8Rank(b *testing.B)    { benchLiveServeNRank(b, 8) }
+func benchLiveServe32Rank(b *testing.B)   { benchLiveServeNRank(b, 32) }
+func benchLiveServe128Rank(b *testing.B)  { benchLiveServeNRank(b, 128) }
+func benchLiveServe512Rank(b *testing.B)  { benchLiveServeNRank(b, 512) }
+func benchLiveServe1000Rank(b *testing.B) { benchLiveServeNRank(b, 1000) }
 
 // benchShardedHistogramObserve measures the concurrent latency-recording
 // path under parallel writers — the per-op telemetry cost the live runtime

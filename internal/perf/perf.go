@@ -68,6 +68,8 @@ func Benchmarks() []Bench {
 		{"LiveServe8Rank", benchLiveServe8Rank},
 		{"LiveServe32Rank", benchLiveServe32Rank},
 		{"LiveServe128Rank", benchLiveServe128Rank},
+		{"LiveServe512Rank", benchLiveServe512Rank},
+		{"LiveServe1000Rank", benchLiveServe1000Rank},
 		{"ShardedHistogramObserve", benchShardedHistogramObserve},
 	}
 }

@@ -19,6 +19,8 @@ func BenchmarkLiveServe2Rank(b *testing.B)          { benchLiveServe2Rank(b) }
 func BenchmarkLiveServe8Rank(b *testing.B)          { benchLiveServe8Rank(b) }
 func BenchmarkLiveServe32Rank(b *testing.B)         { benchLiveServe32Rank(b) }
 func BenchmarkLiveServe128Rank(b *testing.B)        { benchLiveServe128Rank(b) }
+func BenchmarkLiveServe512Rank(b *testing.B)        { benchLiveServe512Rank(b) }
+func BenchmarkLiveServe1000Rank(b *testing.B)       { benchLiveServe1000Rank(b) }
 
 func report(pairs map[string]float64) Report {
 	var r Report

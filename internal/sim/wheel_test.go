@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWheelFiresAndCancels exercises the hashed wheel's contract: scheduled
+// callbacks fire (once, roughly on time), cancelled timers never fire, and
+// cancel-after-fire is a harmless no-op.
+func TestWheelFiresAndCancels(t *testing.T) {
+	w := NewWheel(time.Millisecond, 256)
+	defer w.Stop()
+
+	const n = 200
+	var fired atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		d := time.Duration(5+i%40) * time.Millisecond
+		w.Schedule(d, func() {
+			fired.Add(1)
+			wg.Done()
+		})
+	}
+	// Cancelled timers must not count.
+	var leaked atomic.Int64
+	for i := 0; i < 50; i++ {
+		tm := w.Schedule(80*time.Millisecond, func() { leaked.Add(1) })
+		tm.CancelTimer()
+		tm.CancelTimer() // double-cancel is fine
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("only %d/%d timers fired", fired.Load(), n)
+	}
+	time.Sleep(150 * time.Millisecond) // past every cancelled deadline
+	if got := leaked.Load(); got != 0 {
+		t.Fatalf("%d cancelled timers fired", got)
+	}
+}
+
+// TestWheelZeroAndPastDelays: a zero (or sub-tick) delay must still fire —
+// the wheel self-fires timers that land at or behind the current tick rather
+// than parking them a full rotation away.
+func TestWheelZeroAndPastDelays(t *testing.T) {
+	w := NewWheel(time.Millisecond, 64)
+	defer w.Stop()
+	var wg sync.WaitGroup
+	wg.Add(10)
+	for i := 0; i < 10; i++ {
+		w.Schedule(0, wg.Done)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("zero-delay timers never fired")
+	}
+}
+
+// TestWheelWrapAround schedules past one full rotation (delay > slots·tick),
+// which must fire on a later lap, not a slot collision one lap early.
+func TestWheelWrapAround(t *testing.T) {
+	w := NewWheel(time.Millisecond, 16) // 16 ms per rotation
+	defer w.Stop()
+	start := time.Now()
+	fired := make(chan time.Duration, 1)
+	w.Schedule(50*time.Millisecond, func() { fired <- time.Since(start) })
+	select {
+	case d := <-fired:
+		if d < 45*time.Millisecond {
+			t.Fatalf("wrapped timer fired a lap early: %v", d)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("wrapped timer never fired")
+	}
+}
+
+// TestWheelStopIsIdempotent: Stop twice, then late Schedules must not hang
+// or panic (they fire immediately or are dropped; either is acceptable for
+// a stopped wheel, crashing is not).
+func TestWheelStopIsIdempotent(t *testing.T) {
+	w := NewWheel(time.Millisecond, 64)
+	w.Schedule(5*time.Millisecond, func() {})
+	w.Stop()
+	w.Stop()
+}
