@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -34,6 +35,7 @@ func main() {
 	benchHistory := flag.String("bench-history", "", "with -bench-json: comma-separated BENCH_*.json paths (globs allowed, chronological order); gate each benchmark against its fastest historical measurement and print the trend")
 	benchTolerance := flag.Float64("bench-tolerance", 0.25, "allowed fractional ns_per_op regression vs -bench-baseline (0.25 = 25%)")
 	benchHistoryTolerance := flag.Float64("bench-history-tolerance", 0.6, "allowed fractional ns_per_op regression vs each benchmark's fastest committed measurement (looser than -bench-tolerance: the historical best stacks every recording environment's luck)")
+	benchGateSkip := flag.String("bench-gate-skip", "", "regexp of benchmark names exempt from both regression gates (still measured, recorded, and shown in the trend); for points whose wall time is documented load-dominated, e.g. drain-bound open-loop runs — see docs/PERFORMANCE.md")
 	treeDepth := flag.Int("tree-depth", perf.DefaultScale().TreeDepth, "NamespaceScale benchmarks: directory nesting depth")
 	treeWidth := flag.Int("tree-width", perf.DefaultScale().TreeWidth, "NamespaceScale benchmarks: directory fan-out at the bottom of the tree")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -82,6 +84,20 @@ func main() {
 			fmt.Println()
 		}
 		fmt.Println("wrote", name)
+		gated := rep
+		if *benchGateSkip != "" {
+			re, err := regexp.Compile(*benchGateSkip)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bad -bench-gate-skip:", err)
+				exit(2)
+			}
+			var dropped []string
+			gated, dropped = rep.WithoutBenchmarks(re)
+			if len(dropped) > 0 {
+				fmt.Printf("gates exempt %s (load-dominated wall time; see docs/PERFORMANCE.md)\n",
+					strings.Join(dropped, ", "))
+			}
+		}
 		if *benchBaseline != "" {
 			bf, err := os.Open(*benchBaseline)
 			if err != nil {
@@ -94,7 +110,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				exit(2)
 			}
-			regs := perf.CompareReports(base, rep, *benchTolerance)
+			regs := perf.CompareReports(base, gated, *benchTolerance)
 			if len(regs) > 0 {
 				fmt.Printf("\n%d benchmark(s) regressed vs %s (tolerance %.0f%%):\n",
 					len(regs), *benchBaseline, *benchTolerance*100)
@@ -112,7 +128,7 @@ func main() {
 				exit(2)
 			}
 			fmt.Printf("\ntrend across %d committed report(s):\n%s", len(history), perf.Trend(history, rep))
-			regs := perf.CompareHistory(history, rep, *benchHistoryTolerance)
+			regs := perf.CompareHistory(history, gated, *benchHistoryTolerance)
 			if len(regs) > 0 {
 				fmt.Printf("\n%d benchmark(s) regressed vs historical best (tolerance %.0f%%):\n",
 					len(regs), *benchHistoryTolerance*100)

@@ -64,6 +64,12 @@ func main() {
 	hbMode := flag.String("hb-mode", "allpairs", "load exchange: allpairs (every rank heartbeats every peer, O(ranks^2) msgs/interval) | aggregated (ranks report to the monitor, which disseminates a load map, O(ranks); enables the monitor)")
 	loadStale := flag.Duration("load-stale", 0, "aggregated mode: age a silent rank's vector out of the load map after this long (0 = the monitor grace)")
 	workers := flag.Int("workers", 0, "load-generator dispatcher goroutines (zipf workload; 0 = GOMAXPROCS capped at 8)")
+	replication := flag.Bool("replication", false, "enable hot-dirfrag read replication (when_replicate hook) plus client-side replica routing and lookup coalescing")
+	replicaMax := flag.Int("replica-max", 2, "max replicas per directory")
+	replicaPolicy := flag.String("replica-policy", "", "when_replicate hook: path to a .lua policy file (default: the -policy file's when_replicate section, else the built-in heat thresholds)")
+	hotDir := flag.Bool("hotdir", false, "zipf workload: concentrate -hot-frac of ops on one shared hot directory")
+	hotFrac := flag.Float64("hot-frac", 0.9, "fraction of ops aimed at the hot directory (with -hotdir)")
+	hotFiles := flag.Int("hot-files", 256, "files in the hot directory (with -hotdir)")
 	faultsFile := flag.String("faults", "", "JSON fault plan file injected against the live runtime (same schema as mantle-sim -faults; endpoint -2 = the monitor)")
 	flag.Parse()
 
@@ -122,6 +128,26 @@ func main() {
 		FlashFactor: *flash,
 		IdleTail:    *idleTail,
 		Workers:     *workers,
+		HotDir:      *hotDir,
+		HotFrac:     *hotFrac,
+		HotFiles:    *hotFiles,
+	}
+	if *replication {
+		cfg.Replication = true
+		cfg.ReplicaMax = *replicaMax
+		cfg.ReplicaPolicy = p.WhenReplicate // "" falls back to the built-in hook
+		if *replicaPolicy != "" {
+			rp, err := pickPolicy(*replicaPolicy)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			if rp.WhenReplicate == "" {
+				fmt.Fprintf(os.Stderr, "%s has no when_replicate section\n", *replicaPolicy)
+				os.Exit(2)
+			}
+			cfg.ReplicaPolicy = rp.WhenReplicate
+		}
 	}
 	if *wl == "compile" {
 		cfg.Load.Compile = workload.CompileConfig{Root: "/build", Seed: *seed, LinkPasses: *linkPasses}
@@ -174,8 +200,19 @@ func main() {
 		}
 		fmt.Printf("mantle-serve: fault plan %q (%d events)\n", plan.Name, len(plan.Events))
 	}
+	if cfg.Replication {
+		src := "built-in"
+		if cfg.ReplicaPolicy != "" {
+			src = "when_replicate"
+		}
+		fmt.Printf("mantle-serve: replication on (max %d replicas/dir, %s hook)\n", cfg.ReplicaMax, src)
+	}
+	wlDesc := *wl
+	if *hotDir {
+		wlDesc = fmt.Sprintf("%s, hotdir %.0f%%/%d files", *wl, *hotFrac*100, *hotFiles)
+	}
 	fmt.Printf("mantle-serve: %d ranks, policy %s, %v @ %.0f op/s (%s workload)\n",
-		*ranks, p.Name, *duration, *rate, *wl)
+		*ranks, p.Name, *duration, *rate, wlDesc)
 	if *chaosKind != "crash" && *chaosKind != "partition" {
 		fmt.Fprintf(os.Stderr, "unknown -chaos-kind %q\n", *chaosKind)
 		os.Exit(2)

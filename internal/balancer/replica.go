@@ -1,0 +1,21 @@
+package balancer
+
+import "mantle/internal/namespace"
+
+// ReplicaEnv is the state bound for one when_replicate evaluation: the Table
+// 2 cluster view plus the candidate directory's own signals. One env is
+// built per hot-directory candidate per balancer epoch, by the authoritative
+// rank.
+type ReplicaEnv struct {
+	WhoAmI      namespace.Rank // evaluating (authoritative) rank, 0-based
+	Active      int            // active ranks
+	MaxReplicas int            // configured ceiling on replicas per directory
+	Total       float64        // cluster-wide metadata load
+	MDSs        []MDSMetrics   // per-rank metrics, indexed by rank
+
+	Path     string  // candidate directory
+	Heat     float64 // candidate's scalarised metadata load (decay counters)
+	Rd       float64 // candidate's read rate (inode reads + readdirs)
+	Wr       float64 // candidate's write rate (inode writes)
+	Replicas int     // replicas currently granted for the candidate
+}

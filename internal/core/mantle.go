@@ -51,6 +51,11 @@ type Policy struct {
 	// per-rank balancer; see ElasticHook. Empty = no opinion (a cluster
 	// without elasticity enabled ignores it entirely).
 	WhenElastic string
+	// WhenReplicate decides whether a read-hot directory gains or loses
+	// read replicas (when_replicate). Evaluated by the authoritative rank
+	// per hot candidate; see ReplicateHook. Empty = no opinion (a cluster
+	// without replication enabled ignores it entirely).
+	WhenReplicate string
 }
 
 // hook identifies one compiled script.

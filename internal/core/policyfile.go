@@ -30,10 +30,11 @@ var sectionNames = map[string]int{
 	"where": 3, "mds_bal_where": 3,
 	"howmuch": 4, "mds_bal_howmuch": 4,
 	"when_elastic": 5, "mds_bal_when_elastic": 5,
+	"when_replicate": 6, "mds_bal_when_replicate": 6,
 }
 
 // numSections is the number of distinct policy-file sections.
-const numSections = 6
+const numSections = 7
 
 // ParsePolicyFile parses the sectioned policy format. name labels the policy
 // (usually the file basename).
@@ -75,6 +76,7 @@ func ParsePolicyFile(name, src string) (Policy, error) {
 	p.Where = strings.TrimSpace(sections[3].String())
 	p.HowMuch = strings.TrimSpace(sections[4].String())
 	p.WhenElastic = strings.TrimSpace(sections[5].String())
+	p.WhenReplicate = strings.TrimSpace(sections[6].String())
 	return p, nil
 }
 
@@ -108,5 +110,6 @@ func FormatPolicyFile(p Policy) string {
 	write("where", p.Where)
 	write("howmuch", p.HowMuch)
 	write("when_elastic", p.WhenElastic)
+	write("when_replicate", p.WhenReplicate)
 	return b.String()
 }

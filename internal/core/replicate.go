@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"mantle/internal/balancer"
+	"mantle/internal/lua"
+)
+
+// The when_replicate hook extends the programmable surface to hotspot
+// mitigation: where when/where/howmuch move authority between ranks,
+// when_replicate decides whether a read-hot directory should additionally be
+// served from read replicas on peer ranks — and when those replicas should
+// be torn down again. The authoritative rank evaluates it per hot-directory
+// candidate on every balancer epoch.
+//
+// Environment:
+//
+//	whoami            evaluating rank, 1-based like the Table 2 env
+//	active            number of active ranks
+//	max_replicas      configured ceiling on replicas per directory
+//	total             cluster-wide metadata load
+//	MDSs[i]           per rank, 1-based:
+//	  ["auth"|"all"|"cpu"|"mem"|"q"|"req"|"load"]
+//	path              candidate directory path
+//	heat              candidate's metadata load (decay counters)
+//	rd                candidate's read rate (inode reads + readdirs)
+//	wr                candidate's write rate (inode writes)
+//	replicas          replicas currently granted for the candidate
+//	WRstate/RDstate   persistent scratch, as in the balancing hooks
+//
+// The hook returns a number: > 0 grants one more replica, < 0 revokes the
+// candidate's replicas, 0 (or nil) holds. Placement (which peer receives
+// the grant) stays with the runtime — the hook decides *whether*, the
+// least-loaded active peer receives.
+
+// Replicate hook verdicts.
+const (
+	ReplicateHold   = 0
+	ReplicateGrant  = 1
+	ReplicateRevoke = -1
+)
+
+// DefaultReplicateScript is the built-in when_replicate policy: replicate a
+// directory whose load is well above its fair share and read-dominated;
+// revoke once it cools off or writes pick up (each write pays a revoke round
+// trip, so a write-heavy replica is pure cost).
+const DefaultReplicateScript = `
+local mean = total / active
+if replicas > 0 and (heat < mean / 2 or wr * 2 > rd) then
+	return -1
+end
+if replicas < max_replicas and heat > 2 * mean and rd > 4 * wr then
+	return 1
+end
+return 0`
+
+// ReplicateHook is a compiled when_replicate script. Like ElasticHook it
+// owns its VM: each rank holds its own hook, and evaluation never races the
+// rank's balancing hooks (both run on the rank's execution lane, but the
+// VMs share no tables).
+type ReplicateHook struct {
+	vm    *lua.VM
+	chunk *lua.Chunk
+	state balancer.StateStore
+
+	envMDSs  *lua.Table
+	envRanks []*lua.Table
+
+	// HookErrors counts runtime failures, mirroring LuaBalancer.
+	HookErrors int
+}
+
+// NewReplicateHook compiles src (empty = DefaultReplicateScript).
+func NewReplicateHook(src string, opts Options) (*ReplicateHook, error) {
+	if strings.TrimSpace(src) == "" {
+		src = DefaultReplicateScript
+	}
+	h := &ReplicateHook{vm: lua.NewVM(), state: &balancer.MemState{}}
+	if opts.MaxSteps > 0 {
+		h.vm.MaxSteps = opts.MaxSteps
+	} else {
+		h.vm.MaxSteps = DefaultMaxSteps
+	}
+	chunk, err := lua.CompileExprOrChunk("when_replicate", src)
+	if err != nil {
+		return nil, fmt.Errorf("mantle: compile when_replicate: %w", err)
+	}
+	h.chunk = chunk
+	write := lua.GoFunc(func(args []lua.Value) ([]lua.Value, error) {
+		if len(args) == 0 {
+			h.state.Write(nil)
+		} else {
+			h.state.Write(args[0])
+		}
+		return nil, nil
+	})
+	read := lua.GoFunc(func(args []lua.Value) ([]lua.Value, error) {
+		v := h.state.Read()
+		if v == nil {
+			return []lua.Value{nil}, nil
+		}
+		return []lua.Value{v}, nil
+	})
+	for _, n := range []string{"WRstate", "WRState"} {
+		h.vm.Globals.SetString(n, write)
+	}
+	for _, n := range []string{"RDstate", "RDState"} {
+		h.vm.Globals.SetString(n, read)
+	}
+	return h, nil
+}
+
+// Eval runs the hook and reports ReplicateGrant, ReplicateRevoke or
+// ReplicateHold. Non-zero magnitudes collapse to one step: replicas are
+// granted one per epoch so every placement reacts to the previous one's
+// effect on the load map.
+func (h *ReplicateHook) Eval(e balancer.ReplicaEnv) (int, error) {
+	h.bind(e)
+	vals, err := h.vm.Run(h.chunk)
+	if err != nil {
+		h.HookErrors++
+		return ReplicateHold, fmt.Errorf("mantle: when_replicate: %w", err)
+	}
+	if len(vals) == 0 || vals[0] == nil {
+		return ReplicateHold, nil
+	}
+	n, ok := lua.Number(vals[0])
+	if !ok {
+		h.HookErrors++
+		return ReplicateHold, fmt.Errorf("mantle: when_replicate returned %v, want number", lua.TypeOf(vals[0]))
+	}
+	switch {
+	case n > 0:
+		return ReplicateGrant, nil
+	case n < 0:
+		return ReplicateRevoke, nil
+	default:
+		return ReplicateHold, nil
+	}
+}
+
+// bind publishes the replicate environment, reusing cached tables like
+// LuaBalancer.bindEnv.
+func (h *ReplicateHook) bind(e balancer.ReplicaEnv) {
+	g := h.vm.Globals
+	g.SetString("whoami", lua.Box(float64(e.WhoAmI)+1))
+	g.SetString("active", lua.Box(float64(e.Active)))
+	g.SetString("max_replicas", lua.Box(float64(e.MaxReplicas)))
+	g.SetString("total", lua.Box(e.Total))
+	g.SetString("path", e.Path)
+	g.SetString("heat", lua.Box(e.Heat))
+	g.SetString("rd", lua.Box(e.Rd))
+	g.SetString("wr", lua.Box(e.Wr))
+	g.SetString("replicas", lua.Box(float64(e.Replicas)))
+	if h.envMDSs == nil {
+		h.envMDSs = lua.NewTable()
+	}
+	for i := len(h.envRanks); i > len(e.MDSs); i-- {
+		h.envMDSs.SetInt(i, nil)
+	}
+	if len(h.envRanks) > len(e.MDSs) {
+		h.envRanks = h.envRanks[:len(e.MDSs)]
+	}
+	for i, m := range e.MDSs {
+		var mt *lua.Table
+		if i < len(h.envRanks) {
+			mt = h.envRanks[i]
+		} else {
+			mt = lua.NewTable()
+			h.envRanks = append(h.envRanks, mt)
+			h.envMDSs.SetInt(i+1, mt)
+		}
+		mt.SetString("auth", lua.Box(m.Auth))
+		mt.SetString("all", lua.Box(m.All))
+		mt.SetString("cpu", lua.Box(m.CPU))
+		mt.SetString("mem", lua.Box(m.Mem))
+		mt.SetString("q", lua.Box(m.Queue))
+		mt.SetString("req", lua.Box(m.Req))
+		mt.SetString("load", lua.Box(m.Load))
+	}
+	g.SetString("MDSs", h.envMDSs)
+}
+
+// syntheticReplicateEnvs is the validator's state spread for when_replicate:
+// cold, read-hot, write-hot and mixed candidates, with and without existing
+// replicas, across a few cluster sizes.
+func syntheticReplicateEnvs() []balancer.ReplicaEnv {
+	mk := func(loads ...float64) []balancer.MDSMetrics {
+		out := make([]balancer.MDSMetrics, len(loads))
+		var total float64
+		for i, l := range loads {
+			out[i] = balancer.MDSMetrics{Auth: l, All: l, Load: l, CPU: l, Mem: 10, Queue: l / 10, Req: l * 2}
+			total += l
+		}
+		return out
+	}
+	sum := func(ms []balancer.MDSMetrics) float64 {
+		var t float64
+		for _, m := range ms {
+			t += m.Load
+		}
+		return t
+	}
+	var envs []balancer.ReplicaEnv
+	shapes := []struct {
+		mdss     []balancer.MDSMetrics
+		heat     float64
+		rd, wr   float64
+		replicas int
+	}{
+		{mk(0), 0, 0, 0, 0},
+		{mk(100, 0), 90, 900, 10, 0},
+		{mk(100, 0), 90, 900, 10, 1},
+		{mk(50, 50, 50), 10, 50, 50, 0},
+		{mk(80, 10, 10, 10), 70, 100, 600, 0},
+		{mk(5, 5, 5, 5), 1, 4, 0, 2},
+	}
+	for _, s := range shapes {
+		envs = append(envs, balancer.ReplicaEnv{
+			WhoAmI: 0, Active: len(s.mdss), MaxReplicas: 2, Total: sum(s.mdss),
+			MDSs: s.mdss, Path: "/hot", Heat: s.heat, Rd: s.rd, Wr: s.wr,
+			Replicas: s.replicas,
+		})
+	}
+	return envs
+}
+
+// validateReplicate dry-runs a when_replicate script and appends problems.
+func validateReplicate(src string, add func(format string, args ...any)) {
+	h, err := NewReplicateHook(src, Options{MaxSteps: 200_000})
+	if err != nil {
+		add("%s", err)
+		return
+	}
+	for _, e := range syntheticReplicateEnvs() {
+		if _, err := h.Eval(e); err != nil {
+			add("%s (state: %d ranks, heat=%g)", err, e.Active, e.Heat)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mantle/internal/balancer"
+)
+
+func replicaEnv(heat, rd, wr float64, replicas int) balancer.ReplicaEnv {
+	return balancer.ReplicaEnv{
+		WhoAmI:      0,
+		Active:      3,
+		MaxReplicas: 2,
+		Total:       300,
+		MDSs: []balancer.MDSMetrics{
+			{Load: 200}, {Load: 60}, {Load: 40},
+		},
+		Path:     "/hot",
+		Heat:     heat,
+		Rd:       rd,
+		Wr:       wr,
+		Replicas: replicas,
+	}
+}
+
+func TestDefaultReplicateVerdicts(t *testing.T) {
+	hook, err := NewReplicateHook("", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read-hot fragment well above the mean, no replicas yet: grant.
+	v, err := hook.Eval(replicaEnv(250, 1000, 10, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != ReplicateGrant {
+		t.Fatalf("hot read env verdict = %d, want grant", v)
+	}
+	// Cooled-off fragment still holding a replica: revoke.
+	v, err = hook.Eval(replicaEnv(10, 50, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != ReplicateRevoke {
+		t.Fatalf("cold env verdict = %d, want revoke", v)
+	}
+	// Write-heavy fragment: never grant (revoke-per-write would thrash).
+	v, err = hook.Eval(replicaEnv(250, 100, 200, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == ReplicateGrant {
+		t.Fatal("write-heavy env granted a replica")
+	}
+	// At the replica cap: hold.
+	v, err = hook.Eval(replicaEnv(250, 1000, 10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == ReplicateGrant {
+		t.Fatal("granted past max_replicas")
+	}
+}
+
+func TestCustomReplicateScript(t *testing.T) {
+	hook, err := NewReplicateHook("return heat > 100 and 1 or 0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := hook.Eval(replicaEnv(250, 10, 1, 0)); v != ReplicateGrant {
+		t.Fatalf("verdict = %d, want grant", v)
+	}
+	if v, _ := hook.Eval(replicaEnv(50, 10, 1, 0)); v != ReplicateHold {
+		t.Fatalf("verdict = %d, want hold", v)
+	}
+}
+
+func TestReplicatePolicyFileSection(t *testing.T) {
+	src := `-- [when]
+return true
+-- [when_replicate]
+return replicas < max_replicas and 1 or 0
+`
+	p, err := ParsePolicyFile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.WhenReplicate, "max_replicas") {
+		t.Fatalf("WhenReplicate not parsed: %q", p.WhenReplicate)
+	}
+	out := FormatPolicyFile(p)
+	rt, err := ParsePolicyFile("t", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.WhenReplicate != p.WhenReplicate {
+		t.Fatalf("roundtrip lost when_replicate: %q vs %q", rt.WhenReplicate, p.WhenReplicate)
+	}
+}
+
+func TestValidateCatchesBadReplicateHook(t *testing.T) {
+	p := Policy{Name: "bad", WhenReplicate: "return ("}
+	if rep := Validate(p); rep.OK() {
+		t.Fatal("validate accepted a syntactically broken when_replicate")
+	}
+	good := Policy{Name: "good", WhenReplicate: DefaultReplicateScript}
+	if rep := Validate(good); !rep.OK() {
+		t.Fatalf("validate rejected the default script: %s", rep)
+	}
+}

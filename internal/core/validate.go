@@ -160,5 +160,8 @@ func Validate(p Policy) *ValidationReport {
 	if strings.TrimSpace(p.WhenElastic) != "" {
 		validateElastic(p.WhenElastic, add)
 	}
+	if strings.TrimSpace(p.WhenReplicate) != "" {
+		validateReplicate(p.WhenReplicate, add)
+	}
 	return rep
 }

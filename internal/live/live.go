@@ -37,11 +37,13 @@ import (
 	"time"
 
 	"mantle/internal/balancer"
+	"mantle/internal/core"
 	"mantle/internal/elastic"
 	"mantle/internal/mds"
 	"mantle/internal/mon"
 	"mantle/internal/namespace"
 	"mantle/internal/rados"
+	"mantle/internal/replica"
 	"mantle/internal/sim"
 	"mantle/internal/simnet"
 )
@@ -122,6 +124,18 @@ type Config struct {
 	// Elastic optionally overrides coordinator tuning; nil derives
 	// defaults from the heartbeat interval. MinRanks/MaxRanks above win.
 	Elastic *elastic.Config
+
+	// Replication enables the hotspot-mitigation subsystem: read-hot
+	// directories gain read replicas on peer ranks (when_replicate hook),
+	// the load generator routes reads across auth+replicas power-of-two-
+	// choices style and coalesces duplicate lookups. Off (the default)
+	// leaves every replication code path dormant.
+	Replication bool
+	// ReplicaPolicy is the when_replicate Lua hook source ("" uses
+	// core.DefaultReplicateScript).
+	ReplicaPolicy string
+	// ReplicaMax caps replicas per directory (default 2).
+	ReplicaMax int
 }
 
 // DefaultConfig returns a live config mirroring the simulator's calibrated
@@ -208,6 +222,11 @@ type Runtime struct {
 	takeovers []TakeoverEvent
 	reassigns uint64
 
+	// repReg is the shared replica placement registry (nil when
+	// Replication is off). Its completion callbacks are dispatched to the
+	// waiting rank's actor, so parked writers wake on their own goroutine.
+	repReg *replica.Registry
+
 	// wheel batches every coarse rank timer (heartbeat tickers, rebalance
 	// delays, export timeouts, monitor sweeps) into one shared hashed
 	// timing wheel instead of a time.AfterFunc per arm — at 1000 ranks
@@ -282,6 +301,29 @@ func New(cfg Config) (*Runtime, error) {
 	for r := 0; r < maxRanks; r++ {
 		rt.mdsAddrs = append(rt.mdsAddrs, simnet.Addr(r))
 	}
+	if cfg.Replication {
+		rt.repReg = replica.NewRegistry()
+		// Write-intent completion callbacks run on the waiting rank's own
+		// actor so the parked request is re-enqueued under that rank's
+		// shard lock, never on the acker's goroutine.
+		rt.repReg.Dispatch = func(r namespace.Rank, fn func()) {
+			rt.memberMu.RLock()
+			var a *actor
+			if int(r) < len(rt.actors) {
+				a = rt.actors[r]
+			}
+			rt.memberMu.RUnlock()
+			if a != nil {
+				a.post(fn)
+			}
+		}
+		// Namespace mutations that detach directories (rename, rmdir paths)
+		// invalidate replicas under the namespace write lock, before the
+		// mutation is visible to any reader.
+		rt.ns.SetInvalidateHook(func(p string) {
+			rt.repReg.InvalidateSubtree(p)
+		})
+	}
 	for r := 0; r < cfg.Ranks; r++ {
 		if _, err := rt.buildRank(r); err != nil {
 			return nil, err
@@ -323,6 +365,18 @@ func New(cfg Config) (*Runtime, error) {
 			}
 		}
 	}
+	if rt.gen.cfg.HotDir {
+		if _, err := rt.ns.CreatePath(hotDirPath, true); err != nil {
+			return nil, fmt.Errorf("live: pre-populate hot dir: %w", err)
+		}
+		for i := 0; i < rt.gen.cfg.HotFiles; i++ {
+			p := fmt.Sprintf("%s/f%d", hotDirPath, i)
+			if _, err := rt.ns.CreatePath(p, false); err != nil {
+				return nil, fmt.Errorf("live: pre-populate hot dir: %w", err)
+			}
+		}
+		rt.gen.rtr.seed(hotDirPath, 0)
+	}
 	return rt, nil
 }
 
@@ -353,6 +407,22 @@ func (rt *Runtime) buildRank(r int) (*mds.MDS, error) {
 	}
 	m := mds.New(rank, rt.mdsAddrs[r], clk, net, rt.ns, pool,
 		rt.cfg.MDS, balancer.NewVersioned(bal), rt.mdsAddrs)
+	if rt.repReg != nil {
+		// Each rank compiles its own hook (Lua VMs are not goroutine-safe).
+		hook, err := core.NewReplicateHook(rt.cfg.ReplicaPolicy, core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("live: when_replicate for rank %d: %w", r, err)
+		}
+		maxRep := rt.cfg.ReplicaMax
+		if maxRep <= 0 {
+			maxRep = 2
+		}
+		m.SetReplication(&mds.Replication{
+			Reg:         rt.repReg,
+			When:        hook.Eval,
+			MaxReplicas: maxRep,
+		})
+	}
 	if rt.monitored {
 		rt.wireFencing(m, r, epoch)
 		if rt.mon != nil {

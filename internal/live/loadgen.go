@@ -55,6 +55,17 @@ type LoadConfig struct {
 	// OpTimeout abandons a request whose reply never arrives (crashed rank,
 	// lost message) so the pending set cannot leak.
 	OpTimeout time.Duration
+	// HotDir concentrates HotFrac of zipf ops on getattrs of files under a
+	// single shared directory (the hotspot-mitigation scenario); the rest
+	// of the stream keeps the normal zipf mix. Ops aimed at the hot
+	// directory are phase-tagged workload.PhaseHot.
+	HotDir bool
+	// HotFrac is the fraction of ops aimed at the hot directory (default
+	// 0.9).
+	HotFrac float64
+	// HotFiles is how many files the hot directory holds (default 256,
+	// pre-populated by the runtime).
+	HotFiles int
 	// Workers is how many dispatcher goroutines pace zipf arrivals (the
 	// compile replay is inherently sequential — phase order matters — and
 	// always runs one). Worker w owns arrival indices w, w+Workers, … of
@@ -85,6 +96,12 @@ func (c *LoadConfig) setDefaults() {
 	if c.OpTimeout <= 0 {
 		c.OpTimeout = 5 * time.Second
 	}
+	if c.HotFrac <= 0 || c.HotFrac > 1 {
+		c.HotFrac = 0.9
+	}
+	if c.HotFiles <= 0 {
+		c.HotFiles = 256
+	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 		if c.Workers > 8 {
@@ -99,6 +116,14 @@ func (c *LoadConfig) setDefaults() {
 // being silently absorbed (coordinated-omission correction).
 type pendingOp struct {
 	scheduled time.Time
+	// rank is the rank the request was routed to, for inflight accounting
+	// under replication; -1 for coalesced waiters (and whenever replication
+	// is off), which never hit the wire.
+	rank int
+	// key is the singleflight key a coalescing leader carries; its reply
+	// fans out to every waiter registered under the key. "" for waiters and
+	// uncoalesced ops.
+	key string
 }
 
 // pendShards is the pending-set shard count (power of two). One global map
@@ -128,6 +153,21 @@ type loadgen struct {
 
 	pend [pendShards]pendShard
 
+	// replication mirrors Runtime.Config.Replication: gates the coalescing
+	// and replica-routing paths so the default configuration issues
+	// byte-identical traffic to before the subsystem existed.
+	replication bool
+	// inflight counts outstanding requests per rank (replication only) —
+	// the load signal power-of-two-choices routing compares.
+	inflight []atomic.Int64
+	// flight is the singleflight table: key → waiter request IDs riding on
+	// the in-flight leader with that key.
+	flightMu sync.Mutex
+	flight   map[string][]uint64
+
+	replicaRouted atomic.Uint64
+	coalesced     atomic.Uint64
+
 	// rankLat holds a sliding latency window per provisioned rank, fed on
 	// completions and read by the elastic host's Metrics (the per-rank
 	// latency signal when_elastic votes on).
@@ -151,12 +191,15 @@ type loadgen struct {
 func newLoadgen(rt *Runtime, cfg LoadConfig) *loadgen {
 	cfg.setDefaults()
 	lg := &loadgen{
-		rt:   rt,
-		cfg:  cfg,
-		rtr:  newRouter(rt.cfg.Ranks),
-		lat:  &telemetry.ShardedHistogram{},
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		rt:          rt,
+		cfg:         cfg,
+		rtr:         newRouter(rt.cfg.Ranks),
+		replication: rt.cfg.Replication,
+		inflight:    make([]atomic.Int64, len(rt.mdsAddrs)),
+		flight:      map[string][]uint64{},
+		lat:         &telemetry.ShardedHistogram{},
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
 	}
 	for i := range lg.pend {
 		lg.pend[i].m = map[uint64]pendingOp{}
@@ -195,6 +238,9 @@ func (lg *loadgen) HandleMessage(from simnet.Addr, msg simnet.Message) {
 		if !ok {
 			return // already reaped as a timeout
 		}
+		if p.rank >= 0 {
+			lg.inflight[p.rank].Add(-1)
+		}
 		for _, h := range v.Hints {
 			lg.rtr.learn(h)
 		}
@@ -214,6 +260,9 @@ func (lg *loadgen) HandleMessage(from simnet.Addr, msg simnet.Message) {
 			if r := int(from); r >= 0 && r < len(lg.rankLat) {
 				lg.rankLat[r].observe(us)
 			}
+		}
+		if p.key != "" {
+			lg.completeWaiters(from, v, p.key)
 		}
 	case *mds.SessionFlush:
 		lg.flushes.Add(1)
@@ -327,11 +376,84 @@ func (lg *loadgen) idleTail() {
 	}
 }
 
-// issue routes and sends one request.
+// completeWaiters fans a coalescing leader's outcome out to every waiter
+// registered under its key, charging each waiter's latency from its own
+// scheduled arrival time.
+func (lg *loadgen) completeWaiters(from simnet.Addr, v *mds.Reply, key string) {
+	lg.flightMu.Lock()
+	waiters := lg.flight[key]
+	delete(lg.flight, key)
+	lg.flightMu.Unlock()
+	for _, wid := range waiters {
+		ws := &lg.pend[wid&(pendShards-1)]
+		ws.mu.Lock()
+		wp, ok := ws.m[wid]
+		if ok {
+			delete(ws.m, wid)
+		}
+		ws.mu.Unlock()
+		if !ok {
+			continue // reaped while waiting
+		}
+		switch {
+		case IsOverloaded(v.Err):
+			lg.shedSeen.Add(1)
+		case v.Err != "":
+			lg.errors.Add(1)
+		default:
+			lg.completed.Add(1)
+			us := float64(time.Since(wp.scheduled)) / float64(time.Microsecond)
+			lg.lat.Observe(us)
+			if r := int(from); r >= 0 && r < len(lg.rankLat) {
+				lg.rankLat[r].observe(us)
+			}
+		}
+	}
+}
+
+// issue routes and sends one request. With replication on, non-mutating ops
+// are first coalesced (duplicate in-flight lookups ride on one wire request)
+// and then routed power-of-two-choices style across the auth rank and any
+// learned replicas; everything else takes the classic auth route.
 func (lg *loadgen) issue(op workload.Op, scheduled time.Time) {
 	id := lg.nextID.Add(1)
 	addr := lg.addrs[int(id)%len(lg.addrs)]
+	s := &lg.pend[id&(pendShards-1)]
+	if lg.replication && !op.Type.Mutating() {
+		key := strconv.Itoa(int(op.Type)) + ":" + op.Path
+		// Register the pending entry before joining the flight table so
+		// the leader's fan-out can never observe a waiter id without its
+		// pending entry.
+		s.mu.Lock()
+		s.m[id] = pendingOp{scheduled: scheduled, rank: -1}
+		s.mu.Unlock()
+		lg.flightMu.Lock()
+		if ids, inFlight := lg.flight[key]; inFlight {
+			lg.flight[key] = append(ids, id)
+			lg.flightMu.Unlock()
+			lg.issued.Add(1)
+			lg.coalesced.Add(1)
+			return
+		}
+		lg.flight[key] = nil // become the leader for this key
+		lg.flightMu.Unlock()
+		rank := lg.routeRead(op, id)
+		s.mu.Lock()
+		s.m[id] = pendingOp{scheduled: scheduled, rank: int(rank), key: key}
+		s.mu.Unlock()
+		lg.inflight[rank].Add(1)
+		lg.issued.Add(1)
+		lg.rt.transport.Send(addr, lg.rt.mdsAddrs[rank], &mds.Request{
+			ID: id, Client: addr, Op: op.Type, Path: op.Path,
+		})
+		return
+	}
 	rank := lg.rtr.route(op)
+	pr := -1
+	if lg.replication {
+		pr = int(rank)
+		lg.inflight[rank].Add(1)
+	}
 	req := &mds.Request{
 		ID:      id,
 		Client:  addr,
@@ -339,12 +461,56 @@ func (lg *loadgen) issue(op workload.Op, scheduled time.Time) {
 		Path:    op.Path,
 		DstPath: op.DstPath,
 	}
-	s := &lg.pend[id&(pendShards-1)]
 	s.mu.Lock()
-	s.m[id] = pendingOp{scheduled: scheduled}
+	s.m[id] = pendingOp{scheduled: scheduled, rank: pr}
 	s.mu.Unlock()
 	lg.issued.Add(1)
 	lg.rt.transport.Send(addr, lg.rt.mdsAddrs[rank], req)
+}
+
+// routeRead picks the serving rank for a read: the auth route plus any
+// learned replicas for the parent directory form the candidate set, and two
+// hash-derived choices race on instantaneous inflight count (power of two
+// choices — near-optimal load spread without global knowledge).
+func (lg *loadgen) routeRead(op workload.Op, id uint64) namespace.Rank {
+	auth := lg.rtr.route(op)
+	dir, name := splitPath(op.Path)
+	if name == "" {
+		dir = op.Path
+	}
+	reps := lg.rtr.replicasOf(dir)
+	if len(reps) == 0 {
+		return auth
+	}
+	cands := make([]namespace.Rank, 0, len(reps)+1)
+	cands = append(cands, auth)
+	for _, rk := range reps {
+		if int(rk) < 0 || int(rk) >= len(lg.inflight) || rk == auth {
+			continue
+		}
+		cands = append(cands, rk)
+	}
+	if len(cands) == 1 {
+		return auth
+	}
+	// splitmix64: two independent choices from the request id.
+	z := id + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	i := int(z % uint64(len(cands)))
+	j := int((z >> 32) % uint64(len(cands)))
+	if i == j {
+		j = (j + 1) % len(cands)
+	}
+	pick := cands[i]
+	if lg.inflight[cands[j]].Load() < lg.inflight[pick].Load() {
+		pick = cands[j]
+	}
+	if pick != auth {
+		lg.replicaRouted.Add(1)
+	}
+	return pick
 }
 
 // reap abandons pending ops older than OpTimeout. Called periodically and
@@ -353,14 +519,31 @@ func (lg *loadgen) issue(op workload.Op, scheduled time.Time) {
 func (lg *loadgen) reap(now time.Time) {
 	for i := range lg.pend {
 		s := &lg.pend[i]
+		var keys []string
 		s.mu.Lock()
 		for id, p := range s.m {
 			if now.Sub(p.scheduled) > lg.cfg.OpTimeout {
 				delete(s.m, id)
 				lg.timeouts.Add(1)
+				if p.rank >= 0 {
+					lg.inflight[p.rank].Add(-1)
+				}
+				if p.key != "" {
+					keys = append(keys, p.key)
+				}
 			}
 		}
 		s.mu.Unlock()
+		// A reaped leader releases its flight key so the next duplicate
+		// lookup elects a fresh leader; its waiters expire on their own
+		// timeouts via the normal sweep.
+		if len(keys) > 0 {
+			lg.flightMu.Lock()
+			for _, k := range keys {
+				delete(lg.flight, k)
+			}
+			lg.flightMu.Unlock()
+		}
 	}
 }
 
@@ -383,9 +566,17 @@ func (lg *loadgen) flushPending() {
 		s := &lg.pend[i]
 		s.mu.Lock()
 		n += len(s.m)
+		for _, p := range s.m {
+			if p.rank >= 0 {
+				lg.inflight[p.rank].Add(-1)
+			}
+		}
 		s.m = map[uint64]pendingOp{}
 		s.mu.Unlock()
 	}
+	lg.flightMu.Lock()
+	lg.flight = map[string][]uint64{}
+	lg.flightMu.Unlock()
 	lg.timeouts.Add(uint64(n))
 }
 
@@ -398,9 +589,23 @@ func (lg *loadgen) zipfSource(worker, workers int) func() (workload.Op, bool) {
 	rng := rand.New(rand.NewSource(lg.cfg.Seed + int64(worker)*0x9e3779b9))
 	zipf := rand.NewZipf(rng, lg.cfg.ZipfS, 1, uint64(lg.cfg.Dirs-1))
 	dirs := zipfDirs(lg.cfg.Dirs)
+	var hot []string
+	if lg.cfg.HotDir {
+		hot = make([]string, lg.cfg.HotFiles)
+		for i := range hot {
+			hot[i] = hotDirPath + "/f" + strconv.Itoa(i)
+		}
+	}
 	seq := worker
 	var buf []byte
 	return func() (workload.Op, bool) {
+		if hot != nil && rng.Float64() < lg.cfg.HotFrac {
+			return workload.Op{
+				Type:  mds.OpGetattr,
+				Path:  hot[rng.Intn(len(hot))],
+				Phase: workload.PhaseHot,
+			}, true
+		}
 		d := zipf.Uint64()
 		seq += workers
 		if rng.Float64() < lg.cfg.WriteRatio {
@@ -412,6 +617,9 @@ func (lg *loadgen) zipfSource(worker, workers int) func() (workload.Op, bool) {
 		return workload.Op{Type: mds.OpGetattr, Path: dirs[d]}, true
 	}
 }
+
+// hotDirPath is the shared directory the HotDir workload hammers.
+const hotDirPath = "/hot"
 
 // zipfDirs lists the directories the zipf workload touches (pre-populated by
 // the runtime so getattrs resolve from the first op).
@@ -499,6 +707,11 @@ type router struct {
 	numRanks int
 	subtree  map[string]namespace.Rank
 	frags    map[string][]mds.FragHint
+	// reps caches replica holder sets per directory, learned from hint
+	// replica lists. Hints from a replication-enabled MDS always carry the
+	// current holder set for the served directory (nil when there are
+	// none), so an entry here is only ever as stale as the last reply.
+	reps map[string][]namespace.Rank
 }
 
 func newRouter(numRanks int) *router {
@@ -506,6 +719,7 @@ func newRouter(numRanks int) *router {
 		numRanks: numRanks,
 		subtree:  map[string]namespace.Rank{"/": 0},
 		frags:    map[string][]mds.FragHint{},
+		reps:     map[string][]namespace.Rank{},
 	}
 }
 
@@ -583,7 +797,9 @@ func (r *router) setNumRanks(n int) {
 // writers' lock.
 func (r *router) learn(h mds.Hint) {
 	r.mu.RLock()
-	same := r.subtree[h.DirPath] == h.Rank && fragsEqual(r.frags[h.DirPath], h.Frags)
+	same := r.subtree[h.DirPath] == h.Rank &&
+		fragsEqual(r.frags[h.DirPath], h.Frags) &&
+		ranksEqual(r.reps[h.DirPath], h.Replicas)
 	r.mu.RUnlock()
 	if same {
 		return
@@ -595,7 +811,34 @@ func (r *router) learn(h mds.Hint) {
 	} else {
 		delete(r.frags, h.DirPath)
 	}
+	if len(h.Replicas) > 0 {
+		r.reps[h.DirPath] = h.Replicas
+	} else {
+		delete(r.reps, h.DirPath)
+	}
 	r.subtree[h.DirPath] = h.Rank
+}
+
+// replicasOf returns the learned replica holder set for dir (nil when none).
+// The slice is replaced wholesale by learn, never mutated, so reading it
+// outside the lock is safe.
+func (r *router) replicasOf(dir string) []namespace.Rank {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.reps[dir]
+}
+
+// ranksEqual reports whether two rank lists are identical.
+func ranksEqual(a, b []namespace.Rank) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // fragsEqual reports whether two fragment hint lists are identical.

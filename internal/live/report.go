@@ -89,6 +89,31 @@ type Report struct {
 	// (declare→serving), which must fit the grace + replay budget.
 	Takeovers []TakeoverEvent
 
+	// Replication plane (all zero unless Config.Replication). ReplicaReads
+	// counts reads served from a replica holder instead of forwarding;
+	// ReplicaHitRate is that as a fraction of completed ops. Grants/Revokes/
+	// RevokeAcks/ForcedRevokes trace the replicate-revoke protocol;
+	// WriteStalls counts mutations parked behind a revoke round and
+	// WriteConflicts counts writes that applied while a replica was still
+	// granted (must be zero — the consistency invariant). ReplicaRouted and
+	// Coalesced are client-side: reads sent to a non-auth holder by the
+	// power-of-two-choices router, and duplicate lookups absorbed by the
+	// singleflight table. RevokeMeanMs is mean revoke-round latency and
+	// Invalidations counts replicas dropped instantly by namespace
+	// mutations, migrations and membership changes.
+	ReplicaReads          uint64
+	ReplicaGrants         uint64
+	ReplicaRevokes        uint64
+	ReplicaRevokeAcks     uint64
+	ReplicaWriteStalls    uint64
+	ReplicaWriteConflicts uint64
+	ReplicaForcedRevokes  uint64
+	ReplicaRouted         uint64
+	Coalesced             uint64
+	ReplicaHitRate        float64
+	RevokeMeanMs          float64
+	Invalidations         uint64
+
 	// WedgedMigrations is non-zero when drain timed out with two-phase
 	// commits still in flight.
 	WedgedMigrations int
@@ -153,6 +178,13 @@ func (rt *Runtime) collect(wedged int) *Report {
 		rep.StaleRejects += c.StaleRejects
 		rep.SelfFences += c.SelfFences
 		rep.LoadMapsRecv += c.LoadMapsRecv
+		rep.ReplicaReads += c.ReplicaReads
+		rep.ReplicaGrants += c.ReplicaGrants
+		rep.ReplicaRevokes += c.ReplicaRevokes
+		rep.ReplicaRevokeAcks += c.ReplicaRevokeAcks
+		rep.ReplicaWriteStalls += c.ReplicaWriteStalls
+		rep.ReplicaWriteConflicts += c.ReplicaWriteConflicts
+		rep.ReplicaForcedRevokes += c.ReplicaForcedRevokes
 	}
 	// Per-rank counters are folded shard by shard: snapshot the membership
 	// once, then copy each daemon's counter block under that rank's own
@@ -194,6 +226,16 @@ func (rt *Runtime) collect(wedged int) *Report {
 			c := z.m.Counters
 			rt.shards[z.rank].Unlock()
 			fold(c)
+		}
+	}
+	if rt.repReg != nil {
+		rep.ReplicaRouted = rt.gen.replicaRouted.Load()
+		rep.Coalesced = rt.gen.coalesced.Load()
+		st := rt.repReg.Stats()
+		rep.Invalidations = st.Invalidations
+		rep.RevokeMeanMs = float64(st.RevokeMean) / float64(time.Millisecond)
+		if rep.Completed > 0 {
+			rep.ReplicaHitRate = float64(rep.ReplicaReads) / float64(rep.Completed)
 		}
 	}
 	rep.FinalRanks = len(mdss)
@@ -251,6 +293,14 @@ func (r *Report) Write(w io.Writer) error {
 		for _, e := range r.Membership {
 			fmt.Fprintf(bw, "  %s\n", e)
 		}
+	}
+	if r.ReplicaGrants > 0 || r.ReplicaReads > 0 || r.Coalesced > 0 {
+		fmt.Fprintf(bw, "replication: %d replica reads (%.1f%% of completed), %d grants, %d revokes (%d acks, %d forced, mean %.3f ms), %d invalidations\n",
+			r.ReplicaReads, r.ReplicaHitRate*100, r.ReplicaGrants,
+			r.ReplicaRevokes, r.ReplicaRevokeAcks, r.ReplicaForcedRevokes,
+			r.RevokeMeanMs, r.Invalidations)
+		fmt.Fprintf(bw, "  client: %d replica-routed reads, %d coalesced lookups; %d write stalls, %d write conflicts\n",
+			r.ReplicaRouted, r.Coalesced, r.ReplicaWriteStalls, r.ReplicaWriteConflicts)
 	}
 	if r.WedgedMigrations > 0 {
 		fmt.Fprintf(bw, "WEDGED: %d migrations still in flight after drain\n", r.WedgedMigrations)

@@ -90,6 +90,11 @@ func (m *MDS) balancerTick() {
 		Req:      m.lastReqRate,
 		Draining: m.draining,
 	}
+	// Replica-held load is work this rank does beyond its authority — the
+	// paper's auth/all split, populated for the first time.
+	if m.rep != nil {
+		hb.All += m.replicaLoad()
+	}
 	m.hbData[m.rank] = hb
 	if m.tel != nil {
 		if m.gCPU != nil {
@@ -119,6 +124,9 @@ func (m *MDS) balancerTick() {
 				Mem: hb.Mem, Queue: hb.Queue, Req: hb.Req,
 				Draining: hb.Draining,
 			}
+			if m.rep != nil {
+				b.Load.Replicas = len(m.rep.Reg.HeldPaths(m.rank))
+			}
 		}
 		m.net.Send(m.addr, m.monAddr, b)
 	}
@@ -137,6 +145,9 @@ func (m *MDS) balancerTick() {
 		return
 	}
 	m.engine.Schedule(m.cfg.RebalanceDelay, m.rebalance)
+	if m.rep != nil {
+		m.engine.Schedule(m.cfg.RebalanceDelay, m.replicaTick)
+	}
 }
 
 // buildEnv assembles the Table 2 environment from the latest heartbeats.

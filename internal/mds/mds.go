@@ -82,6 +82,10 @@ type MDS struct {
 	curEpoch func() uint64
 	onFenced func()
 
+	// rep enables read replication (hotspot mitigation); nil — always in
+	// simulation — disables every replication code path. See replicate.go.
+	rep *Replication
+
 	// Telemetry (nil = disabled). Metric handles are resolved once in
 	// SetTelemetry so the hot path never touches the registry maps.
 	tel         *telemetry.Telemetry
@@ -225,6 +229,12 @@ func (m *MDS) HandleMessage(from simnet.Addr, msg simnet.Message) {
 		m.handleExportAck(v)
 	case *exportNack:
 		m.handleExportNack(v)
+	case *replicaGrant:
+		m.handleReplicaGrant(from, v)
+	case *replicaRevoke:
+		m.handleReplicaRevoke(v)
+	case *replicaRevokeAck:
+		m.handleReplicaRevokeAck(v)
 	default:
 		panic(fmt.Sprintf("mds%d: unknown message %T", m.rank, msg))
 	}
@@ -311,6 +321,13 @@ func (m *MDS) Crash() {
 	m.exports = map[uint64]*exportState{}
 	m.imports = map[uint64]*importState{}
 	m.activeExports = 0
+	// The dead rank's replicas, pending revoke acks and write intents all
+	// vanish with it: the registry completes any revoke that was waiting
+	// only on this rank, so writers elsewhere un-park immediately instead
+	// of riding out the revoke timeout.
+	if m.rep != nil {
+		m.rep.Reg.DropRank(m.rank)
+	}
 }
 
 // ExportsInFlight reports exports mid-two-phase-commit on this rank.
@@ -482,6 +499,7 @@ func (m *MDS) serve(r *Request) {
 	if err != nil {
 		// Resolution failures are cheap rejects billed like a lookup.
 		m.startBusy(m.cfg.LookupSvc, func() {
+			m.releaseWriteIntents(r)
 			m.Counters.Errors++
 			m.reply(r, res, err)
 			m.kick()
@@ -501,8 +519,11 @@ func (m *MDS) serve(r *Request) {
 		m.kick()
 		return
 	}
-	if auth != m.rank {
-		// Misdirected: forward to the authority.
+	if auth != m.rank && !m.replicaRead(r, res) {
+		// Misdirected: forward to the authority. Write intents this
+		// request holds belong to a revoke it was parked on before the
+		// authority moved; they must not travel with it.
+		m.releaseWriteIntents(r)
 		m.Counters.Forwards++
 		r.Hops++
 		if m.cForwards != nil {
@@ -524,6 +545,15 @@ func (m *MDS) serve(r *Request) {
 			m.kick()
 		})
 		return
+	}
+	// Revoke-before-write: a mutation touching replicated state parks
+	// until every holder acked (or the revoke timed out). The write
+	// intents it registers block new grants until the mutation applies.
+	if m.rep != nil && r.Op.Mutating() && res.dir != nil {
+		if m.replicaBarrier(r, res) {
+			m.kick()
+			return
+		}
 	}
 	m.Counters.Hits++
 	svc := m.svcTime(r, res)
@@ -549,7 +579,19 @@ func (m *MDS) serve(r *Request) {
 			m.selfFence()
 			return
 		}
+		// Revoke-before-write invariant: by the time a mutation executes,
+		// no rank may still hold a replica of the state it touches. The
+		// registry's write intents guarantee this; the counter pins it
+		// (the consistency soak asserts it stays zero).
+		if m.rep != nil {
+			for _, p := range r.heldPaths {
+				if m.rep.Reg.HasHolders(p) {
+					m.Counters.ReplicaWriteConflicts++
+				}
+			}
+		}
 		err := m.apply(r, res)
+		m.releaseWriteIntents(r)
 		m.Counters.Served++
 		m.reqWindow++
 		if m.cServed != nil {
@@ -616,6 +658,12 @@ func (m *MDS) svcTime(r *Request, res resolved) sim.Time {
 // weights at 2x).
 func (m *MDS) fetchPenalty(r *Request, res resolved) sim.Time {
 	if m.cfg.CacheCapacity <= 0 || m.cfg.CacheCoolTime <= 0 || res.dir == nil || res.name == "" {
+		return 0
+	}
+	if r.viaReplica {
+		// A replica read serves from the holder's own copy of the dirfrag
+		// (the grant shipped it), so it is warm by construction — and the
+		// frag's LastAccess/counters belong to the auth rank's actor.
 		return 0
 	}
 	if m.ns.NumNodes() <= m.cfg.CacheCapacity {
@@ -697,13 +745,24 @@ func (m *MDS) apply(r *Request, res resolved) error {
 		m.nsv.RecordOp(dstDir, dstName, namespace.OpIWR, now)
 		return nil
 	case OpReaddir:
-		m.nsv.RecordOp(res.dir, "", namespace.OpReaddir, now)
+		if r.viaReplica {
+			m.nsv.RecordOpRemote(res.dir, "", namespace.OpReaddir, now)
+		} else {
+			m.nsv.RecordOp(res.dir, "", namespace.OpReaddir, now)
+		}
 		return nil
 	case OpSetattr:
 		m.nsv.RecordOp(res.dir, res.name, namespace.OpIWR, now)
 		return nil
 	default: // Getattr, Lookup, Open
-		m.nsv.RecordOp(res.dir, res.name, namespace.OpIRD, now)
+		if r.viaReplica {
+			// Replica-served read: this rank is not the frag's writer, so
+			// the charge defers through the domain log (fold under the
+			// write lock) instead of hitting the frag counters inline.
+			m.nsv.RecordOpRemote(res.dir, res.name, namespace.OpIRD, now)
+		} else {
+			m.nsv.RecordOp(res.dir, res.name, namespace.OpIRD, now)
+		}
 		return nil
 	}
 }
@@ -772,7 +831,24 @@ func (m *MDS) reply(r *Request, res resolved, err error) {
 		rep.Err = err.Error()
 	}
 	if res.dir != nil {
-		rep.Hints = append(rep.Hints, m.hintFor(res.dir))
+		h := m.hintFor(res.dir)
+		if m.rep != nil {
+			// Replica placement rides on every hint for the exact
+			// directory: nil Replicas clears whatever the client learned
+			// earlier, so a revoked set never lingers client-side.
+			p := res.dir.Path()
+			if h.DirPath == p {
+				h.Replicas = m.rep.Reg.Holders(p)
+				rep.Hints = append(rep.Hints, h)
+			} else {
+				rep.Hints = append(rep.Hints, h, Hint{
+					DirPath: p, Rank: m.ns.EffectiveAuth(res.dir),
+					Replicas: m.rep.Reg.Holders(p),
+				})
+			}
+		} else {
+			rep.Hints = append(rep.Hints, h)
+		}
 	}
 	m.net.Send(m.addr, r.Client, rep)
 }

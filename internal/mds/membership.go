@@ -82,6 +82,11 @@ func (m *MDS) Retire() {
 	m.queue = nil
 	m.deferred = nil
 	m.busy = false
+	// A retired rank's replicas and revoke obligations leave with it
+	// (mirrors Crash — Retire does not go through Crash).
+	if m.rep != nil {
+		m.rep.Reg.DropRank(m.rank)
+	}
 }
 
 // Retired reports whether the daemon left the cluster for good.

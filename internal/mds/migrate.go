@@ -63,6 +63,12 @@ func (m *MDS) startExport(u exportUnit, dest namespace.Rank) {
 		nodes: u.nodeCount(), started: m.engine.Now()}
 	m.exports[st.id] = st
 	m.activeExports++
+	// Authority is about to move: replicas of anything in the unit are
+	// invalidated through the shared registry before the freeze parks
+	// incoming requests, so no replica read races the handoff.
+	if m.rep != nil {
+		m.rep.Reg.InvalidateSubtree(u.dir.Path())
+	}
 	m.freezeUnit(u, true)
 	if m.cfg.ExportTimeout > 0 {
 		st.timeout = m.engine.Schedule(m.cfg.ExportTimeout, func() { m.abortExport(st.id) })

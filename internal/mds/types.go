@@ -91,6 +91,18 @@ type Request struct {
 	// enqueuedAt marks arrival in the current MDS's queue; maintained only
 	// when telemetry is enabled (queue-wait spans and histograms).
 	enqueuedAt sim.Time
+
+	// heldPaths lists the replica-registry write intents this request
+	// holds while parked on a revoke. Carried on the request so a re-serve
+	// after the revoke completes does not register them twice, and a
+	// forward after an authority move releases them.
+	heldPaths []string
+
+	// viaReplica marks a read admitted through a local replica of a
+	// directory this rank is not the authority for. Its counter charges
+	// must defer through RecordOpRemote: the inline frag hit is reserved
+	// for the single auth writer.
+	viaReplica bool
 }
 
 // FragHint tells a client which rank owns one fragment of a directory.
@@ -110,6 +122,10 @@ type Hint struct {
 	Rank namespace.Rank
 	// Frags is non-nil only when fragments have split authority.
 	Frags []FragHint
+	// Replicas lists ranks holding read replicas of DirPath (replication
+	// enabled only). nil clears any replica set the client learned
+	// earlier — hints always carry the current truth.
+	Replicas []namespace.Rank
 }
 
 // Reply is the MDS response to a Request.
@@ -203,6 +219,28 @@ type (
 	exportNack struct {
 		ExportID uint64
 		From     namespace.Rank
+	}
+)
+
+// Replication messages (read-replica coherence; see internal/replica).
+type (
+	// replicaGrant tells a peer it now holds a read replica of Path. The
+	// registry entry was already created by the authority; the message
+	// models the replica payload shipping.
+	replicaGrant struct {
+		Path string
+		From namespace.Rank
+	}
+	// replicaRevoke asks a holder to stop serving Path from its replica
+	// and ack once its pipeline is clear of replica reads.
+	replicaRevoke struct {
+		Path string
+		From namespace.Rank
+	}
+	// replicaRevokeAck confirms the holder dropped the replica.
+	replicaRevokeAck struct {
+		Path string
+		From namespace.Rank
 	}
 )
 
@@ -335,6 +373,12 @@ type Config struct {
 	// RecoverBase plus RecoverPerEntry per durable journal entry.
 	RecoverBase     sim.Time
 	RecoverPerEntry sim.Time
+
+	// ReplicaRevokeTimeout force-completes a replica revoke whose holder
+	// never acked (crashed or partitioned mid-revoke), so a mutation can
+	// never wedge behind a dead holder. Only read when replication is
+	// enabled.
+	ReplicaRevokeTimeout sim.Time
 }
 
 // DefaultConfig returns the calibrated cost model. The constants are chosen
@@ -391,6 +435,8 @@ func DefaultConfig() Config {
 
 		RecoverBase:     2 * sim.Second,
 		RecoverPerEntry: 5 * sim.Microsecond,
+
+		ReplicaRevokeTimeout: 2 * sim.Second,
 	}
 }
 
@@ -421,4 +467,13 @@ type Counters struct {
 	StaleRejects    uint64 // namespace writes refused: the daemon's epoch was superseded
 	SelfFences      uint64 // daemon discovered it was replaced and fenced itself
 	LoadMapsRecv    uint64 // aggregated load maps folded into hbData (HBAggregated mode)
+
+	// Replication counters (all zero unless replication is enabled).
+	ReplicaReads          uint64 // reads served from a local replica instead of forwarding
+	ReplicaGrants         uint64 // replicas this rank granted to peers
+	ReplicaRevokes        uint64 // revoke messages this rank sent
+	ReplicaRevokeAcks     uint64 // revokes this rank acked as a holder
+	ReplicaWriteStalls    uint64 // mutations parked waiting for a revoke round
+	ReplicaWriteConflicts uint64 // invariant violations: a write applied with live holders
+	ReplicaForcedRevokes  uint64 // revokes completed by timeout instead of acks
 }

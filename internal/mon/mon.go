@@ -44,6 +44,11 @@ type RankLoad struct {
 	Queue    float64
 	Req      float64
 	Draining bool
+	// Replicas is how many directory read replicas the rank holds
+	// (hotspot mitigation; 0 when replication is off). Carried for
+	// placement visibility — peers and operators see where replica
+	// load landed.
+	Replicas int
 }
 
 // LoadMap is the monitor's aggregated, versioned view of every live rank's

@@ -78,6 +78,13 @@ type Namespace struct {
 	// that incremental maintenance does not cover.
 	bidx      []boundEntry
 	bidxDirty bool
+
+	// invalidate, when set, is called with the pre-mutation path of every
+	// node a structural change (unlink, rename) detaches — the hook the
+	// replica registry uses to drop read replicas of state whose path key
+	// just died. Called with the namespace write lock held; the hook must
+	// not re-enter the namespace.
+	invalidate func(path string)
 }
 
 type fragKey struct {
@@ -106,6 +113,10 @@ func New(halfLife sim.Time) *Namespace {
 	ns.overrides[ns.root] = struct{}{}
 	return ns
 }
+
+// SetInvalidateHook registers fn to observe structural detachments (see the
+// invalidate field). Set once at cluster construction, before traffic.
+func (ns *Namespace) SetInvalidateHook(fn func(path string)) { ns.invalidate = fn }
 
 func (ns *Namespace) newDirNode(parent *Node, name string) *Node {
 	n := &Node{
@@ -349,6 +360,9 @@ func (ns *Namespace) Remove(parent *Node, name string) error {
 	if n.isDir && len(n.children) > 0 {
 		return fmt.Errorf("%w: %s", ErrNotEmpty, n.path())
 	}
+	if ns.invalidate != nil && n.isDir {
+		ns.invalidate(n.path())
+	}
 	// Fold deferred counter charges while n's ancestor chain is intact;
 	// replaying a hit on a detached node would drop its ancestors' share.
 	ns.flushLocked()
@@ -397,6 +411,11 @@ func (ns *Namespace) Rename(srcDir *Node, srcName string, dstDir *Node, dstName 
 			}
 		}
 	}
+	if ns.invalidate != nil && n.isDir {
+		// The subtree's path keys die with the move; replicas indexed by
+		// the old paths must not survive it.
+		ns.invalidate(n.path())
+	}
 	// Fold deferred counter charges before the parent chain changes:
 	// hits logged under the old location must replay up the old chain.
 	ns.flushLocked()
@@ -444,6 +463,26 @@ func (ns *Namespace) RecordOp(dir *Node, name string, k OpKind, now sim.Time) {
 	ns.runlock()
 }
 
+// chargeFrags charges one op of kind k against the dirfrag holding name (or
+// every leaf frag for whole-directory ops, so fragmented directories
+// attribute readdir load to all partitions). Callers must hold whichever
+// lock makes the write safe: the auth rank's actor under the read lock
+// (single writer per frag), or the deferred-log fold under the write lock.
+func (dir *Node) chargeFrags(name string, k OpKind, now sim.Time) {
+	if name != "" {
+		frag := dir.fragtree.LeafOfName(name)
+		fs := dir.frags[frag]
+		fs.Counters.Hit(k, now)
+		fs.LastAccess = now
+		return
+	}
+	for _, f := range dir.fragtree.leaves {
+		fs := dir.frags[f]
+		fs.Counters.Hit(k, now)
+		fs.LastAccess = now
+	}
+}
+
 // recordOpIn charges the frag counters inline (single-writer per frag: only
 // the owning rank's actor serves ops on it) and defers the ancestor walk
 // into the domain's log.
@@ -451,20 +490,7 @@ func (ns *Namespace) recordOpIn(d *domain, dir *Node, name string, k OpKind, now
 	if dir == nil || !dir.isDir {
 		return
 	}
-	if name != "" {
-		frag := dir.fragtree.LeafOfName(name)
-		fs := dir.frags[frag]
-		fs.Counters.Hit(k, now)
-		fs.LastAccess = now
-	} else {
-		// Whole-directory op: charge every leaf frag so fragmented
-		// directories attribute readdir load to all partitions.
-		for _, f := range dir.fragtree.leaves {
-			fs := dir.frags[f]
-			fs.Counters.Hit(k, now)
-			fs.LastAccess = now
-		}
-	}
+	dir.chargeFrags(name, k, now)
 	if ns.lazy {
 		// Defer the ancestor walk: one append now, the identical
 		// sequence of Hit calls replayed in arrival order at the next

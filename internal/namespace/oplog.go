@@ -36,10 +36,17 @@ var DisableHotPathCaches bool
 var DisableNodeArena bool
 
 // hitRec is one deferred RecordOp charge against dir and all its ancestors.
+// Records from RecordOpRemote additionally carry the dirfrag charge (frag
+// set, name naming the dentry): the inline frag hit is single-writer — only
+// the auth rank's actor may touch a frag's counters — so a rank serving a
+// read replica defers the whole charge and the fold applies it under the
+// write lock.
 type hitRec struct {
 	dir  *Node
+	name string
 	kind OpKind
 	at   sim.Time
+	frag bool
 }
 
 // flush folds the domain's deferred hits in arrival order.
@@ -51,6 +58,9 @@ func (d *domain) flush() {
 	d.pendingHits = d.pendingHits[:0]
 	for i := range recs {
 		r := &recs[i]
+		if r.frag {
+			r.dir.chargeFrags(r.name, r.kind, r.at)
+		}
 		for cur := r.dir; cur != nil; cur = cur.parent {
 			cur.counters.Hit(r.kind, r.at)
 		}

@@ -132,6 +132,22 @@ func (v *View) RecordOp(dir *Node, name string, k OpKind, now sim.Time) {
 	v.ns.runlock()
 }
 
+// RecordOpRemote charges an op served by a rank that is NOT the directory's
+// authority (a read served from a replica). The inline frag hit in RecordOp
+// is single-writer — only the auth rank's actor may touch a frag's counters
+// — so the whole charge (frag and ancestor walk alike) is deferred into this
+// rank's log and folded under the write lock at the next counter read. Heat
+// attribution is unchanged, only deferred: the auth's when_replicate still
+// sees replica-served reads in the directory's counters.
+func (v *View) RecordOpRemote(dir *Node, name string, k OpKind, now sim.Time) {
+	if dir == nil || !dir.isDir {
+		return
+	}
+	v.ns.rlock()
+	v.d.pendingHits = append(v.d.pendingHits, hitRec{dir: dir, name: name, kind: k, at: now, frag: true})
+	v.ns.runlock()
+}
+
 // Lock helpers: no-ops until EnableSharding.
 
 func (ns *Namespace) rlock() {

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"regexp"
 	"runtime"
 	"testing"
 
@@ -64,6 +65,8 @@ func Benchmarks() []Bench {
 		{"NSCreateStorm1MEager", benchNSCreateStorm1MEager},
 		{"NSHeartbeat16Rank", benchNSHeartbeat16Rank},
 		{"NSHeartbeat16RankX4", benchNSHeartbeat16RankX4},
+		{"LiveServeHotDir", benchLiveServeHotDirBare},
+		{"LiveServeHotDirRep", benchLiveServeHotDirRep},
 		{"LiveServe2Rank", benchLiveServe2Rank},
 		{"LiveServe8Rank", benchLiveServe8Rank},
 		{"LiveServe32Rank", benchLiveServe32Rank},
@@ -231,6 +234,26 @@ func (r Regression) String() string {
 	}
 	return fmt.Sprintf("%s: %.0f -> %.0f ns/op (%.2fx, tolerance exceeded)",
 		r.Name, r.BaselineNs, r.CurrentNs, r.Ratio)
+}
+
+// WithoutBenchmarks returns a copy of the report with every benchmark whose
+// name matches re removed, plus the names that were dropped. The regression
+// gates use it to exclude measurements whose wall time is documented as
+// load-dominated (an open-loop drain on an oversubscribed host varies several
+// fold run to run — see docs/PERFORMANCE.md); the measurement is still
+// recorded in the JSON and printed in the trend, it just cannot fail a gate.
+func (r Report) WithoutBenchmarks(re *regexp.Regexp) (Report, []string) {
+	out := r
+	out.Benchmarks = nil
+	var dropped []string
+	for _, b := range r.Benchmarks {
+		if re.MatchString(b.Name) {
+			dropped = append(dropped, b.Name)
+			continue
+		}
+		out.Benchmarks = append(out.Benchmarks, b)
+	}
+	return out, dropped
 }
 
 // CompareReports returns every benchmark present in both reports whose

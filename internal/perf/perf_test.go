@@ -1,6 +1,7 @@
 package perf
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -15,6 +16,8 @@ func BenchmarkNSCreateStorm1M(b *testing.B)         { benchNSCreateStorm1M(b) }
 func BenchmarkNSCreateStorm1MEager(b *testing.B)    { benchNSCreateStorm1MEager(b) }
 func BenchmarkNSHeartbeat16Rank(b *testing.B)       { benchNSHeartbeat16Rank(b) }
 func BenchmarkNSHeartbeat16RankX4(b *testing.B)     { benchNSHeartbeat16RankX4(b) }
+func BenchmarkLiveServeHotDir(b *testing.B)         { benchLiveServeHotDirBare(b) }
+func BenchmarkLiveServeHotDirRep(b *testing.B)      { benchLiveServeHotDirRep(b) }
 func BenchmarkLiveServe2Rank(b *testing.B)          { benchLiveServe2Rank(b) }
 func BenchmarkLiveServe8Rank(b *testing.B)          { benchLiveServe8Rank(b) }
 func BenchmarkLiveServe32Rank(b *testing.B)         { benchLiveServe32Rank(b) }
@@ -49,6 +52,32 @@ func TestCompareReports(t *testing.T) {
 	// A zero/absent baseline must never divide or flag.
 	if regs := CompareReports(report(map[string]float64{"A": 0}), cur, 0.25); len(regs) != 0 {
 		t.Fatalf("zero baseline flagged %v", regs)
+	}
+}
+
+// TestWithoutBenchmarks pins the gate-exemption filter: a matching benchmark
+// is dropped from the comparison copy (and named in the dropped list) so a
+// documented load-dominated point cannot fail a gate, while everything else
+// still can.
+func TestWithoutBenchmarks(t *testing.T) {
+	base := report(map[string]float64{"A": 100, "Flaky": 100})
+	cur := report(map[string]float64{"A": 110, "Flaky": 600})
+	gated, dropped := cur.WithoutBenchmarks(regexp.MustCompile(`^Flaky$`))
+	if len(dropped) != 1 || dropped[0] != "Flaky" {
+		t.Fatalf("dropped = %v, want [Flaky]", dropped)
+	}
+	if regs := CompareReports(base, gated, 0.25); len(regs) != 0 {
+		t.Fatalf("exempt benchmark still gated: %v", regs)
+	}
+	// The filter must not mask a real regression elsewhere.
+	cur2 := report(map[string]float64{"A": 200, "Flaky": 600})
+	gated2, _ := cur2.WithoutBenchmarks(regexp.MustCompile(`^Flaky$`))
+	if regs := CompareReports(base, gated2, 0.25); len(regs) != 1 || regs[0].Name != "A" {
+		t.Fatalf("regressions = %v, want exactly A", regs)
+	}
+	// The original report keeps the full benchmark list for the JSON artifact.
+	if len(cur.Benchmarks) != 2 {
+		t.Fatalf("source report mutated: %+v", cur.Benchmarks)
 	}
 }
 

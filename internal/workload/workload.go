@@ -21,6 +21,11 @@ type Op struct {
 	Phase string
 }
 
+// PhaseHot tags ops the hot-directory scenario aims at the single shared
+// directory (the hotspot-mitigation workload), mirroring the link-phase
+// flash-crowd tagging.
+const PhaseHot = "hot"
+
 // Generator produces a client's operation stream. Next returns ok=false
 // when the stream is exhausted.
 type Generator interface {

@@ -1,0 +1,33 @@
+-- policy: replicate
+-- The when_replicate hook: the authoritative rank's per-candidate vote on
+-- read replication, evaluated each balancer epoch against its hottest
+-- directories. Returns > 0 to grant one more replica of the candidate,
+-- < 0 to tear all of its replicas down, 0 to hold.
+--
+-- Replication is for read-dominated heat only: every write into a
+-- replicated directory pays a revoke round trip before it may apply
+-- (revoke-before-write), so replicating a write-heavy directory converts
+-- each write into cluster-wide coordination. The hook therefore gates on
+-- the read:write ratio as hard as on the heat itself.
+--
+-- Tunables: hot_factor is how far above the per-rank mean load a candidate
+-- must be before it earns replicas; read_ratio is the minimum rd/wr skew.
+-- The revoke side is deliberately laxer than the grant side (half the mean,
+-- rd merely falling under 2x wr) so a candidate hovering at the threshold
+-- does not flap grant/revoke every epoch.
+-- [when_replicate]
+local hot_factor = 2
+local read_ratio = 4
+
+local mean = total / active
+
+if replicas > 0 and (heat < mean / 2 or wr * 2 > rd) then
+	return -1
+end
+
+if replicas < max_replicas and heat > hot_factor * mean
+	and rd > read_ratio * wr then
+	return 1
+end
+
+return 0
